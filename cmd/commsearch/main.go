@@ -1,0 +1,204 @@
+// Command commsearch answers l-keyword community queries over a
+// database graph, printing each community's cost, core, centers and
+// size — the paper's end-user experience.
+//
+// Usage:
+//
+//	commsearch -graph dblp.graph -keywords database,graph -rmax 6 -top 10
+//	commsearch -graph dblp.graph -keywords web,parallel -rmax 6 -all -max 100
+//	commsearch -example paper -keywords a,b,c -rmax 8 -all
+//
+// With -index the searcher first builds the paper's inverted indexes
+// and runs the query on a projected subgraph; results are identical and
+// much faster on large graphs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"commdb"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file written by cmd/datagen")
+		indexPath = flag.String("index-file", "", "index file written by cmd/indexbuild (implies projected search)")
+		example   = flag.String("example", "", "built-in example graph: paper or intro")
+		keywords  = flag.String("keywords", "", "comma-separated query keywords (required)")
+		rmax      = flag.Float64("rmax", 6, "community radius Rmax")
+		top       = flag.Int("top", 0, "return the top-k communities by cost")
+		all       = flag.Bool("all", false, "enumerate all communities")
+		max       = flag.Int("max", 1000, "cap on -all output")
+		useIndex  = flag.Bool("index", false, "build inverted indexes and search a projected subgraph")
+		verbose   = flag.Bool("v", false, "print every community node, not just a summary")
+		replMode  = flag.Bool("repl", false, "interactive session: issue queries and ask for 'more'")
+	)
+	flag.Parse()
+	if *replMode {
+		if err := runRepl(*graphPath, *example, *indexPath, *useIndex, *rmax); err != nil {
+			fmt.Fprintln(os.Stderr, "commsearch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "commsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func runRepl(graphPath, example, indexPath string, useIndex bool, rmax float64) error {
+	g, err := loadGraph(graphPath, example)
+	if err != nil {
+		return err
+	}
+	s, err := newSearcher(g, indexPath, useIndex, rmax)
+	if err != nil {
+		return err
+	}
+	return repl(g, s, rmax, os.Stdin, os.Stdout)
+}
+
+// newSearcher picks the searcher flavour: load a saved index, build one
+// fresh, or scan per query.
+func newSearcher(g *commdb.Graph, indexPath string, useIndex bool, rmax float64) (*commdb.Searcher, error) {
+	if indexPath != "" {
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return commdb.NewSearcherWithIndex(g, f)
+	}
+	if useIndex {
+		return commdb.NewIndexedSearcher(g, rmax)
+	}
+	return commdb.NewSearcher(g), nil
+}
+
+func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose bool) error {
+	g, err := loadGraph(graphPath, example)
+	if err != nil {
+		return err
+	}
+	kws := splitKeywords(keywords)
+	if len(kws) == 0 {
+		return fmt.Errorf("-keywords is required")
+	}
+	if top <= 0 && !all {
+		top = 10
+	}
+
+	s, err := newSearcher(g, indexPath, useIndex, rmax)
+	if err != nil {
+		return err
+	}
+	for _, kw := range kws {
+		fmt.Printf("keyword %q: %.4f%% of nodes\n", kw, s.KeywordFrequency(kw)*100)
+	}
+	q := commdb.Query{Keywords: kws, Rmax: rmax}
+
+	if all {
+		it, err := s.All(q)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for n < max {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			n++
+			printCommunity(g, n, r, verbose)
+		}
+		fmt.Printf("%d communities\n", n)
+		return nil
+	}
+
+	it, err := s.TopK(q)
+	if err != nil {
+		return err
+	}
+	for rank := 1; rank <= top; rank++ {
+		r, ok := it.Next()
+		if !ok {
+			fmt.Printf("only %d communities exist\n", rank-1)
+			break
+		}
+		printCommunity(g, rank, r, verbose)
+	}
+	return nil
+}
+
+func loadGraph(graphPath, example string) (*commdb.Graph, error) {
+	switch {
+	case graphPath != "" && example != "":
+		return nil, fmt.Errorf("-graph and -example are mutually exclusive")
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return commdb.ReadGraph(f)
+	case example == "paper":
+		g, _ := commdb.PaperExampleGraph()
+		return g, nil
+	case example == "intro":
+		g, _ := commdb.IntroExampleGraph()
+		return g, nil
+	default:
+		return nil, fmt.Errorf("provide -graph FILE or -example paper|intro")
+	}
+}
+
+func splitKeywords(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func printCommunity(g *commdb.Graph, rank int, r *commdb.Community, verbose bool) {
+	var cores []string
+	for _, v := range r.Core {
+		cores = append(cores, g.Label(v))
+	}
+	var centers []string
+	for _, v := range r.Cnodes {
+		centers = append(centers, g.Label(v))
+	}
+	fmt.Printf("#%d cost=%.3f core=[%s] centers=[%s] nodes=%d edges=%d\n",
+		rank, r.Cost, strings.Join(cores, "; "), strings.Join(centers, "; "),
+		len(r.Nodes), len(r.Edges))
+	if verbose {
+		for _, v := range r.Nodes {
+			role := "path"
+			switch {
+			case contains(r.Knodes, v) && contains(r.Cnodes, v):
+				role = "keyword+center"
+			case contains(r.Knodes, v):
+				role = "keyword"
+			case contains(r.Cnodes, v):
+				role = "center"
+			}
+			fmt.Printf("    %-14s %s\n", role, g.Label(v))
+		}
+	}
+}
+
+func contains(vs []commdb.NodeID, v commdb.NodeID) bool {
+	for _, have := range vs {
+		if have == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"commdb"
+)
+
+// repl runs the interactive session: the user issues queries and then
+// keeps asking for "more" — served by the same polynomial-delay top-k
+// iterator with no recomputation, the paper's Exp-3 scenario as a UI.
+func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, in io.Reader, out io.Writer) error {
+	fmt.Fprintln(out, "commsearch interactive mode — 'help' lists commands")
+	cost := commdb.CostSumDistances
+	var it *commdb.TopKIterator
+	var shown int
+
+	scanner := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !scanner.Scan() {
+			return scanner.Err()
+		}
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "help":
+			fmt.Fprintln(out, "  q <kw> [kw...]   start a ranked community query")
+			fmt.Fprintln(out, "  more [n]         next n communities from the same query (no recompute)")
+			fmt.Fprintln(out, "  trees [n]        top-n connected trees for the same keywords")
+			fmt.Fprintln(out, "  rmax <v>         set the radius (now", rmax, ")")
+			fmt.Fprintln(out, "  cost sum|max     set the ranking aggregate")
+			fmt.Fprintln(out, "  kwf <kw>         keyword frequency of a term")
+			fmt.Fprintln(out, "  quit             exit")
+		case "quit", "exit":
+			return nil
+		case "rmax":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: rmax <v>")
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintln(out, "bad radius")
+				continue
+			}
+			rmax = v
+			fmt.Fprintln(out, "rmax =", rmax)
+		case "cost":
+			if len(fields) != 2 || (fields[1] != "sum" && fields[1] != "max") {
+				fmt.Fprintln(out, "usage: cost sum|max")
+				continue
+			}
+			if fields[1] == "max" {
+				cost = commdb.CostMaxDistance
+			} else {
+				cost = commdb.CostSumDistances
+			}
+			fmt.Fprintln(out, "cost =", fields[1])
+		case "kwf":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: kwf <kw>")
+				continue
+			}
+			fmt.Fprintf(out, "%q occurs on %.4f%% of nodes\n", fields[1], s.KeywordFrequency(fields[1])*100)
+		case "q":
+			if len(fields) < 2 {
+				fmt.Fprintln(out, "usage: q <kw> [kw...]")
+				continue
+			}
+			nit, err := s.TopK(commdb.Query{Keywords: fields[1:], Rmax: rmax, Cost: cost})
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			it = nit
+			shown = 0
+			replShow(out, g, it, &shown, 5)
+		case "more":
+			if it == nil {
+				fmt.Fprintln(out, "no active query — use q first")
+				continue
+			}
+			n := 5
+			if len(fields) == 2 {
+				if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+					n = v
+				}
+			}
+			replShow(out, g, it, &shown, n)
+		case "trees":
+			if len(fields) < 2 {
+				fmt.Fprintln(out, "usage: trees <kw> [kw...] (or rerun after q)")
+				continue
+			}
+			tit, err := s.Trees(commdb.Query{Keywords: fields[1:], Rmax: rmax})
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			ts := tit.Collect(5)
+			for i, tr := range ts {
+				fmt.Fprintf(out, "tree %d cost=%.3f root=%s nodes=%d\n",
+					i+1, tr.Cost, g.Label(tr.Root), len(tr.Nodes))
+			}
+			if len(ts) == 0 {
+				fmt.Fprintln(out, "no trees")
+			}
+		default:
+			fmt.Fprintf(out, "unknown command %q — try help\n", cmd)
+		}
+	}
+}
+
+func replShow(out io.Writer, g *commdb.Graph, it *commdb.TopKIterator, shown *int, n int) {
+	for i := 0; i < n; i++ {
+		r, ok := it.Next()
+		if !ok {
+			fmt.Fprintln(out, "(query exhausted)")
+			return
+		}
+		*shown++
+		var cores []string
+		for _, v := range r.Core {
+			cores = append(cores, g.Label(v))
+		}
+		fmt.Fprintf(out, "#%d cost=%.3f core=[%s] centers=%d nodes=%d\n",
+			*shown, r.Cost, strings.Join(cores, "; "), len(r.Cnodes), len(r.Nodes))
+	}
+	fmt.Fprintln(out, "('more' continues without recomputation)")
+}

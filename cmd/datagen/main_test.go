@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commdb"
+)
+
+func TestRunDBLP(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dblp.graph")
+	if err := run("dblp", 50, 0, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := commdb.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("written graph is empty")
+	}
+	// The written graph answers queries.
+	s := commdb.NewSearcher(g)
+	if _, err := s.TopK(commdb.Query{Keywords: []string{"database"}, Rmax: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIMDB(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "imdb.graph")
+	if err := run("imdb", 0, 30, 8, 2, out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("output file missing or empty: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("dblp", 50, 0, 0, 1, ""); err == nil {
+		t.Fatal("missing -out should error")
+	}
+	if err := run("nope", 50, 0, 0, 1, "/tmp/x"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if err := run("dblp", 1, 0, 0, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("tiny scale should surface generator error")
+	}
+	if err := run("dblp", 50, 0, 0, 1, "/nonexistent-dir/x.graph"); err == nil {
+		t.Fatal("unwritable path should error")
+	}
+}

@@ -1,0 +1,121 @@
+// Command graphinfo inspects a saved database graph: structure
+// statistics, a degree histogram, and the most frequent terms with
+// their keyword frequencies — the numbers needed to pick query
+// keywords and radii (the paper sets Rmax from exactly these dataset
+// characteristics, §VII).
+//
+// Usage:
+//
+//	graphinfo -graph dblp.graph
+//	graphinfo -graph dblp.graph -terms 20 -kwf 0.0009
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"commdb"
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file written by cmd/datagen (required)")
+		terms     = flag.Int("terms", 15, "how many of the most frequent terms to list")
+		kwfTarget = flag.Float64("kwf", 0, "also list terms nearest this keyword frequency")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *terms, *kwfTarget, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath string, topTerms int, kwfTarget float64, out *os.File) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := commdb.ReadGraph(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s\n\n", commdb.GraphStatsOf(g))
+	printDegreeHistogram(out, g)
+	printTopTerms(out, g, topTerms)
+	if kwfTarget > 0 {
+		ix := fulltext.Build(g)
+		fmt.Fprintf(out, "\nterms nearest KWF %.6g:\n", kwfTarget)
+		for _, w := range ix.TermsNearKWF(kwfTarget, 10) {
+			fmt.Fprintf(out, "  %-20s %.6f\n", w, ix.KWF(w))
+		}
+	}
+	return nil
+}
+
+// printDegreeHistogram buckets out-degrees by powers of two.
+func printDegreeHistogram(out *os.File, g *commdb.Graph) {
+	var buckets [24]int
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.OutDegree(commdb.NodeID(v))
+		b := 0
+		for (1 << b) <= d {
+			b++
+		}
+		if b >= len(buckets) {
+			b = len(buckets) - 1
+		}
+		buckets[b]++
+	}
+	fmt.Fprintln(out, "out-degree histogram:")
+	for b, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		lo := 0
+		if b > 0 {
+			lo = 1 << (b - 1)
+		}
+		fmt.Fprintf(out, "  [%6d..%6d)  %d nodes\n", lo, 1<<b, c)
+	}
+}
+
+// printTopTerms lists the most frequent terms with their KWF.
+func printTopTerms(out *os.File, g *commdb.Graph, k int) {
+	counts := make(map[int32]int)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, t := range g.Terms(graph.NodeID(v)) {
+			counts[t]++
+		}
+	}
+	type tc struct {
+		id int32
+		n  int
+	}
+	all := make([]tc, 0, len(counts))
+	for id, n := range counts {
+		all = append(all, tc{id, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].id < all[j].id
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	fmt.Fprintf(out, "\ntop %d terms by frequency:\n", len(all))
+	for _, t := range all {
+		fmt.Fprintf(out, "  %-20s %6d nodes  (KWF %.6f)\n",
+			g.Dict().Word(t.id), t.n, float64(t.n)/float64(g.NumNodes()))
+	}
+}

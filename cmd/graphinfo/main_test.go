@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commdb"
+)
+
+func TestGraphInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.graph")
+	db, err := commdb.GenerateDBLP(100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := commdb.GraphFromDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commdb.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, err := os.Create(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run(path, 10, 0.01, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"out-degree histogram", "top", "terms nearest KWF"} {
+		if !containsStr(string(data), want) {
+			t.Fatalf("output missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGraphInfoErrors(t *testing.T) {
+	if err := run("", 5, 0, os.Stdout); err == nil {
+		t.Fatal("missing graph should error")
+	}
+	if err := run("/nonexistent", 5, 0, os.Stdout); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commdb"
+)
+
+func TestIndexBuildEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.graph")
+	indexPath := filepath.Join(dir, "g.index")
+
+	// Save a graph.
+	db, err := commdb.GenerateDBLP(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := commdb.GraphFromDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commdb.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Build + save the index.
+	if err := run(graphPath, 7, indexPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load everything back and query.
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	g2, err := commdb.ReadGraph(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf, err := os.Open(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer xf.Close()
+	s, err := commdb.NewSearcherWithIndex(g2, xf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.TopK(commdb.Query{Keywords: []string{"database", "graph"}, Rmax: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Collect(5) // must not error; result count depends on the seed
+}
+
+func TestIndexBuildErrors(t *testing.T) {
+	if err := run("", 8, "x"); err == nil {
+		t.Fatal("missing graph should error")
+	}
+	if err := run("x", 8, ""); err == nil {
+		t.Fatal("missing out should error")
+	}
+	if err := run("/nonexistent", 8, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("missing graph file should error")
+	}
+}

@@ -1,0 +1,85 @@
+// IMDB example: community search over a dense rating graph.
+//
+// MovieLens-shaped data is much denser than DBLP (every user rates
+// dozens of movies), so communities routinely have many centers — the
+// situation where the paper's multi-center semantics shine and where
+// the polynomial-delay enumerator beats the expanding baselines by an
+// order of magnitude. This example finds the communities connecting
+// movies about "star" and "night" and reports their center counts.
+package main
+
+import (
+	"fmt"
+
+	"commdb"
+)
+
+func main() {
+	fmt.Println("generating synthetic IMDB (400 users, ~30 ratings each)...")
+	db, err := commdb.GenerateIMDB(400, 30, 7)
+	if err != nil {
+		panic(err)
+	}
+	g, nodeMap, err := commdb.GraphFromDatabase(db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("database: %d tuples -> graph: %s\n\n", db.NumTuples(), commdb.GraphStatsOf(g))
+
+	const rmax = 12
+	s, err := commdb.NewIndexedSearcher(g, rmax)
+	if err != nil {
+		panic(err)
+	}
+
+	q := commdb.Query{Keywords: []string{"star", "night"}, Rmax: rmax}
+	fmt.Printf("query %v, Rmax=%v:\n", q.Keywords, q.Rmax)
+	fmt.Printf("  keyword frequencies: star %.3f%%, night %.3f%%\n\n",
+		s.KeywordFrequency("star")*100, s.KeywordFrequency("night")*100)
+
+	it, err := s.TopK(q)
+	if err != nil {
+		panic(err)
+	}
+	multi := 0
+	total := 0
+	for rank := 1; rank <= 10; rank++ {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		total++
+		if len(r.Cnodes) > 1 {
+			multi++
+		}
+		fmt.Printf("rank %2d: cost %6.2f, %2d centers, %3d nodes — movies: %s | %s\n",
+			rank, r.Cost, len(r.Cnodes), len(r.Nodes),
+			movieTitle(db, nodeMap, r.Core[0]), movieTitle(db, nodeMap, r.Core[1]))
+	}
+	fmt.Printf("\n%d of the top %d communities are multi-center graphs —\n", multi, total)
+	fmt.Println("information a single connected tree cannot convey.")
+}
+
+func movieTitle(db *commdb.Database, m *commdb.NodeMap, v commdb.NodeID) string {
+	ref := m.Ref(v)
+	t, ok := db.Table(ref.Table)
+	if !ok {
+		return ref.PK
+	}
+	row, ok := t.Lookup(ref.PK)
+	if !ok {
+		return ref.PK
+	}
+	ti := t.ColumnIndex("Title")
+	if ti < 0 {
+		ti = t.ColumnIndex("Occupation")
+	}
+	if ti < 0 {
+		return ref.PK
+	}
+	text := row[ti].Str()
+	if len(text) > 40 {
+		text = text[:40] + "..."
+	}
+	return text
+}

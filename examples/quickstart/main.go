@@ -1,0 +1,75 @@
+// Quickstart: run the paper's own running example end to end.
+//
+// It builds the 13-node graph of Fig. 4, issues the 3-keyword query
+// {a, b, c} with Rmax = 8, and prints the five communities of Table I
+// in ranking order, then shows the introduction's co-authorship example
+// (Fig. 1-3).
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"commdb"
+)
+
+func main() {
+	g, _ := commdb.PaperExampleGraph()
+	s := commdb.NewSearcher(g)
+
+	fmt.Println("Table I — top communities for {a, b, c} with Rmax = 8:")
+	it, err := s.TopK(commdb.Query{Keywords: []string{"a", "b", "c"}, Rmax: 8})
+	if err != nil {
+		panic(err)
+	}
+	rank := 1
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  rank %d: cost %-4.0f core %-18s centers %s\n",
+			rank, r.Cost, labels(g, r.Core), labels(g, r.Cnodes))
+		rank++
+	}
+
+	fmt.Println()
+	fmt.Println("Introduction example — {kate, smith} with Rmax = 6:")
+	ig, _ := commdb.IntroExampleGraph()
+	is := commdb.NewSearcher(ig)
+	all, err := is.All(commdb.Query{Keywords: []string{"kate", "smith"}, Rmax: 6})
+	if err != nil {
+		panic(err)
+	}
+	for {
+		r, ok := all.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  cost %.0f: keyword nodes %s, centers %s, %d nodes\n",
+			r.Cost, labels(ig, r.Knodes), labels(ig, r.Cnodes), len(r.Nodes))
+	}
+	// The motivation quantified: the same query answered with the
+	// pre-community semantics (ranked connected trees, Fig. 2) returns
+	// more, smaller fragments.
+	tit, err := is.Trees(commdb.Query{Keywords: []string{"kate", "smith"}, Rmax: 6})
+	if err != nil {
+		panic(err)
+	}
+	ts := tit.Collect(100)
+	fmt.Printf("\nThe same query as connected trees (the pre-community semantics):\n")
+	for i, tr := range ts {
+		fmt.Printf("  tree %d: cost %.0f, rooted at %s, %d nodes\n",
+			i+1, tr.Cost, ig.Label(tr.Root), len(tr.Nodes))
+	}
+	fmt.Printf("\n%d fragmented trees vs 2 communities — a community shows the\n", len(ts))
+	fmt.Println("whole multi-center picture that the trees only show in pieces.")
+}
+
+func labels(g *commdb.Graph, vs []commdb.NodeID) string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = g.Label(v)
+	}
+	return "[" + strings.Join(out, " ") + "]"
+}

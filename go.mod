@@ -1,0 +1,3 @@
+module commdb
+
+go 1.22

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"time"
+
+	"commdb/internal/core"
+)
+
+// AblationProjection quantifies Section VI's claim that projecting a
+// query-specific subgraph "significantly reduces the search space": it
+// runs the same PDk query (top-k cores at the default operating point)
+// directly on G_D and on the projected G_P, reporting both times and
+// the graph-size ratio.
+//
+// DESIGN.md lists this as the projection ablation; the runner id is
+// "ablation-projection".
+func (d *Dataset) AblationProjection(p Params) (*Series, error) {
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Direct run on the full database graph.
+	startDirect := time.Now()
+	engD, err := core.NewEngine(d.G, d.Ix.Fulltext(), keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	itD := core.NewTopK(engD)
+	nDirect := 0
+	for nDirect < p.K {
+		if _, ok := itD.NextCore(); !ok {
+			break
+		}
+		nDirect++
+	}
+	directTime := time.Since(startDirect)
+
+	// Projected run, including the projection itself.
+	startProj := time.Now()
+	proj, err := d.Ix.Project(keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	engP, err := core.NewEngine(proj.Sub.G, nil, keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	itP := core.NewTopK(engP)
+	nProj := 0
+	for nProj < p.K {
+		if _, ok := itP.NextCore(); !ok {
+			break
+		}
+		nProj++
+	}
+	projTime := time.Since(startProj)
+
+	s := &Series{
+		ID:      "ablation-projection",
+		Title:   d.Name + " PDk top-k with and without graph projection",
+		XLabel:  "variant",
+		YLabel:  "ms / nodes / results",
+		Columns: []string{"total ms", "graph nodes", "results"},
+		Rows: []Row{
+			{X: "direct G_D", Values: []float64{
+				float64(directTime.Nanoseconds()) * msPerNs, float64(d.G.NumNodes()), float64(nDirect)}},
+			{X: "projected G_P", Values: []float64{
+				float64(projTime.Nanoseconds()) * msPerNs, float64(proj.Sub.G.NumNodes()), float64(nProj)}},
+		},
+	}
+	return s, nil
+}
+
+// AblationSlotCache quantifies the engine's full-set memoization (a
+// pure implementation optimization over the paper's pseudocode, see
+// DESIGN.md): PDall enumeration with the cache versus the same engine
+// instructed to recompute every Neighbor run.
+func (d *Dataset) AblationSlotCache(p Params, maxResults int) (*Series, error) {
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := d.Ix.Project(keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	run := func(disable bool) (time.Duration, int, int, error) {
+		eng, err := core.NewEngine(proj.Sub.G, nil, keywords, p.Rmax)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if disable {
+			eng.DisableSlotCache()
+		}
+		it := core.NewAll(eng)
+		start := time.Now()
+		n := 0
+		for {
+			if _, ok := it.NextCore(); !ok {
+				break
+			}
+			n++
+			if maxResults > 0 && n >= maxResults {
+				break
+			}
+		}
+		return time.Since(start), n, eng.NeighborRuns(), nil
+	}
+	cachedTime, cachedN, cachedRuns, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	plainTime, plainN, plainRuns, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Series{
+		ID:      "ablation-slotcache",
+		Title:   d.Name + " PDall with and without full-set Neighbor caching",
+		XLabel:  "variant",
+		YLabel:  "ms / dijkstra runs / results",
+		Columns: []string{"total ms", "dijkstras", "results"},
+		Rows: []Row{
+			{X: "cached", Values: []float64{float64(cachedTime.Nanoseconds()) * msPerNs, float64(cachedRuns), float64(cachedN)}},
+			{X: "uncached", Values: []float64{float64(plainTime.Nanoseconds()) * msPerNs, float64(plainRuns), float64(plainN)}},
+		},
+	}, nil
+}

@@ -1,0 +1,402 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	onceDBLP sync.Once
+	dsDBLP   *Dataset
+	onceIMDB sync.Once
+	dsIMDB   *Dataset
+)
+
+// testDBLP returns a small cached DBLP dataset for harness tests.
+func testDBLP(t *testing.T) *Dataset {
+	t.Helper()
+	onceDBLP.Do(func() {
+		d, err := BuildDBLPBoosted(2000, 11, 2.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsDBLP = d
+	})
+	if dsDBLP == nil {
+		t.Skip("dataset build failed earlier")
+	}
+	return dsDBLP
+}
+
+func testIMDB(t *testing.T) *Dataset {
+	t.Helper()
+	onceIMDB.Do(func() {
+		d, err := BuildIMDBFull(400, 1200, 165, 13, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsIMDB = d
+	})
+	if dsIMDB == nil {
+		t.Skip("dataset build failed earlier")
+	}
+	return dsIMDB
+}
+
+func TestConfigsMirrorPaperTables(t *testing.T) {
+	d := DBLPConfig()
+	if d.Defaults.Rmax != 6 || d.Defaults.L != 4 || d.Defaults.K != 150 || d.Defaults.KWF != 0.0009 {
+		t.Fatalf("DBLP defaults = %+v", d.Defaults)
+	}
+	if len(d.Rmaxs) != 5 || d.Rmaxs[0] != 4 || d.Rmaxs[4] != 8 {
+		t.Fatalf("DBLP Rmax sweep = %v", d.Rmaxs)
+	}
+	i := IMDBConfig()
+	if i.Defaults.Rmax != 11 {
+		t.Fatalf("IMDB default Rmax = %v, want 11", i.Defaults.Rmax)
+	}
+	if len(i.Rmaxs) != 5 || i.Rmaxs[0] != 9 || i.Rmaxs[4] != 13 {
+		t.Fatalf("IMDB Rmax sweep = %v", i.Rmaxs)
+	}
+}
+
+func TestKeywordsSelection(t *testing.T) {
+	d := testDBLP(t)
+	kws, err := d.Keywords(Params{KWF: d.Config.Defaults.KWF, L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kws) != 4 || kws[0] != "environment" {
+		t.Fatalf("keywords = %v", kws)
+	}
+	// l=6 only fits the 6-word default KWF row.
+	if _, err := d.Keywords(Params{KWF: d.Config.KWFs[0], L: 6}); err == nil {
+		t.Fatal("l=6 at a 4-word KWF row should error")
+	}
+	if _, err := d.Keywords(Params{KWF: 0.5, L: 2}); err == nil {
+		t.Fatal("unknown KWF should error")
+	}
+}
+
+// TestCompareAllAgreement: the three COMM-all algorithms must find the
+// same number of communities on the same projected graph.
+func TestCompareAllAgreement(t *testing.T) {
+	d := testDBLP(t)
+	p := d.Config.Defaults
+	p.Rmax = 6
+	results, proj, err := d.CompareAll(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 algorithms, got %d", len(results))
+	}
+	n := results[0].Results
+	if n == 0 {
+		t.Fatal("boosted test dataset should yield communities at the default point")
+	}
+	for _, r := range results {
+		if r.Results != n {
+			t.Fatalf("algorithm %s found %d results, %s found %d",
+				results[0].Algo, n, r.Algo, r.Results)
+		}
+		if r.PeakBytes <= 0 {
+			t.Fatalf("%s has non-positive memory", r.Algo)
+		}
+	}
+	if proj.Sub.G.NumNodes() > d.G.NumNodes() {
+		t.Fatal("projection larger than graph")
+	}
+	if proj.Ratio <= 0 || proj.Ratio > 1 {
+		t.Fatalf("projection ratio %v", proj.Ratio)
+	}
+}
+
+func TestCompareAllIMDB(t *testing.T) {
+	d := testIMDB(t)
+	p := d.Config.Defaults
+	results, _, err := d.CompareAll(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a cap all algorithms stop at the same count.
+	n := results[0].Results
+	for _, r := range results {
+		if r.Results != n {
+			t.Fatalf("%s found %d, first algorithm %d", r.Algo, r.Results, n)
+		}
+	}
+}
+
+// TestCompareTopKAgreement: all three top-k algorithms return the same
+// number of results and PDk's cost order matches the baselines' exact
+// top-k costs.
+func TestCompareTopKAgreement(t *testing.T) {
+	d := testDBLP(t)
+	p := d.Config.Defaults
+	p.K = 25
+	results, _, err := d.CompareTopK(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := results[0].Results
+	for _, r := range results {
+		if r.Results != n {
+			t.Fatalf("%s returned %d results, first %d", r.Algo, r.Results, n)
+		}
+	}
+}
+
+func TestCompareInteractive(t *testing.T) {
+	d := testDBLP(t)
+	p := d.Config.Defaults
+	p.K = 10
+	results, err := d.CompareInteractive(p, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 algorithms")
+	}
+	// All should have k+extra results (or the full result set if
+	// smaller), and agree with each other.
+	n := results[0].Results
+	for _, r := range results {
+		if r.Results != n {
+			t.Fatalf("%s has %d results, first %d", r.Algo, r.Results, n)
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	want := []string{
+		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f",
+		"fig11k", "fig12dblp", "fig12imdb",
+	}
+	if len(exps) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
+	}
+	for i, id := range want {
+		if exps[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, exps[i].ID, id)
+		}
+		if exps[i].Dataset != "dblp" && exps[i].Dataset != "imdb" {
+			t.Fatalf("experiment %s has dataset %q", id, exps[i].Dataset)
+		}
+	}
+}
+
+// TestRunOneExperimentPerKind executes one COMM-all figure, one COMM-k
+// figure and one interactive figure end to end on the small datasets.
+func TestRunOneExperimentPerKind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	d := testDBLP(t)
+	for _, id := range []string{"fig11a", "fig11k", "fig12dblp"} {
+		var exp *Experiment
+		for i := range Experiments() {
+			e := Experiments()[i]
+			if e.ID == id {
+				exp = &e
+				break
+			}
+		}
+		if exp == nil {
+			t.Fatalf("experiment %s missing", id)
+		}
+		s, err := exp.Run(d, 300)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(s.Rows) != 5 {
+			t.Fatalf("%s: %d sweep rows, want 5", id, len(s.Rows))
+		}
+		if len(s.Columns) != 3 {
+			t.Fatalf("%s: %d columns, want 3", id, len(s.Columns))
+		}
+		text := s.Format()
+		if !strings.Contains(text, s.ID) || !strings.Contains(text, s.Columns[0]) {
+			t.Fatalf("%s: Format output incomplete:\n%s", id, text)
+		}
+		if col := s.Column(s.Columns[0]); len(col) != len(s.Rows) {
+			t.Fatalf("%s: Column extraction broken", id)
+		}
+		if s.Column("nonexistent") != nil {
+			t.Fatal("unknown column should return nil")
+		}
+	}
+}
+
+func TestIndexReport(t *testing.T) {
+	d := testDBLP(t)
+	rep, err := d.BuildIndexReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GraphNodes != d.G.NumNodes() || rep.GraphEdges != d.G.NumEdges() {
+		t.Fatal("graph sizes")
+	}
+	if rep.IndexBytes <= 0 || rep.RawBytes <= 0 {
+		t.Fatal("sizes must be positive")
+	}
+	if rep.MaxProjRatio <= 0 || rep.MaxProjRatio > 1 {
+		t.Fatalf("max projection ratio %v", rep.MaxProjRatio)
+	}
+	if rep.AvgProjRatio > rep.MaxProjRatio {
+		t.Fatal("avg ratio exceeds max")
+	}
+	if rep.ProjectedRuns != 5 {
+		t.Fatalf("projected runs = %d, want 5 (one per KWF)", rep.ProjectedRuns)
+	}
+	if !strings.Contains(rep.String(), "DBLP") {
+		t.Fatal("report rendering")
+	}
+}
+
+// TestProjectionShrinks: at bench scale the projected graph must be a
+// small fraction of the full graph, the headline of Section VI.
+func TestProjectionShrinks(t *testing.T) {
+	d := testDBLP(t)
+	keywords, err := d.Keywords(d.Config.Defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := d.Ix.Project(keywords, d.Config.Defaults.Rmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Ratio > 0.5 {
+		t.Fatalf("projection keeps %.1f%% of the graph; expected a substantial reduction", proj.Ratio*100)
+	}
+}
+
+func TestAblationProjection(t *testing.T) {
+	d := testDBLP(t)
+	s, err := d.AblationProjection(d.Config.Defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(s.Rows))
+	}
+	// Both variants must return the same number of results; the
+	// projected graph must be smaller.
+	if s.Rows[0].Values[2] != s.Rows[1].Values[2] {
+		t.Fatalf("direct found %v results, projected %v", s.Rows[0].Values[2], s.Rows[1].Values[2])
+	}
+	if s.Rows[1].Values[1] >= s.Rows[0].Values[1] {
+		t.Fatalf("projected graph (%v nodes) not smaller than G_D (%v)", s.Rows[1].Values[1], s.Rows[0].Values[1])
+	}
+}
+
+func TestAblationSlotCache(t *testing.T) {
+	d := testDBLP(t)
+	s, err := d.AblationSlotCache(d.Config.Defaults, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, uncached := s.Rows[0], s.Rows[1]
+	if cached.Values[2] != uncached.Values[2] {
+		t.Fatalf("cached found %v results, uncached %v — caching changed semantics",
+			cached.Values[2], uncached.Values[2])
+	}
+	if cached.Values[1] >= uncached.Values[1] {
+		t.Fatalf("cached used %v Dijkstra runs, uncached %v — caching saved nothing",
+			cached.Values[1], uncached.Values[1])
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	s := &Series{
+		ID: "x", Title: "t", XLabel: "p", YLabel: "ms",
+		Columns: []string{"A", "B"},
+		Rows: []Row{
+			{X: "1", Values: []float64{1, 100}},
+			{X: "2", Values: []float64{10, 0}},
+		},
+	}
+	out := s.Chart(40)
+	if !strings.Contains(out, "p = 1") || !strings.Contains(out, "A") {
+		t.Fatalf("chart incomplete:\n%s", out)
+	}
+	// The 100 bar must be longer than the 1 bar.
+	lines := strings.Split(out, "\n")
+	var aLen, bLen int
+	for _, l := range lines {
+		if strings.Contains(l, "| 1.000") {
+			aLen = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "| 100.000") {
+			bLen = strings.Count(l, "#")
+		}
+	}
+	if bLen <= aLen {
+		t.Fatalf("log bars not ordered: a=%d b=%d\n%s", aLen, bLen, out)
+	}
+	// Degenerate charts don't panic.
+	empty := &Series{ID: "e", Columns: []string{"A"}, Rows: []Row{{X: "1", Values: []float64{0}}}}
+	if !strings.Contains(empty.Chart(10), "no positive values") {
+		t.Fatal("empty chart message missing")
+	}
+	flat := &Series{ID: "f", Columns: []string{"A"}, Rows: []Row{{X: "1", Values: []float64{5}}}}
+	if flat.Chart(5) == "" {
+		t.Fatal("flat chart should render")
+	}
+}
+
+func TestMotivation(t *testing.T) {
+	d := testDBLP(t)
+	s, err := d.Motivation(d.Config.Defaults, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeRow, commRow := s.Rows[0], s.Rows[1]
+	if commRow.Values[0] <= 0 {
+		t.Fatal("no communities at the default point")
+	}
+	if treeRow.Values[0] < commRow.Values[0] {
+		t.Fatalf("motivation inverted: %v trees vs %v communities",
+			treeRow.Values[0], commRow.Values[0])
+	}
+}
+
+func TestLatencyReport(t *testing.T) {
+	d := testDBLP(t)
+	s, err := d.LatencyReport(3, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != len(d.Probes) {
+		t.Fatalf("rows = %d, want one per KWF bucket", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		p50, p95, p99, m := r.Values[0], r.Values[1], r.Values[2], r.Values[3]
+		if p50 < 0 || p95 < p50 || p99 < p95 {
+			t.Fatalf("percentiles out of order at %s: %v", r.X, r.Values)
+		}
+		if m <= 0 {
+			t.Fatalf("mean latency not positive at %s", r.X)
+		}
+	}
+}
+
+func TestPercentileHelpers(t *testing.T) {
+	if percentile(nil, 0.5) != 0 || mean(nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+	data := []float64{1, 2, 3, 4, 5}
+	if percentile(data, 0.5) != 3 {
+		t.Fatalf("p50 = %v", percentile(data, 0.5))
+	}
+	if percentile(data, 0.99) != 4 { // nearest-rank on 5 samples
+		t.Fatalf("p99 = %v", percentile(data, 0.99))
+	}
+	if mean(data) != 3 {
+		t.Fatalf("mean = %v", mean(data))
+	}
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the series as a log-scale ASCII bar chart, one block of
+// bars per sweep point — a terminal stand-in for the paper's figures.
+// Zero and negative values render as empty bars.
+func (s *Series) Chart(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s, log scale)\n", s.ID, s.Title, s.YLabel)
+
+	// Log-scale bounds across every value.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range s.Rows {
+		for _, v := range r.Values {
+			if v > 0 {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no positive values)\n")
+		return b.String()
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	if logHi-logLo < 1e-9 {
+		logHi = logLo + 1
+	}
+
+	nameW := 0
+	for _, c := range s.Columns {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		frac := (math.Log10(v) - logLo) / (logHi - logLo)
+		n := int(math.Round(frac * float64(width-1)))
+		return n + 1 // minimum one block for the smallest value
+	}
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%s = %s\n", s.XLabel, r.X)
+		for i, c := range s.Columns {
+			v := 0.0
+			if i < len(r.Values) {
+				v = r.Values[i]
+			}
+			fmt.Fprintf(&b, "  %-*s |%-*s| %.3f\n", nameW, c, width, strings.Repeat("#", scale(v)), v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"commdb/internal/core"
+	"commdb/internal/expand"
+	"commdb/internal/index"
+)
+
+// AlgoResult is one algorithm's measurement at one operating point.
+type AlgoResult struct {
+	Algo string
+	// Total is the wall-clock enumeration time.
+	Total time.Duration
+	// Results is the number of cores produced.
+	Results int
+	// PeakBytes is the algorithm's own peak logical memory (duplication
+	// pools, keyword sets, heaps, engine state), excluding the shared
+	// projected graph.
+	PeakBytes int64
+}
+
+// AvgDelay is the paper's COMM-all metric: total CPU time divided by
+// the number of results.
+func (r AlgoResult) AvgDelay() time.Duration {
+	if r.Results == 0 {
+		return r.Total
+	}
+	return r.Total / time.Duration(r.Results)
+}
+
+// CompareAll runs PDall, BUall and TDall on the projected graph of one
+// operating point, enumerating every community core (or up to
+// maxResults when positive; the same cap applies to all three
+// algorithms). It returns the per-algorithm measurements and the
+// projection used.
+func (d *Dataset) CompareAll(p Params, maxResults int) ([]AlgoResult, *index.Projection, error) {
+	cacheKey := fmt.Sprintf("%+v|%d", p, maxResults)
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	proj, err := d.Ix.Project(keywords, p.Rmax)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.sweepCache != nil {
+		if cached, ok := d.sweepCache[cacheKey]; ok {
+			return cached, proj, nil
+		}
+	}
+	gp := proj.Sub.G
+
+	// PDall (Algorithm 1).
+	start := time.Now()
+	eng, err := core.NewEngine(gp, nil, keywords, p.Rmax)
+	if err != nil {
+		return nil, nil, err
+	}
+	it := core.NewAll(eng)
+	count := 0
+	for {
+		if _, ok := it.NextCore(); !ok {
+			break
+		}
+		count++
+		if maxResults > 0 && count >= maxResults {
+			break
+		}
+	}
+	pd := AlgoResult{
+		Algo:      "PDall",
+		Total:     time.Since(start),
+		Results:   count,
+		PeakBytes: eng.Bytes() + it.Bytes(),
+	}
+
+	opt := expand.Options{Graph: gp, Keywords: keywords, Rmax: p.Rmax, MaxResults: maxResults}
+	start = time.Now()
+	bu, err := expand.BUAll(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	buRes := AlgoResult{Algo: "BUall", Total: time.Since(start), Results: len(bu.Cores), PeakBytes: bu.PeakBytes}
+
+	start = time.Now()
+	td, err := expand.TDAll(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	tdRes := AlgoResult{Algo: "TDall", Total: time.Since(start), Results: len(td.Cores), PeakBytes: td.PeakBytes}
+
+	out := []AlgoResult{pd, buRes, tdRes}
+	if d.sweepCache != nil {
+		d.sweepCache[cacheKey] = out
+	}
+	return out, proj, nil
+}
+
+// CompareTopK runs PDk, BUk and TDk for the operating point's k.
+func (d *Dataset) CompareTopK(p Params) ([]AlgoResult, *index.Projection, error) {
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	proj, err := d.Ix.Project(keywords, p.Rmax)
+	if err != nil {
+		return nil, nil, err
+	}
+	gp := proj.Sub.G
+
+	start := time.Now()
+	eng, err := core.NewEngine(gp, nil, keywords, p.Rmax)
+	if err != nil {
+		return nil, nil, err
+	}
+	it := core.NewTopK(eng)
+	count := 0
+	for count < p.K {
+		if _, ok := it.NextCore(); !ok {
+			break
+		}
+		count++
+	}
+	pd := AlgoResult{
+		Algo:      "PDk",
+		Total:     time.Since(start),
+		Results:   count,
+		PeakBytes: eng.Bytes() + it.Bytes(),
+	}
+
+	opt := expand.Options{Graph: gp, Keywords: keywords, Rmax: p.Rmax}
+	start = time.Now()
+	bu, err := expand.BUTopK(opt, p.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	buRes := AlgoResult{Algo: "BUk", Total: time.Since(start), Results: len(bu.Cores), PeakBytes: bu.PeakBytes}
+
+	start = time.Now()
+	td, err := expand.TDTopK(opt, p.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	tdRes := AlgoResult{Algo: "TDk", Total: time.Since(start), Results: len(td.Cores), PeakBytes: td.PeakBytes}
+
+	return []AlgoResult{pd, buRes, tdRes}, proj, nil
+}
+
+// CompareInteractive is Exp-3: the user asks for the top k, then wants
+// 50 more. PDk continues its enumerator; BUk and TDk must re-run the
+// whole query with k+50. Returned results carry the total time to have
+// k+50 answers in hand.
+func (d *Dataset) CompareInteractive(p Params, extra int) ([]AlgoResult, error) {
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := d.Ix.Project(keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	gp := proj.Sub.G
+
+	// PDk: one enumerator serves both the initial k and the +extra.
+	start := time.Now()
+	eng, err := core.NewEngine(gp, nil, keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	it := core.NewTopK(eng)
+	count := 0
+	for count < p.K+extra {
+		if _, ok := it.NextCore(); !ok {
+			break
+		}
+		count++
+	}
+	pd := AlgoResult{Algo: "PDk", Total: time.Since(start), Results: count,
+		PeakBytes: eng.Bytes() + it.Bytes()}
+
+	// BUk/TDk: initial run at k plus a full re-run at k+extra.
+	opt := expand.Options{Graph: gp, Keywords: keywords, Rmax: p.Rmax}
+	start = time.Now()
+	if _, err := expand.BUTopK(opt, p.K); err != nil {
+		return nil, err
+	}
+	bu2, err := expand.BUTopK(opt, p.K+extra)
+	if err != nil {
+		return nil, err
+	}
+	buRes := AlgoResult{Algo: "BUk", Total: time.Since(start), Results: len(bu2.Cores), PeakBytes: bu2.PeakBytes}
+
+	start = time.Now()
+	if _, err := expand.TDTopK(opt, p.K); err != nil {
+		return nil, err
+	}
+	td2, err := expand.TDTopK(opt, p.K+extra)
+	if err != nil {
+		return nil, err
+	}
+	tdRes := AlgoResult{Algo: "TDk", Total: time.Since(start), Results: len(td2.Cores), PeakBytes: td2.PeakBytes}
+
+	return []AlgoResult{pd, buRes, tdRes}, nil
+}

@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// sweepPoint is one x-axis position of a figure.
+type sweepPoint struct {
+	label string
+	p     Params
+}
+
+func kwfPoints(cfg Config) []sweepPoint {
+	out := make([]sweepPoint, 0, len(cfg.KWFs))
+	for _, kwf := range cfg.KWFs {
+		p := cfg.Defaults
+		p.KWF = kwf
+		out = append(out, sweepPoint{label: fmt.Sprintf("%.6g", kwf), p: p})
+	}
+	return out
+}
+
+func lPoints(cfg Config) []sweepPoint {
+	out := make([]sweepPoint, 0, len(cfg.Ls))
+	for _, l := range cfg.Ls {
+		p := cfg.Defaults
+		p.L = l
+		out = append(out, sweepPoint{label: fmt.Sprintf("%d", l), p: p})
+	}
+	return out
+}
+
+func rmaxPoints(cfg Config) []sweepPoint {
+	out := make([]sweepPoint, 0, len(cfg.Rmaxs))
+	for _, r := range cfg.Rmaxs {
+		p := cfg.Defaults
+		p.Rmax = r
+		out = append(out, sweepPoint{label: fmt.Sprintf("%g", r), p: p})
+	}
+	return out
+}
+
+func kPoints(cfg Config) []sweepPoint {
+	out := make([]sweepPoint, 0, len(cfg.Ks))
+	for _, k := range cfg.Ks {
+		p := cfg.Defaults
+		p.K = k
+		out = append(out, sweepPoint{label: fmt.Sprintf("%d", k), p: p})
+	}
+	return out
+}
+
+const (
+	msPerNs = 1e-6
+	kb      = 1024.0
+)
+
+// allSeries sweeps a COMM-all comparison and extracts one metric:
+// "delay" (average delay, ms) or "mem" (peak memory, KB).
+func (d *Dataset) allSeries(id, title, xlabel, metric string, points []sweepPoint, maxResults int) (*Series, error) {
+	ylabel := "avg delay ms"
+	if metric == "mem" {
+		ylabel = "peak KB"
+	}
+	s := &Series{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel,
+		Columns: []string{"PDall", "BUall", "TDall"}}
+	for _, pt := range points {
+		results, _, err := d.CompareAll(pt.p, maxResults)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{X: pt.label, Values: make([]float64, len(results))}
+		for i, r := range results {
+			if metric == "mem" {
+				row.Values[i] = float64(r.PeakBytes) / kb
+			} else {
+				row.Values[i] = float64(r.AvgDelay().Nanoseconds()) * msPerNs
+			}
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// topkSeries sweeps a COMM-k comparison; the metric is total time (ms).
+func (d *Dataset) topkSeries(id, title, xlabel string, points []sweepPoint) (*Series, error) {
+	s := &Series{ID: id, Title: title, XLabel: xlabel, YLabel: "total ms",
+		Columns: []string{"PDk", "BUk", "TDk"}}
+	for _, pt := range points {
+		results, _, err := d.CompareTopK(pt.p)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{X: pt.label, Values: make([]float64, len(results))}
+		for i, r := range results {
+			row.Values[i] = float64(r.Total.Nanoseconds()) * msPerNs
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// interactiveSeries is Exp-3: total time to have k+50 results after
+// initially asking for k.
+func (d *Dataset) interactiveSeries(id, title string) (*Series, error) {
+	s := &Series{ID: id, Title: title, XLabel: "initial k", YLabel: "total ms (k, then +50)",
+		Columns: []string{"PDk", "BUk", "TDk"}}
+	for _, pt := range kPoints(d.Config) {
+		results, err := d.CompareInteractive(pt.p, 50)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{X: pt.label, Values: make([]float64, len(results))}
+		for i, r := range results {
+			row.Values[i] = float64(r.Total.Nanoseconds()) * msPerNs
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID      string
+	Title   string
+	Dataset string // "dblp" or "imdb"
+	Run     func(d *Dataset, maxResults int) (*Series, error)
+}
+
+// Experiments returns the full registry: every figure of Section VII.
+func Experiments() []Experiment {
+	return []Experiment{
+		// Exp-1: IMDB, COMM-all (Fig. 9).
+		{ID: "fig9a", Title: "IMDB COMM-all: average delay vs KWF", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig9a", "IMDB COMM-all avg delay vs KWF", "KWF", "delay", kwfPoints(d.Config), mr)
+			}},
+		{ID: "fig9b", Title: "IMDB COMM-all: peak memory vs KWF", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig9b", "IMDB COMM-all peak memory vs KWF", "KWF", "mem", kwfPoints(d.Config), mr)
+			}},
+		{ID: "fig9c", Title: "IMDB COMM-all: average delay vs l", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig9c", "IMDB COMM-all avg delay vs l", "l", "delay", lPoints(d.Config), mr)
+			}},
+		{ID: "fig9d", Title: "IMDB COMM-all: peak memory vs l", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig9d", "IMDB COMM-all peak memory vs l", "l", "mem", lPoints(d.Config), mr)
+			}},
+		{ID: "fig9e", Title: "IMDB COMM-all: average delay vs Rmax", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig9e", "IMDB COMM-all avg delay vs Rmax", "Rmax", "delay", rmaxPoints(d.Config), mr)
+			}},
+		{ID: "fig9f", Title: "IMDB COMM-all: peak memory vs Rmax", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig9f", "IMDB COMM-all peak memory vs Rmax", "Rmax", "mem", rmaxPoints(d.Config), mr)
+			}},
+		// Exp-1: IMDB, COMM-k (Fig. 10).
+		{ID: "fig10a", Title: "IMDB COMM-k: total time vs KWF", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.topkSeries("fig10a", "IMDB COMM-k total time vs KWF", "KWF", kwfPoints(d.Config))
+			}},
+		{ID: "fig10b", Title: "IMDB COMM-k: total time vs l", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.topkSeries("fig10b", "IMDB COMM-k total time vs l", "l", lPoints(d.Config))
+			}},
+		{ID: "fig10c", Title: "IMDB COMM-k: total time vs Rmax", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.topkSeries("fig10c", "IMDB COMM-k total time vs Rmax", "Rmax", rmaxPoints(d.Config))
+			}},
+		{ID: "fig10d", Title: "IMDB COMM-k: total time vs k", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.topkSeries("fig10d", "IMDB COMM-k total time vs k", "k", kPoints(d.Config))
+			}},
+		// Exp-2: DBLP, COMM-all (Fig. 11).
+		{ID: "fig11a", Title: "DBLP COMM-all: average delay vs KWF", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig11a", "DBLP COMM-all avg delay vs KWF", "KWF", "delay", kwfPoints(d.Config), mr)
+			}},
+		{ID: "fig11b", Title: "DBLP COMM-all: peak memory vs KWF", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig11b", "DBLP COMM-all peak memory vs KWF", "KWF", "mem", kwfPoints(d.Config), mr)
+			}},
+		{ID: "fig11c", Title: "DBLP COMM-all: average delay vs l", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig11c", "DBLP COMM-all avg delay vs l", "l", "delay", lPoints(d.Config), mr)
+			}},
+		{ID: "fig11d", Title: "DBLP COMM-all: peak memory vs l", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig11d", "DBLP COMM-all peak memory vs l", "l", "mem", lPoints(d.Config), mr)
+			}},
+		{ID: "fig11e", Title: "DBLP COMM-all: average delay vs Rmax", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig11e", "DBLP COMM-all avg delay vs Rmax", "Rmax", "delay", rmaxPoints(d.Config), mr)
+			}},
+		{ID: "fig11f", Title: "DBLP COMM-all: peak memory vs Rmax", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.allSeries("fig11f", "DBLP COMM-all peak memory vs Rmax", "Rmax", "mem", rmaxPoints(d.Config), mr)
+			}},
+		// Exp-2: DBLP, COMM-k (Fig. 11's companion, "similar trends").
+		{ID: "fig11k", Title: "DBLP COMM-k: total time vs k", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.topkSeries("fig11k", "DBLP COMM-k total time vs k", "k", kPoints(d.Config))
+			}},
+		// Exp-3: interactive top-k (Fig. 12).
+		{ID: "fig12dblp", Title: "DBLP interactive top-k: k then +50", Dataset: "dblp",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.interactiveSeries("fig12dblp", "DBLP interactive top-k (k, then +50)")
+			}},
+		{ID: "fig12imdb", Title: "IMDB interactive top-k: k then +50", Dataset: "imdb",
+			Run: func(d *Dataset, mr int) (*Series, error) {
+				return d.interactiveSeries("fig12imdb", "IMDB interactive top-k (k, then +50)")
+			}},
+	}
+}
+
+// IndexReport reproduces the index statistics quoted in Section VII's
+// text: build time, index size vs raw data size, and projected-graph
+// ratios across the default sweep.
+type IndexReport struct {
+	Dataset       string
+	BuildTime     time.Duration
+	IndexBytes    int64
+	RawBytes      int64
+	GraphNodes    int
+	GraphEdges    int
+	MaxProjRatio  float64
+	AvgProjRatio  float64
+	ProjectedRuns int
+}
+
+// BuildIndexReport projects every KWF operating point at the default
+// Rmax and summarizes the ratios.
+func (d *Dataset) BuildIndexReport() (*IndexReport, error) {
+	rep := &IndexReport{
+		Dataset:    d.Name,
+		BuildTime:  d.Ix.BuildTime(),
+		IndexBytes: d.Ix.Bytes(),
+		RawBytes:   rawBytes(d),
+		GraphNodes: d.G.NumNodes(),
+		GraphEdges: d.G.NumEdges(),
+	}
+	sum := 0.0
+	for _, pt := range kwfPoints(d.Config) {
+		keywords, err := d.Keywords(pt.p)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := d.Ix.Project(keywords, pt.p.Rmax)
+		if err != nil {
+			return nil, err
+		}
+		if proj.Ratio > rep.MaxProjRatio {
+			rep.MaxProjRatio = proj.Ratio
+		}
+		sum += proj.Ratio
+		rep.ProjectedRuns++
+	}
+	if rep.ProjectedRuns > 0 {
+		rep.AvgProjRatio = sum / float64(rep.ProjectedRuns)
+	}
+	return rep, nil
+}
+
+// rawBytes estimates the raw dataset size: the serialized tuple values.
+func rawBytes(d *Dataset) int64 {
+	var b int64
+	for _, name := range d.DB.Tables() {
+		t, _ := d.DB.Table(name)
+		for r := 0; r < t.Len(); r++ {
+			for _, v := range t.Row(r) {
+				b += int64(len(v.String())) + 1
+			}
+		}
+	}
+	return b
+}
+
+// String renders the report.
+func (r *IndexReport) String() string {
+	return fmt.Sprintf(
+		"%s: graph %d nodes / %d edges; index built in %v, %d KB (raw data %d KB); projection ratio max %.2f%% avg %.2f%% over %d queries",
+		r.Dataset, r.GraphNodes, r.GraphEdges, r.BuildTime.Round(time.Millisecond),
+		r.IndexBytes/1024, r.RawBytes/1024,
+		r.MaxProjRatio*100, r.AvgProjRatio*100, r.ProjectedRuns)
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"commdb/internal/core"
+	"commdb/internal/datagen"
+)
+
+// LatencyReport runs a randomized query workload through the indexed
+// path — project, then PDk top-k — and reports latency percentiles per
+// keyword-frequency bucket: the view a service operator would watch,
+// complementing the paper's per-figure averages.
+//
+// Each query draws l (2..4) keywords from one KWF bucket's probe set in
+// a random order. Runner id: "latency".
+func (d *Dataset) LatencyReport(queriesPerBucket, k int, seed int64) (*Series, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Series{
+		ID:      "latency",
+		Title:   fmt.Sprintf("%s top-%d query latency by KWF bucket (%d queries each)", d.Name, k, queriesPerBucket),
+		XLabel:  "KWF",
+		YLabel:  "ms",
+		Columns: []string{"p50", "p95", "p99", "mean"},
+	}
+	for _, probe := range d.Probes {
+		lat, err := d.bucketLatencies(rng, probe, queriesPerBucket, k)
+		if err != nil {
+			return nil, err
+		}
+		sort.Float64s(lat)
+		s.Rows = append(s.Rows, Row{
+			X: fmt.Sprintf("%.6g", probe.KWF),
+			Values: []float64{
+				percentile(lat, 0.50), percentile(lat, 0.95),
+				percentile(lat, 0.99), mean(lat),
+			},
+		})
+	}
+	return s, nil
+}
+
+func (d *Dataset) bucketLatencies(rng *rand.Rand, probe datagen.Probe, queries, k int) ([]float64, error) {
+	lat := make([]float64, 0, queries)
+	for q := 0; q < queries; q++ {
+		l := 2 + rng.Intn(3)
+		if l > len(probe.Words) {
+			l = len(probe.Words)
+		}
+		perm := rng.Perm(len(probe.Words))[:l]
+		keywords := make([]string, l)
+		for i, idx := range perm {
+			keywords[i] = probe.Words[idx]
+		}
+
+		start := time.Now()
+		proj, err := d.Ix.Project(keywords, d.Config.Defaults.Rmax)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(proj.Sub.G, nil, keywords, d.Config.Defaults.Rmax)
+		if err != nil {
+			return nil, err
+		}
+		it := core.NewTopK(eng)
+		for i := 0; i < k; i++ {
+			if _, ok := it.NextCore(); !ok {
+				break
+			}
+		}
+		lat = append(lat, float64(time.Since(start).Nanoseconds())*msPerNs)
+	}
+	return lat, nil
+}
+
+// percentile returns the p-quantile of sorted data (nearest rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s / float64(len(a))
+}

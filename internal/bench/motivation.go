@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"commdb/internal/core"
+	"commdb/internal/trees"
+)
+
+// Motivation quantifies the paper's Section I argument on a dataset:
+// for the default operating point, how many ranked connected trees (the
+// pre-community answer form of Fig. 2) exist versus how many
+// communities (Fig. 3), and how much structure the top community
+// carries compared to the top tree. Runner id: "motivation".
+func (d *Dataset) Motivation(p Params, capResults int) (*Series, error) {
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := d.Ix.Project(keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	gp := proj.Sub.G
+
+	// Communities.
+	eng, err := core.NewEngine(gp, nil, keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	it := core.NewAll(eng)
+	nComm := 0
+	topCommNodes, topCommCenters := 0, 0
+	for {
+		cc, ok := it.NextCore()
+		if !ok {
+			break
+		}
+		if nComm == 0 {
+			r := eng.GetCommunity(cc.Core)
+			topCommNodes = len(r.Nodes)
+			topCommCenters = len(r.Cnodes)
+		}
+		nComm++
+		if capResults > 0 && nComm >= capResults {
+			break
+		}
+	}
+
+	// Trees on the same projected graph.
+	te, err := trees.NewEnumerator(gp, nil, keywords, p.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	nTrees := 0
+	topTreeNodes := 0
+	for {
+		tr, ok := te.Next()
+		if !ok {
+			break
+		}
+		if nTrees == 0 {
+			topTreeNodes = len(tr.Nodes)
+		}
+		nTrees++
+		if capResults > 0 && nTrees >= capResults {
+			break
+		}
+	}
+
+	return &Series{
+		ID:      "motivation",
+		Title:   d.Name + " trees vs communities at the default operating point",
+		XLabel:  "answer form",
+		YLabel:  "count / top-answer nodes / top-answer centers",
+		Columns: []string{"answers", "top nodes", "top centers"},
+		Rows: []Row{
+			{X: "connected trees", Values: []float64{float64(nTrees), float64(topTreeNodes), 1}},
+			{X: "communities", Values: []float64{float64(nComm), float64(topCommNodes), float64(topCommCenters)}},
+		},
+	}, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one figure's data: an x-axis sweep with one column per
+// algorithm.
+type Series struct {
+	ID      string
+	Title   string
+	XLabel  string
+	YLabel  string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one sweep point.
+type Row struct {
+	X      string
+	Values []float64
+}
+
+// Format renders the series as an aligned text table, the form the
+// benchrunner prints and EXPERIMENTS.md records.
+func (s *Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", s.ID, s.Title)
+	width := len(s.XLabel)
+	for _, r := range s.Rows {
+		if len(r.X) > width {
+			width = len(r.X)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, s.XLabel)
+	for _, c := range s.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", s.YLabel)
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.X)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%14.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Column returns the values of one named column in row order.
+func (s *Series) Column(name string) []float64 {
+	for i, c := range s.Columns {
+		if c == name {
+			out := make([]float64, len(s.Rows))
+			for j, r := range s.Rows {
+				out[j] = r.Values[i]
+			}
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPDallDelay measures per-result delay of the COMM-all
+// enumerator on a random 2-keyword graph (cores only).
+func BenchmarkPDallDelay(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, kws := randomKeywordGraph(b, rng, 2000, 8000, 2)
+	b.ResetTimer()
+	results := 0
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(g, nil, kws, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it := NewAll(e)
+		for {
+			if _, ok := it.NextCore(); !ok {
+				break
+			}
+			results++
+		}
+	}
+	b.ReportMetric(float64(results)/float64(b.N), "results/op")
+}
+
+// BenchmarkPDkTop50 measures the top-50 ranked enumeration.
+func BenchmarkPDkTop50(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g, kws := randomKeywordGraph(b, rng, 2000, 8000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(g, nil, kws, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it := NewTopK(e)
+		for j := 0; j < 50; j++ {
+			if _, ok := it.NextCore(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkGetCommunity measures one community materialization
+// (Algorithm 4) on the paper's example.
+func BenchmarkGetCommunity(b *testing.B) {
+	g, ids := PaperGraph()
+	e, err := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core := Core{ids[13], ids[8], ids[11]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.GetCommunity(core)
+	}
+}

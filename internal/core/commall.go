@@ -1,0 +1,124 @@
+package core
+
+import "commdb/internal/graph"
+
+// AllEnumerator is Algorithm 1 (PDall): it enumerates every community
+// of the query in polynomial delay O(l·(n·log n + m)) per result with
+// O(l·n + m) working space, complete and duplication-free by core.
+//
+// The enumerator maintains one candidate subset S_i per keyword (the
+// paper's global S_i variables) and walks the virtual subspace tree
+// depth-first: after emitting core C, the remaining cores are exactly
+//
+//	⋃_i {C[1..i-1]} × (S_i − {C[i]}) × V_{i+1} × … × V_l,
+//
+// each term of which is probed by one BestCore call over recomputed
+// neighborSets.
+type AllEnumerator struct {
+	e       *Engine
+	cur     Core
+	removed []map[graph.NodeID]struct{} // S_i = V_i − removed[i]
+	started bool
+	done    bool
+	emitted int
+}
+
+// NewAll returns a COMM-all enumerator for the engine's query. The
+// engine must not be shared with another running enumerator.
+func NewAll(e *Engine) *AllEnumerator {
+	it := &AllEnumerator{
+		e:       e,
+		removed: make([]map[graph.NodeID]struct{}, e.l),
+	}
+	for i := range it.removed {
+		it.removed[i] = make(map[graph.NodeID]struct{})
+	}
+	return it
+}
+
+// seeds returns S_i as a slice: V_i minus the removed set.
+func (it *AllEnumerator) seeds(i int) []graph.NodeID {
+	vi := it.e.keywordNodes[i]
+	if len(it.removed[i]) == 0 {
+		return vi
+	}
+	out := make([]graph.NodeID, 0, len(vi)-len(it.removed[i]))
+	for _, v := range vi {
+		if _, gone := it.removed[i][v]; !gone {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NextCore advances the enumeration and returns the next core with its
+// cost, or ok == false when the query is exhausted.
+func (it *AllEnumerator) NextCore() (CoreCost, bool) {
+	if it.done {
+		return CoreCost{}, false
+	}
+	if !it.started {
+		it.started = true
+		if !it.e.HasAllKeywords() {
+			it.done = true
+			return CoreCost{}, false
+		}
+		it.e.clearSlots()
+		for i := 0; i < it.e.l; i++ {
+			it.e.setSlotFull(i)
+		}
+		c, cost, ok := it.e.bestCore()
+		if !ok {
+			it.done = true
+			return CoreCost{}, false
+		}
+		it.cur = c
+		it.emitted++
+		return CoreCost{Core: c, Cost: cost}, true
+	}
+
+	// Procedure Next (Algorithm 1, lines 10-21). Pin every slot to the
+	// current core's node, then probe subspaces from position l down.
+	for i := 0; i < it.e.l; i++ {
+		it.e.setSlotSingle(i, it.cur[i])
+	}
+	for i := it.e.l - 1; i >= 0; i-- {
+		it.removed[i][it.cur[i]] = struct{}{}
+		it.e.setSlot(i, it.seeds(i))
+		if c, cost, ok := it.e.bestCore(); ok {
+			it.cur = c
+			it.emitted++
+			return CoreCost{Core: c, Cost: cost}, true
+		}
+		// Subspace exhausted: any later combination may reuse the whole
+		// V_i again (line 19); the cached full-set run is restored for
+		// free.
+		it.removed[i] = make(map[graph.NodeID]struct{})
+		it.e.setSlotFull(i)
+	}
+	it.done = true
+	return CoreCost{}, false
+}
+
+// Next advances the enumeration and materializes the community for the
+// next core, or returns ok == false when exhausted.
+func (it *AllEnumerator) Next() (*Community, bool) {
+	cc, ok := it.NextCore()
+	if !ok {
+		return nil, false
+	}
+	return it.e.GetCommunity(cc.Core), true
+}
+
+// Emitted reports how many cores have been produced so far.
+func (it *AllEnumerator) Emitted() int { return it.emitted }
+
+// Bytes estimates the enumerator's logical working memory beyond the
+// engine: the removed sets and current core.
+func (it *AllEnumerator) Bytes() int64 {
+	b := int64(len(it.cur)) * 4
+	for _, m := range it.removed {
+		b += int64(len(m))*12 + 48
+	}
+	return b
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"commdb/internal/graph"
+)
+
+// TestAllMatchesNaiveRandom is the central completeness +
+// duplication-freeness property test: on many random graphs, PDall must
+// produce exactly the core set of the naive nested-loop enumeration,
+// with identical costs.
+func TestAllMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 120; trial++ {
+		n := rng.Intn(25) + 4
+		m := rng.Intn(3*n) + n
+		l := rng.Intn(3) + 2
+		rmax := float64(rng.Intn(10) + 2)
+		g, kws := randomKeywordGraph(t, rng, n, m, l)
+
+		e1, err := NewEngine(g, nil, kws, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coreSet(t, EnumerateNaive(e1))
+
+		e2, err := NewEngine(g, nil, kws, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := coreSet(t, drainAll(t, NewAll(e2), len(want)+10))
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d m=%d l=%d rmax=%v): PDall found %d cores, naive %d",
+				trial, n, m, l, rmax, len(got), len(want))
+		}
+		for k, wc := range want {
+			gc, ok := got[k]
+			if !ok {
+				t.Fatalf("trial %d: core %s missing from PDall", trial, k)
+			}
+			if !costsEqual(gc, wc) {
+				t.Fatalf("trial %d: core %s cost %v, naive %v", trial, k, gc, wc)
+			}
+		}
+	}
+}
+
+// TestAllFirstIsBest checks that PDall's first result is always a
+// minimum-cost community (Algorithm 1 line 5 finds the best core
+// first).
+func TestAllFirstIsBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 60; trial++ {
+		g, kws := randomKeywordGraph(t, rng, rng.Intn(20)+4, rng.Intn(60)+10, 2)
+		rmax := float64(rng.Intn(8) + 2)
+		e, err := NewEngine(g, nil, kws, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := drainAll(t, NewAll(e), 100000)
+		if len(all) == 0 {
+			continue
+		}
+		best := all[0].Cost
+		for _, cc := range all {
+			if cc.Cost < best-costEps {
+				t.Fatalf("trial %d: first cost %v but later core %s costs %v", trial, best, cc.Core, cc.Cost)
+			}
+		}
+	}
+}
+
+// TestAllKeywordPlacement verifies that each core position actually
+// contains its keyword.
+func TestAllKeywordPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	g, kws := randomKeywordGraph(t, rng, 30, 90, 3)
+	e, err := NewEngine(g, nil, kws, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range drainAll(t, NewAll(e), 100000) {
+		for i, v := range cc.Core {
+			id, ok := g.Dict().ID(kws[i])
+			if !ok || !g.HasTerm(v, id) {
+				t.Fatalf("core %s: position %d node %d lacks keyword %s", cc.Core, i, v, kws[i])
+			}
+		}
+	}
+}
+
+// TestAllMissingKeyword: a keyword absent from the graph yields no
+// results at all.
+func TestAllMissingKeyword(t *testing.T) {
+	g, _ := PaperGraph()
+	e, err := NewEngine(g, nil, []string{"a", "zzz"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAll(t, NewAll(e), 10); len(got) != 0 {
+		t.Fatalf("got %d results for a query with an absent keyword", len(got))
+	}
+	// Enumerator stays exhausted.
+	if _, ok := NewAll(e).NextCore(); ok {
+		t.Fatal("restarted enumerator should also find nothing")
+	}
+}
+
+// TestAllSingleKeyword: l = 1 degenerates to one community per keyword
+// node (each node is its own best center at distance 0).
+func TestAllSingleKeyword(t *testing.T) {
+	g, ids := PaperGraph()
+	e, err := NewEngine(g, nil, []string{"c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainAll(t, NewAll(e), 100)
+	if len(got) != 4 {
+		t.Fatalf("single-keyword query found %d communities, want 4 (v3,v6,v9,v11)", len(got))
+	}
+	want := map[string]bool{
+		Core{ids[3]}.Key(): true, Core{ids[6]}.Key(): true,
+		Core{ids[9]}.Key(): true, Core{ids[11]}.Key(): true,
+	}
+	for _, cc := range got {
+		if !want[cc.Core.Key()] {
+			t.Fatalf("unexpected core %s", cc.Core)
+		}
+		if !costsEqual(cc.Cost, 0) {
+			t.Fatalf("core %s cost %v, want 0", cc.Core, cc.Cost)
+		}
+	}
+}
+
+// TestAllDuplicateKeywords: the same keyword twice enumerates ordered
+// pairs of keyword nodes that share a center.
+func TestAllDuplicateKeywords(t *testing.T) {
+	g, kws := randomKeywordGraph(t, rand.New(rand.NewSource(109)), 15, 45, 1)
+	e, err := NewEngine(g, nil, []string{kws[0], kws[0]}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coreSet(t, EnumerateNaive(e))
+	e2, _ := NewEngine(g, nil, []string{kws[0], kws[0]}, 5)
+	got := coreSet(t, drainAll(t, NewAll(e2), len(want)+10))
+	if len(got) != len(want) {
+		t.Fatalf("duplicate-keyword query: PDall %d cores, naive %d", len(got), len(want))
+	}
+}
+
+// TestAllZeroRmax: with radius 0 a community needs one node containing
+// every keyword.
+func TestAllZeroRmax(t *testing.T) {
+	g, _ := IntroGraph()
+	e, err := NewEngine(g, nil, []string{"kate", "smith"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAll(t, NewAll(e), 10); len(got) != 0 {
+		t.Fatalf("rmax=0 found %d communities, want 0", len(got))
+	}
+	// A node containing both keywords is found even at rmax 0.
+	e2, err := NewEngine(g, nil, []string{"john", "smith"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainAll(t, NewAll(e2), 10)
+	if len(got) != 1 {
+		t.Fatalf("rmax=0 self-community: got %d, want 1", len(got))
+	}
+	if got[0].Core[0] != got[0].Core[1] {
+		t.Fatal("self-community core should repeat the same node")
+	}
+}
+
+// TestAllLargerQuery exercises l = 4 and 5 against the naive baseline.
+func TestAllLargerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for _, l := range []int{4, 5} {
+		g, kws := randomKeywordGraph(t, rng, 14, 50, l)
+		rmax := 6.0
+		e1, err := NewEngine(g, nil, kws, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coreSet(t, EnumerateNaive(e1))
+		e2, _ := NewEngine(g, nil, kws, rmax)
+		got := coreSet(t, drainAll(t, NewAll(e2), len(want)+10))
+		if len(got) != len(want) {
+			t.Fatalf("l=%d: PDall %d cores, naive %d", l, len(got), len(want))
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Fatalf("l=%d: missing core %s", l, k)
+			}
+		}
+	}
+}
+
+// TestAllEmittedCounter checks the Emitted bookkeeping.
+func TestAllEmittedCounter(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	it := NewAll(e)
+	if it.Emitted() != 0 {
+		t.Fatal("Emitted should start at 0")
+	}
+	drainAll(t, it, 100)
+	if it.Emitted() != 5 {
+		t.Fatalf("Emitted = %d, want 5", it.Emitted())
+	}
+	if it.Bytes() < 0 {
+		t.Fatal("Bytes must be non-negative")
+	}
+}
+
+// TestAllAfterExhaustion: NextCore keeps returning false.
+func TestAllAfterExhaustion(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	it := NewAll(e)
+	drainAll(t, it, 100)
+	for i := 0; i < 3; i++ {
+		if _, ok := it.NextCore(); ok {
+			t.Fatal("exhausted enumerator must keep returning false")
+		}
+	}
+}
+
+// TestAllDisconnectedKeywords: keywords in separate components produce
+// nothing.
+func TestAllDisconnectedKeywords(t *testing.T) {
+	b := newTwoComponentBuilder()
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, nil, []string{"left", "right"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAll(t, NewAll(e), 10); len(got) != 0 {
+		t.Fatalf("disconnected keywords produced %d communities", len(got))
+	}
+}
+
+// TestAllBidirectedGraphs: the paper notes the approach applies to
+// undirected/bi-directed graphs as-is; cross-check PDall against the
+// naive oracle on random bi-directed graphs (every edge added in both
+// directions, the materialization used for relational databases).
+func TestAllBidirectedGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(18) + 4
+		b := graph.NewBuilder()
+		kws := []string{"x", "y"}
+		for i := 0; i < n; i++ {
+			var terms []string
+			for _, kw := range kws {
+				if rng.Intn(4) == 0 {
+					terms = append(terms, kw)
+				}
+			}
+			b.AddNode("", terms...)
+		}
+		for i := 0; i < n*2; i++ {
+			b.AddBiEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), float64(rng.Intn(5)+1))
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmax := float64(rng.Intn(8) + 2)
+		e1, err := NewEngine(g, nil, kws, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coreSet(t, EnumerateNaive(e1))
+		e2, _ := NewEngine(g, nil, kws, rmax)
+		got := coreSet(t, drainAll(t, NewAll(e2), len(want)+10))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: bidirected PDall %d cores, naive %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Fatalf("trial %d: missing core %s", trial, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"commdb/internal/graph"
+)
+
+func newTwoComponentBuilder() *graph.Builder {
+	b := graph.NewBuilder()
+	a1 := b.AddNode("a1", "left")
+	a2 := b.AddNode("a2")
+	b.AddBiEdge(a1, a2, 1)
+	c1 := b.AddNode("c1", "right")
+	c2 := b.AddNode("c2")
+	b.AddBiEdge(c1, c2, 1)
+	return b
+}
+
+// TestTopKMatchesNaiveOrderRandom: PDk must emit exactly the naive core
+// set, in non-decreasing cost order, across many random graphs.
+func TestTopKMatchesNaiveOrderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 120; trial++ {
+		n := rng.Intn(25) + 4
+		m := rng.Intn(3*n) + n
+		l := rng.Intn(3) + 2
+		rmax := float64(rng.Intn(10) + 2)
+		g, kws := randomKeywordGraph(t, rng, n, m, l)
+
+		e1, err := NewEngine(g, nil, kws, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := EnumerateNaive(e1)
+		want := coreSet(t, naive)
+
+		e2, _ := NewEngine(g, nil, kws, rmax)
+		it := NewTopK(e2)
+		got := drainTopK(t, it, len(want)+10)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d m=%d l=%d rmax=%v): PDk emitted %d cores, naive %d",
+				trial, n, m, l, rmax, len(got), len(want))
+		}
+		gotSet := coreSet(t, got) // also asserts duplication-free
+		for k, wc := range want {
+			gc, ok := gotSet[k]
+			if !ok {
+				t.Fatalf("trial %d: core %s missing from PDk", trial, k)
+			}
+			if !costsEqual(gc, wc) {
+				t.Fatalf("trial %d: core %s cost %v, naive %v", trial, k, gc, wc)
+			}
+		}
+		// Ranking order: costs must be non-decreasing.
+		for i := 1; i < len(got); i++ {
+			if got[i].Cost < got[i-1].Cost-costEps {
+				t.Fatalf("trial %d: cost order violated at %d: %v after %v",
+					trial, i, got[i].Cost, got[i-1].Cost)
+			}
+		}
+		// And the emitted cost sequence equals the sorted naive costs.
+		wantCosts := sortedCosts(naive)
+		for i := range got {
+			if !costsEqual(got[i].Cost, wantCosts[i]) {
+				t.Fatalf("trial %d: rank %d cost %v, want %v", trial, i+1, got[i].Cost, wantCosts[i])
+			}
+		}
+	}
+}
+
+// TestTopKPrefixOfAll: for any k, the top-k costs are the k smallest
+// COMM-all costs.
+func TestTopKPrefixOfAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 40; trial++ {
+		g, kws := randomKeywordGraph(t, rng, rng.Intn(20)+5, rng.Intn(60)+10, 2)
+		rmax := float64(rng.Intn(8) + 2)
+		e1, _ := NewEngine(g, nil, kws, rmax)
+		all := drainAll(t, NewAll(e1), 100000)
+		if len(all) == 0 {
+			continue
+		}
+		costs := sortedCosts(all)
+		k := rng.Intn(len(all)) + 1
+		e2, _ := NewEngine(g, nil, kws, rmax)
+		top := drainTopK(t, NewTopK(e2), k)
+		if len(top) != k {
+			t.Fatalf("trial %d: asked %d got %d", trial, k, len(top))
+		}
+		for i := 0; i < k; i++ {
+			if !costsEqual(top[i].Cost, costs[i]) {
+				t.Fatalf("trial %d: rank %d cost %v, want %v", trial, i+1, top[i].Cost, costs[i])
+			}
+		}
+	}
+}
+
+// TestTopKInteractiveContinuation models Exp-3: draw k results, then
+// keep drawing 50 more — the continuation must equal a fresh top-(k+50)
+// run, with no recomputation of the first k.
+func TestTopKInteractiveContinuation(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	g, kws := randomKeywordGraph(t, rng, 40, 160, 2)
+	rmax := 8.0
+
+	e1, _ := NewEngine(g, nil, kws, rmax)
+	it := NewTopK(e1)
+	first := drainTopK(t, it, 20)
+	more := drainTopK(t, it, 50) // continuation, no restart
+
+	e2, _ := NewEngine(g, nil, kws, rmax)
+	fresh := drainTopK(t, NewTopK(e2), 70)
+
+	combined := append(append([]CoreCost{}, first...), more...)
+	if len(combined) != len(fresh) {
+		t.Fatalf("continuation produced %d results, fresh run %d", len(combined), len(fresh))
+	}
+	for i := range combined {
+		if !costsEqual(combined[i].Cost, fresh[i].Cost) {
+			t.Fatalf("rank %d: continued cost %v, fresh %v", i+1, combined[i].Cost, fresh[i].Cost)
+		}
+	}
+	// The sets of cores must agree too (order may differ among ties).
+	cs, fs := coreSet(t, combined), coreSet(t, fresh)
+	for k := range fs {
+		if _, ok := cs[k]; !ok {
+			t.Fatalf("core %s in fresh run missing from continuation", k)
+		}
+	}
+}
+
+// TestTopKExhaustion: after all communities are emitted, Next returns
+// false forever; pending candidates drain to zero.
+func TestTopKExhaustion(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	it := NewTopK(e)
+	got := drainTopK(t, it, 100)
+	if len(got) != 5 {
+		t.Fatalf("emitted %d, want 5", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := it.NextCore(); ok {
+			t.Fatal("exhausted top-k enumerator returned a result")
+		}
+	}
+	if it.Emitted() != 5 {
+		t.Fatalf("Emitted = %d, want 5", it.Emitted())
+	}
+}
+
+// TestTopKCandidateBound: the heap never holds more than l candidates
+// per emitted result plus one (the paper's O(l·k) can-list bound).
+func TestTopKCandidateBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	g, kws := randomKeywordGraph(t, rng, 30, 120, 3)
+	e, _ := NewEngine(g, nil, kws, 8)
+	it := NewTopK(e)
+	for {
+		_, ok := it.NextCore()
+		if !ok {
+			break
+		}
+		bound := e.l*it.Emitted() + 1
+		if it.PendingCandidates() > bound {
+			t.Fatalf("after %d results, %d pending candidates > bound %d",
+				it.Emitted(), it.PendingCandidates(), bound)
+		}
+	}
+	if it.Bytes() <= 0 {
+		t.Fatal("Bytes should be positive after enumeration")
+	}
+}
+
+// TestTopKMissingKeyword mirrors the COMM-all behaviour.
+func TestTopKMissingKeyword(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "zzz"}, 8)
+	if _, ok := NewTopK(e).NextCore(); ok {
+		t.Fatal("query with absent keyword should emit nothing")
+	}
+}
+
+// TestTopKDisconnected mirrors the COMM-all behaviour.
+func TestTopKDisconnected(t *testing.T) {
+	g, err := newTwoComponentBuilder().Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(g, nil, []string{"left", "right"}, 100)
+	if _, ok := NewTopK(e).NextCore(); ok {
+		t.Fatal("disconnected keywords should emit nothing")
+	}
+}
+
+// TestTopKCommunityMaterialization: Next returns materialized
+// communities whose cost matches the core cost.
+func TestTopKCommunityMaterialization(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	it := NewTopK(e)
+	prev := -1.0
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if r.Cost < prev-costEps {
+			t.Fatalf("materialized order violated: %v after %v", r.Cost, prev)
+		}
+		prev = r.Cost
+		if len(r.Cnodes) == 0 {
+			t.Fatalf("community %v has no centers", r.Core)
+		}
+	}
+}
+
+// TestTopKDeepChains stresses repeated splits at the same position
+// (the regression this implementation fixes against the paper's
+// printed chain walk): single shared center, many keyword nodes per
+// keyword, so subspace splits stack at one position repeatedly.
+func TestTopKDeepChains(t *testing.T) {
+	b := graph.NewBuilder()
+	hub := b.AddNode("hub")
+	var k1 []graph.NodeID
+	for i := 0; i < 8; i++ {
+		v := b.AddNode("x", "x")
+		k1 = append(k1, v)
+		b.AddEdge(hub, v, float64(i+1))
+	}
+	for i := 0; i < 8; i++ {
+		v := b.AddNode("y", "y")
+		b.AddEdge(hub, v, float64(i+1))
+	}
+	_ = k1
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := NewEngine(g, nil, []string{"x", "y"}, 100)
+	naive := EnumerateNaive(e1)
+	if len(naive) != 64 {
+		t.Fatalf("naive found %d cores, want 64", len(naive))
+	}
+	e2, _ := NewEngine(g, nil, []string{"x", "y"}, 100)
+	got := drainTopK(t, NewTopK(e2), 100)
+	if len(got) != 64 {
+		t.Fatalf("PDk emitted %d cores, want 64", len(got))
+	}
+	coreSet(t, got) // duplication-free
+	wantCosts := sortedCosts(naive)
+	for i := range got {
+		if !costsEqual(got[i].Cost, wantCosts[i]) {
+			t.Fatalf("rank %d: cost %v, want %v", i+1, got[i].Cost, wantCosts[i])
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+// ErrNoKeywords is returned when a query contains no keywords.
+var ErrNoKeywords = errors.New("core: query needs at least one keyword")
+
+// CostFunction selects how a community's cost aggregates the
+// center→knode distances. The paper notes its algorithms do not rely on
+// a specific cost function; any per-component monotone aggregate works,
+// and two are provided.
+type CostFunction int
+
+const (
+	// CostSumDistances is the paper's default: the minimum over centers
+	// of the summed shortest-path weights to every core node.
+	CostSumDistances CostFunction = iota
+	// CostMaxDistance ranks by the minimum over centers of the largest
+	// center→knode distance (an eccentricity-style radius measure).
+	CostMaxDistance
+)
+
+// Engine holds the per-query state shared by the enumeration
+// algorithms: the keyword node sets V_i, one neighborSet slot N_i per
+// keyword, and the paper's per-node (nearest knode, total weight,
+// counter) table that makes BestCore a single O(n) scan (Section IV-A).
+//
+// An Engine is bound to one graph, one keyword list and one Rmax. It is
+// not safe for concurrent use; create one Engine per running query.
+type Engine struct {
+	g    *graph.Graph
+	ws   *sssp.Workspace
+	rmax float64
+	l    int
+
+	// keywordNodes[i] is V_i: all nodes containing keyword i.
+	keywordNodes [][]graph.NodeID
+
+	// nbr[i] is the current neighborSet N_i: a bounded reverse-Dijkstra
+	// result whose Src/Dist give the paper's src(N_i,u) and min(N_i,u).
+	nbr []*sssp.Result
+	// slotState describes what each slot currently holds so identical
+	// re-installs are skipped.
+	slotState []slotDesc
+	// full caches Neighbor(V_i): the full keyword-set run never changes
+	// within a query, and the enumerators restore it constantly
+	// (Algorithm 1 line 20, Algorithm 5 line 31).
+	full []*sssp.Result
+	// free recycles result buffers.
+	free []*sssp.Result
+
+	// sum[u] and cnt[u] aggregate over slots: total distance and number
+	// of slots in which u is settled. cnt[u] == l marks a candidate
+	// center (the paper's third element).
+	sum []float64
+	cnt []int16
+
+	// getcomm scratch (Algorithm 4), lazily allocated.
+	gcFwd    *sssp.Result
+	gcRev    *sssp.Result
+	gcKnode  []*sssp.Result
+	gcMark   []int32
+	gcMarkID int32
+
+	// neighborRuns counts Dijkstra invocations, exposed for the
+	// benchmark harness and complexity tests.
+	neighborRuns int
+
+	// noSlotCache disables full-set memoization and the unchanged-pin
+	// skip, for the ablation benchmark only.
+	noSlotCache bool
+
+	// costFn aggregates per-keyword distances into a cost.
+	costFn CostFunction
+}
+
+// SetCostFunction switches the cost aggregate. It must be called before
+// the first enumeration step.
+func (e *Engine) SetCostFunction(f CostFunction) { e.costFn = f }
+
+// CostOf aggregates one center's per-keyword distances under the
+// engine's cost function.
+func (e *Engine) CostOf(dists []float64) float64 {
+	switch e.costFn {
+	case CostMaxDistance:
+		best := 0.0
+		for _, d := range dists {
+			if d > best {
+				best = d
+			}
+		}
+		return best
+	default:
+		total := 0.0
+		for _, d := range dists {
+			total += d
+		}
+		return total
+	}
+}
+
+// DisableSlotCache turns off the engine's Neighbor memoization so every
+// slot install recomputes its bounded Dijkstra, exactly as the paper's
+// pseudocode is written. Exists for the ablation benchmark.
+func (e *Engine) DisableSlotCache() { e.noSlotCache = true }
+
+// NewEngine prepares a query against g. Keywords are matched after
+// tokenization (each must be a single term). ix may be nil, in which
+// case keyword nodes are found by scanning the graph.
+func NewEngine(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax float64) (*Engine, error) {
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	if rmax < 0 {
+		return nil, fmt.Errorf("core: negative Rmax %v", rmax)
+	}
+	l := len(keywords)
+	n := g.NumNodes()
+	e := &Engine{
+		g:            g,
+		ws:           sssp.NewWorkspace(g),
+		rmax:         rmax,
+		l:            l,
+		keywordNodes: make([][]graph.NodeID, l),
+		nbr:          make([]*sssp.Result, l),
+		slotState:    make([]slotDesc, l),
+		full:         make([]*sssp.Result, l),
+		sum:          make([]float64, n),
+		cnt:          make([]int16, n),
+	}
+	for i, kw := range keywords {
+		nodes, err := KeywordNodes(g, ix, kw)
+		if err != nil {
+			return nil, err
+		}
+		e.keywordNodes[i] = nodes
+		e.nbr[i] = sssp.NewResult(n)
+	}
+	return e, nil
+}
+
+// KeywordNodes resolves one query keyword to its node set V_i, via the
+// inverted index when available or a graph scan otherwise. The keyword
+// must tokenize to exactly one term.
+func KeywordNodes(g *graph.Graph, ix *fulltext.Index, keyword string) ([]graph.NodeID, error) {
+	terms := fulltext.Tokenize(keyword)
+	if len(terms) != 1 {
+		return nil, fmt.Errorf("core: keyword %q does not tokenize to a single term", keyword)
+	}
+	term := terms[0]
+	if ix != nil {
+		return ix.Nodes(term), nil
+	}
+	id, ok := g.Dict().ID(term)
+	if !ok {
+		return nil, nil
+	}
+	var out []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.HasTerm(graph.NodeID(v), id) {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out, nil
+}
+
+// Graph returns the graph the engine queries.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// L reports the number of query keywords.
+func (e *Engine) L() int { return e.l }
+
+// Rmax reports the query radius.
+func (e *Engine) Rmax() float64 { return e.rmax }
+
+// KeywordNodes returns V_i for keyword position i. The slice must not
+// be modified.
+func (e *Engine) KeywordNodes(i int) []graph.NodeID { return e.keywordNodes[i] }
+
+// HasAllKeywords reports whether every keyword occurs somewhere in the
+// graph; if not, no community exists.
+func (e *Engine) HasAllKeywords() bool {
+	for _, vs := range e.keywordNodes {
+		if len(vs) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborRuns reports how many bounded Dijkstra runs the engine has
+// executed, a machine-independent cost measure used in delay tests.
+func (e *Engine) NeighborRuns() int { return e.neighborRuns }
+
+// slotDesc describes a slot's current contents so identical
+// re-installs are skipped (the pins and full-set restores of the
+// enumeration loops repeat constantly).
+type slotDesc struct {
+	kind slotKind
+	node graph.NodeID
+}
+
+type slotKind uint8
+
+const (
+	slotEmpty  slotKind = iota
+	slotFull            // Neighbor(V_i)
+	slotSingle          // Neighbor({node})
+	slotSet             // Neighbor(arbitrary subset)
+)
+
+// buffer returns a reusable result, recycling freed ones.
+func (e *Engine) buffer() *sssp.Result {
+	if n := len(e.free); n > 0 {
+		r := e.free[n-1]
+		e.free = e.free[:n-1]
+		return r
+	}
+	return sssp.NewResult(e.g.NumNodes())
+}
+
+// install replaces slot i's contents with res, maintaining the per-node
+// sum/cnt aggregates incrementally, as the paper prescribes so that
+// BestCore stays a single scan. The previous buffer is recycled unless
+// it is the slot's cached full-set result.
+func (e *Engine) install(i int, res *sssp.Result, desc slotDesc) {
+	old := e.nbr[i]
+	if old == res {
+		e.slotState[i] = desc
+		return
+	}
+	if old != nil {
+		for _, v := range old.Visited() {
+			d, _ := old.Dist(v)
+			e.cnt[v]--
+			if e.cnt[v] == 0 {
+				e.sum[v] = 0 // exact reset prevents float drift
+			} else {
+				e.sum[v] -= d
+			}
+		}
+		if old != e.full[i] {
+			e.free = append(e.free, old)
+		}
+	}
+	for _, v := range res.Visited() {
+		d, _ := res.Dist(v)
+		e.cnt[v]++
+		e.sum[v] += d
+	}
+	e.nbr[i] = res
+	e.slotState[i] = desc
+}
+
+// setSlot recomputes neighborSet slot i from an arbitrary seed set
+// (Algorithm 2: bounded reverse Dijkstra).
+func (e *Engine) setSlot(i int, seeds []graph.NodeID) {
+	res := e.buffer()
+	e.ws.RunFromNodes(sssp.Reverse, seeds, e.rmax, res)
+	e.neighborRuns++
+	e.install(i, res, slotDesc{kind: slotSet})
+}
+
+// setSlotSingle pins slot i to one keyword node; a no-op when the slot
+// is already pinned there.
+func (e *Engine) setSlotSingle(i int, v graph.NodeID) {
+	if s := e.slotState[i]; !e.noSlotCache && s.kind == slotSingle && s.node == v {
+		return
+	}
+	res := e.buffer()
+	e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{v}, e.rmax, res)
+	e.neighborRuns++
+	e.install(i, res, slotDesc{kind: slotSingle, node: v})
+}
+
+// setSlotFull installs Neighbor(V_i). The run is computed once per
+// query and cached: the enumerators restore full sets constantly
+// (Algorithm 1 line 20, Algorithm 5 line 31) and V_i never changes.
+func (e *Engine) setSlotFull(i int) {
+	if e.noSlotCache {
+		e.setSlot(i, e.keywordNodes[i])
+		return
+	}
+	if e.slotState[i].kind == slotFull {
+		return
+	}
+	if e.full[i] == nil {
+		res := sssp.NewResult(e.g.NumNodes())
+		e.ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
+		e.neighborRuns++
+		e.full[i] = res
+	}
+	e.install(i, e.full[i], slotDesc{kind: slotFull})
+}
+
+// clearSlots empties every slot and the aggregates, returning the
+// engine to its initial state. Enumerators call it on (re)start.
+func (e *Engine) clearSlots() {
+	for i := range e.nbr {
+		old := e.nbr[i]
+		if old == nil {
+			continue
+		}
+		for _, v := range old.Visited() {
+			d, _ := old.Dist(v)
+			e.cnt[v]--
+			if e.cnt[v] == 0 {
+				e.sum[v] = 0
+			} else {
+				e.sum[v] -= d
+			}
+		}
+		if old != e.full[i] {
+			e.free = append(e.free, old)
+		}
+		e.nbr[i] = nil
+		e.slotState[i] = slotDesc{}
+	}
+}
+
+// bestCore is Algorithm 3: scan the aggregate table once and return the
+// minimum-cost core assembled from the per-slot nearest keyword nodes,
+// or ok == false when the current slots admit no center. Under the
+// default sum cost the incrementally maintained table answers each
+// candidate in O(1); alternative cost functions probe the l slots.
+func (e *Engine) bestCore() (Core, float64, bool) {
+	n := e.g.NumNodes()
+	bestU := graph.NodeID(-1)
+	bestCost := 0.0
+	want := int16(e.l)
+	for u := 0; u < n; u++ {
+		if e.cnt[u] != want {
+			continue
+		}
+		var cost float64
+		if e.costFn == CostSumDistances {
+			cost = e.sum[u]
+		} else {
+			cost = e.candidateCost(graph.NodeID(u))
+		}
+		if bestU < 0 || cost < bestCost {
+			bestU = graph.NodeID(u)
+			bestCost = cost
+		}
+	}
+	if bestU < 0 {
+		return nil, 0, false
+	}
+	c := make(Core, e.l)
+	dists := make([]float64, e.l)
+	for i := 0; i < e.l; i++ {
+		c[i] = e.nbr[i].Src(bestU)
+		dists[i], _ = e.nbr[i].Dist(bestU)
+	}
+	return c, e.CostOf(dists), true
+}
+
+// candidateCost aggregates a candidate center's slot distances under a
+// non-sum cost function.
+func (e *Engine) candidateCost(u graph.NodeID) float64 {
+	switch e.costFn {
+	case CostMaxDistance:
+		best := 0.0
+		for i := 0; i < e.l; i++ {
+			if d, _ := e.nbr[i].Dist(u); d > best {
+				best = d
+			}
+		}
+		return best
+	default:
+		return e.sum[u]
+	}
+}
+
+// Bytes estimates the engine's logical memory footprint: the slot
+// results, aggregates and workspace — the paper's O(l·n + m) working
+// state (the graph itself is shared and accounted separately).
+func (e *Engine) Bytes() int64 {
+	b := e.ws.Bytes() + int64(len(e.sum))*8 + int64(len(e.cnt))*2
+	for i, r := range e.nbr {
+		if r != nil && r != e.full[i] {
+			b += r.Bytes()
+		}
+	}
+	for _, r := range e.full {
+		if r != nil {
+			b += r.Bytes()
+		}
+	}
+	for _, r := range e.free {
+		b += r.Bytes()
+	}
+	for _, ks := range e.keywordNodes {
+		b += int64(len(ks)) * 4
+	}
+	if e.gcFwd != nil {
+		b += e.gcFwd.Bytes() + e.gcRev.Bytes()
+		for _, r := range e.gcKnode {
+			b += r.Bytes()
+		}
+		b += int64(len(e.gcMark)) * 4
+	}
+	return b
+}

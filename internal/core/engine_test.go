@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"commdb/internal/fulltext"
+)
+
+func TestNewEngineErrors(t *testing.T) {
+	g, _ := PaperGraph()
+	if _, err := NewEngine(g, nil, nil, 8); err != ErrNoKeywords {
+		t.Fatalf("no keywords: err = %v, want ErrNoKeywords", err)
+	}
+	if _, err := NewEngine(g, nil, []string{"a"}, -1); err == nil {
+		t.Fatal("negative Rmax should error")
+	}
+	if _, err := NewEngine(g, nil, []string{"two words"}, 8); err == nil {
+		t.Fatal("multi-term keyword should error")
+	}
+	if _, err := NewEngine(g, nil, []string{""}, 8); err == nil {
+		t.Fatal("empty keyword should error")
+	}
+}
+
+func TestNewEngineNormalizesCase(t *testing.T) {
+	g, _ := IntroGraph()
+	e, err := NewEngine(g, nil, []string{"KATE", "Smith"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasAllKeywords() {
+		t.Fatal("case-insensitive keyword match failed")
+	}
+	if len(e.KeywordNodes(0)) != 1 || len(e.KeywordNodes(1)) != 2 {
+		t.Fatalf("V_kate = %v, V_smith = %v", e.KeywordNodes(0), e.KeywordNodes(1))
+	}
+}
+
+func TestEngineWithFulltextIndex(t *testing.T) {
+	g, _ := PaperGraph()
+	ix := fulltext.Build(g)
+	e1, err := NewEngine(g, ix, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keyword node sets must be identical with and without the index.
+	for i := 0; i < 3; i++ {
+		a, b := e1.KeywordNodes(i), e2.KeywordNodes(i)
+		if len(a) != len(b) {
+			t.Fatalf("keyword %d: index %v, scan %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("keyword %d: index %v, scan %v", i, a, b)
+			}
+		}
+	}
+	// And the enumeration results too.
+	r1 := coreSet(t, drainAll(t, NewAll(e1), 100))
+	r2 := coreSet(t, drainAll(t, NewAll(e2), 100))
+	if len(r1) != len(r2) {
+		t.Fatalf("indexed run found %d cores, scan run %d", len(r1), len(r2))
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b"}, 8)
+	if e.Graph() != g {
+		t.Fatal("Graph accessor")
+	}
+	if e.L() != 2 {
+		t.Fatalf("L = %d, want 2", e.L())
+	}
+	if e.Rmax() != 8 {
+		t.Fatalf("Rmax = %v, want 8", e.Rmax())
+	}
+	if e.NeighborRuns() != 0 {
+		t.Fatal("fresh engine should have zero Dijkstra runs")
+	}
+	if e.Bytes() <= 0 {
+		t.Fatal("engine Bytes should be positive")
+	}
+	drainAll(t, NewAll(e), 100)
+	if e.NeighborRuns() == 0 {
+		t.Fatal("enumeration should count Dijkstra runs")
+	}
+}
+
+// TestEngineDelayBound checks the polynomial-delay property in
+// machine-independent terms: per emitted community, the number of
+// bounded Dijkstra runs is O(l) — at most 3l+2 for NextCore plus
+// l+2 for GetCommunity.
+func TestEngineDelayBound(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	it := NewAll(e)
+	l := 3
+	prev := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		runs := e.NeighborRuns() - prev
+		prev = e.NeighborRuns()
+		// NextCore: l initial or l pins + per level 2 runs => <= 3l.
+		// GetCommunity: l knode passes + forward + reverse = l + 2.
+		if runs > 4*l+2 {
+			t.Fatalf("delay of %d Dijkstra runs exceeds O(l) bound %d", runs, 4*l+2)
+		}
+	}
+	// The final failed probe also stays within the bound.
+	if e.NeighborRuns()-prev > 4*l+2 {
+		t.Fatalf("termination probe used %d runs", e.NeighborRuns()-prev)
+	}
+}
+
+func TestClearSlotsResetsAggregates(t *testing.T) {
+	g, _ := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	for i := 0; i < 3; i++ {
+		e.setSlot(i, e.keywordNodes[i])
+	}
+	e.clearSlots()
+	for v := range e.cnt {
+		if e.cnt[v] != 0 {
+			t.Fatalf("cnt[%d] = %d after clear", v, e.cnt[v])
+		}
+		if e.sum[v] != 0 {
+			t.Fatalf("sum[%d] = %v after clear", v, e.sum[v])
+		}
+	}
+	if _, _, ok := e.bestCore(); ok {
+		t.Fatal("bestCore on cleared slots should find nothing")
+	}
+}

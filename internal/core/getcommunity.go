@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sort"
+
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+// GetCommunity is Algorithm 4: materialize the community uniquely
+// determined by core c.
+//
+// It runs one bounded reverse Dijkstra per distinct core node to find
+// the centers (every node within Rmax of all core nodes), then the
+// virtual-source forward pass from the centers and the virtual-sink
+// reverse pass from the core nodes; a node belongs to the community iff
+// dist(s,u) + dist(u,t) <= Rmax. Total cost O(l·(n·log n + m)).
+func (e *Engine) GetCommunity(c Core) *Community {
+	e.ensureGCBuffers()
+
+	// Distinct knodes (a node may serve several keyword positions).
+	knodes := distinctNodes(c)
+
+	// Per-knode reverse passes: after these, gcKnode[j].Dist(v) is
+	// dist(v, knodes[j]) when within Rmax.
+	for j, kn := range knodes {
+		e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{kn}, e.rmax, e.gcKnode[j])
+		e.neighborRuns++
+	}
+
+	// Centers: settled in every per-knode pass. Scan the smallest pass
+	// and probe the others.
+	smallest := 0
+	for j := 1; j < len(knodes); j++ {
+		if e.gcKnode[j].Len() < e.gcKnode[smallest].Len() {
+			smallest = j
+		}
+	}
+	knodeIdx := make(map[graph.NodeID]int, len(knodes))
+	for j, kn := range knodes {
+		knodeIdx[kn] = j
+	}
+	var centers []graph.NodeID
+	cost := 0.0
+	haveCost := false
+	for _, v := range e.gcKnode[smallest].Visited() {
+		all := true
+		for j := range knodes {
+			if j == smallest {
+				continue
+			}
+			if !e.gcKnode[j].Contains(v) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		centers = append(centers, v)
+		// The cost aggregates every keyword position, so duplicate core
+		// nodes contribute once per position.
+		dists := make([]float64, len(c))
+		for i, ci := range c {
+			dists[i], _ = e.gcKnode[knodeIdx[ci]].Dist(v)
+		}
+		total := e.CostOf(dists)
+		if !haveCost || total < cost {
+			cost = total
+			haveCost = true
+		}
+	}
+	sort.Slice(centers, func(i, j int) bool { return centers[i] < centers[j] })
+
+	r := &Community{Core: c.Clone(), Knodes: knodes, Cnodes: centers, Cost: cost}
+	if len(centers) == 0 {
+		// No center reaches every knode within Rmax: the core admits no
+		// community. Callers in the enumerators never hit this (BestCore
+		// only returns centered cores), but direct API users may.
+		r.Nodes = append([]graph.NodeID(nil), knodes...)
+		return r
+	}
+
+	// Forward pass from all centers (virtual source s) and reverse pass
+	// from all knodes (virtual sink t).
+	e.ws.RunFromNodes(sssp.Forward, centers, e.rmax, e.gcFwd)
+	e.neighborRuns++
+	e.ws.RunFromNodes(sssp.Reverse, knodes, e.rmax, e.gcRev)
+	e.neighborRuns++
+
+	e.gcMarkID++
+	mark := e.gcMarkID
+	for _, u := range e.gcFwd.Visited() {
+		ds, _ := e.gcFwd.Dist(u)
+		dt, ok := e.gcRev.Dist(u)
+		if ok && ds+dt <= e.rmax {
+			e.gcMark[u] = mark
+			r.Nodes = append(r.Nodes, u)
+		}
+	}
+	sort.Slice(r.Nodes, func(i, j int) bool { return r.Nodes[i] < r.Nodes[j] })
+
+	// Classify pnodes: community nodes that are neither knodes nor
+	// centers.
+	isK := make(map[graph.NodeID]bool, len(knodes))
+	for _, kn := range knodes {
+		isK[kn] = true
+	}
+	isC := make(map[graph.NodeID]bool, len(centers))
+	for _, cn := range centers {
+		isC[cn] = true
+	}
+	for _, u := range r.Nodes {
+		if !isK[u] && !isC[u] {
+			r.Pnodes = append(r.Pnodes, u)
+		}
+	}
+
+	// Induced edges over the community's nodes.
+	for _, u := range r.Nodes {
+		for _, edge := range e.g.OutEdges(u) {
+			if e.gcMark[edge.To] == mark {
+				r.Edges = append(r.Edges, graph.EdgePair{From: u, To: edge.To})
+			}
+		}
+	}
+	return r
+}
+
+func (e *Engine) ensureGCBuffers() {
+	if e.gcFwd != nil {
+		return
+	}
+	n := e.g.NumNodes()
+	e.gcFwd = sssp.NewResult(n)
+	e.gcRev = sssp.NewResult(n)
+	e.gcKnode = make([]*sssp.Result, e.l)
+	for i := range e.gcKnode {
+		e.gcKnode[i] = sssp.NewResult(n)
+	}
+	e.gcMark = make([]int32, n)
+}
+
+func distinctNodes(c Core) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(c))
+	for _, v := range c {
+		dup := false
+		for _, have := range out {
+			if have == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+// checkCommunityInvariants verifies Definition 2.1 for a materialized
+// community against brute-force shortest paths:
+//   - every cnode reaches every core node within Rmax,
+//   - no node outside Cnodes does,
+//   - every community node u satisfies min-center-dist(u) +
+//     min-knode-dist(u) <= Rmax, and every graph node satisfying it is
+//     in the community,
+//   - edges are exactly the induced edges,
+//   - Cost equals the minimum center total distance.
+func checkCommunityInvariants(t *testing.T, g *graph.Graph, r *Community, rmax float64) {
+	t.Helper()
+	n := g.NumNodes()
+	ws := sssp.NewWorkspace(g)
+
+	// All-pairs via n forward runs (test graphs are small).
+	dist := make([][]float64, n)
+	res := sssp.NewResult(n)
+	for u := 0; u < n; u++ {
+		ws.RunFromNodes(sssp.Forward, []graph.NodeID{graph.NodeID(u)}, math.Inf(1), res)
+		dist[u] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			d, ok := res.Dist(graph.NodeID(v))
+			if !ok {
+				d = math.Inf(1)
+			}
+			dist[u][v] = d
+		}
+	}
+
+	inC := map[graph.NodeID]bool{}
+	for _, c := range r.Cnodes {
+		inC[c] = true
+	}
+	// Center characterization.
+	bestTotal := math.Inf(1)
+	for u := 0; u < n; u++ {
+		reachesAll := true
+		for _, kn := range r.Knodes {
+			if dist[u][kn] > rmax {
+				reachesAll = false
+				break
+			}
+		}
+		if reachesAll != inC[graph.NodeID(u)] {
+			t.Fatalf("node %d center membership = %v, want %v", u, inC[graph.NodeID(u)], reachesAll)
+		}
+		if reachesAll {
+			total := 0.0
+			for _, ci := range r.Core {
+				total += dist[u][ci]
+			}
+			if total < bestTotal {
+				bestTotal = total
+			}
+		}
+	}
+	if len(r.Cnodes) > 0 && !costsEqual(r.Cost, bestTotal) {
+		t.Fatalf("cost = %v, brute force %v", r.Cost, bestTotal)
+	}
+
+	// Node membership characterization.
+	if len(r.Cnodes) > 0 {
+		inR := map[graph.NodeID]bool{}
+		for _, v := range r.Nodes {
+			inR[v] = true
+		}
+		for u := 0; u < n; u++ {
+			ds := math.Inf(1)
+			for _, c := range r.Cnodes {
+				if dist[c][u] < ds {
+					ds = dist[c][u]
+				}
+			}
+			dt := math.Inf(1)
+			for _, kn := range r.Knodes {
+				if dist[u][kn] < dt {
+					dt = dist[u][kn]
+				}
+			}
+			want := ds+dt <= rmax
+			if want != inR[graph.NodeID(u)] {
+				t.Fatalf("node %d membership = %v, want %v (ds=%v dt=%v rmax=%v)",
+					u, inR[graph.NodeID(u)], want, ds, dt, rmax)
+			}
+		}
+
+		// Induced edges: exactly the graph edges with both ends inside.
+		type ep = graph.EdgePair
+		gotE := map[ep]int{}
+		for _, e := range r.Edges {
+			gotE[e]++
+		}
+		wantE := map[ep]int{}
+		for _, u := range r.Nodes {
+			for _, e := range g.OutEdges(u) {
+				if inR[e.To] {
+					wantE[ep{From: u, To: e.To}]++
+				}
+			}
+		}
+		if len(gotE) != len(wantE) {
+			t.Fatalf("induced edges: got %d distinct, want %d", len(gotE), len(wantE))
+		}
+		for k, c := range wantE {
+			if gotE[k] != c {
+				t.Fatalf("edge %v count %d, want %d", k, gotE[k], c)
+			}
+		}
+
+		// Partition: Nodes = Knodes ∪ Cnodes ∪ Pnodes, Pnodes disjoint.
+		seen := map[graph.NodeID]bool{}
+		for _, v := range r.Knodes {
+			seen[v] = true
+		}
+		for _, v := range r.Cnodes {
+			seen[v] = true
+		}
+		for _, v := range r.Pnodes {
+			if seen[v] {
+				t.Fatalf("pnode %d is also a knode or cnode", v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != len(r.Nodes) {
+			t.Fatalf("classification covers %d nodes, community has %d", len(seen), len(r.Nodes))
+		}
+	}
+}
+
+// TestGetCommunityInvariantsRandom checks every community of many
+// random queries against the brute-force characterization.
+func TestGetCommunityInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(18) + 4
+		g, kws := randomKeywordGraph(t, rng, n, n*3, 2)
+		rmax := float64(rng.Intn(8) + 2)
+		e, err := NewEngine(g, nil, kws, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := NewAll(e)
+		count := 0
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			checkCommunityInvariants(t, g, r, rmax)
+			count++
+			if count > 2000 {
+				t.Fatal("too many communities")
+			}
+		}
+	}
+}
+
+// TestGetCommunityUncenteredCore: a core with no common center yields a
+// community with no centers and no pnodes (degenerate, API-level only).
+func TestGetCommunityUncenteredCore(t *testing.T) {
+	g, ids := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	// v13 (a) and v2 (b) have no common center within 8.
+	r := e.GetCommunity(Core{ids[13], ids[2], ids[3]})
+	if len(r.Cnodes) != 0 {
+		t.Fatalf("centers = %v, want none", r.Cnodes)
+	}
+	if len(r.Pnodes) != 0 {
+		t.Fatal("uncentered community should have no pnodes")
+	}
+}
+
+// TestGetCommunityHasNode exercises the binary-search membership.
+func TestGetCommunityHasNode(t *testing.T) {
+	g, ids := PaperGraph()
+	e, _ := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	r := e.GetCommunity(Core{ids[13], ids[8], ids[11]})
+	for _, v := range r.Nodes {
+		if !r.HasNode(v) {
+			t.Fatalf("HasNode(%d) = false for a member", v)
+		}
+	}
+	if r.HasNode(ids[1]) {
+		t.Fatal("v1 is not in R5")
+	}
+	if r.Bytes() <= 0 {
+		t.Fatal("community Bytes should be positive")
+	}
+}
+
+// TestGetCommunityDuplicateCoreNodes: a node serving two keyword
+// positions is counted once as a knode but twice in the cost.
+func TestGetCommunityDuplicateCoreNodes(t *testing.T) {
+	b := graph.NewBuilder()
+	both := b.AddNode("both", "x", "y")
+	c := b.AddNode("c")
+	b.AddEdge(c, both, 2)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(g, nil, []string{"x", "y"}, 5)
+	r := e.GetCommunity(Core{both, both})
+	if len(r.Knodes) != 1 {
+		t.Fatalf("knodes = %v, want 1 distinct", r.Knodes)
+	}
+	// Best center is the node itself: cost 0 + 0.
+	if !costsEqual(r.Cost, 0) {
+		t.Fatalf("cost = %v, want 0", r.Cost)
+	}
+	// Both 'both' and 'c' reach the core node within 5, so both are
+	// centers.
+	if len(r.Cnodes) != 2 {
+		t.Fatalf("cnodes = %v, want both nodes", r.Cnodes)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+// EnumerateNaive is the paper's Section III nested-loop baseline: it
+// checks every combination in V_1 × … × V_l and keeps those that admit
+// at least one center within Rmax, with exact community costs. Its
+// complexity is O(n^l) — it exists as the ground truth for correctness
+// tests and is exercised only on small graphs.
+//
+// Results are complete and duplication-free by construction; their
+// order is the lexicographic combination order, not the ranking order.
+func EnumerateNaive(e *Engine) []CoreCost {
+	if !e.HasAllKeywords() {
+		return nil
+	}
+	n := e.g.NumNodes()
+
+	// One bounded reverse Dijkstra per distinct keyword node:
+	// rev[kn].Dist(v) = dist(v, kn) when within Rmax.
+	rev := make(map[graph.NodeID]*sssp.Result)
+	for i := 0; i < e.l; i++ {
+		for _, kn := range e.keywordNodes[i] {
+			if rev[kn] == nil {
+				res := sssp.NewResult(n)
+				e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{kn}, e.rmax, res)
+				rev[kn] = res
+			}
+		}
+	}
+
+	var out []CoreCost
+	combo := make(Core, e.l)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == e.l {
+			if cost, ok := naiveCost(e, rev, combo); ok {
+				out = append(out, CoreCost{Core: combo.Clone(), Cost: cost})
+			}
+			return
+		}
+		for _, v := range e.keywordNodes[i] {
+			combo[i] = v
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// naiveCost returns the community cost of core c — the minimum over all
+// centers of the summed distances to every core position — or ok ==
+// false when no node reaches all core nodes within Rmax.
+func naiveCost(e *Engine, rev map[graph.NodeID]*sssp.Result, c Core) (float64, bool) {
+	// Scan candidate centers from the smallest settled set.
+	smallest := rev[c[0]]
+	for _, ci := range c[1:] {
+		if rev[ci].Len() < smallest.Len() {
+			smallest = rev[ci]
+		}
+	}
+	best := math.Inf(1)
+	dists := make([]float64, len(c))
+	for _, v := range smallest.Visited() {
+		feasible := true
+		for i, ci := range c {
+			d, ok := rev[ci].Dist(v)
+			if !ok {
+				feasible = false
+				break
+			}
+			dists[i] = d
+		}
+		if total := e.CostOf(dists); feasible && total < best {
+			best = total
+		}
+	}
+	return best, !math.IsInf(best, 1)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"commdb/internal/graph"
+)
+
+// buildWeightedLine builds c -> k1 (edge 1) and c -> m -> k2 (edges 1,1)
+// where m carries node weight mw.
+func buildWeightedLine(t *testing.T, mw float64) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	b := graph.NewBuilder()
+	c := b.AddNode("c")
+	k1 := b.AddNode("k1", "x")
+	m := b.AddNode("m")
+	k2 := b.AddNode("k2", "y")
+	b.AddEdge(c, k1, 1)
+	b.AddEdge(c, m, 1)
+	b.AddEdge(m, k2, 1)
+	b.SetNodeWeight(m, mw)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []graph.NodeID{c, k1, m, k2}
+}
+
+// TestNodeWeightsInCost: the footnote-1 extension — node weights on
+// intermediate path nodes count toward community cost and against the
+// radius.
+func TestNodeWeightsInCost(t *testing.T) {
+	g, _ := buildWeightedLine(t, 3)
+	e, err := NewEngine(g, nil, []string{"x", "y"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainAll(t, NewAll(e), 10)
+	if len(got) != 1 {
+		t.Fatalf("found %d communities, want 1", len(got))
+	}
+	// cost = dist(c,k1) + dist(c,k2) = 1 + (1 + 3 + 1) = 6.
+	if !costsEqual(got[0].Cost, 6) {
+		t.Fatalf("cost = %v, want 6 (node weight of m counted once)", got[0].Cost)
+	}
+
+	// With the radius below the weighted path, the community vanishes.
+	e2, err := NewEngine(g, nil, []string{"x", "y"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAll(t, NewAll(e2), 10); len(got) != 0 {
+		t.Fatalf("rmax below weighted path still found %d communities", len(got))
+	}
+
+	// Zero node weights behave exactly like an unweighted graph.
+	g0, _ := buildWeightedLine(t, 0)
+	e3, err := NewEngine(g0, nil, []string{"x", "y"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got0 := drainAll(t, NewAll(e3), 10)
+	if len(got0) != 1 || !costsEqual(got0[0].Cost, 3) {
+		t.Fatalf("zero-weight graph: %v", got0)
+	}
+}
+
+// TestNodeWeightsCommunityMembership: GetCommunity's ds+dt test counts
+// an intermediate node's weight exactly once.
+func TestNodeWeightsCommunityMembership(t *testing.T) {
+	// Rmax = 5: path c -> m -> k2 costs 1 + mw + 1. With mw = 3 the
+	// total is 5, so m is a pnode exactly at the boundary.
+	g, ids := buildWeightedLine(t, 3)
+	e, err := NewEngine(g, nil, []string{"x", "y"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.GetCommunity(Core{ids[1], ids[3]})
+	if len(r.Cnodes) != 1 || r.Cnodes[0] != ids[0] {
+		t.Fatalf("centers = %v, want {c}", r.Cnodes)
+	}
+	if len(r.Pnodes) != 1 || r.Pnodes[0] != ids[2] {
+		t.Fatalf("pnodes = %v, want {m}", r.Pnodes)
+	}
+	// Tighten the radius below 5: m's path no longer fits, the core has
+	// no center at all.
+	e2, err := NewEngine(g, nil, []string{"x", "y"}, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := e2.GetCommunity(Core{ids[1], ids[3]})
+	if len(r2.Cnodes) != 0 {
+		t.Fatalf("centers = %v, want none below the weighted radius", r2.Cnodes)
+	}
+}
+
+// TestNodeWeightsRejectedInvalid: builders reject bad node weights.
+func TestNodeWeightsRejectedInvalid(t *testing.T) {
+	b := graph.NewBuilder()
+	v := b.AddNode("v")
+	b.SetNodeWeight(v, -1)
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("negative node weight should be rejected")
+	}
+	b2 := graph.NewBuilder()
+	b2.AddNode("v")
+	b2.SetNodeWeight(99, 1)
+	if _, err := b2.Freeze(); err == nil {
+		t.Fatal("node weight on unknown node should be rejected")
+	}
+}

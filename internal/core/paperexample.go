@@ -1,0 +1,86 @@
+package core
+
+import "commdb/internal/graph"
+
+// PaperGraph reconstructs the running example of the paper (Fig. 4): a
+// 13-node weighted directed graph where v4 and v13 contain keyword "a",
+// v2 and v8 contain "b", and v3, v6, v9, v11 contain "c".
+//
+// The figure itself only appears as an image in the paper, but the text
+// pins the graph down almost completely: Table I (the five communities
+// with exact costs and center sets), the printed neighborSets N_1, N_2,
+// N_3 for Rmax = 8, the per-node sets in the worked Next() trace, and
+// the distance decompositions of Example 2.1 (e.g. dist(v11,v8) = 2+3
+// via v10, dist(v12,v13) = 3). This reconstruction reproduces every one
+// of those numbers; the tests in paperexample_test.go assert them all.
+//
+// The returned ids slice maps 1-based paper indices to node IDs:
+// ids[1] is v1 … ids[13] is v13 (ids[0] is unused).
+func PaperGraph() (*graph.Graph, []graph.NodeID) {
+	b := graph.NewBuilder()
+	ids := make([]graph.NodeID, 14)
+	kw := map[int][]string{
+		4: {"a"}, 13: {"a"},
+		2: {"b"}, 8: {"b"},
+		3: {"c"}, 6: {"c"}, 9: {"c"}, 11: {"c"},
+	}
+	names := []string{"", "v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9", "v10", "v11", "v12", "v13"}
+	for i := 1; i <= 13; i++ {
+		ids[i] = b.AddNode(names[i], kw[i]...)
+	}
+	type e struct {
+		u, v int
+		w    float64
+	}
+	edges := []e{
+		{1, 2, 5}, {1, 3, 3}, {1, 4, 6},
+		{2, 3, 4},
+		{4, 6, 3}, {4, 8, 4},
+		{5, 2, 5}, {5, 4, 6}, {5, 9, 4},
+		{7, 4, 1}, {7, 6, 2}, {7, 8, 6},
+		{8, 13, 7},
+		{9, 10, 2}, {9, 13, 5},
+		{10, 8, 3},
+		{11, 10, 2}, {11, 12, 3},
+		{12, 11, 3}, {12, 13, 3},
+	}
+	for _, ed := range edges {
+		b.AddEdge(ids[ed.u], ids[ed.v], ed.w)
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		panic("core: paper example graph must build: " + err.Error())
+	}
+	return g, ids
+}
+
+// IntroGraph reconstructs the introduction's co-authorship example
+// (Fig. 1(a)): papers paper1 and paper2 and authors John Smith, Kate
+// Green and Jim Smith, with author-order edge weights and the citation
+// edge paper1→paper2 of weight 4. With the 2-keyword query
+// {kate, smith} and radius 6 it yields exactly the two communities of
+// Fig. 3.
+//
+// The returned map gives the node IDs by name: "paper1", "paper2",
+// "john", "kate", "jim".
+func IntroGraph() (*graph.Graph, map[string]graph.NodeID) {
+	b := graph.NewBuilder()
+	ids := map[string]graph.NodeID{
+		"john":   b.AddNode("John Smith", "john", "smith"),
+		"kate":   b.AddNode("Kate Green", "kate", "green"),
+		"jim":    b.AddNode("Jim Smith", "jim", "smith"),
+		"paper1": b.AddNode("paper1", "paper1"),
+		"paper2": b.AddNode("paper2", "paper2"),
+	}
+	b.AddEdge(ids["paper1"], ids["john"], 1)
+	b.AddEdge(ids["paper1"], ids["kate"], 2)
+	b.AddEdge(ids["paper2"], ids["kate"], 1)
+	b.AddEdge(ids["paper2"], ids["john"], 2)
+	b.AddEdge(ids["paper2"], ids["jim"], 3)
+	b.AddEdge(ids["paper1"], ids["paper2"], 4)
+	g, err := b.Freeze()
+	if err != nil {
+		panic("core: intro example graph must build: " + err.Error())
+	}
+	return g, ids
+}

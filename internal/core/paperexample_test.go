@@ -1,0 +1,276 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+// reachSet computes the paper's neighborSet: every node that reaches
+// some seed within rmax, as a set of 1-based paper indices.
+func reachSet(g *graph.Graph, ids []graph.NodeID, seeds []int, rmax float64) map[int]bool {
+	ws := sssp.NewWorkspace(g)
+	res := sssp.NewResult(g.NumNodes())
+	var sn []graph.NodeID
+	for _, s := range seeds {
+		sn = append(sn, ids[s])
+	}
+	ws.RunFromNodes(sssp.Reverse, sn, rmax, res)
+	out := map[int]bool{}
+	for _, v := range res.Visited() {
+		for i := 1; i <= 13; i++ {
+			if ids[i] == v {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+func setEq(got map[int]bool, want ...int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for _, w := range want {
+		if !got[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPaperNeighborSets asserts every neighborSet the paper prints for
+// the Fig. 4 example with Rmax = 8: the three initial sets, all pinned
+// singleton sets of the Next() trace, and the restricted S_2/S_3 sets.
+func TestPaperNeighborSets(t *testing.T) {
+	g, ids := PaperGraph()
+	const R = 8
+
+	if got := reachSet(g, ids, []int{4, 13}, R); !setEq(got, 1, 4, 5, 7, 8, 9, 11, 12, 13) {
+		t.Errorf("N_1(V_1) = %v, want {1,4,5,7,8,9,11,12,13}", got)
+	}
+	if got := reachSet(g, ids, []int{8, 2}, R); !setEq(got, 1, 2, 4, 5, 7, 8, 9, 10, 11, 12) {
+		t.Errorf("N_2(V_2) = %v, want {1,2,4,5,7,8,9,10,11,12}", got)
+	}
+	if got := reachSet(g, ids, []int{6, 3, 9, 11}, R); !setEq(got, 1, 2, 3, 4, 5, 6, 7, 9, 11, 12) {
+		t.Errorf("N_3(V_3) = %v, want {1,2,3,4,5,6,7,9,11,12}", got)
+	}
+	// Pinned singletons from the worked Next() trace.
+	if got := reachSet(g, ids, []int{4}, R); !setEq(got, 1, 4, 5, 7) {
+		t.Errorf("N_1({v4}) = %v, want {1,4,5,7}", got)
+	}
+	if got := reachSet(g, ids, []int{8}, R); !setEq(got, 4, 7, 8, 9, 10, 11, 12) {
+		t.Errorf("N_2({v8}) = %v, want {4,7,8,9,10,11,12}", got)
+	}
+	if got := reachSet(g, ids, []int{6}, R); !setEq(got, 4, 6, 7) {
+		t.Errorf("N_3({v6}) = %v, want {4,6,7}", got)
+	}
+	// Restricted sets after removing the current core's nodes.
+	if got := reachSet(g, ids, []int{3, 9, 11}, R); !setEq(got, 1, 2, 3, 5, 9, 11, 12) {
+		t.Errorf("N_3(S_3-{v6}) = %v, want {1,2,3,5,9,11,12}", got)
+	}
+	if got := reachSet(g, ids, []int{2}, R); !setEq(got, 1, 2, 5) {
+		t.Errorf("N_2({v2}) = %v, want {1,2,5}", got)
+	}
+}
+
+// tableIWant lists Table I of the paper: the five communities for the
+// 3-keyword query {a,b,c} with Rmax = 8, in ranking order.
+type tableIRow struct {
+	a, b, c int // 1-based paper node indices of the core
+	cost    float64
+	centers []int
+}
+
+var tableIWant = []tableIRow{
+	{4, 8, 6, 7, []int{4, 7}},
+	{13, 8, 9, 10, []int{9}},
+	{13, 8, 11, 11, []int{11, 12}},
+	{4, 2, 3, 14, []int{1}},
+	{4, 2, 9, 15, []int{5}},
+}
+
+func paperEngine(t *testing.T) (*Engine, []graph.NodeID) {
+	t.Helper()
+	g, ids := PaperGraph()
+	e, err := NewEngine(g, nil, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ids
+}
+
+// TestTableI reproduces Table I exactly with the top-k enumerator:
+// ranking order, cores, costs, and center sets.
+func TestTableI(t *testing.T) {
+	e, ids := paperEngine(t)
+	it := NewTopK(e)
+	for rank, want := range tableIWant {
+		r, ok := it.Next()
+		if !ok {
+			t.Fatalf("rank %d: enumerator exhausted early", rank+1)
+		}
+		wantCore := Core{ids[want.a], ids[want.b], ids[want.c]}
+		if !r.Core.Equal(wantCore) {
+			t.Errorf("rank %d: core = %v, want [v%d v%d v%d]", rank+1, r.Core, want.a, want.b, want.c)
+		}
+		if !costsEqual(r.Cost, want.cost) {
+			t.Errorf("rank %d: cost = %v, want %v", rank+1, r.Cost, want.cost)
+		}
+		var wantCenters []graph.NodeID
+		for _, c := range want.centers {
+			wantCenters = append(wantCenters, ids[c])
+		}
+		sort.Slice(wantCenters, func(i, j int) bool { return wantCenters[i] < wantCenters[j] })
+		if len(r.Cnodes) != len(wantCenters) {
+			t.Fatalf("rank %d: centers = %v, want %v", rank+1, r.Cnodes, wantCenters)
+		}
+		for i := range wantCenters {
+			if r.Cnodes[i] != wantCenters[i] {
+				t.Errorf("rank %d: centers = %v, want %v", rank+1, r.Cnodes, wantCenters)
+				break
+			}
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("more than 5 communities emitted for the paper example")
+	}
+}
+
+// TestPaperAllCommunities checks COMM-all: the same five communities
+// (in any order), complete and duplication-free, with the first emitted
+// core being the best one ([v4,v8,v6], cost 7).
+func TestPaperAllCommunities(t *testing.T) {
+	e, ids := paperEngine(t)
+	it := NewAll(e)
+	got := drainAll(t, it, 100)
+	if len(got) != 5 {
+		t.Fatalf("COMM-all found %d communities, want 5", len(got))
+	}
+	if first := got[0]; !first.Core.Equal(Core{ids[4], ids[8], ids[6]}) || !costsEqual(first.Cost, 7) {
+		t.Errorf("first core = %v cost %v, want [v4 v8 v6] cost 7", first.Core, first.Cost)
+	}
+	set := coreSet(t, got)
+	for _, want := range tableIWant {
+		key := Core{ids[want.a], ids[want.b], ids[want.c]}.Key()
+		cost, ok := set[key]
+		if !ok {
+			t.Errorf("core [v%d v%d v%d] missing from COMM-all", want.a, want.b, want.c)
+			continue
+		}
+		if !costsEqual(cost, want.cost) {
+			t.Errorf("core [v%d v%d v%d] cost = %v, want %v", want.a, want.b, want.c, cost, want.cost)
+		}
+	}
+}
+
+// TestPaperGetCommunityR5 reproduces the paper's Fig. 7 / Example 2.1
+// walk-through: the community of core [v13, v8, v11] has centers
+// {v11, v12}, path node {v10}, and cost 11.
+func TestPaperGetCommunityR5(t *testing.T) {
+	e, ids := paperEngine(t)
+	r := e.GetCommunity(Core{ids[13], ids[8], ids[11]})
+	if !costsEqual(r.Cost, 11) {
+		t.Errorf("cost = %v, want 11", r.Cost)
+	}
+	wantC := []graph.NodeID{ids[11], ids[12]}
+	sort.Slice(wantC, func(i, j int) bool { return wantC[i] < wantC[j] })
+	if len(r.Cnodes) != 2 || r.Cnodes[0] != wantC[0] || r.Cnodes[1] != wantC[1] {
+		t.Errorf("cnodes = %v, want {v11,v12}", r.Cnodes)
+	}
+	if len(r.Pnodes) != 1 || r.Pnodes[0] != ids[10] {
+		t.Errorf("pnodes = %v, want {v10}", r.Pnodes)
+	}
+	// Knodes are the distinct core nodes.
+	if len(r.Knodes) != 3 {
+		t.Errorf("knodes = %v, want 3 nodes", r.Knodes)
+	}
+	// Community nodes: {v8, v10, v11, v12, v13}.
+	if len(r.Nodes) != 5 {
+		t.Errorf("nodes = %v, want 5 nodes", r.Nodes)
+	}
+	// The induced edges must include v11->v10->v8, v12->v13, v12<->v11,
+	// v11->v12, v8->v13: six directed edges in total.
+	if len(r.Edges) != 6 {
+		t.Errorf("edges = %v, want 6 induced edges", r.Edges)
+	}
+}
+
+// TestPaperExampleCost5Decomposition re-checks Example 2.1's arithmetic
+// for R5: total weight 11 from v11 and 14 from v12.
+func TestPaperExampleCost5Decomposition(t *testing.T) {
+	g, ids := PaperGraph()
+	ws := sssp.NewWorkspace(g)
+	res := sssp.NewResult(g.NumNodes())
+
+	dist := func(from, to int) float64 {
+		ws.RunFromNodes(sssp.Forward, []graph.NodeID{ids[from]}, 100, res)
+		d, ok := res.Dist(ids[to])
+		if !ok {
+			t.Fatalf("v%d does not reach v%d", from, to)
+		}
+		return d
+	}
+	if d := dist(11, 8); d != 5 {
+		t.Errorf("dist(v11,v8) = %v, want 5 (= 2+3 via v10)", d)
+	}
+	if d := dist(11, 13); d != 6 {
+		t.Errorf("dist(v11,v13) = %v, want 6 (= 3+3 via v12)", d)
+	}
+	if d := dist(12, 8); d != 8 {
+		t.Errorf("dist(v12,v8) = %v, want 8 (= 3+2+3)", d)
+	}
+	if d := dist(12, 11); d != 3 {
+		t.Errorf("dist(v12,v11) = %v, want 3", d)
+	}
+	if d := dist(12, 13); d != 3 {
+		t.Errorf("dist(v12,v13) = %v, want 3", d)
+	}
+}
+
+// TestIntroTwoCommunities checks the introduction example: the
+// 2-keyword query {kate, smith} with radius 6 yields exactly the two
+// communities of Fig. 3 — cores [Kate,John] (centers paper1 and paper2)
+// and [Kate,Jim] (center paper2 only).
+func TestIntroTwoCommunities(t *testing.T) {
+	g, ids := IntroGraph()
+	e, err := NewEngine(g, nil, []string{"kate", "smith"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainAll(t, NewAll(e), 10)
+	if len(got) != 2 {
+		t.Fatalf("found %d communities, want 2", len(got))
+	}
+	set := coreSet(t, got)
+	kj := Core{ids["kate"], ids["john"]}.Key()
+	kjim := Core{ids["kate"], ids["jim"]}.Key()
+	if _, ok := set[kj]; !ok {
+		t.Error("core [kate john] missing")
+	}
+	if _, ok := set[kjim]; !ok {
+		t.Error("core [kate jim] missing")
+	}
+	// [Kate,John]: best center is paper2 (1+2=3) vs paper1 (2+1=3) — both
+	// give 3. [Kate,Jim]: only paper2, cost 1+3=4.
+	if !costsEqual(set[kj], 3) {
+		t.Errorf("cost[kate,john] = %v, want 3", set[kj])
+	}
+	if !costsEqual(set[kjim], 4) {
+		t.Errorf("cost[kate,jim] = %v, want 4", set[kjim])
+	}
+
+	// Community of [kate,john] has both papers as centers.
+	r := e.GetCommunity(Core{ids["kate"], ids["john"]})
+	if len(r.Cnodes) != 2 {
+		t.Errorf("centers of [kate,john] = %v, want both papers", r.Cnodes)
+	}
+	// Community of [kate,jim] is centered at paper2 only: paper1's path
+	// to Jim costs 4+3=7 > 6.
+	r2 := e.GetCommunity(Core{ids["kate"], ids["jim"]})
+	if len(r2.Cnodes) != 1 || r2.Cnodes[0] != ids["paper2"] {
+		t.Errorf("centers of [kate,jim] = %v, want {paper2}", r2.Cnodes)
+	}
+}

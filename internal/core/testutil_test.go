@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"commdb/internal/graph"
+)
+
+// randomKeywordGraph builds a random directed graph with nkw keywords
+// scattered over the nodes, for cross-checking the enumerators against
+// the naive baseline.
+func randomKeywordGraph(t testing.TB, rng *rand.Rand, n, m, nkw int) (*graph.Graph, []string) {
+	t.Helper()
+	kws := make([]string, nkw)
+	for i := range kws {
+		kws[i] = fmt.Sprintf("k%d", i)
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		var terms []string
+		for _, kw := range kws {
+			if rng.Intn(4) == 0 {
+				terms = append(terms, kw)
+			}
+		}
+		b.AddNode(fmt.Sprintf("n%d", i), terms...)
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), float64(rng.Intn(5)+1))
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, kws
+}
+
+// coreSet maps Core.Key() -> cost for set comparisons.
+func coreSet(t *testing.T, ccs []CoreCost) map[string]float64 {
+	t.Helper()
+	set := make(map[string]float64, len(ccs))
+	for _, cc := range ccs {
+		k := cc.Core.Key()
+		if _, dup := set[k]; dup {
+			t.Fatalf("duplicate core %s in result set", k)
+		}
+		set[k] = cc.Cost
+	}
+	return set
+}
+
+// drainAll exhausts a COMM-all enumerator, failing the test if it emits
+// more than limit results (runaway enumeration guard).
+func drainAll(t *testing.T, it *AllEnumerator, limit int) []CoreCost {
+	t.Helper()
+	var out []CoreCost
+	for {
+		cc, ok := it.NextCore()
+		if !ok {
+			return out
+		}
+		out = append(out, cc)
+		if len(out) > limit {
+			t.Fatalf("enumerator exceeded %d results — likely not terminating", limit)
+		}
+	}
+}
+
+// drainTopK pulls up to k results from a COMM-k enumerator.
+func drainTopK(t *testing.T, it *TopKEnumerator, k int) []CoreCost {
+	t.Helper()
+	var out []CoreCost
+	for len(out) < k {
+		cc, ok := it.NextCore()
+		if !ok {
+			return out
+		}
+		out = append(out, cc)
+	}
+	return out
+}
+
+func sortedCosts(ccs []CoreCost) []float64 {
+	out := make([]float64, len(ccs))
+	for i, cc := range ccs {
+		out[i] = cc.Cost
+	}
+	sort.Float64s(out)
+	return out
+}
+
+const costEps = 1e-9
+
+func costsEqual(a, b float64) bool {
+	d := a - b
+	return d < costEps && d > -costEps
+}

@@ -1,0 +1,228 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"commdb/internal/fulltext"
+)
+
+func TestDBLPGeneratorShape(t *testing.T) {
+	db, err := GenerateDBLP(DBLPParams{Authors: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	s := DBLPStats(db)
+	if s.TableRows["Author"] != 500 {
+		t.Fatalf("authors = %d", s.TableRows["Author"])
+	}
+	// Papers follow the 986/597 ratio.
+	wantPapers := int(math.Round(500 * 986.0 / 597.0))
+	if s.TableRows["Paper"] != wantPapers {
+		t.Fatalf("papers = %d, want %d", s.TableRows["Paper"], wantPapers)
+	}
+	// Average authors per paper near 2.46 (the draw distribution mean).
+	if s.AvgPerRight < 2.2 || s.AvgPerRight > 2.7 {
+		t.Fatalf("authors/paper = %v, want ≈2.46", s.AvgPerRight)
+	}
+	// Average papers per author near 4.06.
+	if s.AvgPerLeft < 3.5 || s.AvgPerLeft > 4.6 {
+		t.Fatalf("papers/author = %v, want ≈4.06", s.AvgPerLeft)
+	}
+	if s.TableRows["Cite"] == 0 {
+		t.Fatal("no citations generated")
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	a, err := GenerateDBLP(DBLPParams{Authors: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDBLP(DBLPParams{Authors: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.Table("Paper")
+	pb, _ := b.Table("Paper")
+	if pa.Len() != pb.Len() {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := 0; i < pa.Len(); i++ {
+		if pa.Row(i)[1].Str() != pb.Row(i)[1].Str() {
+			t.Fatalf("title %d differs across identical seeds", i)
+		}
+	}
+	c, err := GenerateDBLP(DBLPParams{Authors: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, _ := c.Table("Paper")
+	same := true
+	for i := 0; i < pa.Len() && i < pc.Len(); i++ {
+		if pa.Row(i)[1].Str() != pc.Row(i)[1].Str() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical titles")
+	}
+}
+
+// TestDBLPProbeKWF: every planted probe keyword occurs on round(KWF *
+// tuples) nodes of the materialized graph, within the rounding slack of
+// the write-count estimate.
+func TestDBLPProbeKWF(t *testing.T) {
+	db, err := GenerateDBLP(DBLPParams{Authors: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := db.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := fulltext.Build(g)
+	for _, probe := range DBLPProbes() {
+		for _, w := range probe.Words {
+			got := ix.KWF(w)
+			// The planting base uses the expected write count; actual
+			// counts differ by <2%, so allow 10% relative slack.
+			if got < probe.KWF*0.9 || got > probe.KWF*1.1 {
+				t.Errorf("probe %q: KWF %v, want ≈%v", w, got, probe.KWF)
+			}
+		}
+	}
+}
+
+func TestDBLPErrors(t *testing.T) {
+	if _, err := GenerateDBLP(DBLPParams{Authors: 2}); err == nil {
+		t.Fatal("tiny author count should error")
+	}
+	// A probe frequency requiring more text tuples than exist errors.
+	_, err := GenerateDBLP(DBLPParams{
+		Authors: 10,
+		Probes:  []Probe{{KWF: 0.9, Words: []string{"flood"}}},
+	})
+	if err == nil {
+		t.Fatal("oversized probe should error")
+	}
+}
+
+func TestIMDBGeneratorShape(t *testing.T) {
+	db, err := GenerateIMDB(IMDBParams{Users: 300, AvgRatingsPerUser: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	s := IMDBStats(db)
+	if s.TableRows["Users"] != 300 {
+		t.Fatalf("users = %d", s.TableRows["Users"])
+	}
+	wantMovies := int(math.Round(300 * 3883.0 / 6040.0))
+	if s.TableRows["Movies"] != wantMovies {
+		t.Fatalf("movies = %d, want %d", s.TableRows["Movies"], wantMovies)
+	}
+	if s.AvgPerLeft < 15 || s.AvgPerLeft > 25 {
+		t.Fatalf("ratings/user = %v, want ≈20", s.AvgPerLeft)
+	}
+	// Density transfers to movies by the user:movie ratio (~1.56x).
+	if s.AvgPerRight < s.AvgPerLeft {
+		t.Fatalf("ratings/movie %v should exceed ratings/user %v", s.AvgPerRight, s.AvgPerLeft)
+	}
+}
+
+func TestIMDBProbeKWF(t *testing.T) {
+	db, err := GenerateIMDB(IMDBParams{Users: 1500, AvgRatingsPerUser: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := db.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := fulltext.Build(g)
+	for _, probe := range IMDBProbes() {
+		for _, w := range probe.Words {
+			got := ix.KWF(w)
+			if got < probe.KWF*0.85 || got > probe.KWF*1.15 {
+				t.Errorf("probe %q: KWF %v, want ≈%v", w, got, probe.KWF)
+			}
+		}
+	}
+}
+
+func TestIMDBErrors(t *testing.T) {
+	if _, err := GenerateIMDB(IMDBParams{Users: 1}); err == nil {
+		t.Fatal("tiny user count should error")
+	}
+}
+
+func TestIMDBDeterministic(t *testing.T) {
+	a, _ := GenerateIMDB(IMDBParams{Users: 50, AvgRatingsPerUser: 10, Seed: 9})
+	b, _ := GenerateIMDB(IMDBParams{Users: 50, AvgRatingsPerUser: 10, Seed: 9})
+	ra, _ := a.Table("Ratings")
+	rb, _ := b.Table("Ratings")
+	if ra.Len() != rb.Len() {
+		t.Fatal("rating counts differ across identical seeds")
+	}
+	for i := 0; i < ra.Len(); i++ {
+		for c := 0; c < 4; c++ {
+			if ra.Row(i)[c].String() != rb.Row(i)[c].String() {
+				t.Fatalf("rating row %d differs across identical seeds", i)
+			}
+		}
+	}
+}
+
+func TestProbeTables(t *testing.T) {
+	if len(DBLPProbes()) != 5 || len(IMDBProbes()) != 5 {
+		t.Fatal("probe tables should have 5 KWF levels")
+	}
+	if len(ProbeKWFs()) != 5 {
+		t.Fatal("5 KWF sweep values")
+	}
+	if got := WordsAt(DBLPProbes(), 0.0009); len(got) != 6 {
+		t.Fatalf("Table III at .0009 has %d words, want 6", len(got))
+	}
+	if got := WordsAt(IMDBProbes(), 0.0015); len(got) != 4 {
+		t.Fatalf("Table V at .0015 has %d words, want 4", len(got))
+	}
+	if WordsAt(DBLPProbes(), 0.5) != nil {
+		t.Fatal("unknown KWF should return nil")
+	}
+}
+
+// TestVocabDisjointFromProbes: filler words can never collide with
+// probe keywords, so planted KWFs are exact.
+func TestVocabDisjointFromProbes(t *testing.T) {
+	vocab := map[string]bool{}
+	for _, w := range fillerVocab(2000) {
+		vocab[w] = true
+	}
+	for _, probes := range [][]Probe{DBLPProbes(), IMDBProbes()} {
+		for _, p := range probes {
+			for _, w := range p.Words {
+				if vocab[w] {
+					t.Fatalf("probe word %q collides with filler vocabulary", w)
+				}
+			}
+		}
+	}
+}
+
+func TestNamePoolDistinct(t *testing.T) {
+	pool := namePool(64, 42)
+	seen := map[string]bool{}
+	for _, n := range pool {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,264 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"commdb/internal/relational"
+)
+
+// DBLPParams sizes the synthetic bibliographic dataset. The real DBLP
+// 2008 snapshot the paper uses has 597K authors, 986K papers, 2426K
+// write tuples and 112K citations; the generator keeps those ratios for
+// any author count.
+type DBLPParams struct {
+	// Authors is the scale knob; the other table sizes follow the real
+	// dataset's ratios.
+	Authors int
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Probes are the planted keyword sets; nil uses Table III.
+	Probes []Probe
+}
+
+// Real-dataset ratios from Section VII.
+const (
+	dblpPapersPerAuthor = 986.0 / 597.0 // table size ratio
+	dblpAuthorsPerPaper = 2.46          // avg write fan-in per paper
+	dblpCitesPerPaper   = 112.0 / 986.0 // citation ratio
+	imdbMoviesPerUser   = 3883.0 / 6040.0
+	imdbRatingsPerUser  = 165.60
+)
+
+// GenerateDBLP builds the 4-table DBLP database (Author, Paper, Write,
+// Cite) with power-law author productivity and paper popularity, paper
+// titles drawn from a Zipfian filler vocabulary, and the probe keywords
+// planted at their exact keyword frequencies.
+func GenerateDBLP(p DBLPParams) (*relational.Database, error) {
+	if p.Authors < 4 {
+		return nil, fmt.Errorf("datagen: need at least 4 authors, got %d", p.Authors)
+	}
+	probes := p.Probes
+	if probes == nil {
+		probes = DBLPProbes()
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	nAuthors := p.Authors
+	nPapers := int(math.Round(float64(nAuthors) * dblpPapersPerAuthor))
+	nCites := int(math.Round(float64(nPapers) * dblpCitesPerPaper))
+
+	db := relational.NewDatabase()
+	author, err := db.CreateTable(relational.Schema{
+		Name: "Author",
+		Columns: []relational.Column{
+			{Name: "Aid", Type: relational.Int},
+			{Name: "Name", Type: relational.String, FullText: true},
+		},
+		PrimaryKey: []string{"Aid"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	paper, err := db.CreateTable(relational.Schema{
+		Name: "Paper",
+		Columns: []relational.Column{
+			{Name: "Pid", Type: relational.Int},
+			{Name: "Title", Type: relational.String, FullText: true},
+		},
+		PrimaryKey: []string{"Pid"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	write, err := db.CreateTable(relational.Schema{
+		Name: "Write",
+		Columns: []relational.Column{
+			{Name: "Aid", Type: relational.Int},
+			{Name: "Pid", Type: relational.Int},
+		},
+		PrimaryKey: []string{"Aid", "Pid"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	cite, err := db.CreateTable(relational.Schema{
+		Name: "Cite",
+		Columns: []relational.Column{
+			{Name: "Pid1", Type: relational.Int},
+			{Name: "Pid2", Type: relational.Int},
+		},
+		PrimaryKey: []string{"Pid1", "Pid2"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, fk := range []relational.ForeignKey{
+		{FromTable: "Write", FromColumn: "Aid", ToTable: "Author"},
+		{FromTable: "Write", FromColumn: "Pid", ToTable: "Paper"},
+		{FromTable: "Cite", FromColumn: "Pid1", ToTable: "Paper"},
+		{FromTable: "Cite", FromColumn: "Pid2", ToTable: "Paper"},
+	} {
+		if err := db.AddForeignKey(fk); err != nil {
+			return nil, err
+		}
+	}
+
+	// Authors: "First Last" names from pseudo-name pools.
+	firsts := namePool(64, p.Seed+1)
+	lasts := namePool(96, p.Seed+2)
+	for a := 0; a < nAuthors; a++ {
+		name := firsts[rng.Intn(len(firsts))] + " " + lasts[rng.Intn(len(lasts))]
+		if err := author.Insert(relational.IntV(int64(a)), relational.StrV(name)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Paper titles: 5-9 Zipfian filler words, probes planted below.
+	vocab := fillerVocab(2000)
+	zTitle := rand.NewZipf(rng, 1.4, 4, uint64(len(vocab)-1))
+	titles := make([][]string, nPapers)
+	for pid := 0; pid < nPapers; pid++ {
+		titles[pid] = zipfWords(rng, zTitle, vocab, 5+rng.Intn(5))
+	}
+
+	// Plant probe keywords at exact KWF over total tuple count.
+	// Writes count is determined by the per-paper author draw below; it
+	// concentrates tightly around authorsPerPaper * nPapers, so the
+	// expectation is used for the KWF base (the paper's KWF values are
+	// themselves rounded to one significant digit).
+	estWrites := int(math.Round(float64(nPapers) * dblpAuthorsPerPaper))
+	totalTuples := nAuthors + nPapers + estWrites + nCites
+	if err := plantProbes(rng, probes, totalTuples, titles); err != nil {
+		return nil, err
+	}
+	for pid := 0; pid < nPapers; pid++ {
+		title := strings.Join(titles[pid], " ")
+		if err := paper.Insert(relational.IntV(int64(pid)), relational.StrV(title)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Writes: per-paper author counts with mean authorsPerPaper, author
+	// choice Zipfian (productive authors author many papers).
+	zAuthor := rand.NewZipf(rng, 1.2, 8, uint64(nAuthors-1))
+	var picked []int64
+	contains := func(a int64) bool {
+		for _, have := range picked {
+			if have == a {
+				return true
+			}
+		}
+		return false
+	}
+	for pid := 0; pid < nPapers; pid++ {
+		k := drawAuthorsPerPaper(rng)
+		if k > nAuthors {
+			k = nAuthors
+		}
+		picked = picked[:0]
+		for len(picked) < k {
+			a := int64(zAuthor.Uint64())
+			if contains(a) {
+				// Zipf repeats hub authors; fall back to uniform so the
+				// loop always terminates.
+				a = int64(rng.Intn(nAuthors))
+				if contains(a) {
+					continue
+				}
+			}
+			picked = append(picked, a)
+			if err := write.Insert(relational.IntV(a), relational.IntV(int64(pid))); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Cites: unique ordered pairs, popular papers cited more.
+	zCited := rand.NewZipf(rng, 1.3, 6, uint64(nPapers-1))
+	seen := make(map[[2]int64]bool, nCites)
+	for len(seen) < nCites {
+		p1 := int64(rng.Intn(nPapers))
+		p2 := int64(zCited.Uint64())
+		if p1 == p2 {
+			continue
+		}
+		key := [2]int64{p1, p2}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if err := cite.Insert(relational.IntV(p1), relational.IntV(p2)); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// drawAuthorsPerPaper samples the number of authors of one paper from a
+// distribution with mean ≈ 2.46 (the DBLP average the paper reports).
+func drawAuthorsPerPaper(rng *rand.Rand) int {
+	// P(1)=.27 P(2)=.30 P(3)=.24 P(4)=.12 P(5)=.05 P(6)=.02
+	// mean = 2.46
+	switch x := rng.Float64(); {
+	case x < 0.27:
+		return 1
+	case x < 0.57:
+		return 2
+	case x < 0.81:
+		return 3
+	case x < 0.93:
+		return 4
+	case x < 0.98:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// plantProbes appends each probe word to round(KWF * totalTuples)
+// distinct uniformly chosen title word lists.
+func plantProbes(rng *rand.Rand, probes []Probe, totalTuples int, titles [][]string) error {
+	return plantProbesWeighted(rng, probes, totalTuples, titles, nil)
+}
+
+// plantProbesWeighted is plantProbes with an optional index sampler;
+// when draw is non-nil, target titles are drawn from it (with rejection
+// of duplicates) instead of uniformly, letting callers skew probe words
+// toward popular entities.
+func plantProbesWeighted(rng *rand.Rand, probes []Probe, totalTuples int, titles [][]string, draw func() int) error {
+	n := len(titles)
+	for _, probe := range probes {
+		count := int(math.Round(probe.KWF * float64(totalTuples)))
+		if count < 1 {
+			count = 1
+		}
+		if count > n {
+			return fmt.Errorf("datagen: probe KWF %v needs %d text tuples, only %d available",
+				probe.KWF, count, n)
+		}
+		for _, word := range probe.Words {
+			if draw == nil {
+				for _, i := range rng.Perm(n)[:count] {
+					titles[i] = append(titles[i], word)
+				}
+				continue
+			}
+			chosen := make(map[int]bool, count)
+			for len(chosen) < count {
+				i := draw()
+				if chosen[i] {
+					i = rng.Intn(n) // duplicate head pick: fall back to uniform
+					if chosen[i] {
+						continue
+					}
+				}
+				chosen[i] = true
+				titles[i] = append(titles[i], word)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package datagen
+
+// Probe is one keyword planted at an exact keyword frequency.
+type Probe struct {
+	KWF   float64
+	Words []string
+}
+
+// DBLPProbes reproduces Table III of the paper: the keyword sets used
+// for DBLP queries at each keyword frequency.
+func DBLPProbes() []Probe {
+	return []Probe{
+		{KWF: 0.0003, Words: []string{"scalable", "protocols", "distance", "discovery"}},
+		{KWF: 0.0006, Words: []string{"space", "graph", "routing", "scheme"}},
+		{KWF: 0.0009, Words: []string{"environment", "database", "support", "development", "optimization", "fuzzy"}},
+		{KWF: 0.0012, Words: []string{"dynamic", "application", "modeling", "logic"}},
+		{KWF: 0.0015, Words: []string{"web", "parallel", "control", "algorithms"}},
+	}
+}
+
+// IMDBProbes reproduces Table V of the paper: the keyword sets used for
+// IMDB queries at each keyword frequency.
+func IMDBProbes() []Probe {
+	return []Probe{
+		{KWF: 0.0003, Words: []string{"summer", "bride", "game", "dream"}},
+		{KWF: 0.0006, Words: []string{"friday", "heaven", "street", "party"}},
+		{KWF: 0.0009, Words: []string{"star", "death", "all", "girl", "lost", "blood"}},
+		{KWF: 0.0012, Words: []string{"city", "american", "blue", "world"}},
+		{KWF: 0.0015, Words: []string{"night", "story", "king", "house"}},
+	}
+}
+
+// ProbeKWFs lists the KWF sweep values shared by Tables II and IV.
+func ProbeKWFs() []float64 {
+	return []float64{0.0003, 0.0006, 0.0009, 0.0012, 0.0015}
+}
+
+// WordsAt returns the probe words for a KWF value, or nil.
+func WordsAt(probes []Probe, kwf float64) []string {
+	for _, p := range probes {
+		if p.KWF == kwf {
+			return p.Words
+		}
+	}
+	return nil
+}

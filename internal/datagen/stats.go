@@ -1,0 +1,48 @@
+package datagen
+
+import "commdb/internal/relational"
+
+// DatasetStats summarizes a generated dataset for validation against
+// the paper's reported characteristics.
+type DatasetStats struct {
+	Tuples      int
+	TableRows   map[string]int
+	AvgPerLeft  float64 // papers per author / ratings per user
+	AvgPerRight float64 // authors per paper / ratings per movie
+}
+
+// DBLPStats computes the bibliographic averages the paper reports (each
+// author writes 4.06 papers; each paper has 2.46 authors).
+func DBLPStats(db *relational.Database) DatasetStats {
+	s := DatasetStats{Tuples: db.NumTuples(), TableRows: map[string]int{}}
+	for _, name := range db.Tables() {
+		t, _ := db.Table(name)
+		s.TableRows[name] = t.Len()
+	}
+	w := s.TableRows["Write"]
+	if a := s.TableRows["Author"]; a > 0 {
+		s.AvgPerLeft = float64(w) / float64(a)
+	}
+	if p := s.TableRows["Paper"]; p > 0 {
+		s.AvgPerRight = float64(w) / float64(p)
+	}
+	return s
+}
+
+// IMDBStats computes the rating averages the paper reports (each user
+// rates 165.60 movies; each movie is rated by 257.59 users).
+func IMDBStats(db *relational.Database) DatasetStats {
+	s := DatasetStats{Tuples: db.NumTuples(), TableRows: map[string]int{}}
+	for _, name := range db.Tables() {
+		t, _ := db.Table(name)
+		s.TableRows[name] = t.Len()
+	}
+	r := s.TableRows["Ratings"]
+	if u := s.TableRows["Users"]; u > 0 {
+		s.AvgPerLeft = float64(r) / float64(u)
+	}
+	if m := s.TableRows["Movies"]; m > 0 {
+		s.AvgPerRight = float64(r) / float64(m)
+	}
+	return s
+}

@@ -1,0 +1,455 @@
+// Package expand implements the paper's Section III expanding-based
+// baseline algorithms: bottom-up (BUall/BUk) and top-down (TDall/TDk).
+//
+// Both are incremental polynomial time, not polynomial delay: to stay
+// duplication-free they keep a pool of all cores output so far and test
+// every new candidate against it, and the top-k variants prune away
+// everything below rank k, so they cannot resume when the user enlarges
+// k (the behaviour Exp-3 measures). They exist as honest comparison
+// baselines for the benchmark harness and as independent oracles in
+// tests.
+package expand
+
+import (
+	"sort"
+
+	"commdb/internal/core"
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+// Options configures a baseline run.
+type Options struct {
+	// Graph is the database graph (usually already projected).
+	Graph *graph.Graph
+	// Index optionally resolves keywords; nil scans the graph.
+	Index *fulltext.Index
+	// Keywords is the l-keyword query.
+	Keywords []string
+	// Rmax is the query radius.
+	Rmax float64
+	// MaxResults caps enumeration for COMM-all runs (0 = unlimited).
+	// The benchmark harness applies the same cap to every algorithm.
+	MaxResults int
+}
+
+// RunStats is the outcome of one baseline run.
+type RunStats struct {
+	// Cores are the enumerated cores. For the *all variants the cost is
+	// the best candidate cost seen when the core was first output (the
+	// expanding algorithms do not compute exact community costs); for
+	// the top-k variants costs are exact and sorted ascending.
+	Cores []core.CoreCost
+	// PeakBytes is the peak logical memory held by the algorithm's own
+	// data structures (keyword-node sets, duplication pool, candidate
+	// heap), excluding the shared graph.
+	PeakBytes int64
+	// DijkstraRuns counts bounded shortest-path expansions.
+	DijkstraRuns int
+}
+
+// memAcct tracks running and peak logical bytes.
+type memAcct struct {
+	cur, peak int64
+}
+
+func (m *memAcct) add(b int64) {
+	m.cur += b
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+}
+
+func (m *memAcct) sub(b int64) { m.cur -= b }
+
+// kwEntry is one member of a node's keyword set u.V_i: a keyword node
+// that reaches u within Rmax, with its distance.
+type kwEntry struct {
+	node graph.NodeID
+	dist float64
+}
+
+func resolveKeywords(opt Options) ([][]graph.NodeID, error) {
+	sets := make([][]graph.NodeID, len(opt.Keywords))
+	for i, kw := range opt.Keywords {
+		nodes, err := core.KeywordNodes(opt.Graph, opt.Index, kw)
+		if err != nil {
+			return nil, err
+		}
+		if len(nodes) == 0 {
+			return nil, nil // a missing keyword means no results
+		}
+		sets[i] = nodes
+	}
+	return sets, nil
+}
+
+// poolEntry sizes for memory accounting.
+func poolEntryBytes(l int) int64 { return int64(l)*4 + 32 }
+
+const kwEntryBytes = 12
+
+// sortTopK finalizes a candidate map into the k cheapest cores.
+func sortTopK(best map[string]candidate, k int) []core.CoreCost {
+	out := make([]core.CoreCost, 0, len(best))
+	for _, c := range best {
+		out = append(out, core.CoreCost{Core: c.core, Cost: c.cost})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Core.Key() < out[j].Core.Key()
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+type candidate struct {
+	core core.Core
+	cost float64
+}
+
+// topKPool keeps the k cheapest distinct cores seen so far, pruning
+// everything provably outside the top k (the paper's pruning rule that
+// makes BUk/TDk fast but unable to resume with a larger k). It compacts
+// whenever it doubles past k, so memory stays O(k).
+type topKPool struct {
+	k    int
+	best map[string]candidate
+	mem  *memAcct
+	l    int
+}
+
+func newTopKPool(k, l int, mem *memAcct) *topKPool {
+	return &topKPool{k: k, best: make(map[string]candidate), mem: mem, l: l}
+}
+
+// bound returns the current pruning threshold: the k-th smallest cost
+// tracked, or +inf while fewer than k cores are known.
+func (p *topKPool) bound() (float64, bool) {
+	if len(p.best) < p.k {
+		return 0, false
+	}
+	// Exact threshold would need a heap; compaction keeps the map small
+	// (< 2k), so scanning is cheap and exact.
+	costs := make([]float64, 0, len(p.best))
+	for _, c := range p.best {
+		costs = append(costs, c.cost)
+	}
+	sort.Float64s(costs)
+	return costs[p.k-1], true
+}
+
+func (p *topKPool) offer(c core.Core, cost float64) {
+	key := c.Key()
+	if have, ok := p.best[key]; ok {
+		if cost < have.cost {
+			have.cost = cost
+			p.best[key] = have
+		}
+		return
+	}
+	if bound, ok := p.bound(); ok && cost >= bound {
+		return // prunable: k cheaper distinct cores already tracked
+	}
+	p.best[key] = candidate{core: c.Clone(), cost: cost}
+	p.mem.add(poolEntryBytes(p.l))
+	if len(p.best) >= 2*p.k {
+		p.compact()
+	}
+}
+
+func (p *topKPool) compact() {
+	out := sortTopK(p.best, p.k)
+	dropped := len(p.best) - len(out)
+	p.best = make(map[string]candidate, p.k)
+	for _, cc := range out {
+		p.best[cc.Core.Key()] = candidate{core: cc.Core, cost: cc.Cost}
+	}
+	p.mem.sub(poolEntryBytes(p.l) * int64(dropped))
+}
+
+// newNodeSets allocates the per-node keyword sets u.V_i maintained by
+// the bottom-up variants.
+func newNodeSets(n, l int, mem *memAcct) [][][]kwEntry {
+	nodeSets := make([][][]kwEntry, n)
+	for u := range nodeSets {
+		nodeSets[u] = make([][]kwEntry, l)
+	}
+	mem.add(int64(n) * int64(l) * 24)
+	return nodeSets
+}
+
+// expandAllSources runs one bounded reverse Dijkstra per keyword node,
+// recording each settle event into nodeSets and invoking onSettle for
+// each (center, keyword position, source, distance) event after
+// recording it. Shared by the bottom-up variants.
+func expandAllSources(opt Options, sets [][]graph.NodeID, nodeSets [][][]kwEntry, mem *memAcct,
+	stats *RunStats, onSettle func(u graph.NodeID, i int, entry kwEntry) bool) {
+
+	g := opt.Graph
+	n := g.NumNodes()
+	l := len(sets)
+	ws := sssp.NewWorkspace(g)
+	res := sssp.NewResult(n)
+	mem.add(ws.Bytes() + res.Bytes())
+
+	for i := 0; i < l; i++ {
+		for _, src := range sets[i] {
+			ws.RunFromNodes(sssp.Reverse, []graph.NodeID{src}, opt.Rmax, res)
+			stats.DijkstraRuns++
+			for _, u := range res.Visited() {
+				d, _ := res.Dist(u)
+				entry := kwEntry{node: src, dist: d}
+				nodeSets[u][i] = append(nodeSets[u][i], entry)
+				mem.add(kwEntryBytes)
+				if !onSettle(u, i, entry) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// BUAll is the bottom-up expanding COMM-all baseline: expand from every
+// keyword node within Rmax, maintain u.V_i sets at every reached node,
+// and output each new duplication-free core as soon as its last
+// component arrives.
+func BUAll(opt Options) (*RunStats, error) {
+	stats := &RunStats{}
+	var mem memAcct
+	sets, err := resolveKeywords(opt)
+	if err != nil || sets == nil {
+		stats.PeakBytes = mem.peak
+		return stats, err
+	}
+	l := len(sets)
+	pool := make(map[string]struct{})
+
+	nodeSets := newNodeSets(opt.Graph.NumNodes(), l, &mem)
+	expandAllSources(opt, sets, nodeSets, &mem, stats, func(u graph.NodeID, i int, entry kwEntry) bool {
+		// Only centers with every set non-empty can host cores.
+		for j := 0; j < l; j++ {
+			if j != i && len(nodeSets[u][j]) == 0 {
+				return true
+			}
+		}
+		// Re-enumerate every candidate core at u and test it against
+		// the duplication pool, exactly as the paper's Section III
+		// outline does on each expansion step ("output new cores
+		// found", with O(|u.V_max|^l) candidates per check). This
+		// re-generation is what makes the expanding baselines
+		// incremental polynomial rather than polynomial delay.
+		return enumerateAll(nodeSets[u], func(c core.Core, cost float64) bool {
+			key := c.Key()
+			if _, dup := pool[key]; dup {
+				return true
+			}
+			pool[key] = struct{}{}
+			mem.add(poolEntryBytes(l))
+			stats.Cores = append(stats.Cores, core.CoreCost{Core: c.Clone(), Cost: cost})
+			mem.add(poolEntryBytes(l))
+			return opt.MaxResults == 0 || len(stats.Cores) < opt.MaxResults
+		})
+	})
+	stats.PeakBytes = mem.peak
+	return stats, nil
+}
+
+// TDAll is the top-down expanding COMM-all baseline: expand forward
+// from every node of the graph up to Rmax, collect the keyword nodes it
+// reaches, enumerate the cores it centers, and output the new ones.
+// Unlike BUAll it frees each node's sets after processing, which is why
+// the paper finds it uses less memory.
+func TDAll(opt Options) (*RunStats, error) {
+	stats := &RunStats{}
+	var mem memAcct
+	sets, err := resolveKeywords(opt)
+	if err != nil || sets == nil {
+		stats.PeakBytes = mem.peak
+		return stats, err
+	}
+	g := opt.Graph
+	n := g.NumNodes()
+	l := len(sets)
+
+	// Interned term IDs per keyword position for settle-time tests.
+	inSet := keywordMembership(sets)
+
+	ws := sssp.NewWorkspace(g)
+	res := sssp.NewResult(n)
+	mem.add(ws.Bytes() + res.Bytes())
+	pool := make(map[string]struct{})
+
+	local := make([][]kwEntry, l)
+	for u := 0; u < n; u++ {
+		ws.RunFromNodes(sssp.Forward, []graph.NodeID{graph.NodeID(u)}, opt.Rmax, res)
+		stats.DijkstraRuns++
+		for i := range local {
+			local[i] = local[i][:0]
+		}
+		localBytes := int64(0)
+		for _, v := range res.Visited() {
+			d, _ := res.Dist(v)
+			for i := 0; i < l; i++ {
+				if inSet(i, v) {
+					local[i] = append(local[i], kwEntry{node: v, dist: d})
+					localBytes += kwEntryBytes
+				}
+			}
+		}
+		mem.add(localBytes)
+		complete := true
+		for i := 0; i < l; i++ {
+			if len(local[i]) == 0 {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			if !enumerateAll(local, func(c core.Core, cost float64) bool {
+				key := c.Key()
+				if _, dup := pool[key]; dup {
+					return true
+				}
+				pool[key] = struct{}{}
+				mem.add(poolEntryBytes(l))
+				stats.Cores = append(stats.Cores, core.CoreCost{Core: c.Clone(), Cost: cost})
+				mem.add(poolEntryBytes(l))
+				return opt.MaxResults == 0 || len(stats.Cores) < opt.MaxResults
+			}) {
+				mem.sub(localBytes)
+				break
+			}
+		}
+		mem.sub(localBytes) // top-down frees per-center state
+	}
+	stats.PeakBytes = mem.peak
+	return stats, nil
+}
+
+// enumerateAll walks every combination of the sets.
+func enumerateAll(sets [][]kwEntry, emit func(core.Core, float64) bool) bool {
+	l := len(sets)
+	combo := make(core.Core, l)
+	var walk func(pos int, cost float64) bool
+	walk = func(pos int, cost float64) bool {
+		if pos == l {
+			return emit(combo, cost)
+		}
+		for _, e := range sets[pos] {
+			combo[pos] = e.node
+			if !walk(pos+1, cost+e.dist) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(0, 0)
+}
+
+// keywordMembership returns a membership test for "node v is in V_i".
+func keywordMembership(sets [][]graph.NodeID) func(int, graph.NodeID) bool {
+	member := make([]map[graph.NodeID]bool, len(sets))
+	for i, s := range sets {
+		member[i] = make(map[graph.NodeID]bool, len(s))
+		for _, v := range s {
+			member[i][v] = true
+		}
+	}
+	return func(i int, v graph.NodeID) bool { return member[i][v] }
+}
+
+// BUTopK is the bottom-up expanding COMM-k baseline: full bottom-up
+// expansion with the pruning pool, then the k cheapest distinct cores
+// with exact costs. Enlarging k requires a complete re-run.
+func BUTopK(opt Options, k int) (*RunStats, error) {
+	stats := &RunStats{}
+	var mem memAcct
+	sets, err := resolveKeywords(opt)
+	if err != nil || sets == nil {
+		stats.PeakBytes = mem.peak
+		return stats, err
+	}
+	l := len(sets)
+	pool := newTopKPool(k, l, &mem)
+
+	nodeSets := newNodeSets(opt.Graph.NumNodes(), l, &mem)
+	expandAllSources(opt, sets, nodeSets, &mem, stats, func(u graph.NodeID, i int, entry kwEntry) bool {
+		for j := 0; j < l; j++ {
+			if j != i && len(nodeSets[u][j]) == 0 {
+				return true
+			}
+		}
+		// Same literal per-step re-enumeration as BUAll.
+		enumerateAll(nodeSets[u], func(c core.Core, cost float64) bool {
+			pool.offer(c, cost)
+			return true
+		})
+		return true
+	})
+	stats.Cores = sortTopK(pool.best, k)
+	stats.PeakBytes = mem.peak
+	return stats, nil
+}
+
+// TDTopK is the top-down expanding COMM-k baseline.
+func TDTopK(opt Options, k int) (*RunStats, error) {
+	stats := &RunStats{}
+	var mem memAcct
+	sets, err := resolveKeywords(opt)
+	if err != nil || sets == nil {
+		stats.PeakBytes = mem.peak
+		return stats, err
+	}
+	g := opt.Graph
+	n := g.NumNodes()
+	l := len(sets)
+	inSet := keywordMembership(sets)
+
+	ws := sssp.NewWorkspace(g)
+	res := sssp.NewResult(n)
+	mem.add(ws.Bytes() + res.Bytes())
+	pool := newTopKPool(k, l, &mem)
+
+	local := make([][]kwEntry, l)
+	for u := 0; u < n; u++ {
+		ws.RunFromNodes(sssp.Forward, []graph.NodeID{graph.NodeID(u)}, opt.Rmax, res)
+		stats.DijkstraRuns++
+		for i := range local {
+			local[i] = local[i][:0]
+		}
+		localBytes := int64(0)
+		for _, v := range res.Visited() {
+			d, _ := res.Dist(v)
+			for i := 0; i < l; i++ {
+				if inSet(i, v) {
+					local[i] = append(local[i], kwEntry{node: v, dist: d})
+					localBytes += kwEntryBytes
+				}
+			}
+		}
+		mem.add(localBytes)
+		complete := true
+		for i := 0; i < l; i++ {
+			if len(local[i]) == 0 {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			enumerateAll(local, func(c core.Core, cost float64) bool {
+				pool.offer(c, cost)
+				return true
+			})
+		}
+		mem.sub(localBytes)
+	}
+	stats.Cores = sortTopK(pool.best, k)
+	stats.PeakBytes = mem.peak
+	return stats, nil
+}

@@ -1,0 +1,318 @@
+package expand
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"commdb/internal/core"
+	"commdb/internal/graph"
+)
+
+func randomKeywordGraph(t *testing.T, rng *rand.Rand, n, m, nkw int) (*graph.Graph, []string) {
+	t.Helper()
+	kws := make([]string, nkw)
+	for i := range kws {
+		kws[i] = fmt.Sprintf("k%d", i)
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		var terms []string
+		for _, kw := range kws {
+			if rng.Intn(4) == 0 {
+				terms = append(terms, kw)
+			}
+		}
+		b.AddNode(fmt.Sprintf("n%d", i), terms...)
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), float64(rng.Intn(5)+1))
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, kws
+}
+
+func naiveCores(t *testing.T, g *graph.Graph, kws []string, rmax float64) []core.CoreCost {
+	t.Helper()
+	e, err := core.NewEngine(g, nil, kws, rmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.EnumerateNaive(e)
+}
+
+func keysOf(t *testing.T, ccs []core.CoreCost) map[string]float64 {
+	t.Helper()
+	m := make(map[string]float64, len(ccs))
+	for _, cc := range ccs {
+		k := cc.Core.Key()
+		if _, dup := m[k]; dup {
+			t.Fatalf("duplicate core %s", k)
+		}
+		m[k] = cc.Cost
+	}
+	return m
+}
+
+// TestBUAllMatchesNaive: bottom-up COMM-all finds exactly the naive
+// core set, duplication-free.
+func TestBUAllMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(20) + 4
+		g, kws := randomKeywordGraph(t, rng, n, n*3, rng.Intn(2)+2)
+		rmax := float64(rng.Intn(8) + 2)
+		want := keysOf(t, naiveCores(t, g, kws, rmax))
+		got, err := BUAll(Options{Graph: g, Keywords: kws, Rmax: rmax})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := keysOf(t, got.Cores)
+		if len(gotSet) != len(want) {
+			t.Fatalf("trial %d: BUall %d cores, naive %d", trial, len(gotSet), len(want))
+		}
+		for k := range want {
+			if _, ok := gotSet[k]; !ok {
+				t.Fatalf("trial %d: missing core %s", trial, k)
+			}
+		}
+	}
+}
+
+// TestTDAllMatchesNaive: top-down COMM-all, same property.
+func TestTDAllMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(20) + 4
+		g, kws := randomKeywordGraph(t, rng, n, n*3, rng.Intn(2)+2)
+		rmax := float64(rng.Intn(8) + 2)
+		want := keysOf(t, naiveCores(t, g, kws, rmax))
+		got, err := TDAll(Options{Graph: g, Keywords: kws, Rmax: rmax})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := keysOf(t, got.Cores)
+		if len(gotSet) != len(want) {
+			t.Fatalf("trial %d: TDall %d cores, naive %d", trial, len(gotSet), len(want))
+		}
+		for k := range want {
+			if _, ok := gotSet[k]; !ok {
+				t.Fatalf("trial %d: missing core %s", trial, k)
+			}
+		}
+	}
+}
+
+// TestTopKMatchNaive: both top-k baselines return the k cheapest cores
+// with exact costs, matching the sorted naive costs.
+func TestTopKMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(419))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(20) + 4
+		g, kws := randomKeywordGraph(t, rng, n, n*3, 2)
+		rmax := float64(rng.Intn(8) + 2)
+		naive := naiveCores(t, g, kws, rmax)
+		if len(naive) == 0 {
+			continue
+		}
+		costs := make([]float64, len(naive))
+		for i, cc := range naive {
+			costs[i] = cc.Cost
+		}
+		sortFloats(costs)
+		k := rng.Intn(len(naive)) + 1
+
+		for name, fn := range map[string]func(Options, int) (*RunStats, error){
+			"BUk": BUTopK, "TDk": TDTopK,
+		} {
+			got, err := fn(Options{Graph: g, Keywords: kws, Rmax: rmax}, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Cores) != k {
+				t.Fatalf("trial %d %s: returned %d cores, want %d", trial, name, len(got.Cores), k)
+			}
+			keysOf(t, got.Cores) // duplication-free
+			for i := 0; i < k; i++ {
+				if d := got.Cores[i].Cost - costs[i]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("trial %d %s: rank %d cost %v, want %v", trial, name, i+1, got.Cores[i].Cost, costs[i])
+				}
+			}
+		}
+	}
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TestPaperExampleBaselines: all four baselines agree with Table I on
+// the paper graph.
+func TestPaperExampleBaselines(t *testing.T) {
+	g, _ := core.PaperGraph()
+	opt := Options{Graph: g, Keywords: []string{"a", "b", "c"}, Rmax: 8}
+
+	bu, err := BUAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bu.Cores) != 5 {
+		t.Fatalf("BUall found %d cores, want 5", len(bu.Cores))
+	}
+	td, err := TDAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Cores) != 5 {
+		t.Fatalf("TDall found %d cores, want 5", len(td.Cores))
+	}
+	buk, err := BUTopK(opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCosts := []float64{7, 10, 11}
+	for i, w := range wantCosts {
+		if buk.Cores[i].Cost != w {
+			t.Fatalf("BUk rank %d cost %v, want %v", i+1, buk.Cores[i].Cost, w)
+		}
+	}
+	tdk, err := TDTopK(opt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll := []float64{7, 10, 11, 14, 15}
+	for i, w := range wantAll {
+		if tdk.Cores[i].Cost != w {
+			t.Fatalf("TDk rank %d cost %v, want %v", i+1, tdk.Cores[i].Cost, w)
+		}
+	}
+}
+
+// TestMissingKeywordBaselines: a keyword with no nodes yields empty
+// results from every baseline.
+func TestMissingKeywordBaselines(t *testing.T) {
+	g, _ := core.PaperGraph()
+	opt := Options{Graph: g, Keywords: []string{"a", "zzz"}, Rmax: 8}
+	for name, run := range map[string]func() (*RunStats, error){
+		"BUall": func() (*RunStats, error) { return BUAll(opt) },
+		"TDall": func() (*RunStats, error) { return TDAll(opt) },
+		"BUk":   func() (*RunStats, error) { return BUTopK(opt, 5) },
+		"TDk":   func() (*RunStats, error) { return TDTopK(opt, 5) },
+	} {
+		got, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Cores) != 0 {
+			t.Fatalf("%s returned %d cores for an absent keyword", name, len(got.Cores))
+		}
+	}
+}
+
+// TestBadKeywordErrors: malformed keywords surface as errors.
+func TestBadKeywordErrors(t *testing.T) {
+	g, _ := core.PaperGraph()
+	opt := Options{Graph: g, Keywords: []string{"two words"}, Rmax: 8}
+	if _, err := BUAll(opt); err == nil {
+		t.Fatal("BUall should reject multi-term keyword")
+	}
+	if _, err := TDTopK(opt, 5); err == nil {
+		t.Fatal("TDk should reject multi-term keyword")
+	}
+}
+
+// TestMaxResultsCap: the COMM-all cap truncates output.
+func TestMaxResultsCap(t *testing.T) {
+	g, _ := core.PaperGraph()
+	opt := Options{Graph: g, Keywords: []string{"a", "b", "c"}, Rmax: 8, MaxResults: 2}
+	bu, err := BUAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bu.Cores) != 2 {
+		t.Fatalf("BUall cap: %d cores, want 2", len(bu.Cores))
+	}
+	td, err := TDAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Cores) != 2 {
+		t.Fatalf("TDall cap: %d cores, want 2", len(td.Cores))
+	}
+}
+
+// TestMemoryAccountingShape: bottom-up retains every node's keyword
+// sets while top-down frees them per center, so BUall's peak memory
+// must exceed TDall's on a graph with broad expansions — the ordering
+// Fig. 9(b) reports.
+func TestMemoryAccountingShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	g, kws := randomKeywordGraph(t, rng, 60, 300, 2)
+	opt := Options{Graph: g, Keywords: kws, Rmax: 10}
+	bu, err := BUAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := TDAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bu.PeakBytes <= 0 || td.PeakBytes <= 0 {
+		t.Fatal("peak bytes must be positive")
+	}
+	if bu.PeakBytes <= td.PeakBytes {
+		t.Fatalf("BUall peak %d should exceed TDall peak %d", bu.PeakBytes, td.PeakBytes)
+	}
+	if bu.DijkstraRuns == 0 || td.DijkstraRuns == 0 {
+		t.Fatal("Dijkstra runs should be counted")
+	}
+	// Top-down expands from every node; bottom-up only from keyword
+	// nodes.
+	if td.DijkstraRuns <= bu.DijkstraRuns {
+		t.Fatalf("TDall runs %d should exceed BUall runs %d", td.DijkstraRuns, bu.DijkstraRuns)
+	}
+}
+
+// TestTopKPoolPruning: the pool never holds more than 2k entries.
+func TestTopKPoolPruning(t *testing.T) {
+	var mem memAcct
+	p := newTopKPool(5, 2, &mem)
+	rng := rand.New(rand.NewSource(433))
+	for i := 0; i < 1000; i++ {
+		c := core.Core{graph.NodeID(i), graph.NodeID(i)}
+		p.offer(c, rng.Float64()*100)
+		if len(p.best) > 10 {
+			t.Fatalf("pool grew to %d entries, cap is 2k=10", len(p.best))
+		}
+	}
+	out := sortTopK(p.best, 5)
+	if len(out) != 5 {
+		t.Fatalf("final top-k has %d entries", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Cost < out[i-1].Cost {
+			t.Fatal("final top-k not sorted")
+		}
+	}
+}
+
+// TestTopKPoolImprovesTrackedCore: offering a cheaper cost for a
+// tracked core updates it.
+func TestTopKPoolImprovesTrackedCore(t *testing.T) {
+	var mem memAcct
+	p := newTopKPool(3, 1, &mem)
+	c := core.Core{7}
+	p.offer(c, 50)
+	p.offer(c, 10)
+	out := sortTopK(p.best, 3)
+	if len(out) != 1 || out[0].Cost != 10 {
+		t.Fatalf("tracked core cost = %v, want 10", out)
+	}
+}

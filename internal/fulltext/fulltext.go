@@ -1,0 +1,149 @@
+// Package fulltext provides the tokenizer and the keyword→nodes
+// inverted index (the paper's invertedN / "full text index [1]") over a
+// database graph, plus keyword-frequency (KWF) statistics used to pick
+// the query keywords of the paper's experiments (Tables III and V).
+package fulltext
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"commdb/internal/graph"
+)
+
+// Tokenize splits text into lowercase terms: maximal runs of letters
+// and digits. It is used both when loading tuples into the graph and
+// when parsing user queries, so the two sides agree on term boundaries.
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Index is the invertedN index: for every interned term, the sorted
+// list of nodes containing it.
+type Index struct {
+	g        *graph.Graph
+	postings [][]graph.NodeID // indexed by term ID
+	nodes    int
+}
+
+// Build scans the graph once and constructs its inverted node index.
+func Build(g *graph.Graph) *Index {
+	ix := &Index{
+		g:        g,
+		postings: make([][]graph.NodeID, g.Dict().Size()),
+		nodes:    g.NumNodes(),
+	}
+	// First pass: count postings per term to allocate exactly.
+	counts := make([]int32, g.Dict().Size())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, t := range g.Terms(graph.NodeID(v)) {
+			counts[t]++
+		}
+	}
+	for t, c := range counts {
+		if c > 0 {
+			ix.postings[t] = make([]graph.NodeID, 0, c)
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, t := range g.Terms(graph.NodeID(v)) {
+			ix.postings[t] = append(ix.postings[t], graph.NodeID(v))
+		}
+	}
+	return ix
+}
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Nodes returns the nodes containing term (already lowercase), or nil
+// when the term does not occur. The slice aliases index storage.
+func (ix *Index) Nodes(term string) []graph.NodeID {
+	id, ok := ix.g.Dict().ID(term)
+	if !ok {
+		return nil
+	}
+	return ix.postings[id]
+}
+
+// NodesByID returns the posting list for an interned term ID.
+func (ix *Index) NodesByID(termID int32) []graph.NodeID {
+	if int(termID) >= len(ix.postings) {
+		return nil
+	}
+	return ix.postings[termID]
+}
+
+// Count reports how many nodes contain the term.
+func (ix *Index) Count(term string) int { return len(ix.Nodes(term)) }
+
+// KWF reports the keyword frequency of term: the fraction of graph
+// nodes containing it, the selectivity axis of the paper's experiments.
+func (ix *Index) KWF(term string) float64 {
+	if ix.nodes == 0 {
+		return 0
+	}
+	return float64(len(ix.Nodes(term))) / float64(ix.nodes)
+}
+
+// TermsNearKWF returns up to max terms whose KWF is closest to target,
+// ordered by closeness. Used by the benchmark harness to assemble
+// keyword sets analogous to Tables III and V.
+func (ix *Index) TermsNearKWF(target float64, max int) []string {
+	type cand struct {
+		term string
+		diff float64
+	}
+	var cands []cand
+	for id, post := range ix.postings {
+		if len(post) == 0 {
+			continue
+		}
+		f := float64(len(post)) / float64(ix.nodes)
+		d := f - target
+		if d < 0 {
+			d = -d
+		}
+		cands = append(cands, cand{term: ix.g.Dict().Word(int32(id)), diff: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].diff != cands[j].diff {
+			return cands[i].diff < cands[j].diff
+		}
+		return cands[i].term < cands[j].term
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.term
+	}
+	return out
+}
+
+// Bytes estimates the logical memory footprint of the index.
+func (ix *Index) Bytes() int64 {
+	var b int64
+	for _, p := range ix.postings {
+		b += int64(cap(p))*4 + 24
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package fulltext
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"commdb/internal/graph"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Hello", []string{"hello"}},
+		{"Keyword Search in Relational Databases", []string{"keyword", "search", "in", "relational", "databases"}},
+		{"top-k  queries!!", []string{"top", "k", "queries"}},
+		{"C++ & Go_2", []string{"c", "go", "2"}},
+		{"  spaces   everywhere  ", []string{"spaces", "everywhere"}},
+		{"MixedCASE mixedcase", []string{"mixedcase", "mixedcase"}},
+		{"数据库 query", []string{"数据库", "query"}},
+		{"a1b2", []string{"a1b2"}},
+		{"...", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func buildIndexed(t *testing.T) (*graph.Graph, *Index) {
+	t.Helper()
+	b := graph.NewBuilder()
+	b.AddNode("p1", Tokenize("keyword search in databases")...)
+	b.AddNode("p2", Tokenize("community search over graphs")...)
+	b.AddNode("p3", Tokenize("graph databases")...)
+	b.AddNode("a1", Tokenize("kate green")...)
+	b.AddNode("a2") // no terms
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Build(g)
+}
+
+func TestIndexNodes(t *testing.T) {
+	_, ix := buildIndexed(t)
+	if got := ix.Nodes("search"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Nodes(search) = %v, want [0 1]", got)
+	}
+	if got := ix.Nodes("databases"); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Nodes(databases) = %v, want [0 2]", got)
+	}
+	if got := ix.Nodes("kate"); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Nodes(kate) = %v, want [3]", got)
+	}
+	if got := ix.Nodes("missing"); got != nil {
+		t.Fatalf("Nodes(missing) = %v, want nil", got)
+	}
+	if ix.Count("search") != 2 || ix.Count("nope") != 0 {
+		t.Fatal("Count mismatch")
+	}
+}
+
+func TestIndexKWF(t *testing.T) {
+	_, ix := buildIndexed(t)
+	if got := ix.KWF("search"); got != 2.0/5.0 {
+		t.Fatalf("KWF(search) = %v, want 0.4", got)
+	}
+	if got := ix.KWF("missing"); got != 0 {
+		t.Fatalf("KWF(missing) = %v, want 0", got)
+	}
+}
+
+func TestTermsNearKWF(t *testing.T) {
+	_, ix := buildIndexed(t)
+	// Terms with KWF exactly 0.4: "search", "databases". They should
+	// come first for target 0.4.
+	got := ix.TermsNearKWF(0.4, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	want := map[string]bool{"search": true, "databases": true}
+	for _, w := range got {
+		if !want[w] {
+			t.Fatalf("TermsNearKWF(0.4) = %v, want search+databases first", got)
+		}
+	}
+	// Asking for more terms than exist is fine.
+	all := ix.TermsNearKWF(0.2, 1000)
+	if len(all) == 0 {
+		t.Fatal("expected some terms")
+	}
+}
+
+func TestIndexByIDAndBytes(t *testing.T) {
+	g, ix := buildIndexed(t)
+	id, ok := g.Dict().ID("graphs")
+	if !ok {
+		t.Fatal("graphs not interned")
+	}
+	if got := ix.NodesByID(id); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("NodesByID = %v", got)
+	}
+	if ix.NodesByID(9999) != nil {
+		t.Fatal("out-of-range term ID should return nil")
+	}
+	if ix.Bytes() <= 0 {
+		t.Fatal("Bytes should be positive")
+	}
+	if ix.Graph() != g {
+		t.Fatal("Graph accessor")
+	}
+}
+
+func TestIndexEmptyGraph(t *testing.T) {
+	g, err := graph.NewBuilder().Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(g)
+	if ix.KWF("x") != 0 {
+		t.Fatal("KWF on empty graph should be 0")
+	}
+	if ix.Nodes("x") != nil {
+		t.Fatal("Nodes on empty graph should be nil")
+	}
+}
+
+// TestTokenizeQuickIdempotent: re-tokenizing the joined tokens of any
+// input reproduces the same token sequence (tokens contain no
+// separators by construction).
+func TestTokenizeQuickIdempotent(t *testing.T) {
+	prop := func(text string) bool {
+		first := Tokenize(text)
+		again := Tokenize(strings.Join(first, " "))
+		if len(first) != len(again) {
+			return false
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

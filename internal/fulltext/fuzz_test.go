@@ -1,0 +1,30 @@
+package fulltext
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize hardens the tokenizer: for any input, tokens are
+// non-empty, lowercase, and contain only letters and digits.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Keyword Search in Relational Databases")
+	f.Add("")
+	f.Add("C++ & Go_2 数据库")
+	f.Add("\x00\xff broken \xf0 utf8")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, tok := range Tokenize(text) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", tok, r)
+				}
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lowercased", tok)
+				}
+			}
+		}
+	})
+}

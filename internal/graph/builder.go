@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and freezes them into an
+// immutable Graph. A Builder may share a Dict with other builders (for
+// example when projecting a subgraph, so term IDs stay comparable).
+type Builder struct {
+	labels  []string
+	terms   [][]int32
+	edges   []builderEdge
+	dict    *Dict
+	weights map[NodeID]float64
+}
+
+type builderEdge struct {
+	from, to NodeID
+	weight   float64
+}
+
+// NewBuilder returns a Builder with a fresh term dictionary.
+func NewBuilder() *Builder { return NewBuilderWithDict(NewDict()) }
+
+// NewBuilderWithDict returns a Builder that interns terms into dict.
+func NewBuilderWithDict(dict *Dict) *Builder {
+	return &Builder{dict: dict}
+}
+
+// AddNode appends a node with the given label and terms and returns its
+// ID. Duplicate terms on one node are stored once.
+func (b *Builder) AddNode(label string, terms ...string) NodeID {
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, label)
+	var ids []int32
+	for _, t := range terms {
+		tid := b.dict.Intern(t)
+		dup := false
+		for _, have := range ids {
+			if have == tid {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ids = append(ids, tid)
+		}
+	}
+	b.terms = append(b.terms, ids)
+	return id
+}
+
+// AddNodeTermIDs appends a node whose terms are already interned IDs
+// from the builder's dictionary.
+func (b *Builder) AddNodeTermIDs(label string, termIDs []int32) NodeID {
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, label)
+	b.terms = append(b.terms, append([]int32(nil), termIDs...))
+	return id
+}
+
+// NumNodes reports how many nodes have been added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// SetNodeWeight assigns a non-negative weight to a node (the paper's
+// footnote-1 extension). Unset nodes weigh zero.
+func (b *Builder) SetNodeWeight(v NodeID, weight float64) {
+	if b.weights == nil {
+		b.weights = make(map[NodeID]float64)
+	}
+	b.weights[v] = weight
+}
+
+// AddEdge appends the directed edge (from, to) with the given weight.
+// Node IDs must come from a prior AddNode call.
+func (b *Builder) AddEdge(from, to NodeID, weight float64) {
+	b.edges = append(b.edges, builderEdge{from: from, to: to, weight: weight})
+}
+
+// AddBiEdge appends both directions of an edge with the same weight, as
+// used when a database graph is treated as bi-directed.
+func (b *Builder) AddBiEdge(u, v NodeID, weight float64) {
+	b.AddEdge(u, v, weight)
+	b.AddEdge(v, u, weight)
+}
+
+// Freeze validates the accumulated nodes and edges and returns the
+// immutable Graph. The Builder must not be used afterwards.
+func (b *Builder) Freeze() (*Graph, error) {
+	return b.freeze(false)
+}
+
+// FreezeLogWeights is Freeze with the paper's edge weight function
+// applied: every edge (u,v) is re-weighted to log2(1 + N_in(v)), where
+// N_in(v) is the in-degree of the head node. The weights passed to
+// AddEdge are ignored.
+func (b *Builder) FreezeLogWeights() (*Graph, error) {
+	return b.freeze(true)
+}
+
+func (b *Builder) freeze(logWeights bool) (*Graph, error) {
+	n := len(b.labels)
+	for _, e := range b.edges {
+		if e.from < 0 || int(e.from) >= n || e.to < 0 || int(e.to) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) references a node outside [0,%d)", e.from, e.to, n)
+		}
+		if !logWeights && (e.weight < 0 || math.IsNaN(e.weight)) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", e.from, e.to, e.weight)
+		}
+	}
+
+	g := &Graph{
+		outHead: make([]int32, n+1),
+		inHead:  make([]int32, n+1),
+		labels:  b.labels,
+		dict:    b.dict,
+	}
+	if len(b.weights) > 0 {
+		g.nodeWeight = make([]float64, n)
+		for v, wt := range b.weights {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: node weight on unknown node %d", v)
+			}
+			if wt < 0 || math.IsNaN(wt) {
+				return nil, fmt.Errorf("graph: invalid node weight %v on node %d", wt, v)
+			}
+			g.nodeWeight[v] = wt
+		}
+	}
+
+	// Count degrees.
+	for _, e := range b.edges {
+		g.outHead[e.from+1]++
+		g.inHead[e.to+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outHead[i+1] += g.outHead[i]
+		g.inHead[i+1] += g.inHead[i]
+	}
+
+	if logWeights {
+		// Re-weight after in-degrees are known.
+		for i := range b.edges {
+			v := b.edges[i].to
+			indeg := float64(g.inHead[v+1] - g.inHead[v])
+			b.edges[i].weight = math.Log2(1 + indeg)
+		}
+	}
+
+	// Fill adjacency using moving cursors.
+	g.outEdge = make([]Edge, len(b.edges))
+	g.inEdge = make([]Edge, len(b.edges))
+	outCur := make([]int32, n)
+	inCur := make([]int32, n)
+	copy(outCur, g.outHead[:n])
+	copy(inCur, g.inHead[:n])
+	for _, e := range b.edges {
+		g.outEdge[outCur[e.from]] = Edge{To: e.to, Weight: e.weight}
+		outCur[e.from]++
+		g.inEdge[inCur[e.to]] = Edge{To: e.from, Weight: e.weight}
+		inCur[e.to]++
+	}
+
+	// Sort each adjacency run by destination for deterministic
+	// iteration order and binary-searchable neighbour lookups.
+	for i := 0; i < n; i++ {
+		sortEdges(g.outEdge[g.outHead[i]:g.outHead[i+1]])
+		sortEdges(g.inEdge[g.inHead[i]:g.inHead[i+1]])
+	}
+
+	// Pack terms into CSR.
+	g.termHead = make([]int32, n+1)
+	total := 0
+	for i, ts := range b.terms {
+		total += len(ts)
+		g.termHead[i+1] = int32(total)
+	}
+	g.termList = make([]int32, 0, total)
+	for _, ts := range b.terms {
+		g.termList = append(g.termList, ts...)
+	}
+
+	b.edges = nil
+	b.labels = nil
+	b.terms = nil
+	return g, nil
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].Weight < es[j].Weight
+	})
+}

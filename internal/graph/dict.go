@@ -1,0 +1,47 @@
+package graph
+
+// Dict interns term strings to dense int32 IDs. A Dict is shared by a
+// Graph and the full-text structures built over it, so a keyword is
+// resolved to an ID once per query and compared as an integer
+// everywhere else.
+type Dict struct {
+	ids   map[string]int32
+	words []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]int32)}
+}
+
+// Intern returns the ID for w, assigning the next free ID on first use.
+func (d *Dict) Intern(w string) int32 {
+	if id, ok := d.ids[w]; ok {
+		return id
+	}
+	id := int32(len(d.words))
+	d.ids[w] = id
+	d.words = append(d.words, w)
+	return id
+}
+
+// ID returns the ID of w and whether w has been interned.
+func (d *Dict) ID(w string) (int32, bool) {
+	id, ok := d.ids[w]
+	return id, ok
+}
+
+// Word returns the string for a previously interned ID.
+func (d *Dict) Word(id int32) string { return d.words[id] }
+
+// Size reports the number of distinct interned terms.
+func (d *Dict) Size() int { return len(d.words) }
+
+// Bytes estimates the logical memory footprint of the dictionary.
+func (d *Dict) Bytes() int64 {
+	var b int64
+	for _, w := range d.words {
+		b += int64(len(w))*2 + 48 // string bytes appear in the map and slice
+	}
+	return b
+}

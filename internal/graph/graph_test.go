@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildPaperGraph constructs the 13-node example graph of Fig. 4 in the
+// paper (directed edges with explicit weights). It is reused across the
+// repository's tests via the same construction in internal/core.
+func buildDiamond(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddNode("a", "ka")
+	c := b.AddNode("c", "kc")
+	d := b.AddNode("d")
+	e := b.AddNode("e", "ka", "ke")
+	b.AddEdge(a, c, 1)
+	b.AddEdge(a, d, 2)
+	b.AddEdge(c, e, 3)
+	b.AddEdge(d, e, 1)
+	b.AddEdge(e, a, 5)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []NodeID{a, c, d, e}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g, ids := buildDiamond(t)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	a, c, d, e := ids[0], ids[1], ids[2], ids[3]
+	if g.OutDegree(a) != 2 || g.InDegree(a) != 1 {
+		t.Fatalf("deg(a) = out %d in %d, want 2/1", g.OutDegree(a), g.InDegree(a))
+	}
+	if g.OutDegree(e) != 1 || g.InDegree(e) != 2 {
+		t.Fatalf("deg(e) = out %d in %d, want 1/2", g.OutDegree(e), g.InDegree(e))
+	}
+	if w, ok := g.EdgeWeight(a, c); !ok || w != 1 {
+		t.Fatalf("EdgeWeight(a,c) = %v,%v want 1,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight(c, a); ok {
+		t.Fatal("EdgeWeight(c,a) should not exist")
+	}
+	// In-edges carry the source node in To.
+	var sources []NodeID
+	for _, ie := range g.InEdges(e) {
+		sources = append(sources, ie.To)
+	}
+	if len(sources) != 2 || sources[0] != c || sources[1] != d {
+		t.Fatalf("InEdges(e) sources = %v, want [c d]", sources)
+	}
+	_ = ids
+}
+
+func TestBuilderTerms(t *testing.T) {
+	g, ids := buildDiamond(t)
+	a, _, d, e := ids[0], ids[1], ids[2], ids[3]
+	ka, ok := g.Dict().ID("ka")
+	if !ok {
+		t.Fatal("term ka not interned")
+	}
+	if !g.HasTerm(a, ka) || !g.HasTerm(e, ka) {
+		t.Fatal("nodes a and e should contain term ka")
+	}
+	if g.HasTerm(d, ka) {
+		t.Fatal("node d should not contain term ka")
+	}
+	if len(g.Terms(e)) != 2 {
+		t.Fatalf("Terms(e) = %v, want 2 terms", g.Terms(e))
+	}
+	if _, ok := g.Dict().ID("missing"); ok {
+		t.Fatal("ID of unseen term should report false")
+	}
+}
+
+func TestBuilderDuplicateTermsOnNode(t *testing.T) {
+	b := NewBuilder()
+	v := b.AddNode("v", "x", "x", "y", "x")
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Terms(v)) != 2 {
+		t.Fatalf("Terms = %v, want dedup to 2", g.Terms(v))
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder()
+	v := b.AddNode("v")
+	b.AddEdge(v, 99, 1)
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("Freeze should reject out-of-range edge")
+	}
+
+	b2 := NewBuilder()
+	u := b2.AddNode("u")
+	w := b2.AddNode("w")
+	b2.AddEdge(u, w, -1)
+	if _, err := b2.Freeze(); err == nil {
+		t.Fatal("Freeze should reject negative weight")
+	}
+
+	b3 := NewBuilder()
+	u3 := b3.AddNode("u")
+	w3 := b3.AddNode("w")
+	b3.AddEdge(u3, w3, math.NaN())
+	if _, err := b3.Freeze(); err == nil {
+		t.Fatal("Freeze should reject NaN weight")
+	}
+}
+
+func TestFreezeLogWeights(t *testing.T) {
+	// Paper weight: w(u,v) = log2(1 + indeg(v)).
+	b := NewBuilder()
+	u := b.AddNode("u")
+	v := b.AddNode("v")
+	w := b.AddNode("w")
+	b.AddEdge(u, v, 0) // weight inputs ignored
+	b.AddEdge(w, v, 0)
+	b.AddEdge(v, w, 0)
+	g, err := b.FreezeLogWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// indeg(v)=2 -> log2(3); indeg(w)=1 -> log2(2)=1.
+	if wt, _ := g.EdgeWeight(u, v); math.Abs(wt-math.Log2(3)) > 1e-12 {
+		t.Fatalf("w(u,v) = %v, want log2(3)", wt)
+	}
+	if wt, _ := g.EdgeWeight(v, w); wt != 1 {
+		t.Fatalf("w(v,w) = %v, want 1", wt)
+	}
+}
+
+func TestAddBiEdge(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("u")
+	v := b.AddNode("v")
+	b.AddBiEdge(u, v, 2.5)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(u, v); !ok || w != 2.5 {
+		t.Fatal("forward direction missing")
+	}
+	if w, ok := g.EdgeWeight(v, u); !ok || w != 2.5 {
+		t.Fatal("reverse direction missing")
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewBuilder()
+	const n = 50
+	for i := 0; i < n; i++ {
+		b.AddNode("")
+	}
+	for i := 0; i < 400; i++ {
+		b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float64())
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		es := g.OutEdges(NodeID(v))
+		for i := 1; i < len(es); i++ {
+			if es[i].To < es[i-1].To {
+				t.Fatalf("out edges of %d not sorted: %v", v, es)
+			}
+		}
+		ies := g.InEdges(NodeID(v))
+		for i := 1; i < len(ies); i++ {
+			if ies[i].To < ies[i-1].To {
+				t.Fatalf("in edges of %d not sorted: %v", v, ies)
+			}
+		}
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBuilder()
+	const n = 80
+	for i := 0; i < n; i++ {
+		b.AddNode("")
+	}
+	type key struct{ u, v NodeID }
+	count := map[key]int{}
+	for i := 0; i < 600; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		b.AddEdge(u, v, 1)
+		count[key{u, v}]++
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every forward edge must appear exactly once as a reverse edge.
+	got := map[key]int{}
+	for v := 0; v < n; v++ {
+		for _, e := range g.InEdges(NodeID(v)) {
+			got[key{e.To, NodeID(v)}]++
+		}
+	}
+	if len(got) != len(count) {
+		t.Fatalf("reverse adjacency has %d distinct edges, want %d", len(got), len(count))
+	}
+	for k, c := range count {
+		if got[k] != c {
+			t.Fatalf("edge %v appears %d times reversed, want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder().Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph should have no nodes or edges")
+	}
+	st := ComputeStats(g)
+	if st.Nodes != 0 {
+		t.Fatal("stats of empty graph")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, _ := buildDiamond(t)
+	s := ComputeStats(g)
+	if s.Nodes != 4 || s.Edges != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxInDeg != 2 || s.MaxOutDeg != 2 {
+		t.Fatalf("degree stats = %+v", s)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 5 {
+		t.Fatalf("weight stats = %+v", s)
+	}
+	if s.IsolatedCnt != 0 {
+		t.Fatalf("isolated = %d, want 0", s.IsolatedCnt)
+	}
+	if s.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestGraphBytesPositive(t *testing.T) {
+	g, _ := buildDiamond(t)
+	if g.Bytes() <= 0 {
+		t.Fatal("Bytes should be positive for a non-empty graph")
+	}
+}
+
+// TestDictQuickRoundTrip: for any set of strings, interning then
+// resolving IDs returns the originals, and IDs are dense and stable.
+func TestDictQuickRoundTrip(t *testing.T) {
+	prop := func(words []string) bool {
+		d := NewDict()
+		ids := make(map[string]int32)
+		for _, w := range words {
+			id := d.Intern(w)
+			if prev, seen := ids[w]; seen && prev != id {
+				return false // interning must be idempotent
+			}
+			ids[w] = id
+		}
+		for w, id := range ids {
+			if d.Word(id) != w {
+				return false
+			}
+			if got, ok := d.ID(w); !ok || got != id {
+				return false
+			}
+		}
+		return d.Size() == len(ids)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeWeightAccessors(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("u")
+	v := b.AddNode("v")
+	b.SetNodeWeight(v, 2.5)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeWeight(u) != 0 || g.NodeWeight(v) != 2.5 {
+		t.Fatalf("weights = %v, %v", g.NodeWeight(u), g.NodeWeight(v))
+	}
+	if g.NodeWeights() == nil {
+		t.Fatal("NodeWeights should be non-nil when any weight is set")
+	}
+	// Unweighted graphs report zero without allocating.
+	g2, err := NewBuilder().Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NodeWeights() != nil {
+		t.Fatal("NodeWeights should be nil when no weight is set")
+	}
+}
+
+// TestNodeWeightsSurviveSubgraphAndIO: the footnote-1 extension
+// round-trips through projection and serialization.
+func TestNodeWeightsSurviveSubgraphAndIO(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("u", "kw")
+	v := b.AddNode("v")
+	b.AddEdge(u, v, 1)
+	b.SetNodeWeight(v, 4)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Induced(g, []NodeID{u, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, _ := sub.FromParent(v)
+	if sub.G.NodeWeight(lv) != 4 {
+		t.Fatalf("subgraph weight = %v, want 4", sub.G.NodeWeight(lv))
+	}
+	g2 := roundTrip(t, g)
+	if g2.NodeWeight(v) != 4 {
+		t.Fatalf("IO round-trip weight = %v, want 4", g2.NodeWeight(v))
+	}
+}

@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of graphs. The format is a simple
+// length-prefixed layout:
+//
+//	magic "CDBG" | version u32 | n u32 | m u32 | dict | labels | terms | edges
+//
+// Varints are used for all counts and IDs; edge weights are stored as
+// IEEE-754 bits. The format is written and read only by this package,
+// so no cross-version compatibility machinery is needed beyond the
+// version check.
+
+const (
+	ioMagic   = "CDBG"
+	ioVersion = 2
+)
+
+// Write serializes g to w.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(ioMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, ioVersion)
+	n := g.NumNodes()
+	writeUvarint(bw, uint64(n))
+	writeUvarint(bw, uint64(g.NumEdges()))
+
+	// Node weights: flag byte then raw float bits when present.
+	if g.nodeWeight == nil {
+		bw.WriteByte(0)
+	} else {
+		bw.WriteByte(1)
+		for _, wt := range g.nodeWeight {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(wt))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	// Dictionary.
+	writeUvarint(bw, uint64(g.dict.Size()))
+	for _, word := range g.dict.words {
+		writeString(bw, word)
+	}
+	// Labels.
+	for _, l := range g.labels {
+		writeString(bw, l)
+	}
+	// Terms per node.
+	for v := 0; v < n; v++ {
+		ts := g.Terms(NodeID(v))
+		writeUvarint(bw, uint64(len(ts)))
+		for _, t := range ts {
+			writeUvarint(bw, uint64(t))
+		}
+	}
+	// Edges: per node, out-adjacency with delta-coded destinations.
+	for v := 0; v < n; v++ {
+		es := g.OutEdges(NodeID(v))
+		writeUvarint(bw, uint64(len(es)))
+		prev := int64(0)
+		for _, e := range es {
+			// Destinations are sorted ascending, so deltas are >= 0
+			// except possibly between parallel edges (delta 0).
+			writeUvarint(bw, uint64(int64(e.To)-prev))
+			prev = int64(e.To)
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.Weight))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != ioVersion {
+		return nil, fmt.Errorf("graph: unsupported format version %d", ver)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	m64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n64 > 1<<40 || m64 > 1<<40 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n64, m64)
+	}
+	n, m := int(n64), int(m64)
+
+	hasWeights, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	// Counts come from untrusted input: never pre-allocate by claimed
+	// size (a hostile header would OOM the reader); grow with the bytes
+	// actually present.
+	var nodeWeights []float64
+	if hasWeights == 1 {
+		nodeWeights = make([]float64, 0, clampCap(n))
+		for i := 0; i < n; i++ {
+			var buf [8]byte
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, err
+			}
+			nodeWeights = append(nodeWeights, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		}
+	}
+
+	dict := NewDict()
+	dn, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < dn; i++ {
+		w, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		dict.Intern(w)
+	}
+
+	b := NewBuilderWithDict(dict)
+	labels := make([]string, 0, clampCap(n))
+	for i := 0; i < n; i++ {
+		l, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, l)
+	}
+	for i := 0; i < n; i++ {
+		tn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ts := make([]int32, 0, clampCap(int(tn)))
+		for j := uint64(0); j < tn; j++ {
+			t, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if t >= uint64(dict.Size()) {
+				return nil, fmt.Errorf("graph: term id %d outside dictionary", t)
+			}
+			ts = append(ts, int32(t))
+		}
+		b.AddNodeTermIDs(labels[i], ts)
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		en, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prev := int64(0)
+		for j := uint64(0); j < en; j++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			to := prev + int64(delta)
+			prev = to
+			var buf [8]byte
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, err
+			}
+			w := math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+			b.AddEdge(NodeID(v), NodeID(to), w)
+			total++
+		}
+	}
+	if total != m {
+		return nil, fmt.Errorf("graph: header says %d edges, body has %d", m, total)
+	}
+	for i, wt := range nodeWeights {
+		if wt != 0 {
+			b.SetNodeWeight(NodeID(i), wt)
+		}
+	}
+	return b.Freeze()
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+// maxStringLen bounds any serialized string (labels, dictionary words);
+// longer length prefixes indicate corruption.
+const maxStringLen = 1 << 24
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("graph: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// clampCap bounds an untrusted count used only as an allocation hint.
+func clampCap(n int) int {
+	const limit = 1 << 16
+	if n < 0 {
+		return 0
+	}
+	if n > limit {
+		return limit
+	}
+	return n
+}

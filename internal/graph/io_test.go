@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return g2
+}
+
+func assertGraphsEqual(t *testing.T, g, g2 *Graph) {
+	t.Helper()
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if g.Label(id) != g2.Label(id) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+		ts, ts2 := g.Terms(id), g2.Terms(id)
+		if len(ts) != len(ts2) {
+			t.Fatalf("terms mismatch at %d", v)
+		}
+		for i := range ts {
+			if g.Dict().Word(ts[i]) != g2.Dict().Word(ts2[i]) {
+				t.Fatalf("term %d of node %d mismatch", i, v)
+			}
+		}
+		es, es2 := g.OutEdges(id), g2.OutEdges(id)
+		if len(es) != len(es2) {
+			t.Fatalf("out degree mismatch at %d", v)
+		}
+		for i := range es {
+			if es[i] != es2[i] {
+				t.Fatalf("edge %d of node %d: %v vs %v", i, v, es[i], es2[i])
+			}
+		}
+	}
+}
+
+func TestIORoundTripSmall(t *testing.T) {
+	g, _ := buildDiamond(t)
+	assertGraphsEqual(t, g, roundTrip(t, g))
+}
+
+func TestIORoundTripEmpty(t *testing.T) {
+	g, err := NewBuilder().Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, roundTrip(t, g))
+}
+
+func TestIORoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		b := NewBuilder()
+		n := rng.Intn(100) + 1
+		words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+		for i := 0; i < n; i++ {
+			var ts []string
+			for _, w := range words {
+				if rng.Intn(3) == 0 {
+					ts = append(ts, w)
+				}
+			}
+			b.AddNode("node", ts...)
+		}
+		for i := 0; i < n*4; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float64()*10)
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGraphsEqual(t, g, roundTrip(t, g))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a graph at all")); err == nil {
+		t.Fatal("Read should reject bad magic")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("Read should reject empty input")
+	}
+	// Truncated payload after a valid header.
+	g, _ := buildDiamondIO(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("Read should reject truncated input")
+	}
+}
+
+func buildDiamondIO(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	return buildDiamond(t)
+}

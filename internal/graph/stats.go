@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes the structure of a graph, mirroring the dataset
+// characteristics the paper reports in Section VII (node/edge counts
+// and average degrees, which explain the different default Rmax values
+// for DBLP and IMDB).
+type Stats struct {
+	Nodes       int
+	Edges       int
+	AvgOutDeg   float64
+	MaxOutDeg   int
+	AvgInDeg    float64
+	MaxInDeg    int
+	TermCount   int     // distinct terms in the dictionary
+	AvgTerms    float64 // average terms per node
+	MinWeight   float64
+	MaxWeight   float64
+	MedWeight   float64
+	IsolatedCnt int // nodes with no edges in either direction
+}
+
+// ComputeStats scans g once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		TermCount: g.Dict().Size(),
+	}
+	if s.Nodes == 0 {
+		return s
+	}
+	totalTerms := 0
+	for v := 0; v < s.Nodes; v++ {
+		od := g.OutDegree(NodeID(v))
+		id := g.InDegree(NodeID(v))
+		if od > s.MaxOutDeg {
+			s.MaxOutDeg = od
+		}
+		if id > s.MaxInDeg {
+			s.MaxInDeg = id
+		}
+		if od == 0 && id == 0 {
+			s.IsolatedCnt++
+		}
+		totalTerms += len(g.Terms(NodeID(v)))
+	}
+	s.AvgOutDeg = float64(s.Edges) / float64(s.Nodes)
+	s.AvgInDeg = s.AvgOutDeg
+	s.AvgTerms = float64(totalTerms) / float64(s.Nodes)
+
+	if s.Edges > 0 {
+		ws := make([]float64, 0, s.Edges)
+		for v := 0; v < s.Nodes; v++ {
+			for _, e := range g.OutEdges(NodeID(v)) {
+				ws = append(ws, e.Weight)
+			}
+		}
+		sort.Float64s(ws)
+		s.MinWeight = ws[0]
+		s.MaxWeight = ws[len(ws)-1]
+		s.MedWeight = ws[len(ws)/2]
+	}
+	return s
+}
+
+// String renders the stats in a compact single-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d avgdeg=%.2f maxout=%d maxin=%d terms=%d avgterms=%.2f w=[%.2f..%.2f med %.2f] isolated=%d",
+		s.Nodes, s.Edges, s.AvgOutDeg, s.MaxOutDeg, s.MaxInDeg,
+		s.TermCount, s.AvgTerms, s.MinWeight, s.MaxWeight, s.MedWeight, s.IsolatedCnt)
+}

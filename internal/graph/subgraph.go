@@ -1,0 +1,95 @@
+package graph
+
+import "fmt"
+
+// Subgraph is a graph cut out of a parent graph together with the
+// mapping between the two ID spaces. The term dictionary is shared with
+// the parent, so interned keyword IDs remain valid.
+type Subgraph struct {
+	// G is the extracted graph with dense local IDs.
+	G *Graph
+	// ToParent maps a local node ID to its ID in the parent graph.
+	ToParent []NodeID
+	// fromParent maps a parent ID to the local ID, or -1.
+	fromParent []int32
+}
+
+// FromParent translates a parent node ID to the local ID, returning
+// false if the node is not part of the subgraph.
+func (s *Subgraph) FromParent(v NodeID) (NodeID, bool) {
+	lv := s.fromParent[v]
+	return lv, lv >= 0
+}
+
+// Induced extracts the subgraph of g induced by nodes: all listed nodes
+// and every edge of g whose endpoints are both listed.
+func Induced(g *Graph, nodes []NodeID) (*Subgraph, error) {
+	return extract(g, nodes, nil)
+}
+
+// Extract builds the subgraph of g containing exactly the given nodes
+// and the given edges. Every edge must exist in g (its weight is copied
+// from g) and both endpoints must be listed in nodes.
+func Extract(g *Graph, nodes []NodeID, edges []EdgePair) (*Subgraph, error) {
+	if edges == nil {
+		edges = []EdgePair{}
+	}
+	return extract(g, nodes, edges)
+}
+
+// extract does the work for Induced (edges == nil means induced) and
+// Extract.
+func extract(g *Graph, nodes []NodeID, edges []EdgePair) (*Subgraph, error) {
+	s := &Subgraph{
+		ToParent:   append([]NodeID(nil), nodes...),
+		fromParent: make([]int32, g.NumNodes()),
+	}
+	for i := range s.fromParent {
+		s.fromParent[i] = -1
+	}
+	b := NewBuilderWithDict(g.Dict())
+	for local, parent := range s.ToParent {
+		if parent < 0 || int(parent) >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: subgraph node %d outside parent", parent)
+		}
+		if s.fromParent[parent] != -1 {
+			return nil, fmt.Errorf("graph: node %d listed twice", parent)
+		}
+		s.fromParent[parent] = int32(local)
+		id := b.AddNodeTermIDs(g.Label(parent), g.Terms(parent))
+		if wt := g.NodeWeight(parent); wt != 0 {
+			b.SetNodeWeight(id, wt)
+		}
+	}
+
+	if edges == nil {
+		for _, parent := range s.ToParent {
+			lu := s.fromParent[parent]
+			for _, e := range g.OutEdges(parent) {
+				if lv := s.fromParent[e.To]; lv >= 0 {
+					b.AddEdge(lu, lv, e.Weight)
+				}
+			}
+		}
+	} else {
+		for _, ep := range edges {
+			lu := s.fromParent[ep.From]
+			lv := s.fromParent[ep.To]
+			if lu < 0 || lv < 0 {
+				return nil, fmt.Errorf("graph: edge (%d,%d) endpoint not in node list", ep.From, ep.To)
+			}
+			w, ok := g.EdgeWeight(ep.From, ep.To)
+			if !ok {
+				return nil, fmt.Errorf("graph: edge (%d,%d) does not exist in parent", ep.From, ep.To)
+			}
+			b.AddEdge(lu, lv, w)
+		}
+	}
+
+	sub, err := b.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	s.G = sub
+	return s, nil
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g, ids := buildDiamond(t)
+	a, c, _, e := ids[0], ids[1], ids[2], ids[3]
+	s, err := Induced(g, []NodeID{a, c, e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", s.G.NumNodes())
+	}
+	// Surviving edges: a->c (1), c->e (3), e->a (5). a->d and d->e drop.
+	if s.G.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", s.G.NumEdges())
+	}
+	la, ok := s.FromParent(a)
+	if !ok {
+		t.Fatal("a should map into subgraph")
+	}
+	lc, _ := s.FromParent(c)
+	if w, ok := s.G.EdgeWeight(la, lc); !ok || w != 1 {
+		t.Fatalf("edge a->c in subgraph = %v,%v", w, ok)
+	}
+	if s.ToParent[la] != a {
+		t.Fatal("ToParent should invert FromParent")
+	}
+	if _, ok := s.FromParent(ids[2]); ok {
+		t.Fatal("d should not map into subgraph")
+	}
+	// Terms survive with shared dictionary.
+	ka, _ := g.Dict().ID("ka")
+	if !s.G.HasTerm(la, ka) {
+		t.Fatal("term ka should survive projection")
+	}
+	if s.G.Dict() != g.Dict() {
+		t.Fatal("dictionary must be shared")
+	}
+}
+
+func TestExtractExplicitEdges(t *testing.T) {
+	g, ids := buildDiamond(t)
+	a, c, d, e := ids[0], ids[1], ids[2], ids[3]
+	s, err := Extract(g, []NodeID{a, c, d, e}, []EdgePair{{a, c}, {d, e}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", s.G.NumEdges())
+	}
+}
+
+func TestExtractZeroEdges(t *testing.T) {
+	g, ids := buildDiamond(t)
+	s, err := Extract(g, []NodeID{ids[0]}, []EdgePair{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G.NumNodes() != 1 || s.G.NumEdges() != 0 {
+		t.Fatalf("got %d nodes %d edges", s.G.NumNodes(), s.G.NumEdges())
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	g, ids := buildDiamond(t)
+	a, c := ids[0], ids[1]
+	if _, err := Extract(g, []NodeID{a}, []EdgePair{{a, c}}); err == nil {
+		t.Fatal("edge endpoint outside node list should error")
+	}
+	if _, err := Extract(g, []NodeID{a, c}, []EdgePair{{c, a}}); err == nil {
+		t.Fatal("non-existent parent edge should error")
+	}
+	if _, err := Induced(g, []NodeID{a, a}); err == nil {
+		t.Fatal("duplicate node should error")
+	}
+	if _, err := Induced(g, []NodeID{99}); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+}
+
+func TestInducedRandomAgreesWithDirectCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		b := NewBuilder()
+		n := rng.Intn(40) + 5
+		for i := 0; i < n; i++ {
+			b.AddNode("")
+		}
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), float64(rng.Intn(9)+1))
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nodes []NodeID
+		in := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				nodes = append(nodes, NodeID(i))
+				in[i] = true
+			}
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		s, err := Induced(g, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count edges with both endpoints inside directly.
+		want := 0
+		for u := 0; u < n; u++ {
+			if !in[u] {
+				continue
+			}
+			for _, e := range g.OutEdges(NodeID(u)) {
+				if in[e.To] {
+					want++
+				}
+			}
+		}
+		if s.G.NumEdges() != want {
+			t.Fatalf("trial %d: induced has %d edges, want %d", trial, s.G.NumEdges(), want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package heap
+
+// DijkstraItem is an entry of the binary heap used by Dijkstra's
+// algorithm: a node id with its tentative distance.
+type DijkstraItem struct {
+	Dist float64
+	Node int32
+}
+
+// Binary is a plain array-backed binary min-heap of DijkstraItem.
+// It supports lazy deletion: stale entries are pushed rather than
+// decrease-keyed and filtered by the caller on pop, which is the fastest
+// practical strategy for sparse-graph Dijkstra. The zero value is an
+// empty, usable heap.
+type Binary struct {
+	a []DijkstraItem
+}
+
+// Len reports the number of entries, including stale ones.
+func (h *Binary) Len() int { return len(h.a) }
+
+// Reset empties the heap while retaining its backing storage, so a
+// workspace heap can be reused across many Dijkstra runs without
+// reallocating.
+func (h *Binary) Reset() { h.a = h.a[:0] }
+
+// Push adds an entry.
+func (h *Binary) Push(dist float64, node int32) {
+	h.a = append(h.a, DijkstraItem{Dist: dist, Node: node})
+	h.up(len(h.a) - 1)
+}
+
+// Pop removes and returns the entry with the smallest distance. It must
+// not be called on an empty heap; callers gate on Len.
+func (h *Binary) Pop() DijkstraItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *Binary) up(i int) {
+	it := h.a[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].Dist <= it.Dist {
+			break
+		}
+		h.a[i] = h.a[p]
+		i = p
+	}
+	h.a[i] = it
+}
+
+func (h *Binary) down(i int) {
+	it := h.a[i]
+	n := len(h.a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && h.a[r].Dist < h.a[l].Dist {
+			small = r
+		}
+		if h.a[small].Dist >= it.Dist {
+			break
+		}
+		h.a[i] = h.a[small]
+		i = small
+	}
+	h.a[i] = it
+}

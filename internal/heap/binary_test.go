@@ -1,0 +1,119 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryBasic(t *testing.T) {
+	var h Binary
+	if h.Len() != 0 {
+		t.Fatal("zero-value heap should be empty")
+	}
+	h.Push(3, 30)
+	h.Push(1, 10)
+	h.Push(2, 20)
+	wantDist := []float64{1, 2, 3}
+	wantNode := []int32{10, 20, 30}
+	for i := range wantDist {
+		it := h.Pop()
+		if it.Dist != wantDist[i] || it.Node != wantNode[i] {
+			t.Fatalf("pop %d = %+v, want (%v,%v)", i, it, wantDist[i], wantNode[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap should be empty after popping everything")
+	}
+}
+
+func TestBinaryReset(t *testing.T) {
+	var h Binary
+	for i := 0; i < 100; i++ {
+		h.Push(float64(i), int32(i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", h.Len())
+	}
+	h.Push(5, 1)
+	h.Push(4, 2)
+	if it := h.Pop(); it.Dist != 4 {
+		t.Fatalf("pop after reset = %v, want 4", it.Dist)
+	}
+}
+
+func TestBinaryRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		var h Binary
+		n := rng.Intn(500) + 1
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64() * 100
+			h.Push(keys[i], int32(i))
+		}
+		sort.Float64s(keys)
+		for i := 0; i < n; i++ {
+			if got := h.Pop().Dist; got != keys[i] {
+				t.Fatalf("trial %d pop %d = %v, want %v", trial, i, got, keys[i])
+			}
+		}
+	}
+}
+
+func TestBinaryQuickProperty(t *testing.T) {
+	prop := func(keys []float64) bool {
+		for _, k := range keys {
+			if k != k { // NaN
+				return true
+			}
+		}
+		var h Binary
+		for i, k := range keys {
+			h.Push(k, int32(i))
+		}
+		want := append([]float64(nil), keys...)
+		sort.Float64s(want)
+		for i := range want {
+			if h.Pop().Dist != want[i] {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryInterleaved(t *testing.T) {
+	// Interleave pushes and pops; popped sequence must always be the
+	// minimum of what is currently inside.
+	rng := rand.New(rand.NewSource(9))
+	var h Binary
+	oracle := map[float64]int{}
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(2) == 0 || h.Len() == 0 {
+			k := float64(rng.Intn(1000))
+			h.Push(k, 0)
+			oracle[k]++
+		} else {
+			min := -1.0
+			for k := range oracle {
+				if min < 0 || k < min {
+					min = k
+				}
+			}
+			got := h.Pop().Dist
+			if got != min {
+				t.Fatalf("step %d: popped %v, oracle min %v", step, got, min)
+			}
+			oracle[got]--
+			if oracle[got] == 0 {
+				delete(oracle, got)
+			}
+		}
+	}
+}

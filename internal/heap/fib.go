@@ -1,0 +1,259 @@
+// Package heap provides the priority queues used by the community search
+// algorithms: a Fibonacci heap, which Algorithm 5 of the paper uses to
+// order candidate cores (O(1) insert, O(log n) amortized extract-min),
+// and a lightweight binary heap used inside Dijkstra's algorithm.
+package heap
+
+import "errors"
+
+// ErrKeyIncrease is returned by DecreaseKey when the new key is larger
+// than the node's current key.
+var ErrKeyIncrease = errors.New("heap: DecreaseKey called with a larger key")
+
+// FibNode is a node of a Fibonacci heap. Callers keep the pointer
+// returned by Insert to later call DecreaseKey on it.
+type FibNode[T any] struct {
+	// Key is the priority of the node; smaller keys are extracted first.
+	Key float64
+	// Value is the caller payload carried with the node.
+	Value T
+
+	parent *FibNode[T]
+	child  *FibNode[T]
+	left   *FibNode[T]
+	right  *FibNode[T]
+	degree int
+	mark   bool
+}
+
+// Fib is a min-ordered Fibonacci heap. The zero value is not usable;
+// create heaps with NewFib.
+type Fib[T any] struct {
+	min *FibNode[T]
+	n   int
+}
+
+// NewFib returns an empty Fibonacci heap.
+func NewFib[T any]() *Fib[T] { return &Fib[T]{} }
+
+// Len reports the number of nodes currently in the heap.
+func (h *Fib[T]) Len() int { return h.n }
+
+// Insert adds a new node with the given key and value and returns it.
+// The returned node remains valid until it is extracted.
+func (h *Fib[T]) Insert(key float64, v T) *FibNode[T] {
+	x := &FibNode[T]{Key: key, Value: v}
+	x.left = x
+	x.right = x
+	h.addRoot(x)
+	h.n++
+	return x
+}
+
+// Min returns the node with the smallest key without removing it, or
+// nil if the heap is empty.
+func (h *Fib[T]) Min() *FibNode[T] { return h.min }
+
+// ExtractMin removes and returns the node with the smallest key, or nil
+// if the heap is empty.
+func (h *Fib[T]) ExtractMin() *FibNode[T] {
+	z := h.min
+	if z == nil {
+		return nil
+	}
+	// Promote all children of z to the root list.
+	for z.child != nil {
+		c := z.child
+		z.child = c.right
+		if z.child == c { // last child
+			z.child = nil
+		} else {
+			c.left.right = c.right
+			c.right.left = c.left
+		}
+		c.parent = nil
+		c.left = c
+		c.right = c
+		h.addRoot(c)
+	}
+	// Remove z from the root list.
+	if z.right == z {
+		h.min = nil
+	} else {
+		z.left.right = z.right
+		z.right.left = z.left
+		h.min = z.right
+		h.consolidate()
+	}
+	h.n--
+	z.left = nil
+	z.right = nil
+	return z
+}
+
+// DecreaseKey lowers the key of node x to k. It returns ErrKeyIncrease
+// if k is greater than the current key.
+func (h *Fib[T]) DecreaseKey(x *FibNode[T], k float64) error {
+	if k > x.Key {
+		return ErrKeyIncrease
+	}
+	x.Key = k
+	p := x.parent
+	if p != nil && x.Key < p.Key {
+		h.cut(x, p)
+		h.cascadingCut(p)
+	}
+	if x.Key < h.min.Key {
+		h.min = x
+	}
+	return nil
+}
+
+// Meld moves every node of other into h, leaving other empty. Nodes of
+// other remain valid and may still be passed to h.DecreaseKey.
+func (h *Fib[T]) Meld(other *Fib[T]) {
+	if other == nil || other.min == nil {
+		return
+	}
+	if h.min == nil {
+		h.min = other.min
+		h.n = other.n
+	} else {
+		// Splice the two circular root lists together.
+		a, b := h.min, other.min
+		ar, bl := a.right, b.left
+		a.right = b
+		b.left = a
+		bl.right = ar
+		ar.left = bl
+		if b.Key < a.Key {
+			h.min = b
+		}
+		h.n += other.n
+	}
+	other.min = nil
+	other.n = 0
+}
+
+func (h *Fib[T]) addRoot(x *FibNode[T]) {
+	if h.min == nil {
+		h.min = x
+		x.left = x
+		x.right = x
+		return
+	}
+	// Insert x to the right of min.
+	x.left = h.min
+	x.right = h.min.right
+	h.min.right.left = x
+	h.min.right = x
+	if x.Key < h.min.Key {
+		h.min = x
+	}
+}
+
+// consolidate links roots of equal degree until all root degrees are
+// distinct, then recomputes min.
+func (h *Fib[T]) consolidate() {
+	// Max degree is O(log n); 64 slots cover any addressable heap.
+	var slots [64]*FibNode[T]
+
+	// Collect roots first: linking mutates the root list.
+	var roots []*FibNode[T]
+	r := h.min
+	if r != nil {
+		for {
+			roots = append(roots, r)
+			r = r.right
+			if r == h.min {
+				break
+			}
+		}
+	}
+	for _, x := range roots {
+		d := x.degree
+		for slots[d] != nil {
+			y := slots[d]
+			if y.Key < x.Key {
+				x, y = y, x
+			}
+			h.link(y, x)
+			slots[d] = nil
+			d++
+		}
+		slots[d] = x
+	}
+	h.min = nil
+	for _, x := range slots {
+		if x == nil {
+			continue
+		}
+		x.left = x
+		x.right = x
+		if h.min == nil {
+			h.min = x
+		} else {
+			x.left = h.min
+			x.right = h.min.right
+			h.min.right.left = x
+			h.min.right = x
+			if x.Key < h.min.Key {
+				h.min = x
+			}
+		}
+	}
+}
+
+// link makes y a child of x. Both must be roots and y.Key >= x.Key.
+func (h *Fib[T]) link(y, x *FibNode[T]) {
+	// Remove y from the root list.
+	y.left.right = y.right
+	y.right.left = y.left
+	y.parent = x
+	if x.child == nil {
+		x.child = y
+		y.left = y
+		y.right = y
+	} else {
+		y.left = x.child
+		y.right = x.child.right
+		x.child.right.left = y
+		x.child.right = y
+	}
+	x.degree++
+	y.mark = false
+}
+
+// cut detaches x from its parent p and moves it to the root list.
+func (h *Fib[T]) cut(x, p *FibNode[T]) {
+	if x.right == x {
+		p.child = nil
+	} else {
+		x.left.right = x.right
+		x.right.left = x.left
+		if p.child == x {
+			p.child = x.right
+		}
+	}
+	p.degree--
+	x.parent = nil
+	x.mark = false
+	x.left = x
+	x.right = x
+	h.addRoot(x)
+}
+
+func (h *Fib[T]) cascadingCut(y *FibNode[T]) {
+	for {
+		p := y.parent
+		if p == nil {
+			return
+		}
+		if !y.mark {
+			y.mark = true
+			return
+		}
+		h.cut(y, p)
+		y = p
+	}
+}

@@ -1,0 +1,241 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain[T any](h *Fib[T]) []float64 {
+	var out []float64
+	for h.Len() > 0 {
+		out = append(out, h.ExtractMin().Key)
+	}
+	return out
+}
+
+func TestFibEmpty(t *testing.T) {
+	h := NewFib[int]()
+	if h.Len() != 0 {
+		t.Fatalf("Len of empty heap = %d, want 0", h.Len())
+	}
+	if h.Min() != nil {
+		t.Fatal("Min of empty heap should be nil")
+	}
+	if h.ExtractMin() != nil {
+		t.Fatal("ExtractMin of empty heap should be nil")
+	}
+}
+
+func TestFibSingle(t *testing.T) {
+	h := NewFib[string]()
+	h.Insert(3.5, "x")
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+	if got := h.Min(); got == nil || got.Key != 3.5 || got.Value != "x" {
+		t.Fatalf("Min = %+v, want key 3.5 value x", got)
+	}
+	n := h.ExtractMin()
+	if n == nil || n.Key != 3.5 || n.Value != "x" {
+		t.Fatalf("ExtractMin = %+v", n)
+	}
+	if h.Len() != 0 || h.Min() != nil {
+		t.Fatal("heap should be empty after extracting the only node")
+	}
+}
+
+func TestFibSortsRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		h := NewFib[int]()
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.NormFloat64() * 100
+			h.Insert(keys[i], i)
+		}
+		got := drain(h)
+		sort.Float64s(keys)
+		if len(got) != n {
+			t.Fatalf("drained %d keys, want %d", len(got), n)
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("trial %d: position %d = %v, want %v", trial, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+func TestFibDuplicateKeys(t *testing.T) {
+	h := NewFib[int]()
+	for i := 0; i < 10; i++ {
+		h.Insert(1.0, i)
+	}
+	seen := make(map[int]bool)
+	for h.Len() > 0 {
+		n := h.ExtractMin()
+		if n.Key != 1.0 {
+			t.Fatalf("key = %v, want 1.0", n.Key)
+		}
+		if seen[n.Value] {
+			t.Fatalf("value %d extracted twice", n.Value)
+		}
+		seen[n.Value] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("extracted %d distinct values, want 10", len(seen))
+	}
+}
+
+func TestFibDecreaseKey(t *testing.T) {
+	h := NewFib[int]()
+	var nodes []*FibNode[int]
+	for i := 0; i < 100; i++ {
+		nodes = append(nodes, h.Insert(float64(100+i), i))
+	}
+	// Force tree structure so decreaseKey exercises cuts.
+	h.Insert(0, -1)
+	h.ExtractMin()
+
+	if err := h.DecreaseKey(nodes[50], 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DecreaseKey(nodes[99], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DecreaseKey(nodes[99], 2); err != ErrKeyIncrease {
+		t.Fatalf("increasing a key returned %v, want ErrKeyIncrease", err)
+	}
+	first := h.ExtractMin()
+	if first.Value != 99 || first.Key != 1 {
+		t.Fatalf("first = (%v,%d), want (1,99)", first.Key, first.Value)
+	}
+	second := h.ExtractMin()
+	if second.Value != 50 || second.Key != 5 {
+		t.Fatalf("second = (%v,%d), want (5,50)", second.Key, second.Value)
+	}
+}
+
+// TestFibRandomOpsOracle runs a long random sequence of insert,
+// extract-min, and decrease-key operations and compares every
+// extraction against a brute-force oracle.
+func TestFibRandomOpsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type entry struct {
+		node *FibNode[int]
+		key  float64
+	}
+	h := NewFib[int]()
+	live := make(map[int]*entry)
+	next := 0
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // insert
+			k := rng.Float64() * 1000
+			live[next] = &entry{node: h.Insert(k, next), key: k}
+			next++
+		case op < 8 && len(live) > 0: // decrease a random live key
+			var id int
+			for id = range live {
+				break
+			}
+			e := live[id]
+			nk := e.key * rng.Float64()
+			if err := h.DecreaseKey(e.node, nk); err != nil {
+				t.Fatalf("step %d: DecreaseKey(%v->%v): %v", step, e.key, nk, err)
+			}
+			e.key = nk
+		case len(live) > 0: // extract min and check against oracle
+			want := -1
+			for id, e := range live {
+				if want == -1 || e.key < live[want].key {
+					want = id
+				}
+			}
+			got := h.ExtractMin()
+			if got.Key != live[want].key {
+				t.Fatalf("step %d: extracted key %v, oracle min %v", step, got.Key, live[want].key)
+			}
+			delete(live, got.Value)
+		}
+		if h.Len() != len(live) {
+			t.Fatalf("step %d: Len = %d, oracle has %d", step, h.Len(), len(live))
+		}
+	}
+}
+
+func TestFibMeld(t *testing.T) {
+	a := NewFib[int]()
+	b := NewFib[int]()
+	var want []float64
+	for i := 0; i < 30; i++ {
+		a.Insert(float64(i*3), i)
+		want = append(want, float64(i*3))
+	}
+	for i := 0; i < 20; i++ {
+		b.Insert(float64(i*5+1), i)
+		want = append(want, float64(i*5+1))
+	}
+	a.Meld(b)
+	if b.Len() != 0 {
+		t.Fatalf("melded-from heap has Len %d, want 0", b.Len())
+	}
+	if a.Len() != 50 {
+		t.Fatalf("melded heap has Len %d, want 50", a.Len())
+	}
+	got := drain(a)
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	a.Meld(nil) // melding nil is a no-op
+	a.Meld(NewFib[int]())
+}
+
+func TestFibMeldIntoEmpty(t *testing.T) {
+	a := NewFib[int]()
+	b := NewFib[int]()
+	b.Insert(2, 0)
+	b.Insert(1, 1)
+	a.Meld(b)
+	if a.Len() != 2 || a.Min().Key != 1 {
+		t.Fatalf("after meld into empty: Len=%d Min=%v", a.Len(), a.Min())
+	}
+}
+
+// TestFibQuickSortsAnything is a property test: for any float64 slice,
+// inserting all values and extracting them yields the sorted slice.
+func TestFibQuickSortsAnything(t *testing.T) {
+	prop := func(keys []float64) bool {
+		// NaN keys have no meaningful order; skip them.
+		for _, k := range keys {
+			if k != k {
+				return true
+			}
+		}
+		h := NewFib[struct{}]()
+		for _, k := range keys {
+			h.Insert(k, struct{}{})
+		}
+		got := drain(h)
+		want := append([]float64(nil), keys...)
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package index implements Section VI of the paper: the two inverted
+// indexes (invertedN: keyword → nodes; invertedE: keyword → edges whose
+// endpoints both lie within R of a node containing the keyword) and the
+// GraphProjection algorithm (Algorithm 6) that cuts a small query-
+// specific subgraph G_P out of the database graph such that any
+// l-keyword query with Rmax ≤ R returns the same communities on G_P as
+// on G_D.
+//
+// Projection preserves every distance that determines community
+// membership, centers, and costs. The one thing it may drop is an
+// induced community edge that lies on no short center→keyword path;
+// callers that materialize communities therefore re-induce edges over
+// the parent graph (the public API does this), making results exactly
+// equal to an unprojected run — a property the tests assert.
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+// WeightedEdge is an invertedE posting: one graph edge with its weight,
+// self-contained so a projected graph can be rebuilt from the index
+// alone (the paper notes G_D itself is then not needed).
+type WeightedEdge struct {
+	From, To graph.NodeID
+	Weight   float64
+}
+
+// Index is the pair of inverted indexes for one database graph and a
+// maximum supported query radius R.
+type Index struct {
+	g *graph.Graph
+	r float64
+
+	// nodes is invertedN, shared with full-text search.
+	nodes *fulltext.Index
+	// edges is invertedE, indexed by interned term ID.
+	edges [][]WeightedEdge
+
+	buildTime time.Duration
+}
+
+// BuildOptions tunes index construction.
+type BuildOptions struct {
+	// R is the largest Rmax the index must support.
+	R float64
+	// Workers bounds build parallelism; 0 uses GOMAXPROCS.
+	Workers int
+	// MinPostings skips invertedE lists for terms occurring on fewer
+	// nodes than this (0 indexes every term). Queries for skipped terms
+	// fall back to an un-projected search.
+	MinPostings int
+}
+
+// Build constructs both inverted indexes. One bounded multi-source
+// reverse Dijkstra runs per distinct term; terms are processed in
+// parallel across workers.
+func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
+	if opt.R < 0 {
+		return nil, fmt.Errorf("index: negative radius %v", opt.R)
+	}
+	start := time.Now()
+	ix := &Index{
+		g:     g,
+		r:     opt.R,
+		nodes: fulltext.Build(g),
+		edges: make([][]WeightedEdge, g.Dict().Size()),
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ term int32 }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := sssp.NewWorkspace(g)
+			res := sssp.NewResult(g.NumNodes())
+			for j := range jobs {
+				ix.edges[j.term] = buildEdgeList(g, ws, res, ix.nodes.NodesByID(j.term), opt.R)
+			}
+		}()
+	}
+	for t := int32(0); int(t) < g.Dict().Size(); t++ {
+		post := ix.nodes.NodesByID(t)
+		if len(post) == 0 || len(post) < opt.MinPostings {
+			continue
+		}
+		jobs <- job{term: t}
+	}
+	close(jobs)
+	wg.Wait()
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// buildEdgeList computes invertedE for one term: every edge whose both
+// endpoints reach a node of post within R.
+func buildEdgeList(g *graph.Graph, ws *sssp.Workspace, res *sssp.Result, post []graph.NodeID, r float64) []WeightedEdge {
+	ws.RunFromNodes(sssp.Reverse, post, r, res)
+	var out []WeightedEdge
+	for _, u := range res.Visited() {
+		prev := graph.NodeID(-1)
+		for _, e := range g.OutEdges(u) {
+			if e.To == prev {
+				continue // parallel edge: adjacency is sorted by (To,
+				// Weight), so the first occurrence carries the minimum
+				// weight, which is the only one shortest paths can use.
+			}
+			prev = e.To
+			if res.Contains(e.To) {
+				out = append(out, WeightedEdge{From: u, To: e.To, Weight: e.Weight})
+			}
+		}
+	}
+	return out
+}
+
+// Graph returns the indexed database graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// R reports the largest supported query radius.
+func (ix *Index) R() float64 { return ix.r }
+
+// Fulltext exposes invertedN for keyword resolution.
+func (ix *Index) Fulltext() *fulltext.Index { return ix.nodes }
+
+// BuildTime reports how long Build took.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// EdgePostings returns invertedE for a term, or nil when the term was
+// not indexed.
+func (ix *Index) EdgePostings(term string) []WeightedEdge {
+	id, ok := ix.g.Dict().ID(term)
+	if !ok {
+		return nil
+	}
+	return ix.edges[id]
+}
+
+// Bytes estimates the logical size of both inverted indexes, the
+// quantity the paper reports against the raw dataset size.
+func (ix *Index) Bytes() int64 {
+	b := ix.nodes.Bytes()
+	for _, es := range ix.edges {
+		b += int64(len(es))*16 + 24
+	}
+	return b
+}
+
+// Stats summarizes the index for reporting.
+type Stats struct {
+	Terms      int
+	EdgeLists  int
+	TotalEdges int64
+	Bytes      int64
+	BuildTime  time.Duration
+}
+
+// ComputeStats scans the index once.
+func (ix *Index) ComputeStats() Stats {
+	s := Stats{Terms: ix.g.Dict().Size(), Bytes: ix.Bytes(), BuildTime: ix.buildTime}
+	for _, es := range ix.edges {
+		if len(es) > 0 {
+			s.EdgeLists++
+			s.TotalEdges += int64(len(es))
+		}
+	}
+	return s
+}

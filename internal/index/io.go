@@ -1,0 +1,157 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+)
+
+// Binary serialization of the inverted edge index so the expensive
+// build (one bounded shortest-path pass per distinct term — the 355s
+// the paper reports for DBLP) is paid once. invertedN is not stored: it
+// is reconstructed from the graph in a single scan on load.
+//
+// Format: magic "CDBX" | version | R bits | term count | per term:
+// posting count then delta-coded (from, to) pairs with weight bits.
+
+const (
+	idxMagic   = "CDBX"
+	idxVersion = 1
+)
+
+// Write serializes the index's invertedE and radius to w. The graph
+// itself is serialized separately (graph.Write); Read checks that the
+// two match.
+func (ix *Index) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(idxMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, idxVersion)
+	writeFloat(bw, ix.r)
+	writeUvarint(bw, uint64(len(ix.edges)))
+	for _, posts := range ix.edges {
+		writeUvarint(bw, uint64(len(posts)))
+		prevFrom := int64(0)
+		for _, e := range posts {
+			// Postings are grouped by From ascending (built from the
+			// settled order is not sorted; delta-code via zigzag).
+			writeVarint(bw, int64(e.From)-prevFrom)
+			prevFrom = int64(e.From)
+			writeUvarint(bw, uint64(e.To))
+			writeFloat(bw, e.Weight)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadInto deserializes an index written by Write, attaching it to the
+// graph it was built from. The term count must match the graph's
+// dictionary.
+func ReadInto(r io.Reader, g *graph.Graph) (*Index, error) {
+	start := time.Now()
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic) != idxMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != idxVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", ver)
+	}
+	radius, err := readFloat(br)
+	if err != nil {
+		return nil, err
+	}
+	terms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if int(terms) != g.Dict().Size() {
+		return nil, fmt.Errorf("index: built over %d terms, graph has %d — wrong graph?",
+			terms, g.Dict().Size())
+	}
+	ix := &Index{
+		g:     g,
+		r:     radius,
+		nodes: fulltext.Build(g),
+		edges: make([][]WeightedEdge, terms),
+	}
+	n := int64(g.NumNodes())
+	for t := uint64(0); t < terms; t++ {
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if cnt == 0 {
+			continue
+		}
+		capHint := int(cnt)
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		posts := make([]WeightedEdge, 0, capHint)
+		prevFrom := int64(0)
+		for i := uint64(0); i < cnt; i++ {
+			df, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			from := prevFrom + df
+			prevFrom = from
+			to, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			wt, err := readFloat(br)
+			if err != nil {
+				return nil, err
+			}
+			if from < 0 || from >= n || int64(to) >= n {
+				return nil, fmt.Errorf("index: posting (%d,%d) outside graph", from, to)
+			}
+			posts = append(posts, WeightedEdge{From: graph.NodeID(from), To: graph.NodeID(to), Weight: wt})
+		}
+		ix.edges[t] = posts
+	}
+	ix.buildTime = time.Since(start) // load time stands in for build time
+	return ix, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeFloat(w *bufio.Writer, f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.Write(buf[:])
+}
+
+func readFloat(r *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

@@ -1,0 +1,112 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"commdb/internal/core"
+	"commdb/internal/graph"
+)
+
+func TestIndexIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	g, kws := randomKeywordGraph(t, rng, 40, 160, 3)
+	ix, err := Build(g, BuildOptions{R: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := ReadInto(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.R() != 7 {
+		t.Fatalf("R = %v, want 7", ix2.R())
+	}
+	for _, kw := range kws {
+		a, b := ix.EdgePostings(kw), ix2.EdgePostings(kw)
+		if len(a) != len(b) {
+			t.Fatalf("term %s: %d vs %d postings", kw, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("term %s posting %d: %v vs %v", kw, i, a[i], b[i])
+			}
+		}
+	}
+	// Projection over the loaded index gives identical graphs.
+	p1, err := ix.Project(kws[:2], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ix2.Project(kws[:2], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Sub.G.NumNodes() != p2.Sub.G.NumNodes() || p1.Sub.G.NumEdges() != p2.Sub.G.NumEdges() {
+		t.Fatalf("projection differs after round trip: (%d,%d) vs (%d,%d)",
+			p1.Sub.G.NumNodes(), p1.Sub.G.NumEdges(), p2.Sub.G.NumNodes(), p2.Sub.G.NumEdges())
+	}
+}
+
+func TestIndexIORejectsMismatchedGraph(t *testing.T) {
+	g, _ := core.PaperGraph()
+	ix, err := Build(g, BuildOptions{R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := core.IntroGraph()
+	if _, err := ReadInto(&buf, other); err == nil {
+		t.Fatal("loading an index against a different graph should fail")
+	}
+}
+
+func TestIndexIORejectsGarbage(t *testing.T) {
+	g, _ := core.PaperGraph()
+	if _, err := ReadInto(strings.NewReader("garbage"), g); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	ix, err := Build(g, BuildOptions{R: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/3]
+	if _, err := ReadInto(bytes.NewReader(trunc), g); err == nil {
+		t.Fatal("truncated index should fail")
+	}
+}
+
+func TestIndexIOEmptyPostings(t *testing.T) {
+	// A graph whose dictionary has terms with no invertedE entries
+	// (MinPostings skips) round-trips cleanly.
+	b := graph.NewBuilder()
+	b.AddNode("a", "only")
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, BuildOptions{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadInto(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+}

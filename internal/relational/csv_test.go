@@ -1,0 +1,113 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func newPeopleTable(t *testing.T) *Table {
+	t.Helper()
+	db := NewDatabase()
+	tab, err := db.CreateTable(Schema{
+		Name: "People",
+		Columns: []Column{
+			{Name: "Id", Type: Int},
+			{Name: "Name", Type: String, FullText: true},
+		},
+		PrimaryKey: []string{"Id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestLoadCSVPositional(t *testing.T) {
+	tab := newPeopleTable(t)
+	n, err := LoadCSV(tab, strings.NewReader("1,ada\n2,alan\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || tab.Len() != 2 {
+		t.Fatalf("inserted %d rows", n)
+	}
+	row, ok := tab.Lookup("2")
+	if !ok || row[1].Str() != "alan" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestLoadCSVHeaderReordered(t *testing.T) {
+	tab := newPeopleTable(t)
+	data := "name,extra,id\nada,x,1\nalan,y,2\n"
+	n, err := LoadCSV(tab, strings.NewReader(data), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("inserted %d", n)
+	}
+	row, _ := tab.Lookup("1")
+	if row[1].Str() != "ada" {
+		t.Fatalf("header mapping broken: %v", row)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tab := newPeopleTable(t)
+	if _, err := LoadCSV(tab, strings.NewReader("notanint,ada\n"), CSVOptions{}); err == nil {
+		t.Fatal("non-integer id should fail")
+	}
+	tab2 := newPeopleTable(t)
+	if _, err := LoadCSV(tab2, strings.NewReader("1\n"), CSVOptions{}); err == nil {
+		t.Fatal("missing field should fail")
+	}
+	tab3 := newPeopleTable(t)
+	if _, err := LoadCSV(tab3, strings.NewReader("wrong,header\n1,ada\n"), CSVOptions{Header: true}); err == nil {
+		t.Fatal("header without required columns should fail")
+	}
+	tab4 := newPeopleTable(t)
+	if _, err := LoadCSV(tab4, strings.NewReader("1,ada\n1,dup\n"), CSVOptions{}); err == nil {
+		t.Fatal("duplicate key should surface the insert error")
+	}
+}
+
+func TestLoadCSVTrimAndDelimiter(t *testing.T) {
+	tab := newPeopleTable(t)
+	data := " 1 ; ada \n 2 ; alan \n"
+	n, err := LoadCSV(tab, strings.NewReader(data), CSVOptions{Comma: ';', TrimSpace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("inserted %d", n)
+	}
+	row, _ := tab.Lookup("1")
+	if row[1].Str() != "ada" {
+		t.Fatalf("trim broken: %q", row[1].Str())
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	tab := newPeopleTable(t)
+	if _, err := LoadCSV(tab, strings.NewReader("1,ada lovelace\n2,\"alan, turing\"\n"), CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DumpCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tab2 := newPeopleTable(t)
+	n, err := LoadCSV(tab2, &buf, CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("round trip inserted %d", n)
+	}
+	row, _ := tab2.Lookup("2")
+	if row[1].Str() != "alan, turing" {
+		t.Fatalf("quoted field broken: %q", row[1].Str())
+	}
+}

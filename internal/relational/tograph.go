@@ -1,0 +1,89 @@
+package relational
+
+import (
+	"fmt"
+
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+)
+
+// NodeRef identifies the tuple behind a graph node.
+type NodeRef struct {
+	Table string
+	PK    string
+}
+
+// NodeMap translates between graph nodes and database tuples.
+type NodeMap struct {
+	refs  []NodeRef
+	byRef map[NodeRef]graph.NodeID
+}
+
+// Ref returns the tuple reference of a node.
+func (m *NodeMap) Ref(v graph.NodeID) NodeRef { return m.refs[v] }
+
+// Node resolves a (table, primary key) pair to its node.
+func (m *NodeMap) Node(table, pk string) (graph.NodeID, bool) {
+	v, ok := m.byRef[NodeRef{Table: table, PK: pk}]
+	return v, ok
+}
+
+// Len reports the number of mapped nodes.
+func (m *NodeMap) Len() int { return len(m.refs) }
+
+// ToGraph materializes the database as the paper's database graph G_D:
+// one node per tuple carrying the tokens of its full-text attributes,
+// and one bi-directed edge per foreign-key reference between the
+// referencing and the referenced tuples. Edge weights follow the
+// experiments' function w_e((u,v)) = log2(1 + N_in(v)).
+//
+// The node label is "Table:PK". CheckIntegrity is run first so a
+// dangling reference fails loudly rather than silently dropping edges.
+func (db *Database) ToGraph() (*graph.Graph, *NodeMap, error) {
+	if err := db.CheckIntegrity(); err != nil {
+		return nil, nil, err
+	}
+	b := graph.NewBuilder()
+	m := &NodeMap{byRef: make(map[NodeRef]graph.NodeID, db.NumTuples())}
+
+	// Nodes, table by table in creation order for determinism.
+	for _, name := range db.order {
+		t := db.tables[name]
+		var textCols []int
+		for i, c := range t.schema.Columns {
+			if c.FullText && c.Type == String {
+				textCols = append(textCols, i)
+			}
+		}
+		for r := 0; r < t.Len(); r++ {
+			row := t.Row(r)
+			pk := t.pkKey(row)
+			var terms []string
+			for _, ci := range textCols {
+				terms = append(terms, fulltext.Tokenize(row[ci].Str())...)
+			}
+			id := b.AddNode(fmt.Sprintf("%s:%s", name, pk), terms...)
+			ref := NodeRef{Table: name, PK: pk}
+			m.refs = append(m.refs, ref)
+			m.byRef[ref] = id
+		}
+	}
+
+	// Edges: one bi-directed pair per foreign-key instance.
+	for _, fk := range db.fks {
+		from := db.tables[fk.FromTable]
+		ci := from.ColumnIndex(fk.FromColumn)
+		for r := 0; r < from.Len(); r++ {
+			row := from.Row(r)
+			u := m.byRef[NodeRef{Table: fk.FromTable, PK: from.pkKey(row)}]
+			v := m.byRef[NodeRef{Table: fk.ToTable, PK: row[ci].String()}]
+			b.AddBiEdge(u, v, 0) // weights assigned by FreezeLogWeights
+		}
+	}
+
+	g, err := b.FreezeLogWeights()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, m, nil
+}

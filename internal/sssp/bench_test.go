@@ -1,0 +1,54 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"commdb/internal/graph"
+)
+
+func benchGraph(b *testing.B, n, m int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	bld := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		bld.AddNode("")
+	}
+	for i := 0; i < m; i++ {
+		bld.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rng.Float64()*4+1)
+	}
+	g, err := bld.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBoundedDijkstra measures one radius-bounded single-source
+// run on a 10K-node sparse graph — the unit cost of the paper's
+// Neighbor() subroutine.
+func BenchmarkBoundedDijkstra(b *testing.B) {
+	g := benchGraph(b, 10000, 40000)
+	ws := NewWorkspace(g)
+	res := NewResult(g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.RunFromNodes(Forward, []graph.NodeID{graph.NodeID(i % g.NumNodes())}, 8, res)
+	}
+}
+
+// BenchmarkMultiSourceReverse measures the multi-source reverse run
+// that computes a whole neighborSet at once.
+func BenchmarkMultiSourceReverse(b *testing.B) {
+	g := benchGraph(b, 10000, 40000)
+	ws := NewWorkspace(g)
+	res := NewResult(g.NumNodes())
+	seeds := make([]graph.NodeID, 32)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i * 311 % g.NumNodes())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.RunFromNodes(Reverse, seeds, 8, res)
+	}
+}

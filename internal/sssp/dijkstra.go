@@ -1,0 +1,260 @@
+// Package sssp implements radius-bounded multi-source Dijkstra over a
+// database graph, in both edge directions.
+//
+// The paper's Neighbor() (Algorithm 2) adds a virtual sink t with
+// zero-weight edges from every keyword node and runs Dijkstra over the
+// reversed graph; GetCommunity() (Algorithm 4) does the same with a
+// virtual source s over the forward graph. Both constructions are
+// exactly multi-source Dijkstra seeded at distance zero, which is how
+// this package implements them — no virtual nodes are materialized.
+//
+// A Workspace carries the scratch arrays (tentative distances with
+// epoch stamping and the binary heap) so that the O(l) Dijkstra runs
+// per enumeration step allocate nothing.
+package sssp
+
+import (
+	"math"
+
+	"commdb/internal/graph"
+	"commdb/internal/heap"
+)
+
+// Direction selects which adjacency a run follows.
+type Direction int
+
+const (
+	// Forward computes dist(seed, v): shortest paths leaving the seeds.
+	Forward Direction = iota
+	// Reverse computes dist(v, seed): shortest paths into the seeds,
+	// i.e. Dijkstra over the reversed graph.
+	Reverse
+)
+
+// Seed is a starting point of a run with an initial distance offset
+// (zero for the paper's virtual source/sink constructions).
+type Seed struct {
+	Node graph.NodeID
+	Dist float64
+}
+
+// Result holds the settled nodes of one bounded Dijkstra run: for every
+// node within the radius, its shortest distance and the seed that
+// realizes it (the paper's src(N_i, u) / min(N_i, u) bookkeeping).
+//
+// A Result is sized to a graph and can be reused across runs; lookup is
+// O(1) via a dense position index, while iteration touches only the
+// settled nodes.
+type Result struct {
+	pos     []int32 // node -> index into visited, or -1
+	visited []graph.NodeID
+	dist    []float64
+	src     []graph.NodeID
+	via     []graph.NodeID // next hop toward the seed (or previous hop from it)
+}
+
+// NewResult returns an empty Result for graphs of n nodes.
+func NewResult(n int) *Result {
+	r := &Result{pos: make([]int32, n)}
+	for i := range r.pos {
+		r.pos[i] = -1
+	}
+	return r
+}
+
+// Reset clears the result in O(settled nodes).
+func (r *Result) Reset() {
+	for _, v := range r.visited {
+		r.pos[v] = -1
+	}
+	r.visited = r.visited[:0]
+	r.dist = r.dist[:0]
+	r.src = r.src[:0]
+	r.via = r.via[:0]
+}
+
+// Contains reports whether v was settled within the radius.
+func (r *Result) Contains(v graph.NodeID) bool { return r.pos[v] >= 0 }
+
+// Dist returns the shortest distance of v and whether v was settled.
+func (r *Result) Dist(v graph.NodeID) (float64, bool) {
+	p := r.pos[v]
+	if p < 0 {
+		return math.Inf(1), false
+	}
+	return r.dist[p], true
+}
+
+// Src returns the seed node realizing v's shortest distance. It must
+// only be called when Contains(v) is true.
+func (r *Result) Src(v graph.NodeID) graph.NodeID { return r.src[r.pos[v]] }
+
+// Via returns v's neighbour on its shortest path: the next hop toward
+// the seed on a Reverse run, or the previous hop from the seed on a
+// Forward run. Seeds return themselves. It must only be called when
+// Contains(v) is true.
+func (r *Result) Via(v graph.NodeID) graph.NodeID { return r.via[r.pos[v]] }
+
+// PathTo reconstructs v's shortest path by following Via hops until the
+// seed: on a Reverse run the returned nodes run v → … → seed in original
+// edge orientation; on a Forward run they run v → … → seed backwards
+// along the path (i.e. reversed). It must only be called when
+// Contains(v) is true.
+func (r *Result) PathTo(v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for {
+		out = append(out, v)
+		next := r.Via(v)
+		if next == v {
+			return out
+		}
+		v = next
+	}
+}
+
+// Visited returns the settled nodes in non-decreasing distance order.
+// The slice aliases the result's storage.
+func (r *Result) Visited() []graph.NodeID { return r.visited }
+
+// Len reports the number of settled nodes.
+func (r *Result) Len() int { return len(r.visited) }
+
+// Bytes estimates the logical memory footprint of the result.
+func (r *Result) Bytes() int64 {
+	return int64(len(r.pos))*4 + int64(cap(r.visited))*4 + int64(cap(r.dist))*8 +
+		int64(cap(r.src))*4 + int64(cap(r.via))*4
+}
+
+func (r *Result) add(v graph.NodeID, d float64, src, via graph.NodeID) {
+	r.pos[v] = int32(len(r.visited))
+	r.visited = append(r.visited, v)
+	r.dist = append(r.dist, d)
+	r.src = append(r.src, src)
+	r.via = append(r.via, via)
+}
+
+// Workspace holds the per-graph scratch state shared by successive
+// Dijkstra runs. It is not safe for concurrent use.
+type Workspace struct {
+	g     *graph.Graph
+	tent  []float64
+	tsrc  []graph.NodeID
+	tvia  []graph.NodeID
+	stamp []uint32
+	epoch uint32
+	pq    heap.Binary
+}
+
+// NewWorkspace returns a Workspace for g.
+func NewWorkspace(g *graph.Graph) *Workspace {
+	n := g.NumNodes()
+	return &Workspace{
+		g:     g,
+		tent:  make([]float64, n),
+		tsrc:  make([]graph.NodeID, n),
+		tvia:  make([]graph.NodeID, n),
+		stamp: make([]uint32, n),
+	}
+}
+
+// Graph returns the graph the workspace was created for.
+func (w *Workspace) Graph() *graph.Graph { return w.g }
+
+// Bytes estimates the logical memory footprint of the workspace.
+func (w *Workspace) Bytes() int64 {
+	return int64(len(w.tent))*8 + int64(len(w.tsrc))*8 + int64(len(w.stamp))*4
+}
+
+// Run executes one bounded Dijkstra: shortest paths from the seed set,
+// following out-edges (Forward) or in-edges (Reverse), settling every
+// node whose distance is at most rmax. The result is written into res,
+// which is reset first.
+//
+// When the graph carries node weights (the paper's footnote-1
+// extension), a path's cost additionally counts the node weight of
+// every node on it except the path's source: a Forward run adds the
+// entered node's weight on each relaxation, a Reverse run adds the
+// weight of the node being left in the original orientation. The two
+// conventions compose so that dist(s,u) + dist(u,t) counts u exactly
+// once, which is what GetCommunity's membership test needs.
+func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) {
+	res.Reset()
+	w.epoch++
+	if w.epoch == 0 { // wrapped: wipe stamps once
+		for i := range w.stamp {
+			w.stamp[i] = 0
+		}
+		w.epoch = 1
+	}
+	w.pq.Reset()
+
+	for _, s := range seeds {
+		if s.Dist > rmax {
+			continue
+		}
+		if w.stamp[s.Node] == w.epoch && w.tent[s.Node] <= s.Dist {
+			continue
+		}
+		w.stamp[s.Node] = w.epoch
+		w.tent[s.Node] = s.Dist
+		w.tsrc[s.Node] = s.Node
+		w.tvia[s.Node] = s.Node
+		w.pq.Push(s.Dist, s.Node)
+	}
+
+	for w.pq.Len() > 0 {
+		it := w.pq.Pop()
+		v := it.Node
+		if res.Contains(v) {
+			continue // stale entry
+		}
+		if w.stamp[v] != w.epoch || it.Dist > w.tent[v] {
+			continue // superseded tentative distance
+		}
+		if it.Dist > rmax {
+			break
+		}
+		res.add(v, it.Dist, w.tsrc[v], w.tvia[v])
+
+		var adj []graph.Edge
+		if dir == Forward {
+			adj = w.g.OutEdges(v)
+		} else {
+			adj = w.g.InEdges(v)
+		}
+		nw := w.g.NodeWeights()
+		for _, e := range adj {
+			nd := it.Dist + e.Weight
+			if nw != nil {
+				if dir == Forward {
+					nd += nw[e.To] // entering e.To
+				} else {
+					nd += nw[v] // leaving v in the original orientation
+				}
+			}
+			if nd > rmax {
+				continue
+			}
+			if res.Contains(e.To) {
+				continue
+			}
+			if w.stamp[e.To] == w.epoch && w.tent[e.To] <= nd {
+				continue
+			}
+			w.stamp[e.To] = w.epoch
+			w.tent[e.To] = nd
+			w.tsrc[e.To] = w.tsrc[v]
+			w.tvia[e.To] = v
+			w.pq.Push(nd, e.To)
+		}
+	}
+}
+
+// RunFromNodes is Run with all seeds at distance zero.
+func (w *Workspace) RunFromNodes(dir Direction, nodes []graph.NodeID, rmax float64, res *Result) {
+	seeds := make([]Seed, len(nodes))
+	for i, v := range nodes {
+		seeds[i] = Seed{Node: v}
+	}
+	w.Run(dir, seeds, rmax, res)
+}

@@ -1,0 +1,286 @@
+package sssp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"commdb/internal/graph"
+)
+
+// randomGraph builds a random weighted directed graph for oracle tests.
+func randomGraph(t *testing.T, rng *rand.Rand, n, m int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode("")
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), float64(rng.Intn(10)+1))
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// floyd computes all-pairs shortest distances by Floyd–Warshall,
+// optionally on the reversed graph.
+func floyd(g *graph.Graph, reverse bool) [][]float64 {
+	n := g.NumNodes()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.OutEdges(graph.NodeID(u)) {
+			from, to := u, int(e.To)
+			if reverse {
+				from, to = to, from
+			}
+			if e.Weight < d[from][to] {
+				d[from][to] = e.Weight
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d[i][k] == math.Inf(1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := d[i][k] + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+func TestSingleSourceAgainstFloyd(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(30) + 2
+		g := randomGraph(t, rng, n, n*3)
+		apsp := floyd(g, false)
+		w := NewWorkspace(g)
+		res := NewResult(n)
+		src := graph.NodeID(rng.Intn(n))
+		rmax := float64(rng.Intn(30) + 1)
+		w.RunFromNodes(Forward, []graph.NodeID{src}, rmax, res)
+		for v := 0; v < n; v++ {
+			want := apsp[src][v]
+			got, ok := res.Dist(graph.NodeID(v))
+			if want <= rmax {
+				if !ok || got != want {
+					t.Fatalf("trial %d: dist(%d,%d) = %v,%v, want %v within rmax %v", trial, src, v, got, ok, want, rmax)
+				}
+			} else if ok {
+				t.Fatalf("trial %d: node %d settled at %v beyond rmax %v (true %v)", trial, v, got, rmax, want)
+			}
+		}
+	}
+}
+
+func TestReverseAgainstFloyd(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(30) + 2
+		g := randomGraph(t, rng, n, n*3)
+		apsp := floyd(g, false)
+		w := NewWorkspace(g)
+		res := NewResult(n)
+		sink := graph.NodeID(rng.Intn(n))
+		rmax := float64(rng.Intn(30) + 1)
+		// Reverse run from sink computes dist(v, sink) in the original
+		// orientation — the paper's Neighbor() semantics.
+		w.RunFromNodes(Reverse, []graph.NodeID{sink}, rmax, res)
+		for v := 0; v < n; v++ {
+			want := apsp[v][sink]
+			got, ok := res.Dist(graph.NodeID(v))
+			if want <= rmax {
+				if !ok || got != want {
+					t.Fatalf("trial %d: dist(%d,%d) = %v,%v, want %v", trial, v, sink, got, ok, want)
+				}
+			} else if ok {
+				t.Fatalf("trial %d: node %d settled beyond rmax", trial, v)
+			}
+		}
+	}
+}
+
+func TestMultiSourceMinAndSrc(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(25) + 3
+		g := randomGraph(t, rng, n, n*3)
+		apsp := floyd(g, false)
+		w := NewWorkspace(g)
+		res := NewResult(n)
+		var seeds []graph.NodeID
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				seeds = append(seeds, graph.NodeID(i))
+			}
+		}
+		if len(seeds) == 0 {
+			seeds = append(seeds, 0)
+		}
+		rmax := float64(rng.Intn(25) + 1)
+		w.RunFromNodes(Reverse, seeds, rmax, res)
+		for v := 0; v < n; v++ {
+			want := math.Inf(1)
+			for _, s := range seeds {
+				if apsp[v][s] < want {
+					want = apsp[v][s]
+				}
+			}
+			got, ok := res.Dist(graph.NodeID(v))
+			if want <= rmax {
+				if !ok || got != want {
+					t.Fatalf("trial %d: multi dist(%d) = %v,%v, want %v", trial, v, got, ok, want)
+				}
+				// The reported source must realize the minimum.
+				s := res.Src(graph.NodeID(v))
+				if apsp[v][s] != want {
+					t.Fatalf("trial %d: Src(%d)=%d realizes %v, want %v", trial, v, s, apsp[v][s], want)
+				}
+			} else if ok {
+				t.Fatalf("trial %d: node %d settled beyond rmax", trial, v)
+			}
+		}
+	}
+}
+
+func TestSeedOffsets(t *testing.T) {
+	// Line graph a -> b -> c with weight 2 each; seed a at offset 1.
+	b := graph.NewBuilder()
+	a := b.AddNode("a")
+	bb := b.AddNode("b")
+	c := b.AddNode("c")
+	b.AddEdge(a, bb, 2)
+	b.AddEdge(bb, c, 2)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkspace(g)
+	res := NewResult(3)
+	w.Run(Forward, []Seed{{Node: a, Dist: 1}}, 5, res)
+	if d, _ := res.Dist(a); d != 1 {
+		t.Fatalf("dist(a) = %v, want seed offset 1", d)
+	}
+	if d, _ := res.Dist(c); d != 5 {
+		t.Fatalf("dist(c) = %v, want 5", d)
+	}
+	// Offset beyond rmax excludes the seed entirely.
+	w.Run(Forward, []Seed{{Node: a, Dist: 9}}, 5, res)
+	if res.Len() != 0 {
+		t.Fatalf("seed beyond rmax settled %d nodes", res.Len())
+	}
+}
+
+func TestVisitedSortedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(t, rng, 60, 240)
+	w := NewWorkspace(g)
+	res := NewResult(60)
+	w.RunFromNodes(Forward, []graph.NodeID{0, 5, 10}, 40, res)
+	last := -1.0
+	for _, v := range res.Visited() {
+		d, _ := res.Dist(v)
+		if d < last {
+			t.Fatalf("visited order not sorted: %v after %v", d, last)
+		}
+		last = d
+	}
+}
+
+func TestResultReuseAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := randomGraph(t, rng, 40, 160)
+	apsp := floyd(g, false)
+	w := NewWorkspace(g)
+	res := NewResult(40)
+	for run := 0; run < 200; run++ {
+		src := graph.NodeID(rng.Intn(40))
+		rmax := float64(rng.Intn(20))
+		w.RunFromNodes(Forward, []graph.NodeID{src}, rmax, res)
+		for v := 0; v < 40; v++ {
+			want := apsp[src][v]
+			got, ok := res.Dist(graph.NodeID(v))
+			if want <= rmax != ok {
+				t.Fatalf("run %d: settled mismatch at %d", run, v)
+			}
+			if ok && got != want {
+				t.Fatalf("run %d: dist %v want %v", run, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroRadius(t *testing.T) {
+	g := randomGraph(t, rand.New(rand.NewSource(31)), 10, 30)
+	w := NewWorkspace(g)
+	res := NewResult(10)
+	w.RunFromNodes(Forward, []graph.NodeID{3}, 0, res)
+	// Only the seed itself (and any node reachable at zero total
+	// weight, impossible with positive weights) is settled.
+	if res.Len() != 1 || !res.Contains(3) {
+		t.Fatalf("zero radius settled %d nodes", res.Len())
+	}
+	if res.Src(3) != 3 {
+		t.Fatal("seed's src should be itself")
+	}
+}
+
+func TestEmptySeeds(t *testing.T) {
+	g := randomGraph(t, rand.New(rand.NewSource(37)), 5, 10)
+	w := NewWorkspace(g)
+	res := NewResult(5)
+	w.RunFromNodes(Forward, nil, 10, res)
+	if res.Len() != 0 {
+		t.Fatal("no seeds should settle nothing")
+	}
+}
+
+func TestDuplicateSeedsKeepBest(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddNode("a")
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkspace(g)
+	res := NewResult(1)
+	w.Run(Forward, []Seed{{a, 3}, {a, 1}, {a, 2}}, 10, res)
+	if d, _ := res.Dist(a); d != 1 {
+		t.Fatalf("dist = %v, want best duplicate seed 1", d)
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	// Force the epoch counter to wrap and verify correctness persists.
+	g := randomGraph(t, rand.New(rand.NewSource(41)), 8, 20)
+	w := NewWorkspace(g)
+	w.epoch = math.MaxUint32 - 3
+	res := NewResult(8)
+	apsp := floyd(g, false)
+	for run := 0; run < 10; run++ {
+		w.RunFromNodes(Forward, []graph.NodeID{0}, 100, res)
+		for v := 0; v < 8; v++ {
+			want := apsp[0][v]
+			got, ok := res.Dist(graph.NodeID(v))
+			if (want <= 100) != ok || (ok && got != want) {
+				t.Fatalf("run %d after wrap: dist(%d) = %v,%v want %v", run, v, got, ok, want)
+			}
+		}
+	}
+}

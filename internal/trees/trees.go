@@ -1,0 +1,264 @@
+// Package trees implements the minimal-connected-tree keyword search
+// that the paper's introduction argues against: BANKS-style rooted
+// result trees (Bhalotia et al., reference [2] of the paper; the
+// distinct-root ranked enumeration of Kimelfeld & Sagiv, reference
+// [4]).
+//
+// A result tree for an l-keyword query is a root node together with one
+// shortest path from the root to a keyword node per keyword; its cost
+// is the total weight of those paths. Trees are enumerated in ranking
+// order, identified by (root, leaf per keyword) — the semantics under
+// which the paper's Fig. 2 shows several fragmented trees where Fig. 3
+// shows two communities.
+//
+// The package exists as the motivational baseline: the quickstart
+// example and the "motivation" benchmark contrast how many fragmented
+// trees carry the information of a handful of communities.
+package trees
+
+import (
+	"fmt"
+	"sort"
+
+	"commdb/internal/core"
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+	"commdb/internal/heap"
+	"commdb/internal/sssp"
+)
+
+// Tree is one ranked answer: a root reaching one keyword node per
+// keyword through its shortest paths.
+type Tree struct {
+	// Root is the connection node of the tree.
+	Root graph.NodeID
+	// Leaves hold the chosen keyword node per keyword position.
+	Leaves []graph.NodeID
+	// Cost is the total weight of the root→leaf shortest paths.
+	Cost float64
+	// Nodes are the distinct nodes of the tree (root, leaves, and all
+	// path nodes), sorted.
+	Nodes []graph.NodeID
+	// Edges are the tree's directed edges (each path's hops), deduped.
+	Edges []graph.EdgePair
+}
+
+// Enumerator streams trees in non-decreasing cost order. Create one per
+// query with NewEnumerator and call Next until done — like the
+// community enumerators, it supports interactive enlargement.
+type Enumerator struct {
+	g    *graph.Graph
+	dmax float64
+	l    int
+
+	// kwRuns[i][j] is the bounded reverse Dijkstra from the j-th node
+	// containing keyword i; kwNodes[i][j] is that node.
+	kwNodes [][]graph.NodeID
+	kwRuns  [][]*sssp.Result
+
+	// lists[r][i] is the root's sorted candidate list for keyword i:
+	// indices into kwNodes[i]/kwRuns[i] ordered by distance from r.
+	// Built lazily per root.
+	lists map[graph.NodeID][][]leafCand
+
+	h       *heap.Fib[*treeCand]
+	started bool
+}
+
+type leafCand struct {
+	idx  int // into kwNodes[i]
+	dist float64
+}
+
+// treeCand is a candidate in the k-best product enumeration: a root and
+// one sorted-list index per keyword. pos implements the standard
+// duplicate-free successor rule (only positions >= pos may advance).
+type treeCand struct {
+	root graph.NodeID
+	idxs []int
+	cost float64
+	pos  int
+}
+
+// NewEnumerator prepares the ranked tree enumeration: every root→leaf
+// distance within dmax is admissible. ix may be nil.
+func NewEnumerator(g *graph.Graph, ix *fulltext.Index, keywords []string, dmax float64) (*Enumerator, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("trees: query needs at least one keyword")
+	}
+	if dmax < 0 {
+		return nil, fmt.Errorf("trees: negative distance bound %v", dmax)
+	}
+	e := &Enumerator{
+		g:       g,
+		dmax:    dmax,
+		l:       len(keywords),
+		kwNodes: make([][]graph.NodeID, len(keywords)),
+		kwRuns:  make([][]*sssp.Result, len(keywords)),
+		lists:   make(map[graph.NodeID][][]leafCand),
+		h:       heap.NewFib[*treeCand](),
+	}
+	ws := sssp.NewWorkspace(g)
+	for i, kw := range keywords {
+		nodes, err := core.KeywordNodes(g, ix, kw)
+		if err != nil {
+			return nil, err
+		}
+		e.kwNodes[i] = nodes
+		e.kwRuns[i] = make([]*sssp.Result, len(nodes))
+		for j, v := range nodes {
+			res := sssp.NewResult(g.NumNodes())
+			ws.RunFromNodes(sssp.Reverse, []graph.NodeID{v}, dmax, res)
+			e.kwRuns[i][j] = res
+		}
+	}
+	return e, nil
+}
+
+// rootLists builds (or returns) the per-keyword sorted leaf lists of a
+// root, or nil when the root cannot reach every keyword.
+func (e *Enumerator) rootLists(r graph.NodeID) [][]leafCand {
+	if ls, ok := e.lists[r]; ok {
+		return ls
+	}
+	ls := make([][]leafCand, e.l)
+	for i := 0; i < e.l; i++ {
+		for j, run := range e.kwRuns[i] {
+			if d, ok := run.Dist(r); ok {
+				ls[i] = append(ls[i], leafCand{idx: j, dist: d})
+			}
+		}
+		if len(ls[i]) == 0 {
+			e.lists[r] = nil
+			return nil
+		}
+		sort.Slice(ls[i], func(a, b int) bool {
+			if ls[i][a].dist != ls[i][b].dist {
+				return ls[i][a].dist < ls[i][b].dist
+			}
+			return ls[i][a].idx < ls[i][b].idx
+		})
+	}
+	e.lists[r] = ls
+	return ls
+}
+
+func (e *Enumerator) start() {
+	e.started = true
+	if e.l == 0 {
+		return
+	}
+	// Roots: nodes reaching at least one node of every keyword. Seed
+	// the heap with each root's best tree.
+	if len(e.kwRuns[0]) == 0 {
+		return
+	}
+	counts := make(map[graph.NodeID]int)
+	seen := make(map[graph.NodeID]bool)
+	for i := 0; i < e.l; i++ {
+		for v := range seen {
+			delete(seen, v)
+		}
+		for _, run := range e.kwRuns[i] {
+			for _, v := range run.Visited() {
+				if !seen[v] {
+					seen[v] = true
+					counts[v]++
+				}
+			}
+		}
+	}
+	for r, c := range counts {
+		if c != e.l {
+			continue
+		}
+		ls := e.rootLists(r)
+		if ls == nil {
+			continue
+		}
+		cand := &treeCand{root: r, idxs: make([]int, e.l)}
+		for i := range ls {
+			cand.cost += ls[i][0].dist
+		}
+		e.h.Insert(cand.cost, cand)
+	}
+}
+
+// Next returns the next best tree, or ok == false when exhausted.
+func (e *Enumerator) Next() (*Tree, bool) {
+	if !e.started {
+		e.start()
+	}
+	node := e.h.ExtractMin()
+	if node == nil {
+		return nil, false
+	}
+	c := node.Value
+	e.expand(c)
+	return e.materialize(c), true
+}
+
+// expand pushes c's successors: advancing one list index at positions
+// >= c.pos keeps the product enumeration complete and duplicate-free.
+func (e *Enumerator) expand(c *treeCand) {
+	ls := e.lists[c.root]
+	for i := c.pos; i < e.l; i++ {
+		if c.idxs[i]+1 >= len(ls[i]) {
+			continue
+		}
+		n := &treeCand{root: c.root, idxs: append([]int(nil), c.idxs...), pos: i}
+		n.idxs[i]++
+		n.cost = c.cost - ls[i][c.idxs[i]].dist + ls[i][n.idxs[i]].dist
+		e.h.Insert(n.cost, n)
+	}
+}
+
+// materialize assembles the tree's nodes and edges from the stored
+// shortest-path next hops.
+func (e *Enumerator) materialize(c *treeCand) *Tree {
+	ls := e.lists[c.root]
+	t := &Tree{Root: c.root, Cost: c.cost, Leaves: make([]graph.NodeID, e.l)}
+	nodeSet := map[graph.NodeID]bool{c.root: true}
+	edgeSet := map[graph.EdgePair]bool{}
+	for i := 0; i < e.l; i++ {
+		lc := ls[i][c.idxs[i]]
+		run := e.kwRuns[i][lc.idx]
+		t.Leaves[i] = e.kwNodes[i][lc.idx]
+		// Reverse-run path from the root to the leaf, in original edge
+		// orientation.
+		path := run.PathTo(c.root)
+		for h := 0; h < len(path); h++ {
+			nodeSet[path[h]] = true
+			if h+1 < len(path) {
+				edgeSet[graph.EdgePair{From: path[h], To: path[h+1]}] = true
+			}
+		}
+	}
+	for v := range nodeSet {
+		t.Nodes = append(t.Nodes, v)
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i] < t.Nodes[j] })
+	for ep := range edgeSet {
+		t.Edges = append(t.Edges, ep)
+	}
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i].From != t.Edges[j].From {
+			return t.Edges[i].From < t.Edges[j].From
+		}
+		return t.Edges[i].To < t.Edges[j].To
+	})
+	return t
+}
+
+// Collect drains up to k trees.
+func (e *Enumerator) Collect(k int) []*Tree {
+	out := make([]*Tree, 0, k)
+	for len(out) < k {
+		t, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}

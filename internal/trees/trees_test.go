@@ -1,0 +1,268 @@
+package trees
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"commdb/internal/core"
+	"commdb/internal/graph"
+	"commdb/internal/sssp"
+)
+
+func randomKeywordGraph(t *testing.T, rng *rand.Rand, n, m, nkw int) (*graph.Graph, []string) {
+	t.Helper()
+	kws := make([]string, nkw)
+	for i := range kws {
+		kws[i] = fmt.Sprintf("k%d", i)
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		var terms []string
+		for _, kw := range kws {
+			if rng.Intn(4) == 0 {
+				terms = append(terms, kw)
+			}
+		}
+		b.AddNode(fmt.Sprintf("n%d", i), terms...)
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), float64(rng.Intn(5)+1))
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, kws
+}
+
+// bruteTrees enumerates every (root, leaf per keyword) answer by
+// brute-force shortest paths, returning sorted costs.
+func bruteTrees(t *testing.T, g *graph.Graph, kws []string, dmax float64) []float64 {
+	t.Helper()
+	n := g.NumNodes()
+	ws := sssp.NewWorkspace(g)
+	res := sssp.NewResult(n)
+	dist := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		ws.RunFromNodes(sssp.Forward, []graph.NodeID{graph.NodeID(u)}, math.Inf(1), res)
+		dist[u] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			d, ok := res.Dist(graph.NodeID(v))
+			if !ok {
+				d = math.Inf(1)
+			}
+			dist[u][v] = d
+		}
+	}
+	sets := make([][]graph.NodeID, len(kws))
+	for i, kw := range kws {
+		nodes, err := core.KeywordNodes(g, nil, kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = nodes
+	}
+	var costs []float64
+	combo := make([]graph.NodeID, len(kws))
+	var walk func(i int, r int, cost float64)
+	walk = func(i int, r int, cost float64) {
+		if i == len(kws) {
+			costs = append(costs, cost)
+			return
+		}
+		for _, leaf := range sets[i] {
+			d := dist[r][leaf]
+			if d <= dmax {
+				combo[i] = leaf
+				walk(i+1, r, cost+d)
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		walk(0, r, 0)
+	}
+	sort.Float64s(costs)
+	return costs
+}
+
+// TestTreesMatchBruteForce: the ranked enumeration produces exactly the
+// brute-force (root, leaves) answers in non-decreasing cost order.
+func TestTreesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(15) + 4
+		g, kws := randomKeywordGraph(t, rng, n, n*3, 2)
+		dmax := float64(rng.Intn(8) + 2)
+		want := bruteTrees(t, g, kws, dmax)
+
+		e, err := NewEnumerator(g, nil, kws, dmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		var got []float64
+		for {
+			tr, ok := e.Next()
+			if !ok {
+				break
+			}
+			key := fmt.Sprintf("%d|%v", tr.Root, tr.Leaves)
+			if seen[key] {
+				t.Fatalf("trial %d: duplicate tree %s", trial, key)
+			}
+			seen[key] = true
+			got = append(got, tr.Cost)
+			if len(got) > len(want)+5 {
+				t.Fatalf("trial %d: runaway enumeration", trial)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: enumerated %d trees, brute force %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: rank %d cost %v, want %v", trial, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTreeStructure: every emitted tree is well formed — paths exist in
+// the graph, the root reaches each leaf through the tree's edges, and
+// the cost equals the sum of the shortest root→leaf distances.
+func TestTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(709))
+	g, kws := randomKeywordGraph(t, rng, 20, 70, 2)
+	e, err := NewEnumerator(g, nil, kws, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		tr, ok := e.Next()
+		if !ok {
+			break
+		}
+		// Every edge exists in the graph.
+		adj := map[graph.NodeID][]graph.NodeID{}
+		for _, ep := range tr.Edges {
+			if _, exists := g.EdgeWeight(ep.From, ep.To); !exists {
+				t.Fatalf("tree edge %v not in graph", ep)
+			}
+			adj[ep.From] = append(adj[ep.From], ep.To)
+		}
+		// Root reaches every leaf within the tree's own edges.
+		reach := map[graph.NodeID]bool{tr.Root: true}
+		queue := []graph.NodeID{tr.Root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if !reach[w] {
+					reach[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		for _, leaf := range tr.Leaves {
+			if !reach[leaf] {
+				t.Fatalf("leaf %d unreachable from root %d within the tree", leaf, tr.Root)
+			}
+		}
+		// All tree nodes appear in Nodes.
+		for v := range reach {
+			found := false
+			for _, u := range tr.Nodes {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("tree node %d missing from Nodes", v)
+			}
+		}
+	}
+}
+
+// TestIntroTreesVsCommunities quantifies the paper's motivation on the
+// introduction example: the 2-keyword query {kate, smith} yields three
+// distinct-root trees but only two communities, and the top community
+// subsumes the information of both paper-rooted trees.
+func TestIntroTreesVsCommunities(t *testing.T) {
+	g, ids := core.IntroGraph()
+	e, err := NewEnumerator(g, nil, []string{"kate", "smith"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := e.Collect(100)
+	// Distinct-root answers: paper1:(kate,john), paper2:(kate,john),
+	// paper2:(kate,jim). paper1 cannot reach jim within 6 (4+3=7).
+	if len(trees) != 3 {
+		t.Fatalf("intro example: %d trees, want 3", len(trees))
+	}
+	// The best tree is rooted at paper2 (1+2=3).
+	if trees[0].Root != ids["paper2"] || math.Abs(trees[0].Cost-3) > 1e-9 {
+		t.Fatalf("best tree root %d cost %v, want paper2 cost 3", trees[0].Root, trees[0].Cost)
+	}
+
+	eng, err := core.NewEngine(g, nil, []string{"kate", "smith"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := core.NewAll(eng)
+	communities := 0
+	for {
+		if _, ok := it.NextCore(); !ok {
+			break
+		}
+		communities++
+	}
+	if communities != 2 {
+		t.Fatalf("intro example: %d communities, want 2", communities)
+	}
+	if communities >= len(trees) {
+		t.Fatal("motivation broken: communities should be fewer than trees")
+	}
+}
+
+// TestTreesEmptyAndErrors covers degenerate queries.
+func TestTreesEmptyAndErrors(t *testing.T) {
+	g, _ := core.PaperGraph()
+	if _, err := NewEnumerator(g, nil, nil, 8); err == nil {
+		t.Fatal("no keywords should error")
+	}
+	if _, err := NewEnumerator(g, nil, []string{"a"}, -1); err == nil {
+		t.Fatal("negative bound should error")
+	}
+	e, err := NewEnumerator(g, nil, []string{"a", "zzz"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("absent keyword should yield no trees")
+	}
+}
+
+// TestPaperGraphTreesOutnumberCommunities: on the Fig. 4 example the
+// tree answers outnumber the five communities — the fragmentation the
+// paper's Section I describes.
+func TestPaperGraphTreesOutnumberCommunities(t *testing.T) {
+	g, _ := core.PaperGraph()
+	e, err := NewEnumerator(g, nil, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := e.Collect(10000)
+	if len(trees) <= 5 {
+		t.Fatalf("only %d trees for the paper example; expected more than the 5 communities", len(trees))
+	}
+	// Ranked order.
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Cost < trees[i-1].Cost-1e-9 {
+			t.Fatalf("tree order violated at %d", i)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package commdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"commdb/internal/core"
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+	"commdb/internal/index"
+)
+
+// CostFunction selects how a community's cost aggregates its
+// center→knode distances; see the constants.
+type CostFunction = core.CostFunction
+
+// Cost function choices. The paper's ranking uses the summed distances;
+// the max-distance variant demonstrates the paper's claim that the
+// algorithms do not depend on a specific cost function.
+const (
+	CostSumDistances = core.CostSumDistances
+	CostMaxDistance  = core.CostMaxDistance
+)
+
+// Query is one l-keyword community query.
+type Query struct {
+	// Keywords are the l query keywords; each must be a single term.
+	Keywords []string
+	// Rmax is the radius: every center must reach every core node
+	// within this total edge weight.
+	Rmax float64
+	// Cost selects the ranking aggregate (default: summed distances).
+	Cost CostFunction
+}
+
+// Searcher answers community queries over one graph. A plain Searcher
+// scans the graph per query; an indexed Searcher (NewIndexedSearcher)
+// first projects a small query-specific subgraph using the paper's
+// inverted indexes, which is dramatically faster on large graphs, with
+// identical results.
+//
+// A Searcher is safe for concurrent use; each query gets its own
+// engine.
+type Searcher struct {
+	g  *Graph
+	ft *fulltext.Index
+	ix *index.Index
+}
+
+// NewSearcher returns an un-indexed searcher over g.
+func NewSearcher(g *Graph) *Searcher {
+	return &Searcher{g: g, ft: fulltext.Build(g)}
+}
+
+// NewIndexedSearcher builds the paper's invertedN/invertedE indexes for
+// radii up to maxRmax and returns a searcher whose queries run on
+// projected subgraphs. Building takes one bounded shortest-path pass
+// per distinct term; it is a one-time cost amortized over all queries.
+func NewIndexedSearcher(g *Graph, maxRmax float64) (*Searcher, error) {
+	ix, err := index.Build(g, index.BuildOptions{R: maxRmax})
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{g: g, ft: ix.Fulltext(), ix: ix}, nil
+}
+
+// Indexed reports whether the searcher projects queries through the
+// inverted indexes.
+func (s *Searcher) Indexed() bool { return s.ix != nil }
+
+// Graph returns the searched graph.
+func (s *Searcher) Graph() *Graph { return s.g }
+
+// KeywordFrequency reports the KWF of a term: the fraction of graph
+// nodes containing it.
+func (s *Searcher) KeywordFrequency(term string) float64 { return s.ft.KWF(term) }
+
+// session holds one query's execution state: the (possibly projected)
+// engine plus the mapping back to the searcher's graph.
+type session struct {
+	s      *Searcher
+	eng    *core.Engine
+	sub    *graph.Subgraph // nil when running directly on s.g
+	inNode map[NodeID]bool // scratch for edge re-induction
+}
+
+func (s *Searcher) newSession(q Query) (*session, error) {
+	if len(q.Keywords) == 0 {
+		return nil, core.ErrNoKeywords
+	}
+	if q.Rmax < 0 {
+		return nil, fmt.Errorf("commdb: negative Rmax %v", q.Rmax)
+	}
+	sess := &session{s: s}
+	target := s.g
+	var ft *fulltext.Index = s.ft
+	if s.ix != nil {
+		if q.Rmax > s.ix.R() {
+			return nil, fmt.Errorf("commdb: Rmax %v exceeds the index radius %v given to NewIndexedSearcher", q.Rmax, s.ix.R())
+		}
+		proj, err := s.ix.Project(q.Keywords, q.Rmax)
+		if err != nil {
+			return nil, err
+		}
+		sess.sub = proj.Sub
+		target = proj.Sub.G
+		ft = nil // projected graphs are small; scanning is fine
+	}
+	eng, err := core.NewEngine(target, ft, q.Keywords, q.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetCostFunction(q.Cost)
+	sess.eng = eng
+	return sess, nil
+}
+
+// mapBack translates a community from the projected ID space to the
+// searcher's graph and re-induces its edges over the full graph (the
+// projection preserves all distances but may omit induced edges that
+// lie on no short center→keyword path).
+func (sess *session) mapBack(r *Community) *Community {
+	if sess.sub == nil {
+		return r
+	}
+	toParent := sess.sub.ToParent
+	mapped := &Community{
+		Core:   make(Core, len(r.Core)),
+		Cost:   r.Cost,
+		Knodes: mapIDs(r.Knodes, toParent),
+		Cnodes: mapIDs(r.Cnodes, toParent),
+		Pnodes: mapIDs(r.Pnodes, toParent),
+		Nodes:  mapIDs(r.Nodes, toParent),
+	}
+	for i, v := range r.Core {
+		mapped.Core[i] = toParent[v]
+	}
+	sort.Slice(mapped.Nodes, func(i, j int) bool { return mapped.Nodes[i] < mapped.Nodes[j] })
+	sort.Slice(mapped.Cnodes, func(i, j int) bool { return mapped.Cnodes[i] < mapped.Cnodes[j] })
+	sort.Slice(mapped.Pnodes, func(i, j int) bool { return mapped.Pnodes[i] < mapped.Pnodes[j] })
+	sort.Slice(mapped.Knodes, func(i, j int) bool { return mapped.Knodes[i] < mapped.Knodes[j] })
+
+	// Re-induce edges over the parent graph.
+	if sess.inNode == nil {
+		sess.inNode = make(map[NodeID]bool, len(mapped.Nodes)*2)
+	} else {
+		clear(sess.inNode)
+	}
+	for _, v := range mapped.Nodes {
+		sess.inNode[v] = true
+	}
+	for _, u := range mapped.Nodes {
+		for _, e := range sess.s.g.OutEdges(u) {
+			if sess.inNode[e.To] {
+				mapped.Edges = append(mapped.Edges, EdgePair{From: u, To: e.To})
+			}
+		}
+	}
+	return mapped
+}
+
+func mapIDs(in []NodeID, toParent []NodeID) []NodeID {
+	out := make([]NodeID, len(in))
+	for i, v := range in {
+		out[i] = toParent[v]
+	}
+	return out
+}
+
+// AllIterator enumerates every community of a query in polynomial
+// delay (Algorithm 1 of the paper), duplication-free and complete.
+type AllIterator struct {
+	sess *session
+	it   *core.AllEnumerator
+}
+
+// All starts a COMM-all enumeration. The first community returned is a
+// minimum-cost one; the rest follow in enumeration (not ranking) order.
+func (s *Searcher) All(q Query) (*AllIterator, error) {
+	sess, err := s.newSession(q)
+	if err != nil {
+		return nil, err
+	}
+	return &AllIterator{sess: sess, it: core.NewAll(sess.eng)}, nil
+}
+
+// Next returns the next community, or ok == false when the query is
+// exhausted.
+func (it *AllIterator) Next() (*Community, bool) {
+	r, ok := it.it.Next()
+	if !ok {
+		return nil, false
+	}
+	return it.sess.mapBack(r), true
+}
+
+// NextCore advances without materializing the community subgraph;
+// cheaper when only cores and costs are needed.
+func (it *AllIterator) NextCore() (CoreCost, bool) {
+	cc, ok := it.it.NextCore()
+	if !ok || it.sess.sub == nil {
+		return cc, ok
+	}
+	mapped := make(Core, len(cc.Core))
+	for i, v := range cc.Core {
+		mapped[i] = it.sess.sub.ToParent[v]
+	}
+	return CoreCost{Core: mapped, Cost: cc.Cost}, true
+}
+
+// TopKIterator enumerates communities in non-decreasing cost order
+// (Algorithm 5 of the paper). It has no fixed k: every Next call
+// produces the next best community, so a user can interactively keep
+// enlarging k without any recomputation.
+type TopKIterator struct {
+	sess *session
+	it   *core.TopKEnumerator
+}
+
+// TopK starts a COMM-k enumeration.
+func (s *Searcher) TopK(q Query) (*TopKIterator, error) {
+	sess, err := s.newSession(q)
+	if err != nil {
+		return nil, err
+	}
+	return &TopKIterator{sess: sess, it: core.NewTopK(sess.eng)}, nil
+}
+
+// Next returns the next best community, or ok == false when exhausted.
+func (it *TopKIterator) Next() (*Community, bool) {
+	r, ok := it.it.Next()
+	if !ok {
+		return nil, false
+	}
+	return it.sess.mapBack(r), true
+}
+
+// NextCore advances without materializing the community subgraph.
+func (it *TopKIterator) NextCore() (CoreCost, bool) {
+	cc, ok := it.it.NextCore()
+	if !ok || it.sess.sub == nil {
+		return cc, ok
+	}
+	mapped := make(Core, len(cc.Core))
+	for i, v := range cc.Core {
+		mapped[i] = it.sess.sub.ToParent[v]
+	}
+	return CoreCost{Core: mapped, Cost: cc.Cost}, true
+}
+
+// Collect drains up to k communities from the iterator (a convenience
+// wrapper around Next).
+func (it *TopKIterator) Collect(k int) []*Community {
+	out := make([]*Community, 0, k)
+	for len(out) < k {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CollectAll drains every community from an AllIterator. Use with care:
+// the result set can be large.
+func (it *AllIterator) CollectAll(limit int) []*Community {
+	var out []*Community
+	for limit <= 0 || len(out) < limit {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteIndex serializes an indexed searcher's invertedE index so the
+// expensive build can be paid once; pair it with WriteGraph. Returns an
+// error on an un-indexed searcher.
+func (s *Searcher) WriteIndex(w io.Writer) error {
+	if s.ix == nil {
+		return fmt.Errorf("commdb: searcher has no index to write")
+	}
+	return s.ix.Write(w)
+}
+
+// NewSearcherWithIndex loads an index previously saved with WriteIndex,
+// built over exactly this graph.
+func NewSearcherWithIndex(g *Graph, r io.Reader) (*Searcher, error) {
+	ix, err := index.ReadInto(r, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{g: g, ft: ix.Fulltext(), ix: ix}, nil
+}
+
+// IndexBytes reports the logical size of the searcher's inverted
+// indexes (0 when un-indexed), the statistic the paper reports against
+// the raw dataset size.
+func (s *Searcher) IndexBytes() int64 {
+	if s.ix == nil {
+		return 0
+	}
+	return s.ix.Bytes()
+}

@@ -1,0 +1,39 @@
+package commdb
+
+import (
+	"commdb/internal/trees"
+)
+
+// Tree is one ranked connected-tree answer — the result form of the
+// keyword-search systems the paper's introduction contrasts communities
+// with (BANKS-style rooted trees). A tree carries one shortest path
+// from its root to a keyword node per query keyword.
+type Tree = trees.Tree
+
+// TreeIterator streams connected trees in non-decreasing cost order.
+type TreeIterator struct {
+	e *trees.Enumerator
+}
+
+// Trees starts a ranked connected-tree enumeration for the query —
+// the baseline semantics against which communities are motivated: one
+// community typically subsumes several fragmented trees (compare the
+// five trees of the paper's Fig. 2 against the communities of Fig. 3).
+// Rmax bounds each root→keyword path.
+//
+// Tree search always runs on the full graph (it is a motivational
+// baseline, not the paper's contribution; the inverted indexes are not
+// consulted).
+func (s *Searcher) Trees(q Query) (*TreeIterator, error) {
+	e, err := trees.NewEnumerator(s.g, s.ft, q.Keywords, q.Rmax)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeIterator{e: e}, nil
+}
+
+// Next returns the next best tree, or ok == false when exhausted.
+func (it *TreeIterator) Next() (*Tree, bool) { return it.e.Next() }
+
+// Collect drains up to k trees.
+func (it *TreeIterator) Collect(k int) []*Tree { return it.e.Collect(k) }
