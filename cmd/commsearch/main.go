@@ -11,9 +11,16 @@
 // With -index the searcher first builds the paper's inverted indexes
 // and runs the query on a projected subgraph; results are identical and
 // much faster on large graphs.
+//
+// Queries can be governed: -timeout bounds wall-clock time,
+// -max-visited bounds shortest-path work, and -max-results caps the
+// answer count. A governed query that hits a limit still prints every
+// community found so far, followed by the stop reason.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,33 +31,37 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file written by cmd/datagen")
-		indexPath = flag.String("index-file", "", "index file written by cmd/indexbuild (implies projected search)")
-		example   = flag.String("example", "", "built-in example graph: paper or intro")
-		keywords  = flag.String("keywords", "", "comma-separated query keywords (required)")
-		rmax      = flag.Float64("rmax", 6, "community radius Rmax")
-		top       = flag.Int("top", 0, "return the top-k communities by cost")
-		all       = flag.Bool("all", false, "enumerate all communities")
-		max       = flag.Int("max", 1000, "cap on -all output")
-		useIndex  = flag.Bool("index", false, "build inverted indexes and search a projected subgraph")
-		verbose   = flag.Bool("v", false, "print every community node, not just a summary")
-		replMode  = flag.Bool("repl", false, "interactive session: issue queries and ask for 'more'")
+		graphPath  = flag.String("graph", "", "graph file written by cmd/datagen")
+		indexPath  = flag.String("index-file", "", "index file written by cmd/indexbuild (implies projected search)")
+		example    = flag.String("example", "", "built-in example graph: paper or intro")
+		keywords   = flag.String("keywords", "", "comma-separated query keywords (required)")
+		rmax       = flag.Float64("rmax", 6, "community radius Rmax")
+		top        = flag.Int("top", 0, "return the top-k communities by cost")
+		all        = flag.Bool("all", false, "enumerate all communities")
+		max        = flag.Int("max", 1000, "cap on -all output")
+		useIndex   = flag.Bool("index", false, "build inverted indexes and search a projected subgraph")
+		verbose    = flag.Bool("v", false, "print every community node, not just a summary")
+		replMode   = flag.Bool("repl", false, "interactive session: issue queries and ask for 'more'")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per query, e.g. 50ms (0 = unlimited)")
+		maxVisited = flag.Int64("max-visited", 0, "budget on shortest-path work units per query (0 = unlimited)")
+		maxResults = flag.Int64("max-results", 0, "budget on returned communities per query (0 = unlimited)")
 	)
 	flag.Parse()
+	lim := commdb.Limits{Timeout: *timeout, MaxRelaxations: *maxVisited, MaxResults: *maxResults}
 	if *replMode {
-		if err := runRepl(*graphPath, *example, *indexPath, *useIndex, *rmax); err != nil {
+		if err := runRepl(*graphPath, *example, *indexPath, *useIndex, *rmax, lim); err != nil {
 			fmt.Fprintln(os.Stderr, "commsearch:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose); err != nil {
+	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose, lim); err != nil {
 		fmt.Fprintln(os.Stderr, "commsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func runRepl(graphPath, example, indexPath string, useIndex bool, rmax float64) error {
+func runRepl(graphPath, example, indexPath string, useIndex bool, rmax float64, lim commdb.Limits) error {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return err
@@ -59,7 +70,22 @@ func runRepl(graphPath, example, indexPath string, useIndex bool, rmax float64) 
 	if err != nil {
 		return err
 	}
-	return repl(g, s, rmax, os.Stdin, os.Stdout)
+	return repl(g, s, rmax, lim, os.Stdin, os.Stdout)
+}
+
+// stopReason renders an iterator stop reason for the terminal.
+func stopReason(err error) string {
+	var be commdb.ErrBudgetExhausted
+	switch {
+	case errors.As(err, &be):
+		return fmt.Sprintf("budget exhausted on %s (spent %d, limit %d)", be.Resource, be.Spent, be.Limit)
+	case errors.Is(err, commdb.ErrDeadlineExceeded):
+		return "deadline exceeded"
+	case errors.Is(err, commdb.ErrCanceled):
+		return "canceled"
+	default:
+		return err.Error()
+	}
 }
 
 // newSearcher picks the searcher flavour: load a saved index, build one
@@ -79,7 +105,7 @@ func newSearcher(g *commdb.Graph, indexPath string, useIndex bool, rmax float64)
 	return commdb.NewSearcher(g), nil
 }
 
-func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose bool) error {
+func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose bool, lim commdb.Limits) error {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return err
@@ -99,10 +125,11 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 	for _, kw := range kws {
 		fmt.Printf("keyword %q: %.4f%% of nodes\n", kw, s.KeywordFrequency(kw)*100)
 	}
-	q := commdb.Query{Keywords: kws, Rmax: rmax}
+	q := commdb.Query{Keywords: kws, Rmax: rmax, Limits: lim}
+	ctx := context.Background()
 
 	if all {
-		it, err := s.All(q)
+		it, err := s.AllCtx(ctx, q)
 		if err != nil {
 			return err
 		}
@@ -116,19 +143,28 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 			printCommunity(g, n, r, verbose)
 		}
 		fmt.Printf("%d communities\n", n)
+		if err := it.Err(); err != nil {
+			fmt.Printf("stopped early: %s — the %d communities above are a partial set\n", stopReason(err), n)
+		}
 		return nil
 	}
 
-	it, err := s.TopK(q)
+	it, err := s.TopKCtx(ctx, q)
 	if err != nil {
 		return err
 	}
+	shown := 0
 	for rank := 1; rank <= top; rank++ {
 		r, ok := it.Next()
 		if !ok {
-			fmt.Printf("only %d communities exist\n", rank-1)
+			if err := it.Err(); err != nil {
+				fmt.Printf("stopped early after %d communities: %s\n", shown, stopReason(err))
+			} else {
+				fmt.Printf("only %d communities exist\n", shown)
+			}
 			break
 		}
+		shown++
 		printCommunity(g, rank, r, verbose)
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"commdb"
 )
@@ -13,7 +14,9 @@ import (
 // repl runs the interactive session: the user issues queries and then
 // keeps asking for "more" — served by the same polynomial-delay top-k
 // iterator with no recomputation, the paper's Exp-3 scenario as a UI.
-func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, in io.Reader, out io.Writer) error {
+// Queries run under lim; a query stopped by a limit reports the reason
+// instead of silently ending its output.
+func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, in io.Reader, out io.Writer) error {
 	fmt.Fprintln(out, "commsearch interactive mode — 'help' lists commands")
 	cost := commdb.CostSumDistances
 	var it *commdb.TopKIterator
@@ -36,6 +39,7 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, in io.Reader, out i
 			fmt.Fprintln(out, "  trees [n]        top-n connected trees for the same keywords")
 			fmt.Fprintln(out, "  rmax <v>         set the radius (now", rmax, ")")
 			fmt.Fprintln(out, "  cost sum|max     set the ranking aggregate")
+			fmt.Fprintln(out, "  timeout <dur>    wall-clock budget per query, e.g. 50ms (0 = unlimited)")
 			fmt.Fprintln(out, "  kwf <kw>         keyword frequency of a term")
 			fmt.Fprintln(out, "  quit             exit")
 		case "quit", "exit":
@@ -63,6 +67,18 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, in io.Reader, out i
 				cost = commdb.CostSumDistances
 			}
 			fmt.Fprintln(out, "cost =", fields[1])
+		case "timeout":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: timeout <dur>")
+				continue
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d < 0 {
+				fmt.Fprintln(out, "bad duration")
+				continue
+			}
+			lim.Timeout = d
+			fmt.Fprintln(out, "timeout =", d)
 		case "kwf":
 			if len(fields) != 2 {
 				fmt.Fprintln(out, "usage: kwf <kw>")
@@ -74,7 +90,7 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, in io.Reader, out i
 				fmt.Fprintln(out, "usage: q <kw> [kw...]")
 				continue
 			}
-			nit, err := s.TopK(commdb.Query{Keywords: fields[1:], Rmax: rmax, Cost: cost})
+			nit, err := s.TopK(commdb.Query{Keywords: fields[1:], Rmax: rmax, Cost: cost, Limits: lim})
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
@@ -122,7 +138,14 @@ func replShow(out io.Writer, g *commdb.Graph, it *commdb.TopKIterator, shown *in
 	for i := 0; i < n; i++ {
 		r, ok := it.Next()
 		if !ok {
-			fmt.Fprintln(out, "(query exhausted)")
+			// Distinguish "no more communities exist" from "the query
+			// was stopped": exhausted vs. deadline vs. budget.
+			if err := it.Err(); err != nil {
+				fmt.Fprintf(out, "(stopped early: %s — %d shown so far are a valid ranking prefix)\n",
+					stopReason(err), *shown)
+			} else {
+				fmt.Fprintln(out, "(query exhausted)")
+			}
 			return
 		}
 		*shown++

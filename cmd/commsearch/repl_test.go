@@ -12,10 +12,30 @@ func runReplScript(t *testing.T, script string) string {
 	g, _ := commdb.PaperExampleGraph()
 	s := commdb.NewSearcher(g)
 	var out strings.Builder
-	if err := repl(g, s, 8, strings.NewReader(script), &out); err != nil {
+	if err := repl(g, s, 8, commdb.Limits{}, strings.NewReader(script), &out); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
+}
+
+// TestReplStopReason: a query stopped by its budget reports why instead
+// of silently ending output like an exhausted one.
+func TestReplStopReason(t *testing.T) {
+	out := runReplScript(t, "timeout 1ns\nq a b c\nquit\n")
+	if !strings.Contains(out, "timeout = 1ns") {
+		t.Fatalf("timeout echo missing:\n%s", out)
+	}
+	if !strings.Contains(out, "stopped early: deadline exceeded") {
+		t.Fatalf("stop reason missing:\n%s", out)
+	}
+	if strings.Contains(out, "(query exhausted)") {
+		t.Fatalf("a stopped query must not report exhaustion:\n%s", out)
+	}
+	// Bad duration is rejected.
+	out = runReplScript(t, "timeout wat\nquit\n")
+	if !strings.Contains(out, "bad duration") {
+		t.Fatalf("bad duration not rejected:\n%s", out)
+	}
 }
 
 func TestReplQueryAndMore(t *testing.T) {

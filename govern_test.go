@@ -1,0 +1,410 @@
+package commdb
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dblpSearcher builds the shared governance-test workload: a DBLP graph
+// large enough that a full COMM-all enumeration of the probe keywords
+// takes seconds, so a 50ms deadline reliably interrupts it mid-flight.
+var dblpOnce sync.Once
+var dblpGraph *Graph
+
+func dblpTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	dblpOnce.Do(func() {
+		db, err := GenerateDBLP(5000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := GraphFromDatabase(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dblpGraph = g
+	})
+	if dblpGraph == nil {
+		t.Fatal("DBLP test graph failed to build in an earlier test")
+	}
+	return dblpGraph
+}
+
+// governedQuery is the probe whose unrestricted enumeration takes
+// seconds on the dblpTestGraph (measured ~3s / ~1800 communities).
+func governedQuery(lim Limits) Query {
+	return Query{Keywords: []string{"web", "parallel"}, Rmax: 14, Limits: lim}
+}
+
+// testDeadline is the acceptance criterion's 50ms query deadline —
+// scaled up under the race detector, whose instrumentation slows the
+// engine enough that the first community misses the real 50ms.
+func testDeadline() time.Duration {
+	if raceEnabled {
+		return 500 * time.Millisecond
+	}
+	return 50 * time.Millisecond
+}
+
+// TestDeadlineTopK: acceptance criterion — a TopK enumeration with a
+// 50ms deadline returns partial results and Err() ==
+// context.DeadlineExceeded; no hang, no panic.
+func TestDeadlineTopK(t *testing.T) {
+	s := NewSearcher(dblpTestGraph(t))
+	it, err := s.TopK(governedQuery(Limits{Timeout: testDeadline()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("deadline took %v to stop the query", e)
+	}
+	if it.Err() != context.DeadlineExceeded {
+		t.Fatalf("Err() = %v, want context.DeadlineExceeded", it.Err())
+	}
+	if !errors.Is(it.Err(), ErrDeadlineExceeded) {
+		t.Fatal("Err() must match the re-exported ErrDeadlineExceeded")
+	}
+	if n == 0 {
+		t.Fatal("the deadline should still admit at least the first result")
+	}
+	t.Logf("partial ranking prefix: %d communities before the deadline", n)
+}
+
+// TestDeadlineAll: the same criterion for the COMM-all enumerator, with
+// the deadline carried by the context instead of Query.Limits.
+func TestDeadlineAll(t *testing.T) {
+	s := NewSearcher(dblpTestGraph(t))
+	ctx, cancel := context.WithTimeout(context.Background(), testDeadline())
+	defer cancel()
+	it, err := s.AllCtx(ctx, governedQuery(Limits{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	n := 0
+	for {
+		if _, ok := it.NextCore(); !ok {
+			break
+		}
+		n++
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("context deadline took %v to stop the query", e)
+	}
+	if !errors.Is(it.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want context.DeadlineExceeded", it.Err())
+	}
+	if n == 0 {
+		t.Fatal("the deadline should still admit at least the first result")
+	}
+}
+
+// TestCancellationBounded: a context canceled mid-enumeration stops the
+// iterator within one further Next call — never a hang, never a panic —
+// and surfaces context.Canceled via Err().
+func TestCancellationBounded(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s := NewSearcher(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	it, err := s.AllCtx(ctx, Query{Keywords: []string{"a", "b", "c"}, Rmax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); !ok {
+		t.Fatal("first community must arrive before cancellation")
+	}
+	cancel()
+	if _, ok := it.Next(); ok {
+		t.Fatal("the first Next after cancel must already observe it")
+	}
+	if !errors.Is(it.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", it.Err())
+	}
+	// The iterator stays stopped and keeps reporting the same reason.
+	for i := 0; i < 3; i++ {
+		if _, ok := it.Next(); ok {
+			t.Fatal("a canceled iterator must stay stopped")
+		}
+	}
+	if !errors.Is(it.Err(), context.Canceled) {
+		t.Fatalf("Err() changed to %v", it.Err())
+	}
+}
+
+// TestCancellationTopK: the ranked enumerator honors cancellation the
+// same way, including with a cancellation cause.
+func TestCancellationTopK(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s := NewSearcher(g)
+	cause := errors.New("load shed")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	it, err := s.TopKCtx(ctx, Query{Keywords: []string{"a", "b", "c"}, Rmax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); !ok {
+		t.Fatal("first community must arrive before cancellation")
+	}
+	cancel(cause)
+	if _, ok := it.Next(); ok {
+		t.Fatal("the first Next after cancel must already observe it")
+	}
+	if !errors.Is(it.Err(), cause) {
+		t.Fatalf("Err() = %v, want the cancellation cause", it.Err())
+	}
+}
+
+// TestCanceledContextAtSetup: an indexed query whose context is already
+// canceled fails at projection time with the reason, rather than
+// handing back an iterator that silently yields nothing.
+func TestCanceledContextAtSetup(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s, err := NewIndexedSearcher(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = s.AllCtx(ctx, Query{Keywords: []string{"a", "b", "c"}, Rmax: 8})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("setup on a canceled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestMaxResults: MaxResults = k grants exactly k communities, then
+// reports the exhausted resource via errors.As on ErrBudgetExhausted —
+// and the k results are the exact prefix of the ungoverned enumeration.
+func TestMaxResults(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s := NewSearcher(g)
+	q := Query{Keywords: []string{"a", "b", "c"}, Rmax: 8}
+
+	free, err := s.All(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := free.CollectAll(0)
+	if free.Err() != nil || len(full) != 5 {
+		t.Fatalf("ungoverned run: %d communities, err %v", len(full), free.Err())
+	}
+
+	q.Limits = Limits{MaxResults: 2}
+	it, err := s.All(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := it.CollectAll(0)
+	if len(got) != 2 {
+		t.Fatalf("MaxResults=2 granted %d communities", len(got))
+	}
+	var be ErrBudgetExhausted
+	if !errors.As(it.Err(), &be) {
+		t.Fatalf("Err() = %v, want ErrBudgetExhausted", it.Err())
+	}
+	if be.Resource != ResourceResults || be.Limit != 2 {
+		t.Fatalf("tripped on %+v, want results/2", be)
+	}
+	for i, r := range got {
+		if r.Core.Key() != full[i].Core.Key() {
+			t.Fatalf("governed result %d is not a prefix of the free enumeration", i)
+		}
+	}
+}
+
+// TestMaxNeighborRuns: capping Dijkstra invocations stops the query
+// with the neighbor-runs resource, after a valid partial set.
+func TestMaxNeighborRuns(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s := NewSearcher(g)
+	it, err := s.TopK(Query{
+		Keywords: []string{"a", "b", "c"}, Rmax: 8,
+		Limits: Limits{MaxNeighborRuns: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := it.Collect(10); len(got) != 0 {
+		t.Fatalf("one allowed Dijkstra cannot produce %d communities", len(got))
+	}
+	var be ErrBudgetExhausted
+	if !errors.As(it.Err(), &be) || be.Resource != ResourceNeighborRuns {
+		t.Fatalf("Err() = %v, want neighbor-runs exhaustion", it.Err())
+	}
+}
+
+// TestMaxRelaxations: capping shortest-path work units trips on the
+// relaxations resource (the CLI's -max-visited).
+func TestMaxRelaxations(t *testing.T) {
+	s := NewSearcher(dblpTestGraph(t))
+	it, err := s.All(governedQuery(Limits{MaxRelaxations: 500}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.CollectAll(0)
+	var be ErrBudgetExhausted
+	if !errors.As(it.Err(), &be) || be.Resource != ResourceRelaxations {
+		t.Fatalf("Err() = %v, want relaxations exhaustion", it.Err())
+	}
+	if be.Spent <= be.Limit {
+		t.Fatalf("spent %d must exceed limit %d", be.Spent, be.Limit)
+	}
+}
+
+// TestMaxCanTuples: the top-k can-list growth — the paper's only
+// unbounded space term — is cappable.
+func TestMaxCanTuples(t *testing.T) {
+	s := NewSearcher(dblpTestGraph(t))
+	it, err := s.TopK(governedQuery(Limits{MaxCanTuples: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := it.NextCore(); !ok {
+			break
+		}
+		n++
+	}
+	var be ErrBudgetExhausted
+	if !errors.As(it.Err(), &be) || be.Resource != ResourceCanTuples {
+		t.Fatalf("Err() = %v, want can-tuples exhaustion", it.Err())
+	}
+	if n == 0 {
+		t.Fatal("the can-list cap should still admit early results")
+	}
+}
+
+// TestGovernedIndexedQuery: budgets work identically through the
+// projected path, and an ungoverned indexed query is unaffected.
+func TestGovernedIndexedQuery(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s, err := NewIndexedSearcher(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Keywords: []string{"a", "b", "c"}, Rmax: 8, Limits: Limits{MaxResults: 3}}
+	it, err := s.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := it.Collect(10)
+	if len(got) != 3 {
+		t.Fatalf("MaxResults=3 granted %d", len(got))
+	}
+	var be ErrBudgetExhausted
+	if !errors.As(it.Err(), &be) || be.Resource != ResourceResults {
+		t.Fatalf("Err() = %v, want results exhaustion", it.Err())
+	}
+}
+
+// TestRmaxValidation: NaN and ±Inf radii are rejected up front — NaN
+// compares false against everything, so it would otherwise poison
+// every distance comparison downstream.
+func TestRmaxValidation(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s := NewSearcher(g)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		if _, err := s.All(Query{Keywords: []string{"a"}, Rmax: bad}); err == nil {
+			t.Fatalf("All accepted Rmax %v", bad)
+		}
+		if _, err := s.TopK(Query{Keywords: []string{"a"}, Rmax: bad}); err == nil {
+			t.Fatalf("TopK accepted Rmax %v", bad)
+		}
+	}
+	if _, err := NewIndexedSearcher(g, math.NaN()); err == nil {
+		t.Fatal("NewIndexedSearcher accepted a NaN radius")
+	}
+	if _, err := NewIndexedSearcher(g, math.Inf(1)); err == nil {
+		t.Fatal("NewIndexedSearcher accepted an infinite radius")
+	}
+}
+
+// TestPanicRecovery: a panic inside the enumeration machinery is
+// converted to an error at the public boundary — it fails the one
+// query, not the process — and the iterator reports it via Err().
+func TestPanicRecovery(t *testing.T) {
+	// Iterators corrupted to panic on use (nil internal enumerator).
+	all := &AllIterator{}
+	if _, ok := all.Next(); ok {
+		t.Fatal("a panicking iterator must not report ok")
+	}
+	if err := all.Err(); err == nil || !strings.Contains(err.Error(), "internal panic") {
+		t.Fatalf("Err() = %v, want a recovered internal panic", err)
+	}
+	topk := &TopKIterator{}
+	if _, ok := topk.NextCore(); ok {
+		t.Fatal("a panicking iterator must not report ok")
+	}
+	if err := topk.Err(); err == nil || !strings.Contains(err.Error(), "internal panic") {
+		t.Fatalf("Err() = %v, want a recovered internal panic", err)
+	}
+	// Once poisoned, the iterator stays stopped without re-panicking.
+	if _, ok := all.Next(); ok {
+		t.Fatal("poisoned iterator revived")
+	}
+}
+
+// TestConcurrentGovernedQueries: the doc claim "a Searcher is safe for
+// concurrent use" under governance — goroutines sharing one indexed
+// Searcher, some governed, some canceled mid-flight; run under -race.
+func TestConcurrentGovernedQueries(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	s, err := NewIndexedSearcher(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Keywords: []string{"a", "b", "c"}, Rmax: 8}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			lim := Limits{}
+			if i%2 == 0 {
+				lim.MaxResults = int64(1 + i%4)
+			}
+			it, err := s.TopKCtx(ctx, Query{Keywords: q.Keywords, Rmax: q.Rmax, Limits: lim})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for n := 0; ; n++ {
+				if n == 2 && i%3 == 0 {
+					cancel()
+				}
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+			if err := it.Err(); err != nil {
+				var be ErrBudgetExhausted
+				if !errors.As(err, &be) && !errors.Is(err, context.Canceled) {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

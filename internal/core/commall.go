@@ -21,6 +21,7 @@ type AllEnumerator struct {
 	started bool
 	done    bool
 	emitted int
+	err     error // stop reason when the engine's budget tripped
 }
 
 // NewAll returns a COMM-all enumerator for the engine's query. The
@@ -51,11 +52,36 @@ func (it *AllEnumerator) seeds(i int) []graph.NodeID {
 	return out
 }
 
+// Err reports why the enumeration stopped: nil after a clean
+// exhaustion (every community was produced), or the governance stop
+// reason — context.Canceled, context.DeadlineExceeded, or a
+// govern.ErrBudgetExhausted — when the query's budget tripped and the
+// results produced so far are a partial set. It is meaningful once
+// NextCore/Next has returned ok == false.
+func (it *AllEnumerator) Err() error { return it.err }
+
+// stop freezes the enumeration with a governance stop reason.
+func (it *AllEnumerator) stop(err error) (CoreCost, bool) {
+	it.err = err
+	it.done = true
+	return CoreCost{}, false
+}
+
 // NextCore advances the enumeration and returns the next core with its
-// cost, or ok == false when the query is exhausted.
+// cost, or ok == false when the query is exhausted or its budget
+// tripped (Err distinguishes the two).
 func (it *AllEnumerator) NextCore() (CoreCost, bool) {
 	if it.done {
 		return CoreCost{}, false
+	}
+	bud := it.e.budget
+	if err := bud.Err(); err != nil {
+		return it.stop(err)
+	}
+	// Pre-charge the result grant: with MaxResults = k exactly k calls
+	// succeed and the k+1st reports the exhausted budget.
+	if err := bud.ChargeResult(); err != nil {
+		return it.stop(err)
 	}
 	if !it.started {
 		it.started = true
@@ -68,6 +94,11 @@ func (it *AllEnumerator) NextCore() (CoreCost, bool) {
 			it.e.setSlotFull(i)
 		}
 		c, cost, ok := it.e.bestCore()
+		// A budget tripped during the slot runs or the scan leaves
+		// partial slot state; discard whatever bestCore said.
+		if err := bud.Err(); err != nil {
+			return it.stop(err)
+		}
 		if !ok {
 			it.done = true
 			return CoreCost{}, false
@@ -85,7 +116,13 @@ func (it *AllEnumerator) NextCore() (CoreCost, bool) {
 	for i := it.e.l - 1; i >= 0; i-- {
 		it.removed[i][it.cur[i]] = struct{}{}
 		it.e.setSlot(i, it.seeds(i))
-		if c, cost, ok := it.e.bestCore(); ok {
+		c, cost, ok := it.e.bestCore()
+		// One check covers the pins, the slot recompute and the scan:
+		// any of them tripping invalidates this probe's outcome.
+		if err := bud.Err(); err != nil {
+			return it.stop(err)
+		}
+		if ok {
 			it.cur = c
 			it.emitted++
 			return CoreCost{Core: c, Cost: cost}, true
@@ -101,13 +138,21 @@ func (it *AllEnumerator) NextCore() (CoreCost, bool) {
 }
 
 // Next advances the enumeration and materializes the community for the
-// next core, or returns ok == false when exhausted.
+// next core, or returns ok == false when exhausted or the budget
+// tripped (see Err).
 func (it *AllEnumerator) Next() (*Community, bool) {
 	cc, ok := it.NextCore()
 	if !ok {
 		return nil, false
 	}
-	return it.e.GetCommunity(cc.Core), true
+	r := it.e.GetCommunity(cc.Core)
+	// A trip during materialization leaves r missing nodes; drop it
+	// rather than hand back a silently-wrong community.
+	if err := it.e.budget.Err(); err != nil {
+		it.stop(err)
+		return nil, false
+	}
+	return r, true
 }
 
 // Emitted reports how many cores have been produced so far.

@@ -27,8 +27,10 @@ type TopKEnumerator struct {
 	e       *Engine
 	h       *heap.Fib[*canTuple]
 	started bool
+	done    bool
 	emitted int
-	tuples  int // can-list length, for memory accounting
+	tuples  int   // can-list length, for memory accounting
+	err     error // stop reason when the engine's budget tripped
 }
 
 // NewTopK returns a COMM-k enumerator for the engine's query. The
@@ -37,9 +39,36 @@ func NewTopK(e *Engine) *TopKEnumerator {
 	return &TopKEnumerator{e: e, h: heap.NewFib[*canTuple]()}
 }
 
+// Err reports why the enumeration stopped: nil after a clean
+// exhaustion, or the governance stop reason — context.Canceled,
+// context.DeadlineExceeded, or a govern.ErrBudgetExhausted — when the
+// budget tripped and the ranking produced so far is a partial prefix.
+// It is meaningful once NextCore/Next has returned ok == false.
+func (it *TopKEnumerator) Err() error { return it.err }
+
+// stop freezes the enumeration with a governance stop reason.
+func (it *TopKEnumerator) stop(err error) (CoreCost, bool) {
+	it.err = err
+	it.done = true
+	return CoreCost{}, false
+}
+
 // NextCore returns the core of the next best community in ranking
-// order, or ok == false when the query is exhausted.
+// order, or ok == false when the query is exhausted or its budget
+// tripped (Err distinguishes the two).
 func (it *TopKEnumerator) NextCore() (CoreCost, bool) {
+	if it.done {
+		return CoreCost{}, false
+	}
+	bud := it.e.budget
+	if err := bud.Err(); err != nil {
+		return it.stop(err)
+	}
+	// Pre-charge the result grant: with MaxResults = k exactly k calls
+	// succeed and the k+1st reports the exhausted budget.
+	if err := bud.ChargeResult(); err != nil {
+		return it.stop(err)
+	}
 	if !it.started {
 		it.started = true
 		if it.e.HasAllKeywords() {
@@ -47,9 +76,14 @@ func (it *TopKEnumerator) NextCore() (CoreCost, bool) {
 			for i := 0; i < it.e.l; i++ {
 				it.e.setSlotFull(i)
 			}
-			if c, cost, ok := it.e.bestCore(); ok {
+			c, cost, ok := it.e.bestCore()
+			if err := bud.Err(); err != nil {
+				return it.stop(err)
+			}
+			if ok {
 				it.h.Insert(cost, &canTuple{core: c, cost: cost, pos: 0})
 				it.tuples++
+				bud.ChargeTuple(it.tupleBytes())
 			}
 		}
 	}
@@ -59,19 +93,45 @@ func (it *TopKEnumerator) NextCore() (CoreCost, bool) {
 	}
 	g := node.Value
 	it.expand(g)
+	// The extracted minimum was fully determined before expand ran, so
+	// it is returned even when expansion tripped the budget; the next
+	// call observes the sticky reason and stops.
+	if err := bud.Err(); err != nil {
+		it.err = err
+		it.done = true
+	}
 	it.emitted++
 	return CoreCost{Core: g.core, Cost: g.cost}, true
 }
 
+// tupleBytes is the logical size of one can-list tuple, charged against
+// the budget's heap-bytes resource (the paper's O(l²·k) space term).
+func (it *TopKEnumerator) tupleBytes() int64 {
+	return int64(it.e.l)*4 + 48
+}
+
 // Next returns the next best community in ranking order, or ok == false
-// when exhausted. Calling Next again after k results simply continues
-// to k+1 — the interactive enlargement the paper highlights.
+// when exhausted or the budget tripped (see Err). Calling Next again
+// after k results simply continues to k+1 — the interactive
+// enlargement the paper highlights.
 func (it *TopKEnumerator) Next() (*Community, bool) {
 	cc, ok := it.NextCore()
 	if !ok {
 		return nil, false
 	}
-	return it.e.GetCommunity(cc.Core), true
+	// A budget that tripped during expansion, or trips during
+	// materialization, would leave this community missing nodes; drop
+	// it rather than hand back a silently-wrong result.
+	if err := it.e.budget.Err(); err != nil {
+		it.stop(err)
+		return nil, false
+	}
+	r := it.e.GetCommunity(cc.Core)
+	if err := it.e.budget.Err(); err != nil {
+		it.stop(err)
+		return nil, false
+	}
+	return r, true
 }
 
 // expand is the paper's procedure Next(g) (Algorithm 5, lines 15-31):
@@ -121,9 +181,19 @@ func (it *TopKEnumerator) expand(g *canTuple) {
 		}
 		removed[i][g.core[i]] = struct{}{}
 		it.e.setSlot(i, seeds(i))
-		if c, cost, ok := it.e.bestCore(); ok {
+		c, cost, ok := it.e.bestCore()
+		// A trip during the pins, the slot recompute or the scan makes
+		// this and every further sub-subspace probe unreliable; abandon
+		// the expansion (NextCore freezes the enumeration right after).
+		if it.e.budget.Err() != nil {
+			return
+		}
+		if ok {
 			it.h.Insert(cost, &canTuple{core: c, cost: cost, pos: i, prev: g})
 			it.tuples++
+			if it.e.budget.ChargeTuple(it.tupleBytes()) != nil {
+				return
+			}
 		}
 		// Restore position i for the next (lower) split position: for
 		// i > g.pos the chain holds no exclusions there, so this is the

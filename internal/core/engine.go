@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"commdb/internal/fulltext"
+	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/sssp"
 )
@@ -77,6 +79,11 @@ type Engine struct {
 	// skip, for the ablation benchmark only.
 	noSlotCache bool
 
+	// budget, when non-nil, governs the query: Dijkstra runs and the
+	// BestCore scans charge it, and the enumerators stop early with the
+	// budget's stop reason once it trips. nil means unlimited.
+	budget *govern.Budget
+
 	// costFn aggregates per-keyword distances into a cost.
 	costFn CostFunction
 }
@@ -84,6 +91,17 @@ type Engine struct {
 // SetCostFunction switches the cost aggregate. It must be called before
 // the first enumeration step.
 func (e *Engine) SetCostFunction(f CostFunction) { e.costFn = f }
+
+// SetBudget installs a governance budget on the engine and its
+// shortest-path workspace. It must be called before the first
+// enumeration step; nil (the default) means unlimited.
+func (e *Engine) SetBudget(b *govern.Budget) {
+	e.budget = b
+	e.ws.SetBudget(b)
+}
+
+// Budget returns the engine's governance budget, nil when unlimited.
+func (e *Engine) Budget() *govern.Budget { return e.budget }
 
 // CostOf aggregates one center's per-keyword distances under the
 // engine's cost function.
@@ -117,6 +135,12 @@ func (e *Engine) DisableSlotCache() { e.noSlotCache = true }
 func NewEngine(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax float64) (*Engine, error) {
 	if len(keywords) == 0 {
 		return nil, ErrNoKeywords
+	}
+	// Note the IsNaN check cannot be folded into the < 0 comparison:
+	// NaN compares false against everything and would otherwise slip
+	// through and poison every distance comparison downstream.
+	if math.IsNaN(rmax) || math.IsInf(rmax, 0) {
+		return nil, fmt.Errorf("core: non-finite Rmax %v", rmax)
 	}
 	if rmax < 0 {
 		return nil, fmt.Errorf("core: negative Rmax %v", rmax)
@@ -263,6 +287,7 @@ func (e *Engine) install(i int, res *sssp.Result, desc slotDesc) {
 // (Algorithm 2: bounded reverse Dijkstra).
 func (e *Engine) setSlot(i int, seeds []graph.NodeID) {
 	res := e.buffer()
+	e.budget.ChargeNeighborRun() // a tripped budget empties the run below
 	e.ws.RunFromNodes(sssp.Reverse, seeds, e.rmax, res)
 	e.neighborRuns++
 	e.install(i, res, slotDesc{kind: slotSet})
@@ -275,6 +300,7 @@ func (e *Engine) setSlotSingle(i int, v graph.NodeID) {
 		return
 	}
 	res := e.buffer()
+	e.budget.ChargeNeighborRun()
 	e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{v}, e.rmax, res)
 	e.neighborRuns++
 	e.install(i, res, slotDesc{kind: slotSingle, node: v})
@@ -293,6 +319,7 @@ func (e *Engine) setSlotFull(i int) {
 	}
 	if e.full[i] == nil {
 		res := sssp.NewResult(e.g.NumNodes())
+		e.budget.ChargeNeighborRun()
 		e.ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
 		e.neighborRuns++
 		e.full[i] = res
@@ -335,19 +362,29 @@ func (e *Engine) bestCore() (Core, float64, bool) {
 	bestU := graph.NodeID(-1)
 	bestCost := 0.0
 	want := int16(e.l)
-	for u := 0; u < n; u++ {
-		if e.cnt[u] != want {
-			continue
+	// The scan polls the budget once per block so the hot inner loop
+	// stays branch-free of governance; a tripped budget aborts the scan
+	// (callers distinguish that from "no center" via Budget().Err()).
+	const scanStride = 4 * govern.Stride
+	for base := 0; base < n; base += scanStride {
+		if e.budget != nil && e.budget.Poll() != nil {
+			return nil, 0, false
 		}
-		var cost float64
-		if e.costFn == CostSumDistances {
-			cost = e.sum[u]
-		} else {
-			cost = e.candidateCost(graph.NodeID(u))
-		}
-		if bestU < 0 || cost < bestCost {
-			bestU = graph.NodeID(u)
-			bestCost = cost
+		end := min(base+scanStride, n)
+		for u := base; u < end; u++ {
+			if e.cnt[u] != want {
+				continue
+			}
+			var cost float64
+			if e.costFn == CostSumDistances {
+				cost = e.sum[u]
+			} else {
+				cost = e.candidateCost(graph.NodeID(u))
+			}
+			if bestU < 0 || cost < bestCost {
+				bestU = graph.NodeID(u)
+				bestCost = cost
+			}
 		}
 	}
 	if bestU < 0 {

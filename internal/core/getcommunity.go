@@ -24,6 +24,7 @@ func (e *Engine) GetCommunity(c Core) *Community {
 	// Per-knode reverse passes: after these, gcKnode[j].Dist(v) is
 	// dist(v, knodes[j]) when within Rmax.
 	for j, kn := range knodes {
+		e.budget.ChargeNeighborRun()
 		e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{kn}, e.rmax, e.gcKnode[j])
 		e.neighborRuns++
 	}
@@ -83,8 +84,10 @@ func (e *Engine) GetCommunity(c Core) *Community {
 
 	// Forward pass from all centers (virtual source s) and reverse pass
 	// from all knodes (virtual sink t).
+	e.budget.ChargeNeighborRun()
 	e.ws.RunFromNodes(sssp.Forward, centers, e.rmax, e.gcFwd)
 	e.neighborRuns++
+	e.budget.ChargeNeighborRun()
 	e.ws.RunFromNodes(sssp.Reverse, knodes, e.rmax, e.gcRev)
 	e.neighborRuns++
 

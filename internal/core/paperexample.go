@@ -2,6 +2,18 @@ package core
 
 import "commdb/internal/graph"
 
+// mustBuild freezes a builder whose construction is statically known to
+// succeed (the hard-coded example graphs). The panic is the only one in
+// the enumeration stack and is converted to an error at the public API
+// boundary, so a bug here fails one query, not the process.
+func mustBuild(b *graph.Builder, what string) *graph.Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic("core: " + what + " must build: " + err.Error())
+	}
+	return g
+}
+
 // PaperGraph reconstructs the running example of the paper (Fig. 4): a
 // 13-node weighted directed graph where v4 and v13 contain keyword "a",
 // v2 and v8 contain "b", and v3, v6, v9, v11 contain "c".
@@ -47,11 +59,7 @@ func PaperGraph() (*graph.Graph, []graph.NodeID) {
 	for _, ed := range edges {
 		b.AddEdge(ids[ed.u], ids[ed.v], ed.w)
 	}
-	g, err := b.Freeze()
-	if err != nil {
-		panic("core: paper example graph must build: " + err.Error())
-	}
-	return g, ids
+	return mustBuild(b, "paper example graph"), ids
 }
 
 // IntroGraph reconstructs the introduction's co-authorship example
@@ -78,9 +86,5 @@ func IntroGraph() (*graph.Graph, map[string]graph.NodeID) {
 	b.AddEdge(ids["paper2"], ids["john"], 2)
 	b.AddEdge(ids["paper2"], ids["jim"], 3)
 	b.AddEdge(ids["paper1"], ids["paper2"], 4)
-	g, err := b.Freeze()
-	if err != nil {
-		panic("core: intro example graph must build: " + err.Error())
-	}
-	return g, ids
+	return mustBuild(b, "intro example graph"), ids
 }

@@ -1,0 +1,183 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if b.Err() != nil || b.Poll() != nil {
+		t.Fatal("nil budget must never report an error")
+	}
+	if b.ChargeRelaxations(1<<40) != nil || b.ChargeNeighborRun() != nil ||
+		b.ChargeTuple(1<<40) != nil || b.ChargeResult() != nil {
+		t.Fatal("nil budget must accept any charge")
+	}
+	if b.Spent(ResourceResults) != 0 {
+		t.Fatal("nil budget spends nothing")
+	}
+}
+
+func TestNewReturnsNilWhenUngoverned(t *testing.T) {
+	if b := New(context.Background(), Limits{}); b != nil {
+		t.Fatal("background context + zero limits must yield the nil budget")
+	}
+	if b := New(nil, Limits{}); b != nil {
+		t.Fatal("nil context + zero limits must yield the nil budget")
+	}
+	if b := New(context.Background(), Limits{MaxResults: 1}); b == nil {
+		t.Fatal("a limit must yield a real budget")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if b := New(ctx, Limits{}); b == nil {
+		t.Fatal("a cancelable context must yield a real budget")
+	}
+}
+
+func TestCounterLimits(t *testing.T) {
+	cases := []struct {
+		name   string
+		lim    Limits
+		charge func(b *Budget) error
+		res    Resource
+	}{
+		{"relaxations", Limits{MaxRelaxations: 10}, func(b *Budget) error { return b.ChargeRelaxations(4) }, ResourceRelaxations},
+		{"neighbor-runs", Limits{MaxNeighborRuns: 2}, func(b *Budget) error { return b.ChargeNeighborRun() }, ResourceNeighborRuns},
+		{"can-tuples", Limits{MaxCanTuples: 2}, func(b *Budget) error { return b.ChargeTuple(8) }, ResourceCanTuples},
+		{"heap-bytes", Limits{MaxHeapBytes: 100}, func(b *Budget) error { return b.ChargeTuple(48) }, ResourceHeapBytes},
+		{"results", Limits{MaxResults: 2}, func(b *Budget) error { return b.ChargeResult() }, ResourceResults},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := New(context.Background(), tc.lim)
+			var err error
+			for i := 0; i < 100 && err == nil; i++ {
+				err = tc.charge(b)
+			}
+			if err == nil {
+				t.Fatal("limit never tripped")
+			}
+			var be ErrBudgetExhausted
+			if !errors.As(err, &be) {
+				t.Fatalf("want ErrBudgetExhausted, got %T: %v", err, err)
+			}
+			if be.Resource != tc.res {
+				t.Fatalf("tripped on %q, want %q", be.Resource, tc.res)
+			}
+			if be.Spent <= be.Limit {
+				t.Fatalf("spent %d should exceed limit %d", be.Spent, be.Limit)
+			}
+			// Sticky: the same reason forever, even via a cheap Poll.
+			if got := b.Err(); !errors.Is(got, be) {
+				t.Fatalf("Err() = %v, want sticky %v", got, be)
+			}
+			if got := b.Poll(); !errors.Is(got, be) {
+				t.Fatalf("Poll() = %v, want sticky %v", got, be)
+			}
+		})
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := New(context.Background(), Limits{Timeout: time.Millisecond})
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for b.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout never tripped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestAbsoluteDeadline(t *testing.T) {
+	b := New(context.Background(), Limits{Deadline: time.Now().Add(-time.Second)})
+	if err := b.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestNegativeTimeout: like context.WithTimeout, a negative Timeout is
+// already expired — not silently unlimited, which would turn a sign
+// typo into an ungoverned query.
+func TestNegativeTimeout(t *testing.T) {
+	b := New(context.Background(), Limits{Timeout: -time.Millisecond})
+	if b == nil {
+		t.Fatal("a negative timeout must produce a governed budget")
+	}
+	if err := b.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{MaxResults: 1000})
+	if err := b.ChargeResult(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := b.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Cancellation is sticky even though a later charge would also trip
+	// a counter.
+	for i := 0; i < 2000; i++ {
+		b.ChargeResult()
+	}
+	if err := b.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation must stay the stop reason, got %v", err)
+	}
+}
+
+func TestContextCause(t *testing.T) {
+	cause := errors.New("shed load")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	b := New(ctx, Limits{})
+	cancel(cause)
+	if err := b.Err(); !errors.Is(err, cause) {
+		t.Fatalf("want the cancellation cause, got %v", err)
+	}
+}
+
+func TestEarliestDeadlineWins(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b := New(ctx, Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if err := b.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("the tighter limit timeout must win, got %v", err)
+	}
+}
+
+// TestConcurrentCharges exercises one Budget from many goroutines, the
+// parallel index-build sharing pattern; run under -race.
+func TestConcurrentCharges(t *testing.T) {
+	b := New(context.Background(), Limits{MaxRelaxations: 1 << 20})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.ChargeRelaxations(Stride)
+				b.Err()
+			}
+		}()
+	}
+	wg.Wait()
+	var be ErrBudgetExhausted
+	if err := b.Err(); !errors.As(err, &be) || be.Resource != ResourceRelaxations {
+		t.Fatalf("want relaxations exhaustion, got %v", err)
+	}
+	if got := b.Spent(ResourceRelaxations); got != 8*1000*Stride {
+		t.Fatalf("lost charges: spent %d, want %d", got, 8*1000*Stride)
+	}
+}

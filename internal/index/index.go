@@ -16,11 +16,13 @@ package index
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
 	"commdb/internal/fulltext"
+	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/sssp"
 )
@@ -57,12 +59,21 @@ type BuildOptions struct {
 	// nodes than this (0 indexes every term). Queries for skipped terms
 	// fall back to an un-projected search.
 	MinPostings int
+	// Budget, when non-nil, governs the build — the longest single
+	// operation in the system (one bounded Dijkstra per distinct term).
+	// It is shared by all workers; when it trips, in-flight term runs
+	// stop, no further terms are dispatched, and Build returns the stop
+	// reason instead of a half-built index.
+	Budget *govern.Budget
 }
 
 // Build constructs both inverted indexes. One bounded multi-source
 // reverse Dijkstra runs per distinct term; terms are processed in
 // parallel across workers.
 func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
+	if math.IsNaN(opt.R) || math.IsInf(opt.R, 0) {
+		return nil, fmt.Errorf("index: non-finite radius %v", opt.R)
+	}
 	if opt.R < 0 {
 		return nil, fmt.Errorf("index: negative radius %v", opt.R)
 	}
@@ -86,6 +97,7 @@ func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
 		go func() {
 			defer wg.Done()
 			ws := sssp.NewWorkspace(g)
+			ws.SetBudget(opt.Budget) // one shared, concurrency-safe budget
 			res := sssp.NewResult(g.NumNodes())
 			for j := range jobs {
 				ix.edges[j.term] = buildEdgeList(g, ws, res, ix.nodes.NodesByID(j.term), opt.R)
@@ -93,6 +105,9 @@ func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
 		}()
 	}
 	for t := int32(0); int(t) < g.Dict().Size(); t++ {
+		if opt.Budget.Err() != nil {
+			break // stop dispatching; workers drain their empty runs
+		}
 		post := ix.nodes.NodesByID(t)
 		if len(post) == 0 || len(post) < opt.MinPostings {
 			continue
@@ -101,6 +116,11 @@ func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if err := opt.Budget.Err(); err != nil {
+		// A truncated edge list would silently drop community edges on
+		// every later query; an aborted build is an error, not an index.
+		return nil, fmt.Errorf("index: build aborted: %w", err)
+	}
 	ix.buildTime = time.Since(start)
 	return ix, nil
 }

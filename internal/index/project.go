@@ -6,6 +6,7 @@ import (
 
 	"commdb/internal/core"
 	"commdb/internal/fulltext"
+	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/sssp"
 )
@@ -27,6 +28,14 @@ type Projection struct {
 // list is simply what the other keywords contribute), so callers should
 // index every term they expect in queries.
 func (ix *Index) Project(keywords []string, rmax float64) (*Projection, error) {
+	return ix.ProjectBudget(keywords, rmax, nil)
+}
+
+// ProjectBudget is Project under a governance budget: the posting
+// gathers poll it and the two virtual-node passes charge it. A tripped
+// budget aborts with the stop reason — a truncated projection would
+// silently change query answers, so there is no partial projection.
+func (ix *Index) ProjectBudget(keywords []string, rmax float64, bud *govern.Budget) (*Projection, error) {
 	if rmax > ix.r {
 		return nil, fmt.Errorf("index: Rmax %v exceeds index radius %v", rmax, ix.r)
 	}
@@ -59,6 +68,11 @@ func (ix *Index) Project(keywords []string, rmax float64) (*Projection, error) {
 			wSet[v] = struct{}{}
 			vi[v] = struct{}{}
 			nodeSet[v] = struct{}{}
+		}
+		// One poll per posting list: frequent terms carry edge lists in
+		// the millions, the dominant cost of a projection.
+		if err := bud.Poll(); err != nil {
+			return nil, fmt.Errorf("index: projection aborted: %w", err)
 		}
 		for _, e := range ix.EdgePostings(terms[0]) {
 			edgeSet[graph.EdgePair{From: e.From, To: e.To}] = e.Weight
@@ -101,6 +115,7 @@ func (ix *Index) Project(keywords []string, rmax float64) (*Projection, error) {
 	// Forward pass from the candidate centers (virtual s), reverse pass
 	// from all keyword nodes (virtual t).
 	ws := sssp.NewWorkspace(union.G)
+	ws.SetBudget(bud)
 	fwd := sssp.NewResult(union.G.NumNodes())
 	rev := sssp.NewResult(union.G.NumNodes())
 	var centerSeeds, kwSeeds []graph.NodeID
@@ -114,6 +129,9 @@ func (ix *Index) Project(keywords []string, rmax float64) (*Projection, error) {
 	}
 	ws.RunFromNodes(sssp.Forward, centerSeeds, rmax, fwd)
 	ws.RunFromNodes(sssp.Reverse, kwSeeds, rmax, rev)
+	if err := bud.Err(); err != nil {
+		return nil, fmt.Errorf("index: projection aborted: %w", err)
+	}
 
 	// Line 14-15: keep nodes on short center→keyword paths, and the
 	// edges among them.

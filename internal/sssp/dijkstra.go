@@ -16,6 +16,7 @@ package sssp
 import (
 	"math"
 
+	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/heap"
 )
@@ -143,6 +144,13 @@ type Workspace struct {
 	stamp []uint32
 	epoch uint32
 	pq    heap.Binary
+
+	// budget, when non-nil, governs every run: work is charged in
+	// batches of ~govern.Stride relaxations and a run stops early
+	// (leaving a truncated Result) once the budget trips. tick carries
+	// uncharged work between batches and across runs.
+	budget *govern.Budget
+	tick   int64
 }
 
 // NewWorkspace returns a Workspace for g.
@@ -159,6 +167,25 @@ func NewWorkspace(g *graph.Graph) *Workspace {
 
 // Graph returns the graph the workspace was created for.
 func (w *Workspace) Graph() *graph.Graph { return w.g }
+
+// SetBudget installs a governance budget consulted by every subsequent
+// run; nil removes governance. When the budget trips, the current run
+// stops and leaves a truncated Result — callers must treat any Result
+// produced after Budget.Err() reports non-nil as partial.
+func (w *Workspace) SetBudget(b *govern.Budget) { w.budget = b }
+
+// chargeTick batches n work units into the workspace's local counter
+// and charges the budget once per govern.Stride, reporting whether the
+// run must stop.
+func (w *Workspace) chargeTick(n int64) bool {
+	w.tick += n
+	if w.tick < govern.Stride {
+		return false
+	}
+	batch := w.tick
+	w.tick = 0
+	return w.budget.ChargeRelaxations(batch) != nil
+}
 
 // Bytes estimates the logical memory footprint of the workspace.
 func (w *Workspace) Bytes() int64 {
@@ -177,8 +204,17 @@ func (w *Workspace) Bytes() int64 {
 // weight of the node being left in the original orientation. The two
 // conventions compose so that dist(s,u) + dist(u,t) counts u exactly
 // once, which is what GetCommunity's membership test needs.
+//
+// When a budget is installed (SetBudget) the run charges its work in
+// amortized batches and stops early once the budget trips; res then
+// holds only the nodes settled so far, and the stop reason is readable
+// from the budget. A run started after the budget tripped settles
+// nothing.
 func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) {
 	res.Reset()
+	if w.budget != nil && w.budget.Err() != nil {
+		return // tripped budget: every further run is an empty no-op
+	}
 	w.epoch++
 	if w.epoch == 0 { // wrapped: wipe stamps once
 		for i := range w.stamp {
@@ -222,6 +258,9 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 		} else {
 			adj = w.g.InEdges(v)
 		}
+		if w.budget != nil && w.chargeTick(int64(len(adj))+1) {
+			return // budget tripped: res holds the partial run
+		}
 		nw := w.g.NodeWeights()
 		for _, e := range adj {
 			nd := it.Dist + e.Weight
@@ -247,6 +286,13 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 			w.tvia[e.To] = v
 			w.pq.Push(nd, e.To)
 		}
+	}
+	// Flush the remainder so many small runs (one per index term)
+	// account as accurately as one large run.
+	if w.budget != nil && w.tick > 0 {
+		batch := w.tick
+		w.tick = 0
+		w.budget.ChargeRelaxations(batch)
 	}
 }
 

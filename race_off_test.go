@@ -1,0 +1,7 @@
+//go:build !race
+
+package commdb
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; timing-sensitive tests scale their deadlines by it.
+const raceEnabled = false

@@ -1,12 +1,15 @@
 package commdb
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"commdb/internal/core"
 	"commdb/internal/fulltext"
+	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/index"
 )
@@ -23,6 +26,39 @@ const (
 	CostMaxDistance  = core.CostMaxDistance
 )
 
+// Limits caps one query's resource consumption: a wall-clock cutoff
+// plus budgets on shortest-path work, Dijkstra invocations, top-k
+// candidate-list growth, and result count. The zero value (and a zero
+// in any field) means unlimited. See the govern package for what each
+// resource bounds.
+type Limits = govern.Limits
+
+// Resource names the budgeted quantity in an ErrBudgetExhausted.
+type Resource = govern.Resource
+
+// Budgeted resources, reported in ErrBudgetExhausted.Resource.
+const (
+	ResourceRelaxations  = govern.ResourceRelaxations
+	ResourceNeighborRuns = govern.ResourceNeighborRuns
+	ResourceCanTuples    = govern.ResourceCanTuples
+	ResourceHeapBytes    = govern.ResourceHeapBytes
+	ResourceResults      = govern.ResourceResults
+)
+
+// ErrBudgetExhausted is the iterator stop reason when a resource limit
+// tripped; match it with errors.As and inspect Resource/Spent/Limit.
+type ErrBudgetExhausted = govern.ErrBudgetExhausted
+
+// ErrDeadlineExceeded is the iterator stop reason when a query ran out
+// of wall-clock time. It is context.DeadlineExceeded, so both
+// errors.Is(err, commdb.ErrDeadlineExceeded) and comparisons against
+// context.DeadlineExceeded work.
+var ErrDeadlineExceeded = context.DeadlineExceeded
+
+// ErrCanceled is the iterator stop reason when the query's context was
+// canceled. It is context.Canceled.
+var ErrCanceled = context.Canceled
+
 // Query is one l-keyword community query.
 type Query struct {
 	// Keywords are the l query keywords; each must be a single term.
@@ -32,6 +68,11 @@ type Query struct {
 	Rmax float64
 	// Cost selects the ranking aggregate (default: summed distances).
 	Cost CostFunction
+	// Limits bounds the query's resources; the zero value is
+	// unlimited. When a limit trips mid-enumeration the iterator stops
+	// early — the results already returned are valid, and Err reports
+	// the reason.
+	Limits Limits
 }
 
 // Searcher answers community queries over one graph. A plain Searcher
@@ -85,13 +126,19 @@ type session struct {
 	inNode map[NodeID]bool // scratch for edge re-induction
 }
 
-func (s *Searcher) newSession(q Query) (*session, error) {
+func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 	if len(q.Keywords) == 0 {
 		return nil, core.ErrNoKeywords
+	}
+	// NaN compares false against everything, so `< 0` alone would let
+	// NaN (and +Inf) through and poison every distance comparison.
+	if math.IsNaN(q.Rmax) || math.IsInf(q.Rmax, 0) {
+		return nil, fmt.Errorf("commdb: non-finite Rmax %v", q.Rmax)
 	}
 	if q.Rmax < 0 {
 		return nil, fmt.Errorf("commdb: negative Rmax %v", q.Rmax)
 	}
+	bud := govern.New(ctx, q.Limits)
 	sess := &session{s: s}
 	target := s.g
 	var ft *fulltext.Index = s.ft
@@ -99,7 +146,7 @@ func (s *Searcher) newSession(q Query) (*session, error) {
 		if q.Rmax > s.ix.R() {
 			return nil, fmt.Errorf("commdb: Rmax %v exceeds the index radius %v given to NewIndexedSearcher", q.Rmax, s.ix.R())
 		}
-		proj, err := s.ix.Project(q.Keywords, q.Rmax)
+		proj, err := s.ix.ProjectBudget(q.Keywords, q.Rmax, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -112,8 +159,16 @@ func (s *Searcher) newSession(q Query) (*session, error) {
 		return nil, err
 	}
 	eng.SetCostFunction(q.Cost)
+	eng.SetBudget(bud)
 	sess.eng = eng
 	return sess, nil
+}
+
+// recoverQueryPanic converts a panic escaping an internal query loop
+// into an error at the public boundary, so an engine bug fails one
+// query instead of the process.
+func recoverQueryPanic(p any) error {
+	return fmt.Errorf("commdb: internal panic: %v", p)
 }
 
 // mapBack translates a community from the projected ID space to the
@@ -170,35 +225,82 @@ func mapIDs(in []NodeID, toParent []NodeID) []NodeID {
 
 // AllIterator enumerates every community of a query in polynomial
 // delay (Algorithm 1 of the paper), duplication-free and complete.
+//
+// When the query carries Limits or a cancelable context, Next may
+// return false before the query is exhausted; Err then reports why,
+// and the communities already returned are a valid partial set.
 type AllIterator struct {
 	sess *session
 	it   *core.AllEnumerator
+	err  error // panic recovered at the public boundary
 }
 
 // All starts a COMM-all enumeration. The first community returned is a
 // minimum-cost one; the rest follow in enumeration (not ranking) order.
 func (s *Searcher) All(q Query) (*AllIterator, error) {
-	sess, err := s.newSession(q)
+	return s.AllCtx(context.Background(), q)
+}
+
+// AllCtx is All bound to a context: canceling ctx (or hitting its
+// deadline) stops the enumeration within a bounded number of Next
+// calls, with the reason readable from Err.
+func (s *Searcher) AllCtx(ctx context.Context, q Query) (it *AllIterator, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			it, err = nil, recoverQueryPanic(p)
+		}
+	}()
+	sess, err := s.newSession(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	return &AllIterator{sess: sess, it: core.NewAll(sess.eng)}, nil
 }
 
+// Err reports why the enumeration stopped: nil after a clean
+// exhaustion, or the stop reason — ErrCanceled, ErrDeadlineExceeded,
+// an ErrBudgetExhausted (match with errors.As), or a recovered
+// internal panic — when it ended early. It is meaningful once Next or
+// NextCore has returned ok == false.
+func (it *AllIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.it.Err()
+}
+
 // Next returns the next community, or ok == false when the query is
-// exhausted.
-func (it *AllIterator) Next() (*Community, bool) {
-	r, ok := it.it.Next()
+// exhausted or stopped early (see Err).
+func (it *AllIterator) Next() (r *Community, ok bool) {
+	if it.err != nil {
+		return nil, false
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			it.err = recoverQueryPanic(p)
+			r, ok = nil, false
+		}
+	}()
+	r0, ok := it.it.Next()
 	if !ok {
 		return nil, false
 	}
-	return it.sess.mapBack(r), true
+	return it.sess.mapBack(r0), true
 }
 
 // NextCore advances without materializing the community subgraph;
 // cheaper when only cores and costs are needed.
-func (it *AllIterator) NextCore() (CoreCost, bool) {
-	cc, ok := it.it.NextCore()
+func (it *AllIterator) NextCore() (cc CoreCost, ok bool) {
+	if it.err != nil {
+		return CoreCost{}, false
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			it.err = recoverQueryPanic(p)
+			cc, ok = CoreCost{}, false
+		}
+	}()
+	cc, ok = it.it.NextCore()
 	if !ok || it.sess.sub == nil {
 		return cc, ok
 	}
@@ -213,32 +315,80 @@ func (it *AllIterator) NextCore() (CoreCost, bool) {
 // (Algorithm 5 of the paper). It has no fixed k: every Next call
 // produces the next best community, so a user can interactively keep
 // enlarging k without any recomputation.
+//
+// When the query carries Limits or a cancelable context, Next may
+// return false before the query is exhausted; Err then reports why,
+// and the communities already returned are a valid ranking prefix.
 type TopKIterator struct {
 	sess *session
 	it   *core.TopKEnumerator
+	err  error // panic recovered at the public boundary
 }
 
 // TopK starts a COMM-k enumeration.
 func (s *Searcher) TopK(q Query) (*TopKIterator, error) {
-	sess, err := s.newSession(q)
+	return s.TopKCtx(context.Background(), q)
+}
+
+// TopKCtx is TopK bound to a context: canceling ctx (or hitting its
+// deadline) stops the enumeration within a bounded number of Next
+// calls, with the reason readable from Err.
+func (s *Searcher) TopKCtx(ctx context.Context, q Query) (it *TopKIterator, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			it, err = nil, recoverQueryPanic(p)
+		}
+	}()
+	sess, err := s.newSession(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	return &TopKIterator{sess: sess, it: core.NewTopK(sess.eng)}, nil
 }
 
-// Next returns the next best community, or ok == false when exhausted.
-func (it *TopKIterator) Next() (*Community, bool) {
-	r, ok := it.it.Next()
+// Err reports why the enumeration stopped: nil after a clean
+// exhaustion, or the stop reason — ErrCanceled, ErrDeadlineExceeded,
+// an ErrBudgetExhausted (match with errors.As), or a recovered
+// internal panic — when it ended early. It is meaningful once Next or
+// NextCore has returned ok == false.
+func (it *TopKIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.it.Err()
+}
+
+// Next returns the next best community, or ok == false when exhausted
+// or stopped early (see Err).
+func (it *TopKIterator) Next() (r *Community, ok bool) {
+	if it.err != nil {
+		return nil, false
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			it.err = recoverQueryPanic(p)
+			r, ok = nil, false
+		}
+	}()
+	r0, ok := it.it.Next()
 	if !ok {
 		return nil, false
 	}
-	return it.sess.mapBack(r), true
+	return it.sess.mapBack(r0), true
 }
 
 // NextCore advances without materializing the community subgraph.
-func (it *TopKIterator) NextCore() (CoreCost, bool) {
-	cc, ok := it.it.NextCore()
+func (it *TopKIterator) NextCore() (cc CoreCost, ok bool) {
+	if it.err != nil {
+		return CoreCost{}, false
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			it.err = recoverQueryPanic(p)
+			cc, ok = CoreCost{}, false
+		}
+	}()
+	cc, ok = it.it.NextCore()
 	if !ok || it.sess.sub == nil {
 		return cc, ok
 	}
@@ -250,7 +400,8 @@ func (it *TopKIterator) NextCore() (CoreCost, bool) {
 }
 
 // Collect drains up to k communities from the iterator (a convenience
-// wrapper around Next).
+// wrapper around Next). It may return fewer than k when the query is
+// exhausted or stopped early — check Err to distinguish.
 func (it *TopKIterator) Collect(k int) []*Community {
 	out := make([]*Community, 0, k)
 	for len(out) < k {
@@ -263,8 +414,9 @@ func (it *TopKIterator) Collect(k int) []*Community {
 	return out
 }
 
-// CollectAll drains every community from an AllIterator. Use with care:
-// the result set can be large.
+// CollectAll drains every community from an AllIterator. Use with
+// care: the result set can be large — or bound it with Query.Limits
+// and check Err for the stop reason.
 func (it *AllIterator) CollectAll(limit int) []*Community {
 	var out []*Community
 	for limit <= 0 || len(out) < limit {
