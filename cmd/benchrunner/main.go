@@ -11,6 +11,13 @@
 //	benchrunner                         # everything, default scale
 //	benchrunner -experiments fig9a,fig12dblp
 //	benchrunner -authors 20000 -users 1200 -avg-ratings 60
+//	benchrunner -serve -serve-clients 16 -serve-requests 1000
+//
+// With -serve it benchmarks the HTTP serving stack (internal/server)
+// instead: concurrent clients mixing cached top-k lookups and NDJSON
+// streams against an in-process server on the synthetic DBLP graph,
+// reporting throughput and p50/p95/p99 latency, written to
+// BENCH_serve.json.
 package main
 
 import (
@@ -37,8 +44,20 @@ func main() {
 		ablations   = flag.Bool("ablations", true, "also run the ablation studies from DESIGN.md")
 		charts      = flag.Bool("charts", false, "render each series as an ASCII bar chart too")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
+
+		serve         = flag.Bool("serve", false, "benchmark the HTTP serving stack instead of the algorithms")
+		serveClients  = flag.Int("serve-clients", 8, "-serve: concurrent HTTP clients")
+		serveRequests = flag.Int("serve-requests", 400, "-serve: total requests across all clients")
+		serveOut      = flag.String("serve-out", "BENCH_serve.json", "-serve: JSON report path")
 	)
 	flag.Parse()
+	if *serve {
+		if err := runServe(*authors, *seed, *dblpBoost, *serveClients, *serveRequests, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-10s [%s] %s\n", e.ID, e.Dataset, e.Title)

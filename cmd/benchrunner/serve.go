@@ -1,0 +1,215 @@
+package main
+
+// The -serve mode benchmarks the serving stack rather than the bare
+// algorithms: it boots an in-process commserve (internal/server over an
+// indexed searcher on the synthetic DBLP graph), hammers it with
+// concurrent HTTP clients mixing cached top-k lookups and NDJSON
+// streams, and reports throughput and latency quantiles. Results are
+// also written as JSON (default BENCH_serve.json) so runs can be
+// diffed across commits.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commdb"
+	"commdb/internal/bench"
+	"commdb/internal/server"
+)
+
+// serveBenchReport is the BENCH_serve.json schema.
+type serveBenchReport struct {
+	Dataset    string               `json:"dataset"`
+	Authors    int                  `json:"authors"`
+	Nodes      int                  `json:"nodes"`
+	Edges      int                  `json:"edges"`
+	Clients    int                  `json:"clients"`
+	Requests   int                  `json:"requests"`
+	DurationMS float64              `json:"duration_ms"`
+	Throughput float64              `json:"throughput_rps"`
+	Errors     int                  `json:"errors"`
+	TopK       endpointStats        `json:"topk"`
+	Stream     endpointStats        `json:"stream"`
+	Server     server.StatsSnapshot `json:"server_stats"`
+}
+
+type endpointStats struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func summarize(lat []time.Duration) endpointStats {
+	if len(lat) == 0 {
+		return endpointStats{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return ms(lat[i])
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return endpointStats{
+		Count:  len(lat),
+		MeanMS: ms(sum) / float64(len(lat)),
+		P50MS:  q(0.50),
+		P95MS:  q(0.95),
+		P99MS:  q(0.99),
+		MaxMS:  ms(lat[len(lat)-1]),
+	}
+}
+
+// runServe is the -serve entry point.
+func runServe(authors int, seed int64, boost float64, clients, requests int, out string) error {
+	fmt.Printf("building DBLP dataset (authors=%d, boost=%gx)...\n", authors, boost)
+	start := time.Now()
+	d, err := bench.BuildDBLPBoosted(authors, seed, boost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  done in %v: %d nodes, %d edges\n", time.Since(start).Round(time.Millisecond),
+		d.G.NumNodes(), d.G.NumEdges())
+
+	p := d.Config.Defaults
+	fmt.Printf("building index (rmax=%g)...\n", p.Rmax)
+	s, err := commdb.NewIndexedSearcher(d.G, p.Rmax)
+	if err != nil {
+		return err
+	}
+
+	app := server.New(s, server.Config{})
+	ts := httptest.NewServer(app.Handler())
+	defer ts.Close()
+
+	// Workload: a small set of distinct operating points (so the cache
+	// sees both misses and hits), each issued with rotated keyword
+	// orders to exercise fingerprint canonicalization.
+	kws, err := d.Keywords(p)
+	if err != nil {
+		return err
+	}
+	if len(kws) < 2 {
+		return fmt.Errorf("dataset yielded %d probe keywords, need at least 2", len(kws))
+	}
+	type job struct {
+		path string
+		body []byte
+	}
+	var jobs []job
+	for l := 2; l <= len(kws); l++ {
+		for rot := 0; rot < l; rot++ {
+			q := append(append([]string{}, kws[rot:l]...), kws[:rot]...)
+			topk, _ := json.Marshal(map[string]any{
+				"keywords": q, "rmax": p.Rmax, "cost": "sum", "k": p.K, "compact": true,
+			})
+			jobs = append(jobs, job{"/v1/search/topk", topk})
+			all, _ := json.Marshal(map[string]any{
+				"keywords": q, "rmax": p.Rmax, "cost": "sum", "compact": true,
+				"limits": map[string]any{"max_results": 50},
+			})
+			jobs = append(jobs, job{"/v1/search/all", all})
+		}
+	}
+
+	fmt.Printf("serving benchmark: %d clients, %d requests, %d distinct request shapes\n",
+		clients, requests, len(jobs))
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		topkLat []time.Duration
+		allLat  []time.Duration
+		errorsN int
+	)
+	client := ts.Client()
+	bstart := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				j := jobs[i%len(jobs)]
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+j.path, "application/json", bytes.NewReader(j.body))
+				if err == nil {
+					_, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					}
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					errorsN++
+				case j.path == "/v1/search/topk":
+					topkLat = append(topkLat, lat)
+				default:
+					allLat = append(allLat, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(bstart)
+
+	rep := serveBenchReport{
+		Dataset:    d.Name,
+		Authors:    authors,
+		Nodes:      d.G.NumNodes(),
+		Edges:      d.G.NumEdges(),
+		Clients:    clients,
+		Requests:   requests,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Throughput: float64(requests) / elapsed.Seconds(),
+		Errors:     errorsN,
+		TopK:       summarize(topkLat),
+		Stream:     summarize(allLat),
+		Server:     app.Stats(),
+	}
+	fmt.Printf("done in %v: %.1f req/s, %d errors\n", elapsed.Round(time.Millisecond), rep.Throughput, errorsN)
+	fmt.Printf("  topk:   n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		rep.TopK.Count, rep.TopK.MeanMS, rep.TopK.P50MS, rep.TopK.P95MS, rep.TopK.P99MS)
+	fmt.Printf("  stream: n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		rep.Stream.Count, rep.Stream.MeanMS, rep.Stream.P50MS, rep.Stream.P95MS, rep.Stream.P99MS)
+	fmt.Printf("  cache: %d hits, %d misses, %d coalesced; admission: %d rejected\n",
+		rep.Server.CacheHits, rep.Server.CacheMisses, rep.Server.SingleflightShared, rep.Server.AdmissionRejections)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"commdb"
+	"commdb/internal/server"
+)
+
+// TestJSONMatchesServerStream cross-checks the satellite contract: the
+// CLI's -json output and the server's streaming endpoint produce
+// line-identical records for the same query (trailers agree modulo
+// elapsed time).
+func TestJSONMatchesServerStream(t *testing.T) {
+	g, _ := commdb.PaperExampleGraph()
+	s := commdb.NewSearcher(g)
+
+	// CLI side. The CLI does not normalize (it preserves the user's
+	// keyword order), so feed it the normalized query the server would
+	// run for the same request.
+	q := commdb.Query{Keywords: []string{"c", "a", "b"}, Rmax: 8}.Normalized()
+	it, err := s.All(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli bytes.Buffer
+	if err := emitNDJSON(&cli, g, it, 0, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server side, same query pre-normalization.
+	srv := server.New(s, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]any{"keywords": []string{"c", "a", "b"}, "rmax": 8, "compact": true})
+	resp, err := http.Post(ts.URL+"/v1/search/all", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	cliLines := strings.Split(strings.TrimSpace(cli.String()), "\n")
+	var srvLines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		srvLines = append(srvLines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cliLines) != len(srvLines) {
+		t.Fatalf("CLI emitted %d lines, server %d", len(cliLines), len(srvLines))
+	}
+	if len(cliLines) != 6 { // the paper's 5 communities + trailer
+		t.Fatalf("got %d lines, want 6", len(cliLines))
+	}
+	for i := 0; i < len(cliLines)-1; i++ {
+		if cliLines[i] != srvLines[i] {
+			t.Errorf("record %d differs:\nCLI:    %s\nserver: %s", i+1, cliLines[i], srvLines[i])
+		}
+	}
+	var ct, st server.Trailer
+	if err := json.Unmarshal([]byte(cliLines[len(cliLines)-1]), &ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(srvLines[len(srvLines)-1]), &st); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Count != st.Count || ct.Complete != st.Complete || ct.Reason != st.Reason {
+		t.Fatalf("trailers disagree: CLI %+v, server %+v", ct, st)
+	}
+}
+
+// TestJSONTrailerReportsStop: a governed CLI query that trips its
+// budget still emits the partial records and a trailer with the
+// reason, like the server does.
+func TestJSONTrailerReportsStop(t *testing.T) {
+	g, _ := commdb.PaperExampleGraph()
+	s := commdb.NewSearcher(g)
+	q := commdb.Query{Keywords: []string{"a", "b", "c"}, Rmax: 8, Limits: commdb.Limits{MaxResults: 2}}
+	it, err := s.All(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := emitNDJSON(&out, g, it, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // 2 granted + trailer
+		t.Fatalf("got %d lines, want 3: %v", len(lines), lines)
+	}
+	var trailer server.Trailer
+	if err := json.Unmarshal([]byte(lines[2]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Complete || trailer.Count != 2 || !strings.Contains(trailer.Reason, "results") {
+		t.Fatalf("trailer = %+v, want an incomplete results-budget stop after 2", trailer)
+	}
+}

@@ -16,17 +16,26 @@
 // -max-visited bounds shortest-path work, and -max-results caps the
 // answer count. A governed query that hits a limit still prints every
 // community found so far, followed by the stop reason.
+//
+// With -json the results stream as NDJSON — one community record per
+// line plus a trailer carrying the stop reason — in exactly the schema
+// of cmd/commserve's POST /v1/search/all endpoint, so scripts consume
+// CLI and service output interchangeably.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"commdb"
+	"commdb/internal/server"
 )
 
 func main() {
@@ -41,6 +50,7 @@ func main() {
 		max        = flag.Int("max", 1000, "cap on -all output")
 		useIndex   = flag.Bool("index", false, "build inverted indexes and search a projected subgraph")
 		verbose    = flag.Bool("v", false, "print every community node, not just a summary")
+		jsonOut    = flag.Bool("json", false, "emit NDJSON (one community record per line plus a trailer, the serving endpoint's schema)")
 		replMode   = flag.Bool("repl", false, "interactive session: issue queries and ask for 'more'")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per query, e.g. 50ms (0 = unlimited)")
 		maxVisited = flag.Int64("max-visited", 0, "budget on shortest-path work units per query (0 = unlimited)")
@@ -55,7 +65,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose, lim); err != nil {
+	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose, *jsonOut, lim); err != nil {
 		fmt.Fprintln(os.Stderr, "commsearch:", err)
 		os.Exit(1)
 	}
@@ -105,7 +115,7 @@ func newSearcher(g *commdb.Graph, indexPath string, useIndex bool, rmax float64)
 	return commdb.NewSearcher(g), nil
 }
 
-func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose bool, lim commdb.Limits) error {
+func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose, jsonOut bool, lim commdb.Limits) error {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return err
@@ -122,8 +132,10 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 	if err != nil {
 		return err
 	}
-	for _, kw := range kws {
-		fmt.Printf("keyword %q: %.4f%% of nodes\n", kw, s.KeywordFrequency(kw)*100)
+	if !jsonOut {
+		for _, kw := range kws {
+			fmt.Printf("keyword %q: %.4f%% of nodes\n", kw, s.KeywordFrequency(kw)*100)
+		}
 	}
 	q := commdb.Query{Keywords: kws, Rmax: rmax, Limits: lim}
 	ctx := context.Background()
@@ -132,6 +144,9 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 		it, err := s.AllCtx(ctx, q)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			return emitNDJSON(os.Stdout, g, it, max, !verbose)
 		}
 		n := 0
 		for n < max {
@@ -153,6 +168,9 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitNDJSON(os.Stdout, g, it, top, !verbose)
+	}
 	shown := 0
 	for rank := 1; rank <= top; rank++ {
 		r, ok := it.Next()
@@ -168,6 +186,28 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 		printCommunity(g, rank, r, verbose)
 	}
 	return nil
+}
+
+// emitNDJSON streams up to max communities as NDJSON records followed
+// by a trailer — the exact record schema of the server's streaming
+// endpoint (internal/server), so CLI output and service responses are
+// script-compatible and cross-checkable. With -v the records carry the
+// full node and edge lists; without it they are compact.
+func emitNDJSON(w io.Writer, g *commdb.Graph, st server.Stream, max int, compact bool) error {
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	n := 0
+	for max <= 0 || n < max {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		if err := enc.Encode(server.NewRecord(n, r, g, compact)); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(server.NewTrailer(n, st.Err(), time.Since(start)))
 }
 
 func loadGraph(graphPath, example string) (*commdb.Graph, error) {

@@ -1,0 +1,164 @@
+// Command commserve serves community queries over HTTP: the
+// polynomial-delay enumerators behind a concurrent service with
+// admission control, a top-k result cache, and NDJSON streaming.
+//
+// Usage:
+//
+//	commserve -graph dblp.graph -index -rmax-max 8 -addr :8080
+//	commserve -example paper -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/search/topk   JSON in, JSON out (cached, coalesced)
+//	POST /v1/search/all    JSON in, NDJSON stream out (one community
+//	                       per line, then a trailer with the stop reason)
+//	GET  /healthz          liveness
+//	GET  /statsz           serving counters + latency histogram
+//
+// Per-request limits are clamped to the -max-* flags, so one client
+// cannot monopolize the query governor's budget. On SIGINT/SIGTERM the
+// server stops admitting, cancels in-flight queries through the
+// governor, drains streams with correct trailers, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"commdb"
+	"commdb/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		graphPath = flag.String("graph", "", "graph file written by cmd/datagen")
+		indexPath = flag.String("index-file", "", "index file written by cmd/indexbuild (implies projected search)")
+		example   = flag.String("example", "", "built-in example graph: paper or intro")
+		useIndex  = flag.Bool("index", false, "build inverted indexes and serve projected searches")
+		rmaxMax   = flag.Float64("rmax-max", 8, "index radius for -index; also the largest Rmax indexed queries may use")
+
+		maxConcurrent = flag.Int("max-concurrent", 0, "concurrently executing queries (0 = GOMAXPROCS)")
+		maxQueue      = flag.Int("max-queue", 0, "requests allowed to wait for a slot (0 = 2x max-concurrent)")
+		queueWait     = flag.Duration("queue-wait", 5*time.Second, "longest a request may wait for a slot")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		cacheEntries  = flag.Int("cache-entries", 256, "top-k result cache entries (-1 disables)")
+		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "top-k result cache approximate byte bound")
+		maxK          = flag.Int("max-k", 1000, "largest per-request k")
+
+		maxTimeout = flag.Duration("max-timeout", 30*time.Second, "per-query wall-clock ceiling (0 = unlimited)")
+		maxVisited = flag.Int64("max-visited", 0, "per-query shortest-path work ceiling (0 = unlimited)")
+		maxResults = flag.Int64("max-results", 100000, "per-query result-count ceiling (0 = unlimited)")
+
+		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "drain budget on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	cfg := server.Config{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		RetryAfter:    *retryAfter,
+		CacheEntries:  *cacheEntries,
+		CacheBytes:    *cacheBytes,
+		MaxK:          *maxK,
+		MaxLimits: commdb.Limits{
+			Timeout:        *maxTimeout,
+			MaxRelaxations: *maxVisited,
+			MaxResults:     *maxResults,
+		},
+	}
+	if err := run(*addr, *graphPath, *indexPath, *example, *useIndex, *rmaxMax, cfg, *shutdownGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "commserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax float64, cfg server.Config, grace time.Duration) error {
+	s, err := buildSearcher(graphPath, indexPath, example, useIndex, rmaxMax)
+	if err != nil {
+		return err
+	}
+	log.Printf("graph: %d nodes, %d edges (indexed=%v)", s.Graph().NumNodes(), s.Graph().NumEdges(), s.Indexed())
+
+	app := server.New(s, cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: app.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("caught %v; draining (grace %v)", sig, grace)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	// App first: stop admitting and cancel in-flight queries so their
+	// streams finish with trailers; then close the listeners.
+	if err := app.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
+
+// buildSearcher loads the graph and picks the searcher flavour: saved
+// index, freshly built index, or per-query scans.
+func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax float64) (*commdb.Searcher, error) {
+	g, err := loadGraph(graphPath, example)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case indexPath != "":
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return commdb.NewSearcherWithIndex(g, f)
+	case useIndex:
+		return commdb.NewIndexedSearcher(g, rmaxMax)
+	default:
+		return commdb.NewSearcher(g), nil
+	}
+}
+
+func loadGraph(graphPath, example string) (*commdb.Graph, error) {
+	switch {
+	case graphPath != "" && example != "":
+		return nil, fmt.Errorf("-graph and -example are mutually exclusive")
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return commdb.ReadGraph(f)
+	case example == "paper":
+		g, _ := commdb.PaperExampleGraph()
+		return g, nil
+	case example == "intro":
+		g, _ := commdb.IntroExampleGraph()
+		return g, nil
+	default:
+		return nil, fmt.Errorf("provide -graph FILE or -example paper|intro")
+	}
+}

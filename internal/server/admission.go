@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned by admission when the worker pool and its
+// wait queue are both full, or a queued request waited past the
+// configured bound. Handlers translate it to 429 with Retry-After.
+var ErrSaturated = errors.New("commserve: saturated: worker pool and wait queue full")
+
+// admission is a bounded worker pool with a bounded wait queue — the
+// server's backpressure valve. At most `workers` queries execute
+// concurrently; at most `queue` more wait for a slot; everything beyond
+// that is rejected immediately so overload surfaces as fast 429s
+// instead of unbounded queueing and collapse.
+type admission struct {
+	workers chan struct{} // one token per concurrent execution slot
+	waiters chan struct{} // one token per request allowed to wait
+	maxWait time.Duration // longest a request may wait for a slot
+	waiting atomic.Int64  // requests currently queued (observability)
+}
+
+func newAdmission(workers, queue int, maxWait time.Duration) *admission {
+	return &admission{
+		workers: make(chan struct{}, workers),
+		waiters: make(chan struct{}, queue),
+		maxWait: maxWait,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when
+// the pool is busy. It returns ErrSaturated when the queue is full or
+// the wait bound elapses, and the context error when ctx ends first
+// (client gone or server shutting down).
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a free execution slot needs no queue token.
+	select {
+	case a.workers <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.waiters <- struct{}{}:
+	default:
+		return ErrSaturated
+	}
+	a.waiting.Add(1)
+	defer func() {
+		a.waiting.Add(-1)
+		<-a.waiters
+	}()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.workers <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return ErrSaturated
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// release returns an execution slot claimed by acquire.
+func (a *admission) release() { <-a.workers }

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheValue is one cached top-k answer: wire-ready records from a
+// cleanly completed enumeration. Partial results (a tripped budget, a
+// canceled context) are never cached — their shape depends on the
+// request's limits, which are deliberately outside the cache key.
+type cacheValue struct {
+	records  []CommunityRecord
+	complete bool   // the enumeration was not cut short by a limit
+	reason   string // stop reason when !complete (never set on cached values)
+	bytes    int64
+}
+
+// sizeOf estimates the logical footprint of a cached answer, for the
+// cache's byte bound.
+func sizeOf(records []CommunityRecord) int64 {
+	var b int64 = 64
+	for i := range records {
+		r := &records[i]
+		b += 96 // record header
+		b += int64(len(r.Core)+len(r.Centers)+len(r.Nodes))*4 + int64(len(r.Edges))*8
+		for _, l := range r.CoreLabels {
+			b += int64(len(l)) + 16
+		}
+	}
+	return b
+}
+
+// lruCache is a size-bounded LRU result cache for top-k queries, keyed
+// on the canonical query fingerprint plus k. It bounds both the entry
+// count and the approximate resident bytes; inserting past either
+// bound evicts least-recently-used entries. Safe for concurrent use.
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recent
+	items      map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *cacheValue
+}
+
+// newLRUCache returns a cache bounded to maxEntries entries and
+// maxBytes approximate bytes; either bound may be 0 for "no bound on
+// this axis". A cache with maxEntries < 0 is disabled: Get always
+// misses and Put is a no-op.
+func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) disabled() bool { return c.maxEntries < 0 }
+
+// Get returns the cached answer for key and marks it most recently
+// used.
+func (c *lruCache) Get(key string) (*cacheValue, bool) {
+	if c.disabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) an answer and evicts LRU entries until
+// both bounds hold again. An answer larger than the whole byte bound is
+// not cached.
+func (c *lruCache) Put(key string, val *cacheValue) {
+	if c.disabled() || (c.maxBytes > 0 && val.bytes > c.maxBytes) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.bytes += val.bytes - el.Value.(*lruEntry).val.bytes
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.bytes += val.bytes
+	}
+	for c.ll.Len() > 0 &&
+		((c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		el := c.ll.Back()
+		ent := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.bytes -= ent.val.bytes
+	}
+}
+
+// Len reports the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports the current approximate resident bytes.
+func (c *lruCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

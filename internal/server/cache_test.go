@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"commdb"
+)
+
+func recordsOfSize(n int) []CommunityRecord {
+	out := make([]CommunityRecord, n)
+	for i := range out {
+		out[i] = CommunityRecord{Type: RecordCommunity, Rank: i + 1, Core: []commdb.NodeID{1, 2}}
+	}
+	return out
+}
+
+// TestLRUEntryBound: inserting past the entry bound evicts the least
+// recently used key, and Get refreshes recency.
+func TestLRUEntryBound(t *testing.T) {
+	c := newLRUCache(2, 0)
+	put := func(key string) {
+		recs := recordsOfSize(1)
+		c.Put(key, &cacheValue{records: recs, complete: true, bytes: sizeOf(recs)})
+	}
+	put("a")
+	put("b")
+	if _, ok := c.Get("a"); !ok { // refresh "a": "b" is now LRU
+		t.Fatal("a missing before any eviction")
+	}
+	put("c")
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+// TestLRUByteBound: the byte bound evicts independently of the entry
+// bound, and an answer larger than the whole bound is not cached.
+func TestLRUByteBound(t *testing.T) {
+	unit := sizeOf(recordsOfSize(1))
+	c := newLRUCache(100, 3*unit)
+	for i := 0; i < 4; i++ {
+		recs := recordsOfSize(1)
+		c.Put(fmt.Sprint(i), &cacheValue{records: recs, bytes: sizeOf(recs)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 under the byte bound", c.Len())
+	}
+	if _, ok := c.Get("0"); ok {
+		t.Fatal("oldest entry survived byte-bound eviction")
+	}
+	if c.Bytes() > 3*unit {
+		t.Fatalf("bytes = %d exceeds bound %d", c.Bytes(), 3*unit)
+	}
+
+	huge := recordsOfSize(1000)
+	c.Put("huge", &cacheValue{records: huge, bytes: sizeOf(huge)})
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("an answer larger than the byte bound was cached")
+	}
+}
+
+// TestLRUDisabled: a negative entry bound disables the cache entirely.
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(-1, 0)
+	recs := recordsOfSize(1)
+	c.Put("a", &cacheValue{records: recs, bytes: sizeOf(recs)})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+// TestClampLimits: request limits are capped field-by-field, unlimited
+// requests are pulled down to the maxima, and unset maxima pass the
+// request through.
+func TestClampLimits(t *testing.T) {
+	max := commdb.Limits{Timeout: time.Second, MaxRelaxations: 1000, MaxResults: 10}
+	cases := []struct {
+		name string
+		req  commdb.Limits
+		want commdb.Limits
+	}{
+		{"unlimited request clamps to maxima",
+			commdb.Limits{},
+			commdb.Limits{Timeout: time.Second, MaxRelaxations: 1000, MaxResults: 10}},
+		{"over-ask clamps down",
+			commdb.Limits{Timeout: time.Hour, MaxRelaxations: 1 << 40, MaxResults: 99, MaxCanTuples: 7},
+			commdb.Limits{Timeout: time.Second, MaxRelaxations: 1000, MaxResults: 10, MaxCanTuples: 7}},
+		{"tighter request passes through",
+			commdb.Limits{Timeout: time.Millisecond, MaxRelaxations: 5, MaxResults: 1},
+			commdb.Limits{Timeout: time.Millisecond, MaxRelaxations: 5, MaxResults: 1}},
+	}
+	for _, tc := range cases {
+		if got := ClampLimits(tc.req, max); got != tc.want {
+			t.Errorf("%s: ClampLimits = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	// No maxima: everything passes through, including unlimited.
+	req := commdb.Limits{MaxResults: 3}
+	if got := ClampLimits(req, commdb.Limits{}); got != req {
+		t.Errorf("unclamped: got %+v, want %+v", got, req)
+	}
+}
+
+// TestHistQuantile sanity-checks the histogram quantile interpolation.
+func TestHistQuantile(t *testing.T) {
+	var s stats
+	for i := 0; i < 100; i++ {
+		s.observeLatency(3 * time.Millisecond) // bucket (2, 5]
+	}
+	snap := s.snapshot()
+	if snap.Latency.P50MS <= 2 || snap.Latency.P50MS > 5 {
+		t.Fatalf("p50 = %v, want within (2, 5]", snap.Latency.P50MS)
+	}
+	if snap.Latency.Count != 100 {
+		t.Fatalf("count = %d", snap.Latency.Count)
+	}
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"context"
+
+	"commdb"
+)
+
+// Stream is the iterator surface the server consumes: both of commdb's
+// enumerators satisfy it. Next yields communities until the query is
+// exhausted or stopped early; Err then reports why it stopped (nil
+// after a clean exhaustion).
+type Stream interface {
+	Next() (*commdb.Community, bool)
+	Err() error
+}
+
+// Engine is the query surface the server serves. The production engine
+// wraps a *commdb.Searcher; tests substitute controllable fakes to
+// exercise serving behavior (slow streams, saturation, draining)
+// without large graphs.
+type Engine interface {
+	// All starts a COMM-all enumeration bound to ctx.
+	All(ctx context.Context, q commdb.Query) (Stream, error)
+	// TopK starts a COMM-k enumeration bound to ctx.
+	TopK(ctx context.Context, q commdb.Query) (Stream, error)
+	// Graph returns the searched graph, or nil when the engine has no
+	// materialized graph (labels are then omitted from responses).
+	Graph() *commdb.Graph
+}
+
+// searcherEngine adapts a *commdb.Searcher to the Engine interface.
+type searcherEngine struct {
+	s *commdb.Searcher
+}
+
+func (e searcherEngine) All(ctx context.Context, q commdb.Query) (Stream, error) {
+	return e.s.AllCtx(ctx, q)
+}
+
+func (e searcherEngine) TopK(ctx context.Context, q commdb.Query) (Stream, error) {
+	return e.s.TopKCtx(ctx, q)
+}
+
+func (e searcherEngine) Graph() *commdb.Graph { return e.s.Graph() }

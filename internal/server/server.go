@@ -1,0 +1,449 @@
+// Package server exposes a Searcher over HTTP: a concurrent
+// community-query service with admission control, result caching and
+// streaming responses.
+//
+// Endpoints:
+//
+//   - POST /v1/search/topk — JSON body, JSON response with up to k
+//     cost-ranked communities. Responses for cleanly completed queries
+//     are cached in a size-bounded LRU keyed on the canonical query
+//     fingerprint, and concurrent identical queries are coalesced so
+//     the engine runs once.
+//   - POST /v1/search/all — JSON body, NDJSON streaming response: one
+//     community per line emitted at the enumerator's polynomial delay
+//     (the first result arrives while enumeration continues), closed
+//     by a trailer record carrying the completion status and stop
+//     reason.
+//   - GET /healthz — liveness.
+//   - GET /statsz — serving counters and a query-latency histogram.
+//
+// The server is the backpressure boundary: a bounded worker pool with
+// a bounded wait queue admits queries, everything beyond is rejected
+// with 429 and Retry-After, and per-request resource limits are
+// clamped to server maxima so no client can monopolize the governor
+// budget. Shutdown stops admission, cancels in-flight queries through
+// the query governor, and drains streams with a correct trailer.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commdb"
+)
+
+// ErrServerClosed is the cancellation cause propagated to every
+// in-flight query when the server shuts down; it surfaces in stream
+// trailers as "server shutting down".
+var ErrServerClosed = errors.New("commserve: server shutting down")
+
+// Config tunes the server. The zero value gets sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds concurrently executing queries (default
+	// GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 2×MaxConcurrent).
+	MaxQueue int
+	// QueueWait bounds how long an admitted request may wait for a
+	// slot before being rejected (default 5s).
+	QueueWait time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// CacheEntries bounds the top-k result cache's entry count
+	// (default 256; -1 disables the cache).
+	CacheEntries int
+	// CacheBytes bounds the cache's approximate resident bytes
+	// (default 64 MiB; 0 with CacheEntries ≥ 0 means unbounded bytes).
+	CacheBytes int64
+	// MaxK caps the per-request k (default 1000).
+	MaxK int
+	// MaxLimits clamps every request's Limits field-by-field: where a
+	// maximum is set, requests asking for more — or for unlimited —
+	// get the maximum. The zero value leaves requests unclamped.
+	MaxLimits commdb.Limits
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheBytes == 0 && c.CacheEntries > 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server serves community queries from one Engine. Create it with New
+// or NewWithEngine, mount Handler on an http.Server, and call Shutdown
+// to drain.
+type Server struct {
+	eng     Engine
+	cfg     Config
+	adm     *admission
+	cache   *lruCache
+	flights *flightGroup
+	stats   stats
+	mux     *http.ServeMux
+
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
+	closing    atomic.Bool
+	reqs       sync.WaitGroup
+	shutdown   sync.Once
+}
+
+// New builds a server over a Searcher.
+func New(s *commdb.Searcher, cfg Config) *Server {
+	return NewWithEngine(searcherEngine{s: s}, cfg)
+}
+
+// NewWithEngine builds a server over any Engine; tests use it to
+// inject controllable engines.
+func NewWithEngine(eng Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		eng:        eng,
+		cfg:        cfg,
+		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+		cache:      newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
+		flights:    newFlightGroup(baseCtx),
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/search/all", s.handleAll)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.stats.snapshot()
+	snap.CacheEntries = s.cache.Len()
+	snap.CacheBytes = s.cache.Bytes()
+	snap.SingleflightShared = s.flights.joins.Load()
+	snap.AdmissionWaiting = s.adm.waiting.Load()
+	return snap
+}
+
+// Shutdown makes the server stop admitting (new requests get 503),
+// cancels every in-flight query through the governor — streams drain
+// promptly, each closing with a trailer naming the shutdown — and
+// waits for all requests to finish or ctx to end.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdown.Do(func() {
+		s.closing.Store(true)
+		s.cancelBase(ErrServerClosed)
+	})
+	done := make(chan struct{})
+	go func() {
+		s.reqs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// requestCtx derives a context canceled by whichever comes first: the
+// client going away or the server shutting down. The governor sees the
+// precise cause either way.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	stop := context.AfterFunc(s.baseCtx, func() { cancel(context.Cause(s.baseCtx)) })
+	return ctx, func() {
+		stop()
+		cancel(nil)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseSearch decodes and validates a search request, returning the
+// normalized query with clamped limits already attached. A false ok
+// means the response has been written.
+func (s *Server) parseSearch(w http.ResponseWriter, r *http.Request) (req SearchRequest, q commdb.Query, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return req, q, false
+	}
+	q, err := req.Query()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return req, q, false
+	}
+	q.Limits = ClampLimits(req.Limits.Limits(), s.cfg.MaxLimits)
+	return req, q, true
+}
+
+// admit runs the admission valve. A false ok means the response has
+// been written (503 shutting down, 429 saturated, or nothing when the
+// client is already gone); on true the caller must release.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (ok bool) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return false
+	}
+	switch err := s.adm.acquire(ctx); {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrSaturated):
+		s.writeSaturated(w)
+		return false
+	case errors.Is(err, ErrServerClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return false
+	default: // client disconnected while queued
+		return false
+	}
+}
+
+// writeSaturated answers a request the admission valve rejected.
+func (s *Server) writeSaturated(w http.ResponseWriter) {
+	s.stats.admissionRejections.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, http.StatusTooManyRequests, "saturated: %d queries executing and %d queued; retry later",
+		s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+}
+
+// classifyStop feeds the stop-reason counters.
+func (s *Server) classifyStop(stopErr error) {
+	var be commdb.ErrBudgetExhausted
+	switch {
+	case stopErr == nil:
+	case errors.As(stopErr, &be), errors.Is(stopErr, commdb.ErrDeadlineExceeded):
+		s.stats.budgetTrips.Add(1)
+	default:
+		s.stats.canceled.Add(1)
+	}
+}
+
+// handleTopK answers POST /v1/search/topk: cache lookup, then a
+// coalesced engine execution, then a JSON response.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Add(1)
+	defer s.reqs.Done()
+	req, q, ok := s.parseSearch(w, r)
+	if !ok {
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	key := q.Fingerprint() + "|k=" + strconv.Itoa(k) + "|compact=" + strconv.FormatBool(req.Compact)
+
+	// Cache hits bypass admission: they consume no engine resources,
+	// so they stay fast even when the pool is saturated.
+	if val, hit := s.cache.Get(key); hit {
+		s.stats.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, TopKResponse{Results: val.records, Complete: val.complete, Cached: true})
+		return
+	}
+	s.stats.cacheMisses.Add(1)
+
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	// Coalesce before admitting: followers of an identical in-flight
+	// query consume no engine resources, so only the flight leader
+	// claims an execution slot. Admission errors (saturation,
+	// shutdown) propagate to every waiter of the flight.
+	start := time.Now()
+	val, _, err := s.flights.Do(ctx, key, func(fctx context.Context) (*cacheValue, error) {
+		if err := s.adm.acquire(fctx); err != nil {
+			return nil, err
+		}
+		defer s.adm.release()
+		return s.runTopK(fctx, q, k, req.Compact, key)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrSaturated):
+			s.writeSaturated(w)
+		case errors.Is(err, ErrServerClosed):
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+			// Client gone; nothing useful to write.
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{
+		Results:   val.records,
+		Complete:  val.complete,
+		Reason:    val.reason,
+		Cached:    false,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// runTopK is one engine execution of a top-k query: collect up to k
+// records and cache the answer when the enumeration completed cleanly.
+func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact bool, key string) (*cacheValue, error) {
+	s.stats.queriesStarted.Add(1)
+	start := time.Now()
+	defer func() {
+		s.stats.queriesCompleted.Add(1)
+		s.stats.observeLatency(time.Since(start))
+	}()
+	st, err := s.eng.TopK(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	g := s.eng.Graph()
+	records := make([]CommunityRecord, 0, k)
+	for len(records) < k {
+		c, ok := st.Next()
+		if !ok {
+			break
+		}
+		records = append(records, NewRecord(len(records)+1, c, g, compact))
+	}
+	var stopErr error
+	if len(records) < k {
+		stopErr = st.Err()
+	}
+	s.classifyStop(stopErr)
+	val := &cacheValue{
+		records:  records,
+		complete: stopErr == nil,
+		reason:   StopReason(stopErr),
+		bytes:    sizeOf(records),
+	}
+	if stopErr == nil {
+		s.cache.Put(key, val)
+	}
+	return val, nil
+}
+
+// handleAll answers POST /v1/search/all with an NDJSON stream: one
+// community per line, flushed as produced, then a trailer.
+func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Add(1)
+	defer s.reqs.Done()
+	req, q, ok := s.parseSearch(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+
+	s.stats.queriesStarted.Add(1)
+	s.stats.streamsStarted.Add(1)
+	start := time.Now()
+	defer func() {
+		s.stats.queriesCompleted.Add(1)
+		s.stats.observeLatency(time.Since(start))
+	}()
+
+	st, err := s.eng.All(ctx, q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	g := s.eng.Graph()
+	count := 0
+	for {
+		c, ok := st.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(NewRecord(count+1, c, g, req.Compact)); err != nil {
+			// Client gone mid-stream: stop enumerating.
+			cancel()
+			break
+		}
+		count++
+		flush()
+	}
+	stopErr := st.Err()
+	s.classifyStop(stopErr)
+	_ = enc.Encode(NewTrailer(count, stopErr, time.Since(start)))
+	flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.closing.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the histogram's upper bounds in milliseconds;
+// the final implicit bucket is +Inf.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// stats holds the server's counters. All fields are atomics so the hot
+// path never takes a lock.
+type stats struct {
+	queriesStarted      atomic.Int64 // engine executions begun
+	queriesCompleted    atomic.Int64 // engine executions finished (any outcome)
+	streamsStarted      atomic.Int64 // streaming (all) requests admitted
+	cacheHits           atomic.Int64
+	cacheMisses         atomic.Int64
+	admissionRejections atomic.Int64 // 429s issued
+	budgetTrips         atomic.Int64 // queries stopped by a budget or deadline
+	canceled            atomic.Int64 // queries stopped by cancellation/shutdown
+
+	latCount atomic.Int64
+	latSumUS atomic.Int64 // microseconds, for the mean
+	latHist  [len(latencyBucketsMS) + 1]atomic.Int64
+}
+
+// observeLatency records one completed query execution.
+func (s *stats) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	s.latHist[i].Add(1)
+	s.latCount.Add(1)
+	s.latSumUS.Add(d.Microseconds())
+}
+
+// LatencyBucket is one histogram bucket in a snapshot.
+type LatencyBucket struct {
+	// LE is the bucket's inclusive upper bound in milliseconds; the
+	// last bucket has LE = 0 meaning +Inf.
+	LE    float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// StatsSnapshot is the JSON body of GET /statsz.
+type StatsSnapshot struct {
+	QueriesStarted      int64 `json:"queries_started"`
+	QueriesCompleted    int64 `json:"queries_completed"`
+	QueriesInFlight     int64 `json:"queries_in_flight"`
+	StreamsStarted      int64 `json:"streams_started"`
+	CacheHits           int64 `json:"cache_hits"`
+	CacheMisses         int64 `json:"cache_misses"`
+	CacheEntries        int   `json:"cache_entries"`
+	CacheBytes          int64 `json:"cache_bytes"`
+	SingleflightShared  int64 `json:"singleflight_shared"`
+	AdmissionRejections int64 `json:"admission_rejections"`
+	AdmissionWaiting    int64 `json:"admission_waiting"`
+	BudgetTrips         int64 `json:"budget_trips"`
+	Canceled            int64 `json:"canceled"`
+
+	Latency struct {
+		Count   int64           `json:"count"`
+		MeanMS  float64         `json:"mean_ms"`
+		P50MS   float64         `json:"p50_ms"`
+		P95MS   float64         `json:"p95_ms"`
+		P99MS   float64         `json:"p99_ms"`
+		Buckets []LatencyBucket `json:"buckets"`
+	} `json:"query_latency"`
+}
+
+// snapshot captures every counter. The in-flight gauge is derived, so
+// a concurrent completion can transiently read as still in flight —
+// fine for monitoring.
+func (s *stats) snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	out.QueriesStarted = s.queriesStarted.Load()
+	out.QueriesCompleted = s.queriesCompleted.Load()
+	out.QueriesInFlight = out.QueriesStarted - out.QueriesCompleted
+	out.StreamsStarted = s.streamsStarted.Load()
+	out.CacheHits = s.cacheHits.Load()
+	out.CacheMisses = s.cacheMisses.Load()
+	out.AdmissionRejections = s.admissionRejections.Load()
+	out.BudgetTrips = s.budgetTrips.Load()
+	out.Canceled = s.canceled.Load()
+
+	counts := make([]int64, len(s.latHist))
+	var total int64
+	for i := range s.latHist {
+		counts[i] = s.latHist[i].Load()
+		total += counts[i]
+	}
+	out.Latency.Count = s.latCount.Load()
+	if out.Latency.Count > 0 {
+		out.Latency.MeanMS = float64(s.latSumUS.Load()) / 1000 / float64(out.Latency.Count)
+	}
+	out.Latency.P50MS = histQuantile(counts, total, 0.50)
+	out.Latency.P95MS = histQuantile(counts, total, 0.95)
+	out.Latency.P99MS = histQuantile(counts, total, 0.99)
+	out.Latency.Buckets = make([]LatencyBucket, len(counts))
+	for i, c := range counts {
+		le := 0.0 // +Inf
+		if i < len(latencyBucketsMS) {
+			le = latencyBucketsMS[i]
+		}
+		out.Latency.Buckets[i] = LatencyBucket{LE: le, Count: c}
+	}
+	return out
+}
+
+// histQuantile estimates a quantile from bucket counts by linear
+// interpolation within the containing bucket (the final +Inf bucket
+// reports its lower bound).
+func histQuantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBucketsMS[i-1]
+			}
+			if i >= len(latencyBucketsMS) {
+				return lo
+			}
+			hi := latencyBucketsMS[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
+}

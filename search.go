@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"commdb/internal/core"
 	"commdb/internal/fulltext"
@@ -73,6 +75,56 @@ type Query struct {
 	// early — the results already returned are valid, and Err reports
 	// the reason.
 	Limits Limits
+}
+
+// Normalized returns the canonical form of the query: every keyword
+// reduced to its lowercase tokenized term and the keyword list sorted.
+// The engine tokenizes keywords the same way before resolving them, and
+// reordering keywords only permutes the per-keyword core positions, so
+// a normalized query answers with the same community set as the
+// original (cores ordered by the sorted keyword list). Limits, Rmax and
+// Cost are preserved unchanged.
+//
+// A keyword that does not tokenize to exactly one term (which the
+// engine rejects) is kept verbatim apart from trimming and lowercasing,
+// so normalizing never masks an invalid query.
+func (q Query) Normalized() Query {
+	kws := make([]string, len(q.Keywords))
+	for i, kw := range q.Keywords {
+		if terms := fulltext.Tokenize(kw); len(terms) == 1 {
+			kws[i] = terms[0]
+		} else {
+			kws[i] = strings.ToLower(strings.TrimSpace(kw))
+		}
+	}
+	sort.Strings(kws)
+	q.Keywords = kws
+	return q
+}
+
+// Fingerprint returns a canonical identity string for the query's
+// answer set: two queries with equal fingerprints enumerate the same
+// communities (with cores ordered by the normalized keyword list), so
+// the fingerprint is a safe result-cache key. Keyword order and case do
+// not affect it. Limits are deliberately excluded — they bound a
+// query's resources, not its answer.
+//
+// The encoding is injective: keywords are length-prefixed so no two
+// distinct keyword lists collide.
+func (q Query) Fingerprint() string {
+	n := q.Normalized()
+	var b strings.Builder
+	b.WriteString("q1|rmax=")
+	b.WriteString(strconv.FormatFloat(n.Rmax, 'g', -1, 64))
+	b.WriteString("|cost=")
+	b.WriteString(strconv.Itoa(int(n.Cost)))
+	for _, kw := range n.Keywords {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(kw)))
+		b.WriteByte(':')
+		b.WriteString(kw)
+	}
+	return b.String()
 }
 
 // Searcher answers community queries over one graph. A plain Searcher
