@@ -23,6 +23,7 @@ import (
 
 	"commdb"
 	"commdb/internal/bench"
+	"commdb/internal/obs"
 	"commdb/internal/server"
 )
 
@@ -40,6 +41,83 @@ type serveBenchReport struct {
 	TopK       endpointStats        `json:"topk"`
 	Stream     endpointStats        `json:"stream"`
 	Server     server.StatsSnapshot `json:"server_stats"`
+	// Trace aggregates one traced execution per distinct request shape,
+	// run after the timed benchmark so tracing cannot perturb it.
+	Trace traceProfile `json:"trace_profile"`
+}
+
+// traceProfile is the per-stage view of where query time goes, averaged
+// over the workload's distinct request shapes.
+type traceProfile struct {
+	Queries int                 `json:"queries"`
+	Stages  map[string]stageAgg `json:"stages"`
+	// Inter-emission delay over every community emitted by the traced
+	// queries — the paper's polynomial-delay claim as a measurement.
+	MeanEmissionDelayMS float64 `json:"mean_emission_delay_ms"`
+	MaxEmissionDelayMS  float64 `json:"max_emission_delay_ms"`
+	MeanDijkstraRuns    float64 `json:"mean_dijkstra_runs"`
+	MeanDijkstraVisits  float64 `json:"mean_dijkstra_visits"`
+	MeanHeapPushes      float64 `json:"mean_heap_pushes"`
+}
+
+type stageAgg struct {
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// aggregateTraces folds per-query trace summaries into the profile.
+func aggregateTraces(sums []*obs.Summary) traceProfile {
+	prof := traceProfile{Stages: map[string]stageAgg{}}
+	if len(sums) == 0 {
+		return prof
+	}
+	type acc struct {
+		sum, max float64
+		n        int
+	}
+	stages := map[string]*acc{}
+	var delaySum, delayMax float64
+	var delayN int
+	var runs, visits, pushes int64
+	for _, s := range sums {
+		prof.Queries++
+		for _, sp := range s.Spans {
+			a := stages[sp.Name]
+			if a == nil {
+				a = &acc{}
+				stages[sp.Name] = a
+			}
+			a.sum += sp.DurMS
+			a.n++
+			if sp.DurMS > a.max {
+				a.max = sp.DurMS
+			}
+		}
+		if e := s.Emissions; e != nil {
+			for _, d := range e.DelaysMS {
+				delaySum += d
+				delayN++
+			}
+			if e.MaxDelayMS > delayMax {
+				delayMax = e.MaxDelayMS
+			}
+		}
+		runs += s.Counter("dijkstra_runs")
+		visits += s.Counter("dijkstra_visits")
+		pushes += s.Counter("heap_pushes")
+	}
+	for name, a := range stages {
+		prof.Stages[name] = stageAgg{MeanMS: a.sum / float64(a.n), MaxMS: a.max}
+	}
+	if delayN > 0 {
+		prof.MeanEmissionDelayMS = delaySum / float64(delayN)
+	}
+	prof.MaxEmissionDelayMS = delayMax
+	n := float64(prof.Queries)
+	prof.MeanDijkstraRuns = float64(runs) / n
+	prof.MeanDijkstraVisits = float64(visits) / n
+	prof.MeanHeapPushes = float64(pushes) / n
+	return prof
 }
 
 type endpointStats struct {
@@ -75,6 +153,57 @@ func summarize(lat []time.Duration) endpointStats {
 	}
 }
 
+// job is one request shape in the benchmark workload: the pre-marshaled
+// hot-path body plus the request map, so the trace pass can re-issue the
+// same query with "trace": true.
+type job struct {
+	path string
+	body []byte
+	req  map[string]any
+}
+
+// traceOneQuery re-issues one request shape in EXPLAIN mode and returns
+// its trace summary: from the response body on topk, from the NDJSON
+// trailer on the streaming endpoint.
+func traceOneQuery(client *http.Client, base string, j job) (*obs.Summary, error) {
+	req := make(map[string]any, len(j.req)+1)
+	for k, v := range j.req {
+		req[k] = v
+	}
+	req["trace"] = true
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(base+j.path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if j.path == "/v1/search/topk" {
+		var out struct {
+			Trace *obs.Summary `json:"trace"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		return out.Trace, nil
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			Type  string       `json:"type"`
+			Trace *obs.Summary `json:"trace"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			return nil, err
+		}
+		if line.Type == server.RecordTrailer {
+			return line.Trace, nil
+		}
+	}
+}
+
 // runServe is the -serve entry point.
 func runServe(authors int, seed int64, boost float64, clients, requests int, out string) error {
 	fmt.Printf("building DBLP dataset (authors=%d, boost=%gx)...\n", authors, boost)
@@ -107,23 +236,21 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 	if len(kws) < 2 {
 		return fmt.Errorf("dataset yielded %d probe keywords, need at least 2", len(kws))
 	}
-	type job struct {
-		path string
-		body []byte
-	}
 	var jobs []job
 	for l := 2; l <= len(kws); l++ {
 		for rot := 0; rot < l; rot++ {
 			q := append(append([]string{}, kws[rot:l]...), kws[:rot]...)
-			topk, _ := json.Marshal(map[string]any{
+			topkReq := map[string]any{
 				"keywords": q, "rmax": p.Rmax, "cost": "sum", "k": p.K, "compact": true,
-			})
-			jobs = append(jobs, job{"/v1/search/topk", topk})
-			all, _ := json.Marshal(map[string]any{
+			}
+			topk, _ := json.Marshal(topkReq)
+			jobs = append(jobs, job{"/v1/search/topk", topk, topkReq})
+			allReq := map[string]any{
 				"keywords": q, "rmax": p.Rmax, "cost": "sum", "compact": true,
 				"limits": map[string]any{"max_results": 50},
-			})
-			jobs = append(jobs, job{"/v1/search/all", all})
+			}
+			all, _ := json.Marshal(allReq)
+			jobs = append(jobs, job{"/v1/search/all", all, allReq})
 		}
 	}
 
@@ -175,6 +302,20 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 	wg.Wait()
 	elapsed := time.Since(bstart)
 
+	// Trace pass: one EXPLAIN execution per distinct request shape,
+	// after the clock stops so tracing cannot perturb the timed run.
+	var sums []*obs.Summary
+	for _, j := range jobs {
+		sum, err := traceOneQuery(client, ts.URL, j)
+		if err != nil {
+			fmt.Printf("  trace pass: %s: %v (skipped)\n", j.path, err)
+			continue
+		}
+		if sum != nil {
+			sums = append(sums, sum)
+		}
+	}
+
 	rep := serveBenchReport{
 		Dataset:    d.Name,
 		Authors:    authors,
@@ -188,6 +329,7 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 		TopK:       summarize(topkLat),
 		Stream:     summarize(allLat),
 		Server:     app.Stats(),
+		Trace:      aggregateTraces(sums),
 	}
 	fmt.Printf("done in %v: %.1f req/s, %d errors\n", elapsed.Round(time.Millisecond), rep.Throughput, errorsN)
 	fmt.Printf("  topk:   n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
@@ -196,6 +338,8 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 		rep.Stream.Count, rep.Stream.MeanMS, rep.Stream.P50MS, rep.Stream.P95MS, rep.Stream.P99MS)
 	fmt.Printf("  cache: %d hits, %d misses, %d coalesced; admission: %d rejected\n",
 		rep.Server.CacheHits, rep.Server.CacheMisses, rep.Server.SingleflightShared, rep.Server.AdmissionRejections)
+	fmt.Printf("  trace: %d queries, emission delay mean=%.3fms max=%.3fms, dijkstra visits/query=%.0f\n",
+		rep.Trace.Queries, rep.Trace.MeanEmissionDelayMS, rep.Trace.MaxEmissionDelayMS, rep.Trace.MeanDijkstraVisits)
 
 	f, err := os.Create(out)
 	if err != nil {

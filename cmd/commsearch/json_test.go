@@ -30,7 +30,7 @@ func TestJSONMatchesServerStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	var cli bytes.Buffer
-	if err := emitNDJSON(&cli, g, it, 0, true); err != nil {
+	if err := emitNDJSON(&cli, g, it, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -89,7 +89,7 @@ func TestJSONTrailerReportsStop(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := emitNDJSON(&out, g, it, 0, true); err != nil {
+	if err := emitNDJSON(&out, g, it, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")

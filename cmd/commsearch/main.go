@@ -21,6 +21,13 @@
 // line plus a trailer carrying the stop reason — in exactly the schema
 // of cmd/commserve's POST /v1/search/all endpoint, so scripts consume
 // CLI and service output interchangeably.
+//
+// With -explain the query runs in EXPLAIN mode: after the results the
+// tool prints the query's trace — per-stage spans (projection, engine
+// init, enumeration), engine counters (Dijkstra visits, heap traffic,
+// Neighbor runs, candidate-list growth) and the delay before each
+// community's emission. Combined with -json, the trace summary rides
+// in the NDJSON trailer instead.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"commdb"
+	"commdb/internal/obs"
 	"commdb/internal/server"
 )
 
@@ -52,6 +60,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print every community node, not just a summary")
 		jsonOut    = flag.Bool("json", false, "emit NDJSON (one community record per line plus a trailer, the serving endpoint's schema)")
 		replMode   = flag.Bool("repl", false, "interactive session: issue queries and ask for 'more'")
+		explain    = flag.Bool("explain", false, "print the query's trace after the results: per-stage spans, engine counters, inter-emission delays")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per query, e.g. 50ms (0 = unlimited)")
 		maxVisited = flag.Int64("max-visited", 0, "budget on shortest-path work units per query (0 = unlimited)")
 		maxResults = flag.Int64("max-results", 0, "budget on returned communities per query (0 = unlimited)")
@@ -65,7 +74,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose, *jsonOut, lim); err != nil {
+	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose, *jsonOut, *explain, lim); err != nil {
 		fmt.Fprintln(os.Stderr, "commsearch:", err)
 		os.Exit(1)
 	}
@@ -115,7 +124,7 @@ func newSearcher(g *commdb.Graph, indexPath string, useIndex bool, rmax float64)
 	return commdb.NewSearcher(g), nil
 }
 
-func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose, jsonOut bool, lim commdb.Limits) error {
+func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose, jsonOut, explain bool, lim commdb.Limits) error {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return err
@@ -139,6 +148,11 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 	}
 	q := commdb.Query{Keywords: kws, Rmax: rmax, Limits: lim}
 	ctx := context.Background()
+	var tr *obs.Trace
+	if explain {
+		tr = obs.NewTrace("cli")
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
 
 	if all {
 		it, err := s.AllCtx(ctx, q)
@@ -146,7 +160,7 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 			return err
 		}
 		if jsonOut {
-			return emitNDJSON(os.Stdout, g, it, max, !verbose)
+			return emitNDJSON(os.Stdout, g, it, max, !verbose, tr)
 		}
 		n := 0
 		for n < max {
@@ -161,6 +175,9 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 		if err := it.Err(); err != nil {
 			fmt.Printf("stopped early: %s — the %d communities above are a partial set\n", stopReason(err), n)
 		}
+		if tr != nil {
+			printExplain(os.Stdout, tr.Summary())
+		}
 		return nil
 	}
 
@@ -169,7 +186,7 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 		return err
 	}
 	if jsonOut {
-		return emitNDJSON(os.Stdout, g, it, top, !verbose)
+		return emitNDJSON(os.Stdout, g, it, top, !verbose, tr)
 	}
 	shown := 0
 	for rank := 1; rank <= top; rank++ {
@@ -185,6 +202,9 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 		shown++
 		printCommunity(g, rank, r, verbose)
 	}
+	if tr != nil {
+		printExplain(os.Stdout, tr.Summary())
+	}
 	return nil
 }
 
@@ -192,8 +212,9 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 // by a trailer — the exact record schema of the server's streaming
 // endpoint (internal/server), so CLI output and service responses are
 // script-compatible and cross-checkable. With -v the records carry the
-// full node and edge lists; without it they are compact.
-func emitNDJSON(w io.Writer, g *commdb.Graph, st server.Stream, max int, compact bool) error {
+// full node and edge lists; without it they are compact. A non-nil tr
+// puts the query's trace summary in the trailer (-explain -json).
+func emitNDJSON(w io.Writer, g *commdb.Graph, st server.Stream, max int, compact bool, tr *obs.Trace) error {
 	enc := json.NewEncoder(w)
 	start := time.Now()
 	n := 0
@@ -207,7 +228,11 @@ func emitNDJSON(w io.Writer, g *commdb.Graph, st server.Stream, max int, compact
 			return err
 		}
 	}
-	return enc.Encode(server.NewTrailer(n, st.Err(), time.Since(start)))
+	trailer := server.NewTrailer(n, st.Err(), time.Since(start))
+	if tr != nil {
+		trailer.Trace = tr.Summary()
+	}
+	return enc.Encode(trailer)
 }
 
 func loadGraph(graphPath, example string) (*commdb.Graph, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"commdb"
+	"commdb/internal/obs"
 )
 
 // repl runs the interactive session: the user issues queries and then
@@ -21,6 +23,8 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 	cost := commdb.CostSumDistances
 	var it *commdb.TopKIterator
 	var shown int
+	var lastTr *obs.Trace // trace of the current query, for 'stats'
+	var qn int            // query counter, numbers the trace IDs
 
 	scanner := bufio.NewScanner(in)
 	for {
@@ -41,6 +45,7 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 			fmt.Fprintln(out, "  cost sum|max     set the ranking aggregate")
 			fmt.Fprintln(out, "  timeout <dur>    wall-clock budget per query, e.g. 50ms (0 = unlimited)")
 			fmt.Fprintln(out, "  kwf <kw>         keyword frequency of a term")
+			fmt.Fprintln(out, "  stats            trace of the current query: stages, counters, emission delays")
 			fmt.Fprintln(out, "  quit             exit")
 		case "quit", "exit":
 			return nil
@@ -90,14 +95,23 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 				fmt.Fprintln(out, "usage: q <kw> [kw...]")
 				continue
 			}
-			nit, err := s.TopK(commdb.Query{Keywords: fields[1:], Rmax: rmax, Cost: cost, Limits: lim})
+			qn++
+			tr := obs.NewTrace(fmt.Sprintf("repl-%d", qn))
+			ctx := obs.ContextWithTrace(context.Background(), tr)
+			nit, err := s.TopKCtx(ctx, commdb.Query{Keywords: fields[1:], Rmax: rmax, Cost: cost, Limits: lim})
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			it = nit
+			it, lastTr = nit, tr
 			shown = 0
 			replShow(out, g, it, &shown, 5)
+		case "stats":
+			if lastTr == nil {
+				fmt.Fprintln(out, "no query yet — use q first")
+				continue
+			}
+			printExplain(out, lastTr.Summary())
 		case "more":
 			if it == nil {
 				fmt.Fprintln(out, "no active query — use q first")

@@ -14,6 +14,13 @@
 //	                       per line, then a trailer with the stop reason)
 //	GET  /healthz          liveness
 //	GET  /statsz           serving counters + latency histogram
+//	GET  /metricsz         the same plus engine counters, as Prometheus text
+//
+// Requests may set "trace": true for EXPLAIN mode: the response (topk
+// body or stream trailer) carries the query's structured trace. With
+// -log every query is logged as one structured line whose query ID
+// matches the X-Query-Id response header; -pprof mounts the standard
+// net/http/pprof handlers under /debug/pprof/.
 //
 // Per-request limits are clamped to the -max-* flags, so one client
 // cannot monopolize the query governor's budget. On SIGINT/SIGTERM the
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,8 +67,15 @@ func main() {
 		maxResults = flag.Int64("max-results", 100000, "per-query result-count ceiling (0 = unlimited)")
 
 		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "drain budget on SIGINT/SIGTERM")
+
+		logQueries  = flag.Bool("log", false, "log one structured line per query (JSON on stderr)")
+		pprofEnable = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+	var logger *slog.Logger
+	if *logQueries {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	cfg := server.Config{
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
@@ -74,6 +89,8 @@ func main() {
 			MaxRelaxations: *maxVisited,
 			MaxResults:     *maxResults,
 		},
+		Logger: logger,
+		Pprof:  *pprofEnable,
 	}
 	if err := run(*addr, *graphPath, *indexPath, *example, *useIndex, *rmaxMax, cfg, *shutdownGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "commserve:", err)

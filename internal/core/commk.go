@@ -83,6 +83,8 @@ func (it *TopKEnumerator) NextCore() (CoreCost, bool) {
 			if ok {
 				it.h.Insert(cost, &canTuple{core: c, cost: cost, pos: 0})
 				it.tuples++
+				it.e.tr.Add("can_tuples", 1)
+				it.e.tr.SetMax("can_list_max", int64(it.h.Len()))
 				bud.ChargeTuple(it.tupleBytes())
 			}
 		}
@@ -101,6 +103,7 @@ func (it *TopKEnumerator) NextCore() (CoreCost, bool) {
 		it.done = true
 	}
 	it.emitted++
+	it.e.tr.Emission()
 	return CoreCost{Core: g.core, Cost: g.cost}, true
 }
 
@@ -191,6 +194,8 @@ func (it *TopKEnumerator) expand(g *canTuple) {
 		if ok {
 			it.h.Insert(cost, &canTuple{core: c, cost: cost, pos: i, prev: g})
 			it.tuples++
+			it.e.tr.Add("can_tuples", 1)
+			it.e.tr.SetMax("can_list_max", int64(it.h.Len()))
 			if it.e.budget.ChargeTuple(it.tupleBytes()) != nil {
 				return
 			}

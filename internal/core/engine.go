@@ -8,6 +8,7 @@ import (
 	"commdb/internal/fulltext"
 	"commdb/internal/govern"
 	"commdb/internal/graph"
+	"commdb/internal/obs"
 	"commdb/internal/sssp"
 )
 
@@ -84,6 +85,11 @@ type Engine struct {
 	// budget's stop reason once it trips. nil means unlimited.
 	budget *govern.Budget
 
+	// tr, when non-nil, receives the query's engine counters (neighbor
+	// runs, BestCore scans, GetCommunity calls) and, through the
+	// workspace, the per-run Dijkstra counters. nil means untraced.
+	tr *obs.Trace
+
 	// costFn aggregates per-keyword distances into a cost.
 	costFn CostFunction
 }
@@ -102,6 +108,17 @@ func (e *Engine) SetBudget(b *govern.Budget) {
 
 // Budget returns the engine's governance budget, nil when unlimited.
 func (e *Engine) Budget() *govern.Budget { return e.budget }
+
+// SetTrace installs a query trace on the engine and its shortest-path
+// workspace. It must be called before the first enumeration step; nil
+// (the default) means untraced.
+func (e *Engine) SetTrace(t *obs.Trace) {
+	e.tr = t
+	e.ws.SetTrace(t)
+}
+
+// Trace returns the engine's trace, nil when untraced.
+func (e *Engine) Trace() *obs.Trace { return e.tr }
 
 // CostOf aggregates one center's per-keyword distances under the
 // engine's cost function.
@@ -290,6 +307,7 @@ func (e *Engine) setSlot(i int, seeds []graph.NodeID) {
 	e.budget.ChargeNeighborRun() // a tripped budget empties the run below
 	e.ws.RunFromNodes(sssp.Reverse, seeds, e.rmax, res)
 	e.neighborRuns++
+	e.tr.Add("neighbor_runs", 1)
 	e.install(i, res, slotDesc{kind: slotSet})
 }
 
@@ -303,6 +321,7 @@ func (e *Engine) setSlotSingle(i int, v graph.NodeID) {
 	e.budget.ChargeNeighborRun()
 	e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{v}, e.rmax, res)
 	e.neighborRuns++
+	e.tr.Add("neighbor_runs", 1)
 	e.install(i, res, slotDesc{kind: slotSingle, node: v})
 }
 
@@ -322,6 +341,7 @@ func (e *Engine) setSlotFull(i int) {
 		e.budget.ChargeNeighborRun()
 		e.ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
 		e.neighborRuns++
+		e.tr.Add("neighbor_runs", 1)
 		e.full[i] = res
 	}
 	e.install(i, e.full[i], slotDesc{kind: slotFull})
@@ -358,6 +378,7 @@ func (e *Engine) clearSlots() {
 // default sum cost the incrementally maintained table answers each
 // candidate in O(1); alternative cost functions probe the l slots.
 func (e *Engine) bestCore() (Core, float64, bool) {
+	e.tr.Add("bestcore_scans", 1)
 	n := e.g.NumNodes()
 	bestU := graph.NodeID(-1)
 	bestCost := 0.0

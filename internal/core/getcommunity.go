@@ -16,6 +16,7 @@ import (
 // reverse pass from the core nodes; a node belongs to the community iff
 // dist(s,u) + dist(u,t) <= Rmax. Total cost O(l·(n·log n + m)).
 func (e *Engine) GetCommunity(c Core) *Community {
+	e.tr.Add("getcommunity_calls", 1)
 	e.ensureGCBuffers()
 
 	// Distinct knodes (a node may serve several keyword positions).
@@ -27,6 +28,7 @@ func (e *Engine) GetCommunity(c Core) *Community {
 		e.budget.ChargeNeighborRun()
 		e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{kn}, e.rmax, e.gcKnode[j])
 		e.neighborRuns++
+		e.tr.Add("neighbor_runs", 1)
 	}
 
 	// Centers: settled in every per-knode pass. Scan the smallest pass
@@ -86,10 +88,10 @@ func (e *Engine) GetCommunity(c Core) *Community {
 	// from all knodes (virtual sink t).
 	e.budget.ChargeNeighborRun()
 	e.ws.RunFromNodes(sssp.Forward, centers, e.rmax, e.gcFwd)
-	e.neighborRuns++
 	e.budget.ChargeNeighborRun()
 	e.ws.RunFromNodes(sssp.Reverse, knodes, e.rmax, e.gcRev)
-	e.neighborRuns++
+	e.neighborRuns += 2
+	e.tr.Add("neighbor_runs", 2)
 
 	e.gcMarkID++
 	mark := e.gcMarkID

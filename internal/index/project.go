@@ -8,6 +8,7 @@ import (
 	"commdb/internal/fulltext"
 	"commdb/internal/govern"
 	"commdb/internal/graph"
+	"commdb/internal/obs"
 	"commdb/internal/sssp"
 )
 
@@ -36,6 +37,15 @@ func (ix *Index) Project(keywords []string, rmax float64) (*Projection, error) {
 // budget aborts with the stop reason — a truncated projection would
 // silently change query answers, so there is no partial projection.
 func (ix *Index) ProjectBudget(keywords []string, rmax float64, bud *govern.Budget) (*Projection, error) {
+	return ix.ProjectTrace(keywords, rmax, bud, nil)
+}
+
+// ProjectTrace is ProjectBudget under a query trace: the projection
+// records a "project" span and the project_* counters (union size, kept
+// vs. dropped nodes, kept edges), and its two virtual-node Dijkstra
+// passes report their work. tr may be nil for an untraced projection.
+func (ix *Index) ProjectTrace(keywords []string, rmax float64, bud *govern.Budget, tr *obs.Trace) (*Projection, error) {
+	defer tr.StartSpan("project")()
 	if rmax > ix.r {
 		return nil, fmt.Errorf("index: Rmax %v exceeds index radius %v", rmax, ix.r)
 	}
@@ -112,10 +122,14 @@ func (ix *Index) ProjectBudget(keywords []string, rmax float64, bud *govern.Budg
 		return nil, err
 	}
 
+	tr.Add("project_union_nodes", int64(len(nodes)))
+	tr.Add("project_union_edges", int64(len(edges)))
+
 	// Forward pass from the candidate centers (virtual s), reverse pass
 	// from all keyword nodes (virtual t).
 	ws := sssp.NewWorkspace(union.G)
 	ws.SetBudget(bud)
+	ws.SetTrace(tr)
 	fwd := sssp.NewResult(union.G.NumNodes())
 	rev := sssp.NewResult(union.G.NumNodes())
 	var centerSeeds, kwSeeds []graph.NodeID
@@ -161,6 +175,9 @@ func (ix *Index) ProjectBudget(keywords []string, rmax float64, bud *govern.Budg
 	if err != nil {
 		return nil, err
 	}
+	tr.Add("project_nodes_kept", int64(len(vp)))
+	tr.Add("project_nodes_dropped", int64(len(nodes)-len(vp)))
+	tr.Add("project_edges_kept", int64(len(ep)))
 	return &Projection{Sub: sub, Ratio: ratio(len(vp), g.NumNodes())}, nil
 }
 

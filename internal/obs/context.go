@@ -1,0 +1,24 @@
+package obs
+
+import "context"
+
+type traceKey struct{}
+
+// ContextWithTrace attaches tr to ctx so every layer of a query can
+// record into it. A nil tr returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the trace attached to ctx, or nil — the disabled
+// trace every recording method accepts — when none is.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}

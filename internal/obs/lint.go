@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text-exposition payload against
+// the format's basic invariants: parseable sample lines with non-blank
+// valid metric names, a TYPE declaration preceding every sample family,
+// no duplicate TYPE declarations, and no duplicate samples (same name
+// and label set). CI runs it over /metricsz so a malformed exposition
+// fails the build rather than the scrape.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	typed := map[string]string{}  // family -> type
+	seen := map[string]struct{}{} // sample identity (name + labels)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			fields := strings.Fields(trimmed)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: TYPE declares invalid metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE declaration for %q", lineNo, name)
+				}
+				typed[name] = kind
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(trimmed)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(normalizeInf(value), 64); err != nil {
+			return fmt.Errorf("line %d: sample %s has non-numeric value %q", lineNo, name, value)
+		}
+		family := sampleFamily(name, typed)
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+		}
+		id := name + "{" + labels + "}"
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("line %d: duplicate sample %s", lineNo, id)
+		}
+		seen[id] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lineNo == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	return nil
+}
+
+// parseSample splits "name{labels} value" (labels optional) into parts.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unclosed label set in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("malformed sample line %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if name == "" {
+		return "", "", "", fmt.Errorf("blank metric name in %q", line)
+	}
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", "", fmt.Errorf("sample %q has no value", name)
+	}
+	// A timestamp may follow the value; the value is the first field.
+	return name, labels, fields[0], nil
+}
+
+// sampleFamily maps a sample name to the family its TYPE line declares:
+// histogram/summary series append _bucket/_sum/_count to the family
+// name.
+func sampleFamily(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if _, declared := typed[base]; declared {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func normalizeInf(v string) string {
+	switch v {
+	case "+Inf":
+		return "Inf"
+	case "-Inf":
+		return "-Inf"
+	}
+	return v
+}

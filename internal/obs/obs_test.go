@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	end := tr.StartSpan("x")
+	end()
+	tr.Add("c", 1)
+	tr.SetMax("m", 5)
+	tr.SetLabel("k", "v")
+	tr.Emission()
+	tr.AddDijkstra(DijkstraRun{Visits: 1})
+	tr.OnFinish(func(*Trace) { t.Fatal("finisher ran on nil trace") })
+	tr.RecordSpan("y", time.Now())
+	if tr.Summary() != nil {
+		t.Fatal("nil trace produced a summary")
+	}
+	if tr.QueryID() != "" {
+		t.Fatal("nil trace has a query id")
+	}
+}
+
+// TestDisabledTraceZeroAlloc locks the tentpole's overhead contract:
+// every instrumentation hook on a disabled (nil) trace allocates
+// nothing, so the untraced enumerator hot loop pays only nil checks.
+func TestDisabledTraceZeroAlloc(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		end := tr.StartSpan("span")
+		tr.Add("counter", 1)
+		tr.SetMax("max", 7)
+		tr.Emission()
+		tr.AddDijkstra(DijkstraRun{Visits: 3, Relaxations: 9, HeapPushes: 4, HeapPops: 4})
+		end()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-trace hooks allocate %v times per run, want 0", allocs)
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	tr := NewTrace("q-test")
+	end := tr.StartSpan("project")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Add("neighbor_runs", 3)
+	tr.Add("neighbor_runs", 2)
+	tr.SetMax("can_list_max", 4)
+	tr.SetMax("can_list_max", 2) // lower: ignored
+	tr.SetLabel("algorithm", "comm_k")
+	tr.AddDijkstra(DijkstraRun{Visits: 10, Relaxations: 25, HeapPushes: 12, HeapPops: 11, RadiusCutoffs: 3})
+	tr.Emission()
+	tr.Emission()
+	finished := 0
+	tr.OnFinish(func(t *Trace) { finished++; t.Add("budget_results", 2) })
+
+	s := tr.Summary()
+	if s.QueryID != "q-test" {
+		t.Fatalf("query id %q", s.QueryID)
+	}
+	if got := s.Counter("neighbor_runs"); got != 5 {
+		t.Fatalf("neighbor_runs = %d, want 5", got)
+	}
+	if got := s.Counter("can_list_max"); got != 4 {
+		t.Fatalf("can_list_max = %d, want 4", got)
+	}
+	if got := s.Counter("dijkstra_visits"); got != 10 {
+		t.Fatalf("dijkstra_visits = %d, want 10", got)
+	}
+	if got := s.Counter("dijkstra_runs"); got != 1 {
+		t.Fatalf("dijkstra_runs = %d, want 1", got)
+	}
+	if got := s.Counter("emitted"); got != 2 {
+		t.Fatalf("emitted = %d, want 2", got)
+	}
+	if got := s.Counter("budget_results"); got != 2 {
+		t.Fatalf("budget_results = %d, want 2 (finisher did not run)", got)
+	}
+	if s.Labels["algorithm"] != "comm_k" {
+		t.Fatalf("labels = %v", s.Labels)
+	}
+	sp, ok := s.Span("project")
+	if !ok || sp.DurMS <= 0 {
+		t.Fatalf("project span = %+v ok=%v", sp, ok)
+	}
+	if s.Emissions == nil || s.Emissions.Count != 2 || len(s.Emissions.DelaysMS) != 2 {
+		t.Fatalf("emissions = %+v", s.Emissions)
+	}
+	if s.Emissions.MaxDelayMS < s.Emissions.MeanDelayMS {
+		t.Fatalf("max delay %v < mean %v", s.Emissions.MaxDelayMS, s.Emissions.MeanDelayMS)
+	}
+
+	// Finishers run exactly once across repeated Summary calls.
+	s2 := tr.Summary()
+	if finished != 1 {
+		t.Fatalf("finisher ran %d times, want 1", finished)
+	}
+	if got := s2.Counter("budget_results"); got != 2 {
+		t.Fatalf("second summary budget_results = %d", got)
+	}
+
+	// The summary marshals cleanly.
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestTraceDelayCapAndConcurrency(t *testing.T) {
+	tr := NewTrace("")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < MaxStoredDelays; i++ {
+				tr.Emission()
+				tr.Add("c", 1)
+				tr.AddDijkstra(DijkstraRun{Visits: 1})
+				tr.SetMax("m", int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := tr.Summary()
+	if s.Emissions.Count != 8*MaxStoredDelays {
+		t.Fatalf("count = %d", s.Emissions.Count)
+	}
+	if len(s.Emissions.DelaysMS) != MaxStoredDelays {
+		t.Fatalf("stored delays = %d, want cap %d", len(s.Emissions.DelaysMS), MaxStoredDelays)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	tr := NewTrace("q1")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+	if ContextWithTrace(ctx, nil) != ctx {
+		t.Fatal("attaching a nil trace should return ctx unchanged")
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("commdb_dijkstra_visits_total", "settled nodes across all queries")
+	c.Add(42)
+	r.Counter("commdb_dijkstra_visits_total", "").Inc() // idempotent registration
+	g := r.Gauge("commdb_can_list_max", "largest can-list")
+	g.SetMax(7)
+	g.SetMax(3)
+	r.GaugeFunc("commdb_cache_entries", "cache entries", func() float64 { return 5 })
+	r.CounterFunc("commdb_queries_started_total", "queries started", func() int64 { return 9 })
+	h := r.Histogram("commdb_query_latency_ms", "query latency", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE commdb_dijkstra_visits_total counter",
+		"commdb_dijkstra_visits_total 43",
+		"# TYPE commdb_can_list_max gauge",
+		"commdb_can_list_max 7",
+		"commdb_cache_entries 5",
+		"commdb_queries_started_total 9",
+		"# TYPE commdb_query_latency_ms histogram",
+		`commdb_query_latency_ms_bucket{le="1"} 1`,
+		`commdb_query_latency_ms_bucket{le="10"} 1`,
+		`commdb_query_latency_ms_bucket{le="100"} 2`,
+		`commdb_query_latency_ms_bucket{le="+Inf"} 3`,
+		"commdb_query_latency_ms_sum 5050.5",
+		"commdb_query_latency_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The registry's own output passes the lint it ships.
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint failed: %v\n%s", err, out)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	// Kind mismatch panics too.
+	r.Counter("ok_name", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("kind mismatch accepted")
+			}
+		}()
+		r.Gauge("ok_name", "")
+	}()
+}
+
+func TestLintPrometheus(t *testing.T) {
+	good := "# HELP x help\n# TYPE x counter\nx 1\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 3.5\nh_count 2\n"
+	if err := LintPrometheus(strings.NewReader(good)); err != nil {
+		t.Fatalf("good exposition rejected: %v", err)
+	}
+	cases := map[string]string{
+		"missing TYPE":     "x 1\n",
+		"duplicate TYPE":   "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"duplicate sample": "# TYPE x counter\nx 1\nx 2\n",
+		"bad name":         "# TYPE x counter\nx 1\n# TYPE 9y counter\n",
+		"bad value":        "# TYPE x counter\nx one\n",
+		"blank":            "",
+	}
+	for name, payload := range cases {
+		if err := LintPrometheus(strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s: lint accepted %q", name, payload)
+		}
+	}
+}
+
+func BenchmarkTraceEmission(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var tr *Trace
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Emission()
+			tr.AddDijkstra(DijkstraRun{Visits: 5, Relaxations: 20})
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := NewTrace("bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Emission()
+			tr.AddDijkstra(DijkstraRun{Visits: 5, Relaxations: 20})
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; negative n is ignored (counters only go
+// up — use a Gauge for values that fall).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to n if n is larger (high-water mark).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Buckets are cumulative on
+// export, Prometheus-style. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // finite inclusive upper bounds, ascending
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	counterFn  func() int64
+	gaugeFn    func() float64
+	hist       *Histogram
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition format. Registration is idempotent by name: asking for an
+// existing name of the same kind returns the existing metric; a kind
+// mismatch or an invalid name panics (programmer error, caught by any
+// test that touches the path).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.counterFn != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as CounterFunc", name))
+	}
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// CounterFunc registers a counter whose value is read at scrape time —
+// for mirroring counters that already live elsewhere (e.g. the serving
+// stats atomics).
+func (r *Registry) CounterFunc(name, help string, f func() int64) {
+	m := r.register(name, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.counterFn = f
+	m.counter = nil
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.gaugeFn != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as GaugeFunc", name))
+	}
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	m := r.register(name, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.gaugeFn = f
+	m.gauge = nil
+}
+
+// Histogram returns the named histogram with the given finite upper
+// bounds (ascending), creating it on first use; the +Inf bucket is
+// implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.hist == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		m.hist = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	}
+	return m.hist
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		switch m.kind {
+		case kindCounter:
+			v := int64(0)
+			if m.counterFn != nil {
+				v = m.counterFn()
+			} else if m.counter != nil {
+				v = m.counter.Value()
+			}
+			fmt.Fprintf(&b, "%s %d\n", m.name, v)
+		case kindGauge:
+			if m.gaugeFn != nil {
+				fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
+			} else {
+				v := int64(0)
+				if m.gauge != nil {
+					v = m.gauge.Value()
+				}
+				fmt.Fprintf(&b, "%s %d\n", m.name, v)
+			}
+		case kindHistogram:
+			h := m.hist
+			var cum int64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"sync"
+
+	"commdb/internal/obs"
 )
 
 // cacheValue is one cached top-k answer: wire-ready records from a
@@ -14,6 +16,10 @@ type cacheValue struct {
 	complete bool   // the enumeration was not cut short by a limit
 	reason   string // stop reason when !complete (never set on cached values)
 	bytes    int64
+	// trace is the producing execution's summary. It is returned only
+	// to the flight's direct waiters when they asked for a trace; cache
+	// hits never surface it (they reflect no execution).
+	trace *obs.Summary
 }
 
 // sizeOf estimates the logical footprint of a cached answer, for the

@@ -1,0 +1,117 @@
+package server
+
+// This file is the server's bridge between per-query traces and
+// process-wide metrics: every engine execution runs under an internal
+// obs.Trace (whether or not the client asked to see it), and the
+// trace's final summary is absorbed into a process Registry that
+// GET /metricsz exports in Prometheus text format. Engine counters
+// therefore increase monotonically across queries even though each
+// query's trace is independent.
+
+import (
+	"net/http"
+
+	"commdb/internal/obs"
+)
+
+// traceCounterMetrics maps a trace counter name to the registered
+// Prometheus counter that accumulates it process-wide. Counters absent
+// here (e.g. the high-water mark can_list_max) are handled separately.
+var traceCounterMetrics = []struct {
+	trace, metric, help string
+}{
+	{"dijkstra_runs", "commdb_dijkstra_runs_total", "bounded Dijkstra runs executed"},
+	{"dijkstra_visits", "commdb_dijkstra_visits_total", "nodes settled across all Dijkstra runs"},
+	{"dijkstra_relaxations", "commdb_dijkstra_relaxations_total", "edges examined across all Dijkstra runs"},
+	{"heap_pushes", "commdb_heap_pushes_total", "priority-queue pushes across all Dijkstra runs"},
+	{"heap_pops", "commdb_heap_pops_total", "priority-queue pops across all Dijkstra runs"},
+	{"radius_cutoffs", "commdb_radius_cutoffs_total", "relaxations discarded by the Rmax radius bound"},
+	{"neighbor_runs", "commdb_neighbor_runs_total", "Neighbor (Algorithm 2) invocations"},
+	{"bestcore_scans", "commdb_bestcore_scans_total", "BestCore (Algorithm 3) table scans"},
+	{"getcommunity_calls", "commdb_getcommunity_calls_total", "GetCommunity (Algorithm 4) materializations"},
+	{"emitted", "commdb_communities_emitted_total", "communities emitted by the enumerators"},
+	{"can_tuples", "commdb_can_tuples_total", "candidate tuples enheaped by COMM-k"},
+	{"project_union_nodes", "commdb_project_union_nodes_total", "nodes gathered from inverted postings before pruning"},
+	{"project_union_edges", "commdb_project_union_edges_total", "edges gathered from inverted postings before pruning"},
+	{"project_nodes_kept", "commdb_project_nodes_kept_total", "nodes kept by index projection"},
+	{"project_nodes_dropped", "commdb_project_nodes_dropped_total", "union nodes pruned by index projection"},
+	{"project_edges_kept", "commdb_project_edges_kept_total", "edges kept by index projection"},
+	{"budget_relaxations", "commdb_budget_relaxations_total", "relaxation work units charged to query budgets"},
+	{"budget_neighbor_runs", "commdb_budget_neighbor_runs_total", "neighbor runs charged to query budgets"},
+	{"budget_can_tuples", "commdb_budget_can_tuples_total", "can-list tuples charged to query budgets"},
+	{"budget_heap_bytes", "commdb_budget_heap_bytes_total", "can-list bytes charged to query budgets"},
+	{"budget_results", "commdb_budget_results_total", "results granted by query budgets"},
+}
+
+// metrics owns the process Registry and the per-trace-counter handles.
+type metrics struct {
+	reg        *obs.Registry
+	counters   map[string]*obs.Counter // trace counter name -> process counter
+	canListMax *obs.Gauge
+	latency    *obs.Histogram
+}
+
+// newMetrics builds the registry: engine counters fed by trace
+// absorption, serving gauges/counters read live from the server's
+// stats, and the query-latency histogram.
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg, counters: make(map[string]*obs.Counter, len(traceCounterMetrics))}
+	for _, tc := range traceCounterMetrics {
+		m.counters[tc.trace] = reg.Counter(tc.metric, tc.help)
+	}
+	m.canListMax = reg.Gauge("commdb_can_list_max", "largest COMM-k can-list seen in any query")
+	m.latency = reg.Histogram("commdb_query_latency_ms", "engine execution latency in milliseconds", latencyBucketsMS[:])
+
+	reg.CounterFunc("commdb_queries_started_total", "engine executions begun",
+		s.stats.queriesStarted.Load)
+	reg.CounterFunc("commdb_queries_completed_total", "engine executions finished",
+		s.stats.queriesCompleted.Load)
+	reg.GaugeFunc("commdb_queries_in_flight", "engine executions currently running",
+		func() float64 { return float64(s.stats.queriesStarted.Load() - s.stats.queriesCompleted.Load()) })
+	reg.CounterFunc("commdb_streams_started_total", "streaming (all) requests admitted",
+		s.stats.streamsStarted.Load)
+	reg.CounterFunc("commdb_cache_hits_total", "top-k result cache hits",
+		s.stats.cacheHits.Load)
+	reg.CounterFunc("commdb_cache_misses_total", "top-k result cache misses",
+		s.stats.cacheMisses.Load)
+	reg.GaugeFunc("commdb_cache_entries", "top-k result cache resident entries",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("commdb_cache_bytes", "top-k result cache resident bytes",
+		func() float64 { return float64(s.cache.Bytes()) })
+	reg.CounterFunc("commdb_singleflight_shared_total", "requests coalesced onto an in-flight identical query",
+		s.flights.joins.Load)
+	reg.CounterFunc("commdb_admission_rejections_total", "requests rejected with 429",
+		s.stats.admissionRejections.Load)
+	reg.GaugeFunc("commdb_admission_waiting", "requests queued for an execution slot",
+		func() float64 { return float64(s.adm.waiting.Load()) })
+	reg.CounterFunc("commdb_budget_trips_total", "queries stopped by a budget or deadline",
+		s.stats.budgetTrips.Load)
+	reg.CounterFunc("commdb_canceled_total", "queries stopped by cancellation or shutdown",
+		s.stats.canceled.Load)
+	return m
+}
+
+// absorb folds one finished query trace into the process counters.
+func (m *metrics) absorb(sum *obs.Summary) {
+	if sum == nil {
+		return
+	}
+	for name, v := range sum.Counters {
+		if name == "can_list_max" {
+			m.canListMax.SetMax(v)
+			continue
+		}
+		if c, ok := m.counters[name]; ok {
+			c.Add(v)
+		}
+	}
+	m.latency.Observe(sum.TotalMS)
+}
+
+// handleMetricsz answers GET /metricsz with the Prometheus text
+// exposition of the process registry.
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
+}

@@ -30,7 +30,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"commdb"
+	"commdb/internal/obs"
 )
 
 // ErrServerClosed is the cancellation cause propagated to every
@@ -72,6 +75,14 @@ type Config struct {
 	MaxLimits commdb.Limits
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Logger, when non-nil, receives one structured line per query with
+	// the query ID that also rides the X-Query-Id response header and
+	// the trace, tying logs, traces and metrics together. nil disables
+	// request logging.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under GET /debug/pprof/ on the
+	// server's handler.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +123,8 @@ type Server struct {
 	cache   *lruCache
 	flights *flightGroup
 	stats   stats
+	metrics *metrics
+	qids    atomic.Int64
 	mux     *http.ServeMux
 
 	baseCtx    context.Context
@@ -140,13 +153,45 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 	}
+	s.metrics = newMetrics(s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/search/all", s.handleAll)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
+}
+
+// nextQueryID issues the per-process query identifier that ties a
+// request's log line, trace and X-Query-Id header together.
+func (s *Server) nextQueryID() string {
+	return "q-" + strconv.FormatInt(s.qids.Add(1), 10)
+}
+
+// logQuery emits the per-query structured log line, when logging is on.
+func (s *Server) logQuery(qid, endpoint string, q commdb.Query, elapsed time.Duration, results int, reason string, cached bool) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	s.cfg.Logger.Info("query",
+		"qid", qid,
+		"endpoint", endpoint,
+		"keywords", q.Keywords,
+		"rmax", q.Rmax,
+		"elapsed_ms", elapsed.Milliseconds(),
+		"results", results,
+		"complete", reason == "",
+		"reason", reason,
+		"cached", cached)
 }
 
 // Handler returns the server's HTTP handler.
@@ -285,12 +330,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if k > s.cfg.MaxK {
 		k = s.cfg.MaxK
 	}
+	qid := s.nextQueryID()
+	w.Header().Set("X-Query-Id", qid)
 	key := q.Fingerprint() + "|k=" + strconv.Itoa(k) + "|compact=" + strconv.FormatBool(req.Compact)
 
 	// Cache hits bypass admission: they consume no engine resources,
-	// so they stay fast even when the pool is saturated.
-	if val, hit := s.cache.Get(key); hit {
+	// so they stay fast even when the pool is saturated. A trace
+	// request bypasses the cache read instead — its trace must reflect
+	// a real execution.
+	if val, hit := s.cache.Get(key); hit && !req.Trace {
 		s.stats.cacheHits.Add(1)
+		s.logQuery(qid, "topk", q, 0, len(val.records), "", true)
 		writeJSON(w, http.StatusOK, TopKResponse{Results: val.records, Complete: val.complete, Cached: true})
 		return
 	}
@@ -306,14 +356,20 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// Coalesce before admitting: followers of an identical in-flight
 	// query consume no engine resources, so only the flight leader
 	// claims an execution slot. Admission errors (saturation,
-	// shutdown) propagate to every waiter of the flight.
+	// shutdown) propagate to every waiter of the flight. Trace
+	// requests coalesce only among themselves, so a trace follower is
+	// guaranteed a leader that produced one.
+	fkey := key
+	if req.Trace {
+		fkey += "|trace"
+	}
 	start := time.Now()
-	val, _, err := s.flights.Do(ctx, key, func(fctx context.Context) (*cacheValue, error) {
+	val, _, err := s.flights.Do(ctx, fkey, func(fctx context.Context) (*cacheValue, error) {
 		if err := s.adm.acquire(fctx); err != nil {
 			return nil, err
 		}
 		defer s.adm.release()
-		return s.runTopK(fctx, q, k, req.Compact, key)
+		return s.runTopK(fctx, q, k, req.Compact, key, qid)
 	})
 	if err != nil {
 		switch {
@@ -328,23 +384,34 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, TopKResponse{
+	resp := TopKResponse{
 		Results:   val.records,
 		Complete:  val.complete,
 		Reason:    val.reason,
 		Cached:    false,
 		ElapsedMS: time.Since(start).Milliseconds(),
-	})
+	}
+	if req.Trace {
+		resp.Trace = val.trace
+	}
+	s.logQuery(qid, "topk", q, time.Since(start), len(val.records), val.reason, false)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runTopK is one engine execution of a top-k query: collect up to k
 // records and cache the answer when the enumeration completed cleanly.
-func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact bool, key string) (*cacheValue, error) {
+// Every execution runs under an internal trace whose summary feeds the
+// process metrics; the summary also rides the response when the
+// request asked for it.
+func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact bool, key, qid string) (*cacheValue, error) {
 	s.stats.queriesStarted.Add(1)
+	tr := obs.NewTrace(qid)
+	ctx = obs.ContextWithTrace(ctx, tr)
 	start := time.Now()
 	defer func() {
 		s.stats.queriesCompleted.Add(1)
 		s.stats.observeLatency(time.Since(start))
+		s.metrics.absorb(tr.Summary())
 	}()
 	st, err := s.eng.TopK(ctx, q)
 	if err != nil {
@@ -369,6 +436,7 @@ func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact boo
 		complete: stopErr == nil,
 		reason:   StopReason(stopErr),
 		bytes:    sizeOf(records),
+		trace:    tr.Summary(),
 	}
 	if stopErr == nil {
 		s.cache.Put(key, val)
@@ -391,6 +459,11 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.release()
+
+	qid := s.nextQueryID()
+	w.Header().Set("X-Query-Id", qid)
+	tr := obs.NewTrace(qid)
+	ctx = obs.ContextWithTrace(ctx, tr)
 
 	s.stats.queriesStarted.Add(1)
 	s.stats.streamsStarted.Add(1)
@@ -432,7 +505,14 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 	}
 	stopErr := st.Err()
 	s.classifyStop(stopErr)
-	_ = enc.Encode(NewTrailer(count, stopErr, time.Since(start)))
+	trailer := NewTrailer(count, stopErr, time.Since(start))
+	sum := tr.Summary()
+	s.metrics.absorb(sum)
+	if req.Trace {
+		trailer.Trace = sum
+	}
+	s.logQuery(qid, "all", q, time.Since(start), count, trailer.Reason, false)
+	_ = enc.Encode(trailer)
 	flush()
 }
 

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"encoding/json"
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -38,12 +40,46 @@ func (s *stats) observeLatency(d time.Duration) {
 	s.latSumUS.Add(d.Microseconds())
 }
 
+// BucketBound is a histogram bucket's inclusive upper bound in
+// milliseconds. JSON has no infinity literal, so the unbounded last
+// bucket marshals as the string "+Inf" (the Prometheus spelling) —
+// previously it was encoded as 0, which is indistinguishable from a
+// real zero bound.
+type BucketBound float64
+
+// MarshalJSON encodes finite bounds as numbers and +Inf as "+Inf".
+func (b BucketBound) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(b), 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	return json.Marshal(float64(b))
+}
+
+// UnmarshalJSON accepts a number, the "+Inf" sentinel, and — for
+// compatibility with snapshots from before the sentinel — treats the
+// ambiguous 0 as +Inf (no finite bucket bound is 0).
+func (b *BucketBound) UnmarshalJSON(data []byte) error {
+	if string(data) == `"+Inf"` {
+		*b = BucketBound(math.Inf(1))
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	if f == 0 {
+		f = math.Inf(1)
+	}
+	*b = BucketBound(f)
+	return nil
+}
+
 // LatencyBucket is one histogram bucket in a snapshot.
 type LatencyBucket struct {
 	// LE is the bucket's inclusive upper bound in milliseconds; the
-	// last bucket has LE = 0 meaning +Inf.
-	LE    float64 `json:"le_ms"`
-	Count int64   `json:"count"`
+	// last bucket is unbounded and encodes as "+Inf".
+	LE    BucketBound `json:"le_ms"`
+	Count int64       `json:"count"`
 }
 
 // StatsSnapshot is the JSON body of GET /statsz.
@@ -102,11 +138,11 @@ func (s *stats) snapshot() StatsSnapshot {
 	out.Latency.P99MS = histQuantile(counts, total, 0.99)
 	out.Latency.Buckets = make([]LatencyBucket, len(counts))
 	for i, c := range counts {
-		le := 0.0 // +Inf
+		le := math.Inf(1)
 		if i < len(latencyBucketsMS) {
 			le = latencyBucketsMS[i]
 		}
-		out.Latency.Buckets[i] = LatencyBucket{LE: le, Count: c}
+		out.Latency.Buckets[i] = LatencyBucket{LE: BucketBound(le), Count: c}
 	}
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"commdb"
+	"commdb/internal/obs"
 )
 
 // SearchRequest is the body of POST /v1/search/topk and
@@ -32,6 +33,11 @@ type SearchRequest struct {
 	// Limits bounds the query's resources. Every field is clamped to
 	// the server's configured maxima.
 	Limits LimitsSpec `json:"limits,omitempty"`
+	// Trace asks for EXPLAIN mode: the response carries the query's
+	// structured trace (per-stage spans, engine counters, inter-emission
+	// delays). Trace requests bypass cache reads so the trace reflects a
+	// real execution.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // LimitsSpec is the wire form of commdb.Limits: a relative timeout plus
@@ -173,6 +179,9 @@ type Trailer struct {
 	Complete  bool   `json:"complete"`
 	Reason    string `json:"reason,omitempty"`
 	ElapsedMS int64  `json:"elapsed_ms"`
+	// Trace is the query's trace summary, present when the request set
+	// "trace": true.
+	Trace *obs.Summary `json:"trace,omitempty"`
 }
 
 // NewTrailer builds the trailer for a stream that delivered count
@@ -215,6 +224,9 @@ type TopKResponse struct {
 	// Cached reports the response was served from the result cache.
 	Cached    bool  `json:"cached"`
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Trace is the query's trace summary, present when the request set
+	// "trace": true.
+	Trace *obs.Summary `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -19,6 +19,7 @@ import (
 	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/heap"
+	"commdb/internal/obs"
 )
 
 // Direction selects which adjacency a run follows.
@@ -151,6 +152,12 @@ type Workspace struct {
 	// uncharged work between batches and across runs.
 	budget *govern.Budget
 	tick   int64
+
+	// tr, when non-nil, receives one obs.DijkstraRun per Run: counters
+	// are accumulated in locals inside the hot loop and flushed once at
+	// the end, so tracing adds no allocations and no per-edge trace
+	// touches.
+	tr *obs.Trace
 }
 
 // NewWorkspace returns a Workspace for g.
@@ -173,6 +180,10 @@ func (w *Workspace) Graph() *graph.Graph { return w.g }
 // stops and leaves a truncated Result — callers must treat any Result
 // produced after Budget.Err() reports non-nil as partial.
 func (w *Workspace) SetBudget(b *govern.Budget) { w.budget = b }
+
+// SetTrace installs a query trace that every subsequent run reports
+// its work counters to; nil (the default) disables tracing.
+func (w *Workspace) SetTrace(t *obs.Trace) { w.tr = t }
 
 // chargeTick batches n work units into the workspace's local counter
 // and charges the budget once per govern.Stride, reporting whether the
@@ -224,6 +235,11 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 	}
 	w.pq.Reset()
 
+	// Trace counters live in locals so the hot loop costs a register
+	// increment, and are flushed once per run (obsFlush no-ops on a nil
+	// trace; the disabled path is allocation-free by test).
+	var tc obs.DijkstraRun
+
 	for _, s := range seeds {
 		if s.Dist > rmax {
 			continue
@@ -236,10 +252,12 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 		w.tsrc[s.Node] = s.Node
 		w.tvia[s.Node] = s.Node
 		w.pq.Push(s.Dist, s.Node)
+		tc.HeapPushes++
 	}
 
 	for w.pq.Len() > 0 {
 		it := w.pq.Pop()
+		tc.HeapPops++
 		v := it.Node
 		if res.Contains(v) {
 			continue // stale entry
@@ -248,6 +266,7 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 			continue // superseded tentative distance
 		}
 		if it.Dist > rmax {
+			tc.RadiusCutoffs++
 			break
 		}
 		res.add(v, it.Dist, w.tsrc[v], w.tvia[v])
@@ -258,7 +277,9 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 		} else {
 			adj = w.g.InEdges(v)
 		}
+		tc.Relaxations += int64(len(adj))
 		if w.budget != nil && w.chargeTick(int64(len(adj))+1) {
+			w.obsFlush(res, tc)
 			return // budget tripped: res holds the partial run
 		}
 		nw := w.g.NodeWeights()
@@ -272,6 +293,7 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 				}
 			}
 			if nd > rmax {
+				tc.RadiusCutoffs++
 				continue
 			}
 			if res.Contains(e.To) {
@@ -285,6 +307,7 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 			w.tsrc[e.To] = w.tsrc[v]
 			w.tvia[e.To] = v
 			w.pq.Push(nd, e.To)
+			tc.HeapPushes++
 		}
 	}
 	// Flush the remainder so many small runs (one per index term)
@@ -294,6 +317,16 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 		w.tick = 0
 		w.budget.ChargeRelaxations(batch)
 	}
+	w.obsFlush(res, tc)
+}
+
+// obsFlush reports one finished (or truncated) run to the trace.
+func (w *Workspace) obsFlush(res *Result, tc obs.DijkstraRun) {
+	if w.tr == nil {
+		return
+	}
+	tc.Visits = int64(res.Len())
+	w.tr.AddDijkstra(tc)
 }
 
 // RunFromNodes is Run with all seeds at distance zero.

@@ -168,6 +168,19 @@ func (e *Enumerator) start() {
 			}
 		}
 	}
+	// Seed in a deterministic order: the heap breaks cost ties by
+	// insertion order, and counts is a map, so iterating it directly
+	// would make the ranking of tied trees nondeterministic across
+	// runs. Equal-cost seeds are ordered by their per-keyword leaf
+	// distance vectors (lexicographically, in normalized keyword
+	// order), then by root — so on the intro example the paper2-rooted
+	// tree (dists 1,2) outranks the paper1-rooted one (dists 2,1) as in
+	// the paper's Fig. 1, every run.
+	type seedCand struct {
+		cand  *treeCand
+		dists []float64
+	}
+	var seeds []seedCand
 	for r, c := range counts {
 		if c != e.l {
 			continue
@@ -177,10 +190,27 @@ func (e *Enumerator) start() {
 			continue
 		}
 		cand := &treeCand{root: r, idxs: make([]int, e.l)}
+		dists := make([]float64, e.l)
 		for i := range ls {
-			cand.cost += ls[i][0].dist
+			dists[i] = ls[i][0].dist
+			cand.cost += dists[i]
 		}
-		e.h.Insert(cand.cost, cand)
+		seeds = append(seeds, seedCand{cand, dists})
+	}
+	sort.Slice(seeds, func(a, b int) bool {
+		sa, sb := seeds[a], seeds[b]
+		if sa.cand.cost != sb.cand.cost {
+			return sa.cand.cost < sb.cand.cost
+		}
+		for i := range sa.dists {
+			if sa.dists[i] != sb.dists[i] {
+				return sa.dists[i] < sb.dists[i]
+			}
+		}
+		return sa.cand.root < sb.cand.root
+	})
+	for _, s := range seeds {
+		e.h.Insert(s.cand.cost, s.cand)
 	}
 }
 

@@ -8,12 +8,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"commdb/internal/core"
 	"commdb/internal/fulltext"
 	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/index"
+	"commdb/internal/obs"
 )
 
 // CostFunction selects how a community's cost aggregates its
@@ -176,6 +178,34 @@ type session struct {
 	eng    *core.Engine
 	sub    *graph.Subgraph // nil when running directly on s.g
 	inNode map[NodeID]bool // scratch for edge re-induction
+
+	// tr is the query's trace (nil when the context carries none); the
+	// enumerate span runs from the first Next to exhaustion, closed at
+	// most once by finishEnum.
+	tr        *obs.Trace
+	enumStart time.Time
+	enumDone  bool
+}
+
+// noteNext marks the start of enumeration on the first advance.
+func (sess *session) noteNext() {
+	if sess.tr != nil && sess.enumStart.IsZero() {
+		sess.enumStart = time.Now()
+	}
+}
+
+// finishEnum closes the enumerate span, once. It runs when the
+// iterator reports exhaustion, and again (as a no-op) from the trace's
+// finisher for queries abandoned mid-enumeration.
+func (sess *session) finishEnum() {
+	if sess.tr == nil || sess.enumDone {
+		return
+	}
+	sess.enumDone = true
+	if sess.enumStart.IsZero() {
+		return // never advanced: no enumerate span
+	}
+	sess.tr.RecordSpan("enumerate", sess.enumStart)
 }
 
 func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
@@ -191,14 +221,33 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 		return nil, fmt.Errorf("commdb: negative Rmax %v", q.Rmax)
 	}
 	bud := govern.New(ctx, q.Limits)
-	sess := &session{s: s}
+	tr := obs.FromContext(ctx)
+	sess := &session{s: s, tr: tr}
+	if tr != nil {
+		if s.ix != nil {
+			tr.SetLabel("projected", "true")
+		} else {
+			tr.SetLabel("projected", "false")
+		}
+		// Snapshot what the query consumed once the trace is finalized;
+		// the enumerate span is also closed here for queries abandoned
+		// mid-enumeration.
+		tr.OnFinish(func(t *obs.Trace) {
+			sess.finishEnum()
+			for _, r := range govern.AllResources {
+				if n := bud.Spent(r); n > 0 {
+					t.Add("budget_"+strings.ReplaceAll(string(r), "-", "_"), n)
+				}
+			}
+		})
+	}
 	target := s.g
 	var ft *fulltext.Index = s.ft
 	if s.ix != nil {
 		if q.Rmax > s.ix.R() {
 			return nil, fmt.Errorf("commdb: Rmax %v exceeds the index radius %v given to NewIndexedSearcher", q.Rmax, s.ix.R())
 		}
-		proj, err := s.ix.ProjectBudget(q.Keywords, q.Rmax, bud)
+		proj, err := s.ix.ProjectTrace(q.Keywords, q.Rmax, bud, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -206,12 +255,15 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 		target = proj.Sub.G
 		ft = nil // projected graphs are small; scanning is fine
 	}
+	endInit := tr.StartSpan("engine_init")
 	eng, err := core.NewEngine(target, ft, q.Keywords, q.Rmax)
 	if err != nil {
 		return nil, err
 	}
 	eng.SetCostFunction(q.Cost)
 	eng.SetBudget(bud)
+	eng.SetTrace(tr)
+	endInit()
 	sess.eng = eng
 	return sess, nil
 }
@@ -306,6 +358,7 @@ func (s *Searcher) AllCtx(ctx context.Context, q Query) (it *AllIterator, err er
 	if err != nil {
 		return nil, err
 	}
+	sess.tr.SetLabel("algorithm", "comm_all")
 	return &AllIterator{sess: sess, it: core.NewAll(sess.eng)}, nil
 }
 
@@ -333,8 +386,10 @@ func (it *AllIterator) Next() (r *Community, ok bool) {
 			r, ok = nil, false
 		}
 	}()
+	it.sess.noteNext()
 	r0, ok := it.it.Next()
 	if !ok {
+		it.sess.finishEnum()
 		return nil, false
 	}
 	return it.sess.mapBack(r0), true
@@ -352,7 +407,11 @@ func (it *AllIterator) NextCore() (cc CoreCost, ok bool) {
 			cc, ok = CoreCost{}, false
 		}
 	}()
+	it.sess.noteNext()
 	cc, ok = it.it.NextCore()
+	if !ok {
+		it.sess.finishEnum()
+	}
 	if !ok || it.sess.sub == nil {
 		return cc, ok
 	}
@@ -395,6 +454,7 @@ func (s *Searcher) TopKCtx(ctx context.Context, q Query) (it *TopKIterator, err 
 	if err != nil {
 		return nil, err
 	}
+	sess.tr.SetLabel("algorithm", "comm_k")
 	return &TopKIterator{sess: sess, it: core.NewTopK(sess.eng)}, nil
 }
 
@@ -422,8 +482,10 @@ func (it *TopKIterator) Next() (r *Community, ok bool) {
 			r, ok = nil, false
 		}
 	}()
+	it.sess.noteNext()
 	r0, ok := it.it.Next()
 	if !ok {
+		it.sess.finishEnum()
 		return nil, false
 	}
 	return it.sess.mapBack(r0), true
@@ -440,7 +502,11 @@ func (it *TopKIterator) NextCore() (cc CoreCost, ok bool) {
 			cc, ok = CoreCost{}, false
 		}
 	}()
+	it.sess.noteNext()
 	cc, ok = it.it.NextCore()
+	if !ok {
+		it.sess.finishEnum()
+	}
 	if !ok || it.sess.sub == nil {
 		return cc, ok
 	}

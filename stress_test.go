@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"commdb/internal/obs"
 )
 
 // TestSearcherConcurrentStress hammers shared Searchers — indexed and
@@ -162,6 +164,90 @@ func TestSearcherConcurrentStress(t *testing.T) {
 						errs <- fmt.Errorf("worker %d: governed run granted %d results, want %d", w, n, wantN)
 						return
 					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTracedSearchConcurrentStress runs traced queries against shared
+// Searchers from many goroutines — the serving stack's steady state,
+// where every execution carries a live trace. Each query gets its own
+// trace (as in the server), Summary is read mid-enumeration (as the
+// REPL's 'stats' does), and the test runs under -race in CI to hold
+// the tracing path to the same concurrency contract as the engine.
+func TestTracedSearchConcurrentStress(t *testing.T) {
+	g, _ := PaperExampleGraph()
+	plain := NewSearcher(g)
+	indexed, err := NewIndexedSearcher(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searchers := []*Searcher{plain, indexed}
+	queries := []Query{
+		{Keywords: []string{"a", "b", "c"}, Rmax: 8},
+		{Keywords: []string{"a", "b"}, Rmax: 8},
+		{Keywords: []string{"b", "c"}, Rmax: 6},
+	}
+
+	workers, iters := 8, 20
+	if raceEnabled {
+		iters = 10
+	}
+	if testing.Short() {
+		iters = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := searchers[(w+i)%len(searchers)]
+				q := queries[(w*3+i)%len(queries)]
+				tr := obs.NewTrace(fmt.Sprintf("stress-%d-%d", w, i))
+				ctx := obs.ContextWithTrace(context.Background(), tr)
+				it, err := s.AllCtx(ctx, q)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: AllCtx: %w", w, err)
+					return
+				}
+				n := 0
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+					n++
+					if n == 1 {
+						// Mid-enumeration snapshot, like the REPL's 'stats'.
+						if tr.Summary().Counter("dijkstra_runs") <= 0 {
+							errs <- fmt.Errorf("worker %d: mid-run trace has no dijkstra_runs", w)
+							return
+						}
+					}
+				}
+				if err := it.Err(); err != nil {
+					errs <- fmt.Errorf("worker %d: stopped early: %w", w, err)
+					return
+				}
+				sum := tr.Summary()
+				if sum.Counter("emitted") != int64(n) {
+					errs <- fmt.Errorf("worker %d: trace emitted=%d, enumerated %d", w, sum.Counter("emitted"), n)
+					return
+				}
+				if sum.Emissions == nil || sum.Emissions.Count != int64(n) {
+					errs <- fmt.Errorf("worker %d: emissions %+v, want count %d", w, sum.Emissions, n)
+					return
+				}
+				if _, ok := sum.Span("enumerate"); !ok && n > 0 {
+					errs <- fmt.Errorf("worker %d: trace lacks enumerate span", w)
+					return
 				}
 			}
 		}(w)
