@@ -1,0 +1,120 @@
+package main
+
+// The -compare mode is the perf-regression gate: it diffs two -serve
+// reports (an old baseline and a fresh run) and exits nonzero when the
+// new run regresses beyond the tolerance — throughput lower, or any
+// latency quantile higher. CI runs it against the committed baseline so
+// a slowdown fails the build instead of landing silently.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// minCompareMS is the noise floor: latency metrics below it on the old
+// side are skipped, since sub-50µs quantiles are dominated by scheduler
+// jitter and would make the gate flaky.
+const minCompareMS = 0.05
+
+// metricDelta is one compared metric.
+type metricDelta struct {
+	Name    string
+	Old     float64
+	New     float64
+	Ratio   float64 // new/old
+	Regress bool
+}
+
+// compareReports diffs new against old. tolerance is fractional: 0.15
+// allows latency up to 1.15x the baseline and throughput down to 0.85x.
+// It returns every compared metric, regressions flagged.
+func compareReports(old, new serveBenchReport, tolerance float64) []metricDelta {
+	var out []metricDelta
+	// Throughput: lower is worse.
+	if old.Throughput > 0 {
+		d := metricDelta{Name: "throughput_rps", Old: old.Throughput, New: new.Throughput,
+			Ratio: new.Throughput / old.Throughput}
+		d.Regress = new.Throughput < old.Throughput*(1-tolerance)
+		out = append(out, d)
+	}
+	// Latency quantiles: higher is worse.
+	lat := func(name string, o, n endpointStats) {
+		for _, m := range []struct {
+			q        string
+			old, new float64
+		}{
+			{"mean_ms", o.MeanMS, n.MeanMS},
+			{"p50_ms", o.P50MS, n.P50MS},
+			{"p95_ms", o.P95MS, n.P95MS},
+			{"p99_ms", o.P99MS, n.P99MS},
+		} {
+			if o.Count == 0 || n.Count == 0 || m.old < minCompareMS {
+				continue
+			}
+			d := metricDelta{Name: name + "." + m.q, Old: m.old, New: m.new, Ratio: m.new / m.old}
+			d.Regress = m.new > m.old*(1+tolerance)
+			out = append(out, d)
+		}
+	}
+	lat("topk", old.TopK, new.TopK)
+	lat("stream", old.Stream, new.Stream)
+	lat("topk_uncached", old.TopKUncached, new.TopKUncached)
+	lat("topk_cached", old.TopKCached, new.TopKCached)
+	return out
+}
+
+// regressions filters the deltas down to failures.
+func regressions(deltas []metricDelta) []metricDelta {
+	var out []metricDelta
+	for _, d := range deltas {
+		if d.Regress {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// loadReport reads a -serve JSON report.
+func loadReport(path string) (serveBenchReport, error) {
+	var rep serveBenchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runCompare is the -compare entry point: benchrunner -compare
+// [-tolerance 0.15] old.json new.json. It prints every compared metric
+// and returns an error (→ exit 1) when any regresses.
+func runCompare(oldPath, newPath string, tolerance float64) error {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	deltas := compareReports(old, new, tolerance)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no comparable metrics between %s and %s", oldPath, newPath)
+	}
+	fmt.Printf("comparing %s -> %s (tolerance %.0f%%)\n", oldPath, newPath, tolerance*100)
+	for _, d := range deltas {
+		mark := "ok  "
+		if d.Regress {
+			mark = "FAIL"
+		}
+		fmt.Printf("  %s %-24s old=%10.3f new=%10.3f (%.2fx)\n", mark, d.Name, d.Old, d.New, d.Ratio)
+	}
+	if bad := regressions(deltas); len(bad) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%% tolerance", len(bad), tolerance*100)
+	}
+	fmt.Println("no regressions")
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineReport() serveBenchReport {
+	mk := func(mean, p50, p95, p99 float64) endpointStats {
+		return endpointStats{Count: 100, MeanMS: mean, P50MS: p50, P95MS: p95, P99MS: p99, MaxMS: p99 * 2}
+	}
+	return serveBenchReport{
+		Dataset:      "dblp",
+		Requests:     400,
+		Throughput:   500,
+		TopK:         mk(2, 1.5, 6, 12),
+		TopKCached:   mk(0.2, 0.15, 0.6, 1.2),
+		TopKUncached: mk(4, 3, 10, 20),
+		Stream:       mk(8, 6, 20, 40),
+	}
+}
+
+// TestCompareIdentical: a report compared against itself passes at any
+// tolerance.
+func TestCompareIdentical(t *testing.T) {
+	rep := baselineReport()
+	if bad := regressions(compareReports(rep, rep, 0.15)); len(bad) != 0 {
+		t.Fatalf("self-compare regressed: %+v", bad)
+	}
+}
+
+// TestCompareLatencyRegression is the acceptance test: a synthetic 2x
+// latency regression must fail the gate.
+func TestCompareLatencyRegression(t *testing.T) {
+	old := baselineReport()
+	slow := old
+	slow.TopK = endpointStats{Count: 100, MeanMS: 4, P50MS: 3, P95MS: 12, P99MS: 24, MaxMS: 48}
+	bad := regressions(compareReports(old, slow, 0.15))
+	if len(bad) == 0 {
+		t.Fatal("2x topk latency passed the 15% gate")
+	}
+	for _, d := range bad {
+		if d.Ratio < 1.9 || d.Ratio > 2.1 {
+			t.Fatalf("regression %s has ratio %.2f, want ~2.0", d.Name, d.Ratio)
+		}
+	}
+	// The same diff passes once the tolerance admits a 2x slowdown.
+	if bad := regressions(compareReports(old, slow, 1.5)); len(bad) != 0 {
+		t.Fatalf("2x latency failed a 150%% tolerance: %+v", bad)
+	}
+}
+
+// TestCompareThroughputRegression: throughput is gated downward.
+func TestCompareThroughputRegression(t *testing.T) {
+	old := baselineReport()
+	slow := old
+	slow.Throughput = old.Throughput * 0.5
+	bad := regressions(compareReports(old, slow, 0.15))
+	if len(bad) != 1 || bad[0].Name != "throughput_rps" {
+		t.Fatalf("halved throughput not flagged: %+v", bad)
+	}
+	// An improvement never fails.
+	fast := old
+	fast.Throughput = old.Throughput * 2
+	fast.TopK.P99MS = old.TopK.P99MS / 2
+	if bad := regressions(compareReports(old, fast, 0.15)); len(bad) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", bad)
+	}
+}
+
+// TestCompareNoiseFloor: sub-50µs baseline quantiles are skipped so
+// scheduler jitter cannot flake the gate.
+func TestCompareNoiseFloor(t *testing.T) {
+	old := baselineReport()
+	old.TopKCached = endpointStats{Count: 100, MeanMS: 0.01, P50MS: 0.01, P95MS: 0.02, P99MS: 0.03}
+	new := old
+	new.TopKCached = endpointStats{Count: 100, MeanMS: 0.04, P50MS: 0.04, P95MS: 0.08, P99MS: 0.12}
+	for _, d := range compareReports(old, new, 0.15) {
+		if d.Name == "topk_cached.p50_ms" {
+			t.Fatalf("sub-floor metric compared: %+v", d)
+		}
+	}
+}
+
+// TestCompareMissingEndpoint: endpoints absent from either side (zero
+// count) are skipped rather than divided by zero.
+func TestCompareMissingEndpoint(t *testing.T) {
+	old := baselineReport()
+	old.TopKCached = endpointStats{}
+	deltas := compareReports(old, baselineReport(), 0.15)
+	for _, d := range deltas {
+		if d.Regress {
+			t.Fatalf("zero-count endpoint produced a regression: %+v", d)
+		}
+	}
+}
+
+// TestRunCompareExitPath: the CLI wrapper round-trips JSON files and
+// returns an error on regression, nil on a clean diff.
+func TestRunCompareExitPath(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep serveBenchReport) string {
+		path := filepath.Join(dir, name)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := baselineReport()
+	slow := old
+	slow.TopK.P95MS *= 2
+	oldPath := write("old.json", old)
+	if err := runCompare(oldPath, write("same.json", old), 0.15); err != nil {
+		t.Fatalf("self-compare errored: %v", err)
+	}
+	if err := runCompare(oldPath, write("slow.json", slow), 0.15); err == nil {
+		t.Fatal("2x p95 regression returned nil")
+	}
+	if err := runCompare(filepath.Join(dir, "missing.json"), oldPath, 0.15); err == nil {
+		t.Fatal("missing file returned nil")
+	}
+}

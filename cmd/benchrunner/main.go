@@ -48,11 +48,27 @@ func main() {
 		serve         = flag.Bool("serve", false, "benchmark the HTTP serving stack instead of the algorithms")
 		serveClients  = flag.Int("serve-clients", 8, "-serve: concurrent HTTP clients")
 		serveRequests = flag.Int("serve-requests", 400, "-serve: total requests across all clients")
+		serveUnique   = flag.Bool("serve-unique", false, "-serve: make every request's query unique so the cache and singleflight never answer")
+		serveNoCache  = flag.Bool("serve-nocache", false, "-serve: disable the server's result cache")
 		serveOut      = flag.String("serve-out", "BENCH_serve.json", "-serve: JSON report path")
+
+		compare   = flag.Bool("compare", false, "compare two -serve reports: benchrunner -compare old.json new.json")
+		tolerance = flag.Float64("tolerance", 0.15, "-compare: allowed fractional regression before failing")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchrunner -compare [-tolerance 0.15] old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve {
-		if err := runServe(*authors, *seed, *dblpBoost, *serveClients, *serveRequests, *serveOut); err != nil {
+		if err := runServe(*authors, *seed, *dblpBoost, *serveClients, *serveRequests, *serveUnique, *serveNoCache, *serveOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

@@ -29,18 +29,26 @@ import (
 
 // serveBenchReport is the BENCH_serve.json schema.
 type serveBenchReport struct {
-	Dataset    string               `json:"dataset"`
-	Authors    int                  `json:"authors"`
-	Nodes      int                  `json:"nodes"`
-	Edges      int                  `json:"edges"`
-	Clients    int                  `json:"clients"`
-	Requests   int                  `json:"requests"`
-	DurationMS float64              `json:"duration_ms"`
-	Throughput float64              `json:"throughput_rps"`
-	Errors     int                  `json:"errors"`
-	TopK       endpointStats        `json:"topk"`
-	Stream     endpointStats        `json:"stream"`
-	Server     server.StatsSnapshot `json:"server_stats"`
+	Dataset    string        `json:"dataset"`
+	Authors    int           `json:"authors"`
+	Nodes      int           `json:"nodes"`
+	Edges      int           `json:"edges"`
+	Clients    int           `json:"clients"`
+	Requests   int           `json:"requests"`
+	Unique     bool          `json:"unique,omitempty"`
+	NoCache    bool          `json:"nocache,omitempty"`
+	DurationMS float64       `json:"duration_ms"`
+	Throughput float64       `json:"throughput_rps"`
+	Errors     int           `json:"errors"`
+	TopK       endpointStats `json:"topk"`
+	// TopKCached/TopKUncached split the topk latencies by whether the
+	// response came from the result cache. The combined TopK figure on a
+	// cache-friendly workload mostly measures the cache; the uncached
+	// split is the engine's number.
+	TopKCached   endpointStats        `json:"topk_cached"`
+	TopKUncached endpointStats        `json:"topk_uncached"`
+	Stream       endpointStats        `json:"stream"`
+	Server       server.StatsSnapshot `json:"server_stats"`
 	// Trace aggregates one traced execution per distinct request shape,
 	// run after the timed benchmark so tracing cannot perturb it.
 	Trace traceProfile `json:"trace_profile"`
@@ -204,8 +212,13 @@ func traceOneQuery(client *http.Client, base string, j job) (*obs.Summary, error
 	}
 }
 
-// runServe is the -serve entry point.
-func runServe(authors int, seed int64, boost float64, clients, requests int, out string) error {
+// runServe is the -serve entry point. unique perturbs every request's
+// rmax in the 1e-9 relative range — same engine work, distinct
+// fingerprint — so neither the result cache nor singleflight can
+// answer and the benchmark measures the engine. nocache disables the
+// server's result cache outright while keeping the request mix
+// identical.
+func runServe(authors int, seed int64, boost float64, clients, requests int, unique, nocache bool, out string) error {
 	fmt.Printf("building DBLP dataset (authors=%d, boost=%gx)...\n", authors, boost)
 	start := time.Now()
 	d, err := bench.BuildDBLPBoosted(authors, seed, boost)
@@ -222,7 +235,11 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 		return err
 	}
 
-	app := server.New(s, server.Config{})
+	srvCfg := server.Config{}
+	if nocache {
+		srvCfg.CacheEntries = -1
+	}
+	app := server.New(s, srvCfg)
 	ts := httptest.NewServer(app.Handler())
 	defer ts.Close()
 
@@ -254,14 +271,23 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 		}
 	}
 
-	fmt.Printf("serving benchmark: %d clients, %d requests, %d distinct request shapes\n",
-		clients, requests, len(jobs))
+	mode := "cache-friendly"
+	if unique {
+		mode = "unique queries"
+	}
+	if nocache {
+		mode += ", cache disabled"
+	}
+	fmt.Printf("serving benchmark: %d clients, %d requests, %d distinct request shapes (%s)\n",
+		clients, requests, len(jobs), mode)
 	var (
-		next    atomic.Int64
-		mu      sync.Mutex
-		topkLat []time.Duration
-		allLat  []time.Duration
-		errorsN int
+		next          atomic.Int64
+		mu            sync.Mutex
+		topkLat       []time.Duration
+		topkCachedLat []time.Duration
+		topkMissLat   []time.Duration
+		allLat        []time.Duration
+		errorsN       int
 	)
 	client := ts.Client()
 	bstart := time.Now()
@@ -276,22 +302,55 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 					return
 				}
 				j := jobs[i%len(jobs)]
+				body := j.body
+				if unique {
+					// Shrink rmax by parts-per-billion: the radius bound is
+					// effectively unchanged (same work, and still within the
+					// index's radius), but the query fingerprint — and with it
+					// the cache key and singleflight key — differs for every
+					// request.
+					req := make(map[string]any, len(j.req))
+					for k, v := range j.req {
+						req[k] = v
+					}
+					req["rmax"] = p.Rmax * (1 - float64(i+1)*1e-9)
+					body, _ = json.Marshal(req)
+				}
+				isTopK := j.path == "/v1/search/topk"
+				var raw []byte
 				t0 := time.Now()
-				resp, err := client.Post(ts.URL+j.path, "application/json", bytes.NewReader(j.body))
+				resp, err := client.Post(ts.URL+j.path, "application/json", bytes.NewReader(body))
 				if err == nil {
-					_, err = io.Copy(io.Discard, resp.Body)
+					raw, err = io.ReadAll(resp.Body)
 					resp.Body.Close()
 					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
 						err = fmt.Errorf("status %d", resp.StatusCode)
 					}
 				}
 				lat := time.Since(t0)
+				cached := false
+				if err == nil && isTopK {
+					var probe struct {
+						Cached bool `json:"cached"`
+					}
+					if jerr := json.Unmarshal(raw, &probe); jerr == nil {
+						cached = probe.Cached
+					}
+				}
 				mu.Lock()
 				switch {
 				case err != nil:
+					if errorsN == 0 {
+						fmt.Printf("  first error: %s: %v\n", j.path, err)
+					}
 					errorsN++
-				case j.path == "/v1/search/topk":
+				case isTopK:
 					topkLat = append(topkLat, lat)
+					if cached {
+						topkCachedLat = append(topkCachedLat, lat)
+					} else {
+						topkMissLat = append(topkMissLat, lat)
+					}
 				default:
 					allLat = append(allLat, lat)
 				}
@@ -317,23 +376,30 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, out
 	}
 
 	rep := serveBenchReport{
-		Dataset:    d.Name,
-		Authors:    authors,
-		Nodes:      d.G.NumNodes(),
-		Edges:      d.G.NumEdges(),
-		Clients:    clients,
-		Requests:   requests,
-		DurationMS: float64(elapsed) / float64(time.Millisecond),
-		Throughput: float64(requests) / elapsed.Seconds(),
-		Errors:     errorsN,
-		TopK:       summarize(topkLat),
-		Stream:     summarize(allLat),
-		Server:     app.Stats(),
-		Trace:      aggregateTraces(sums),
+		Dataset:      d.Name,
+		Authors:      authors,
+		Nodes:        d.G.NumNodes(),
+		Edges:        d.G.NumEdges(),
+		Clients:      clients,
+		Requests:     requests,
+		Unique:       unique,
+		NoCache:      nocache,
+		DurationMS:   float64(elapsed) / float64(time.Millisecond),
+		Throughput:   float64(requests) / elapsed.Seconds(),
+		Errors:       errorsN,
+		TopK:         summarize(topkLat),
+		TopKCached:   summarize(topkCachedLat),
+		TopKUncached: summarize(topkMissLat),
+		Stream:       summarize(allLat),
+		Server:       app.Stats(),
+		Trace:        aggregateTraces(sums),
 	}
 	fmt.Printf("done in %v: %.1f req/s, %d errors\n", elapsed.Round(time.Millisecond), rep.Throughput, errorsN)
 	fmt.Printf("  topk:   n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		rep.TopK.Count, rep.TopK.MeanMS, rep.TopK.P50MS, rep.TopK.P95MS, rep.TopK.P99MS)
+	fmt.Printf("    cached:   n=%d mean=%.2fms p95=%.2fms | uncached: n=%d mean=%.2fms p95=%.2fms\n",
+		rep.TopKCached.Count, rep.TopKCached.MeanMS, rep.TopKCached.P95MS,
+		rep.TopKUncached.Count, rep.TopKUncached.MeanMS, rep.TopKUncached.P95MS)
 	fmt.Printf("  stream: n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		rep.Stream.Count, rep.Stream.MeanMS, rep.Stream.P50MS, rep.Stream.P95MS, rep.Stream.P99MS)
 	fmt.Printf("  cache: %d hits, %d misses, %d coalesced; admission: %d rejected\n",

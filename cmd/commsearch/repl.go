@@ -26,6 +26,22 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 	var lastTr *obs.Trace // trace of the current query, for 'stats'
 	var qn int            // query counter, numbers the trace IDs
 
+	// The session-local slow-query log: every finished query is run
+	// through the same capture/watchdog/aggregation layer the server
+	// uses. A query is finalized when the next one starts, on 'slowlog',
+	// or at quit; interactive idle time between 'more' calls is not
+	// charged to its latency.
+	col := obs.NewCollector(obs.CollectorConfig{})
+	col.OnBreach(func(rec *obs.QueryRecord) {
+		fmt.Fprintf(out, "warning: emission SLO breach on %s — max gap %.2fms vs median %.2fms\n",
+			rec.QueryID, rec.MaxEmissionDelayMS, rec.MedianEmissionDelayMS)
+	})
+	var pending *replQuery
+	flush := func() {
+		pending.flush(col, it, shown)
+		pending = nil
+	}
+
 	scanner := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "> ")
@@ -46,8 +62,10 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 			fmt.Fprintln(out, "  timeout <dur>    wall-clock budget per query, e.g. 50ms (0 = unlimited)")
 			fmt.Fprintln(out, "  kwf <kw>         keyword frequency of a term")
 			fmt.Fprintln(out, "  stats            trace of the current query: stages, counters, emission delays")
+			fmt.Fprintln(out, "  slowlog          session slow-query log: captured traces, classes, SLO breaches")
 			fmt.Fprintln(out, "  quit             exit")
 		case "quit", "exit":
+			flush()
 			return nil
 		case "rmax":
 			if len(fields) != 2 {
@@ -95,23 +113,36 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 				fmt.Fprintln(out, "usage: q <kw> [kw...]")
 				continue
 			}
+			flush()
 			qn++
 			tr := obs.NewTrace(fmt.Sprintf("repl-%d", qn))
 			ctx := obs.ContextWithTrace(context.Background(), tr)
+			begin := time.Now()
 			nit, err := s.TopKCtx(ctx, commdb.Query{Keywords: fields[1:], Rmax: rmax, Cost: cost, Limits: lim})
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
+				// Even a query that failed to start enters the log: errored
+				// queries are always retained.
+				rec := obs.NewQueryRecord(tr.QueryID(), "repl", fields[1:], rmax, 0, false,
+					0, err.Error(), begin, time.Since(begin), tr.Summary())
+				col.Observe(rec)
+				it, lastTr = nil, nil
 				continue
 			}
 			it, lastTr = nit, tr
 			shown = 0
+			pending = &replQuery{qid: tr.QueryID(), keywords: fields[1:], rmax: rmax, start: begin, tr: tr}
 			replShow(out, g, it, &shown, 5)
+			pending.active += time.Since(begin)
 		case "stats":
 			if lastTr == nil {
 				fmt.Fprintln(out, "no query yet — use q first")
 				continue
 			}
 			printExplain(out, lastTr.Summary())
+		case "slowlog":
+			flush() // finalize the current query so it appears too
+			printSlowlog(out, col)
 		case "more":
 			if it == nil {
 				fmt.Fprintln(out, "no active query — use q first")
@@ -123,7 +154,11 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 					n = v
 				}
 			}
+			begin := time.Now()
 			replShow(out, g, it, &shown, n)
+			if pending != nil {
+				pending.active += time.Since(begin)
+			}
 		case "trees":
 			if len(fields) < 2 {
 				fmt.Fprintln(out, "usage: trees <kw> [kw...] (or rerun after q)")
@@ -145,6 +180,61 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 		default:
 			fmt.Fprintf(out, "unknown command %q — try help\n", cmd)
 		}
+	}
+}
+
+// replQuery tracks the query currently open in the REPL until it is
+// finalized into the slow-query log. active accumulates only the time
+// spent computing (initial run plus each 'more'), so reading results at
+// the prompt does not inflate the recorded latency.
+type replQuery struct {
+	qid      string
+	keywords []string
+	rmax     float64
+	start    time.Time
+	active   time.Duration
+	tr       *obs.Trace
+}
+
+// flush finalizes the query into the collector: trace summary, stop
+// reason from the iterator, results shown so far. Safe on nil.
+func (p *replQuery) flush(col *obs.Collector, it *commdb.TopKIterator, shown int) {
+	if p == nil {
+		return
+	}
+	sum := p.tr.Summary()
+	indexed := sum != nil && sum.Labels["projected"] == "true"
+	reason := ""
+	if it != nil {
+		if err := it.Err(); err != nil {
+			reason = stopReason(err)
+		}
+	}
+	rec := obs.NewQueryRecord(p.qid, "repl", p.keywords, p.rmax, 0, indexed,
+		shown, reason, p.start, p.active, sum)
+	col.Observe(rec)
+}
+
+// printSlowlog renders the session's capture ring and per-class
+// aggregates: the REPL view of the server's GET /debug/queries.
+func printSlowlog(out io.Writer, col *obs.Collector) {
+	observed, retained := col.CaptureStats()
+	fmt.Fprintf(out, "slow-query log: %d observed, %d retained, %d SLO breaches\n",
+		observed, retained, col.Breaches())
+	for _, rec := range col.SlowLog() {
+		fmt.Fprintf(out, "  %-10s %9.3fms  results=%-3d class=%-12s kept=[%s]",
+			rec.QueryID, rec.TotalMS, rec.Results, rec.Class, strings.Join(rec.Captured, ","))
+		if rec.MaxEmissionDelayMS > 0 {
+			fmt.Fprintf(out, " max_gap=%.3fms", rec.MaxEmissionDelayMS)
+		}
+		if rec.StopReason != "" {
+			fmt.Fprintf(out, " stopped: %s", rec.StopReason)
+		}
+		fmt.Fprintln(out)
+	}
+	for _, c := range col.Classes() {
+		fmt.Fprintf(out, "  class %-12s total=%-4d window=%-4d rate=%.2f/s p50=%.3fms p95=%.3fms\n",
+			c.Class, c.Total, c.WindowCount, c.RatePerSec, c.P50MS, c.P95MS)
 	}
 }
 

@@ -114,3 +114,37 @@ func TestLoadGraphModes(t *testing.T) {
 		t.Fatal("missing file should error")
 	}
 }
+
+// TestReplSlowlog: 'slowlog' renders the session's capture ring — the
+// healthy query, the budget-stopped one (always retained), and the
+// per-class aggregate rows.
+func TestReplSlowlog(t *testing.T) {
+	out := runReplScript(t, "q a b c\ntimeout 1ns\nq a b\nslowlog\nquit\n")
+	if !strings.Contains(out, "slow-query log: 2 observed, 2 retained") {
+		t.Fatalf("slowlog header missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "repl-1") || !strings.Contains(out, "repl-2") {
+		t.Fatalf("slowlog missing query records:\n%s", out)
+	}
+	if !strings.Contains(out, "kept=[slow]") {
+		t.Fatalf("healthy query not in the slow pool:\n%s", out)
+	}
+	if !strings.Contains(out, "errored") || !strings.Contains(out, "stopped: deadline exceeded") {
+		t.Fatalf("stopped query not retained as errored:\n%s", out)
+	}
+	if !strings.Contains(out, "class kw3/") || !strings.Contains(out, "class kw2/") {
+		t.Fatalf("per-class rows missing:\n%s", out)
+	}
+	// Help advertises the command.
+	if help := runReplScript(t, "help\nquit\n"); !strings.Contains(help, "slowlog") {
+		t.Fatalf("help does not mention slowlog:\n%s", help)
+	}
+}
+
+// TestReplSlowlogEmpty: slowlog before any query is a clean no-op.
+func TestReplSlowlogEmpty(t *testing.T) {
+	out := runReplScript(t, "slowlog\nquit\n")
+	if !strings.Contains(out, "slow-query log: 0 observed, 0 retained, 0 SLO breaches") {
+		t.Fatalf("empty slowlog header wrong:\n%s", out)
+	}
+}

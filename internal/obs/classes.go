@@ -1,0 +1,279 @@
+package obs
+
+// Per-query-class rolling aggregates. Query cost varies wildly with
+// keyword count and with whether the searcher projects through the
+// inverted indexes, so process-wide means hide the interesting signal;
+// the class layer keys every completed query by (keyword-count bucket ×
+// indexed/plain) and keeps, per class, cumulative counters plus a
+// sliding-window view: request rate, latency quantiles from a
+// log-spaced histogram, and emission-delay statistics.
+//
+// The window is a rotating set of time slices: observations land in the
+// slice covering now, and a snapshot merges only the slices still
+// inside the window, so old traffic ages out in slice-sized steps
+// without any background goroutine.
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// classLatencyBucketsMS are the log-spaced upper bounds of the
+// per-class latency histogram (milliseconds); +Inf is implicit.
+var classLatencyBucketsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// ClassKey buckets a query: keyword count (1, 2, 3, 4+) crossed with
+// indexed/plain execution. The string form ("kw2/indexed") is the
+// capture record's Class field; the two halves become Prometheus
+// labels.
+func ClassKey(keywords int, indexed bool) string {
+	return "kw" + KeywordBucket(keywords) + "/" + indexedWord(indexed)
+}
+
+// KeywordBucket maps a keyword count to its class bucket label.
+func KeywordBucket(n int) string {
+	if n >= 4 {
+		return "4+"
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strconv.Itoa(n)
+}
+
+func indexedWord(indexed bool) string {
+	if indexed {
+		return "indexed"
+	}
+	return "plain"
+}
+
+// ClassesConfig tunes the sliding window. The zero value gets a 60s
+// window in 6 slices.
+type ClassesConfig struct {
+	// Window is the sliding-window span for rates and quantiles.
+	Window time.Duration
+	// Slices is how many rotating sub-intervals the window is cut into;
+	// more slices age traffic out more smoothly.
+	Slices int
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c ClassesConfig) withDefaults() ClassesConfig {
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Slices <= 0 {
+		c.Slices = 6
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// classSlice is one time slice of one class's window.
+type classSlice struct {
+	epoch   int64 // which slice interval this data covers
+	count   int64
+	errors  int64
+	latHist [len(classLatencyBucketsMS) + 1]int64
+	latSum  float64
+	emitN   int64
+	emitSum float64
+	emitMax float64
+}
+
+// classAgg is one class's full state: cumulative counters plus the
+// rotating window slices.
+type classAgg struct {
+	keywords string // bucket label
+	indexed  bool
+
+	total       int64
+	errors      int64
+	sloBreaches int64
+	slices      []classSlice
+}
+
+// Classes holds the per-class aggregates. Create with NewClasses; a nil
+// *Classes ignores observations.
+type Classes struct {
+	cfg      ClassesConfig
+	sliceDur time.Duration
+
+	mu      sync.Mutex
+	classes map[string]*classAgg
+}
+
+// NewClasses builds the per-class aggregate store.
+func NewClasses(cfg ClassesConfig) *Classes {
+	cfg = cfg.withDefaults()
+	return &Classes{
+		cfg:      cfg,
+		sliceDur: cfg.Window / time.Duration(cfg.Slices),
+		classes:  make(map[string]*classAgg),
+	}
+}
+
+// Observe folds one completed query into its class.
+func (c *Classes) Observe(rec *QueryRecord) {
+	if c == nil || rec == nil {
+		return
+	}
+	now := c.cfg.now()
+	epoch := now.UnixNano() / int64(c.sliceDur)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg, ok := c.classes[rec.Class]
+	if !ok {
+		agg = &classAgg{
+			keywords: KeywordBucket(len(rec.Keywords)),
+			indexed:  rec.Indexed,
+			slices:   make([]classSlice, c.cfg.Slices),
+		}
+		c.classes[rec.Class] = agg
+	}
+	agg.total++
+	if rec.Errored {
+		agg.errors++
+	}
+	if rec.SLOBreach {
+		agg.sloBreaches++
+	}
+	sl := &agg.slices[int(epoch)%c.cfg.Slices]
+	if sl.epoch != epoch {
+		*sl = classSlice{epoch: epoch} // the slice's previous interval aged out
+	}
+	sl.count++
+	if rec.Errored {
+		sl.errors++
+	}
+	i := sort.SearchFloat64s(classLatencyBucketsMS[:], rec.TotalMS)
+	sl.latHist[i]++
+	sl.latSum += rec.TotalMS
+	if rec.MaxEmissionDelayMS > 0 {
+		sl.emitN++
+		sl.emitSum += rec.MaxEmissionDelayMS
+		if rec.MaxEmissionDelayMS > sl.emitMax {
+			sl.emitMax = rec.MaxEmissionDelayMS
+		}
+	}
+}
+
+// ClassSnapshot is one class's exported view: cumulative totals plus
+// the sliding-window rate, latency quantiles and emission-delay stats.
+type ClassSnapshot struct {
+	Class    string `json:"class"`
+	Keywords string `json:"keywords"` // bucket label: 1, 2, 3, 4+
+	Indexed  bool   `json:"indexed"`
+
+	Total       int64 `json:"total"`
+	Errors      int64 `json:"errors"`
+	SLOBreaches int64 `json:"slo_breaches"`
+
+	// Window statistics.
+	WindowCount   int64   `json:"window_count"`
+	WindowErrors  int64   `json:"window_errors"`
+	RatePerSec    float64 `json:"rate_per_sec"`
+	MeanMS        float64 `json:"mean_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	EmissionMaxMS float64 `json:"emission_max_ms"`
+	// EmissionMeanMaxMS averages each query's max inter-emission delay
+	// over the window — the per-class view of the polynomial-delay
+	// promise.
+	EmissionMeanMaxMS float64 `json:"emission_mean_max_ms"`
+}
+
+// Snapshot exports every class, sorted by class key for deterministic
+// output.
+func (c *Classes) Snapshot() []ClassSnapshot {
+	if c == nil {
+		return nil
+	}
+	now := c.cfg.now()
+	epoch := now.UnixNano() / int64(c.sliceDur)
+	minEpoch := epoch - int64(c.cfg.Slices) + 1
+
+	c.mu.Lock()
+	out := make([]ClassSnapshot, 0, len(c.classes))
+	for key, agg := range c.classes {
+		snap := ClassSnapshot{
+			Class:       key,
+			Keywords:    agg.keywords,
+			Indexed:     agg.indexed,
+			Total:       agg.total,
+			Errors:      agg.errors,
+			SLOBreaches: agg.sloBreaches,
+		}
+		var hist [len(classLatencyBucketsMS) + 1]int64
+		var latSum, emitSum float64
+		var emitN int64
+		for i := range agg.slices {
+			sl := &agg.slices[i]
+			if sl.epoch < minEpoch || sl.epoch > epoch {
+				continue // aged out (or never used)
+			}
+			snap.WindowCount += sl.count
+			snap.WindowErrors += sl.errors
+			latSum += sl.latSum
+			emitN += sl.emitN
+			emitSum += sl.emitSum
+			if sl.emitMax > snap.EmissionMaxMS {
+				snap.EmissionMaxMS = sl.emitMax
+			}
+			for b := range hist {
+				hist[b] += sl.latHist[b]
+			}
+		}
+		if snap.WindowCount > 0 {
+			snap.RatePerSec = float64(snap.WindowCount) / c.cfg.Window.Seconds()
+			snap.MeanMS = latSum / float64(snap.WindowCount)
+			snap.P50MS = logHistQuantile(hist[:], snap.WindowCount, 0.50)
+			snap.P95MS = logHistQuantile(hist[:], snap.WindowCount, 0.95)
+			snap.P99MS = logHistQuantile(hist[:], snap.WindowCount, 0.99)
+		}
+		if emitN > 0 {
+			snap.EmissionMeanMaxMS = emitSum / float64(emitN)
+		}
+		out = append(out, snap)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// logHistQuantile estimates a quantile from the class histogram by
+// linear interpolation within the containing bucket; the +Inf bucket
+// reports its lower bound.
+func logHistQuantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = classLatencyBucketsMS[i-1]
+			}
+			if i >= len(classLatencyBucketsMS) {
+				return lo
+			}
+			if c == 0 {
+				return classLatencyBucketsMS[i]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(classLatencyBucketsMS[i]-lo)
+		}
+		cum += c
+	}
+	return classLatencyBucketsMS[len(classLatencyBucketsMS)-1]
+}

@@ -1,0 +1,195 @@
+package obs
+
+// Collector is the always-on continuous layer: every completed query —
+// served over HTTP, run from the CLI, or replayed in a benchmark — is
+// turned into a QueryRecord, judged by the SLO watchdog, folded into
+// the per-class rolling aggregates, and offered to the tail-sampling
+// capture ring. It owns no exposition of its own; Register wires its
+// state into an existing Registry, and SlowLog/Classes snapshots feed
+// JSON surfaces (GET /debug/queries, /statsz, the commsearch slowlog
+// command).
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CollectorConfig bundles the continuous layer's knobs. Zero values get
+// defaults throughout.
+type CollectorConfig struct {
+	Capture  CaptureConfig
+	Watchdog WatchdogConfig
+	Classes  ClassesConfig
+}
+
+// Collector glues capture, classes and the watchdog together. A nil
+// *Collector ignores every call.
+type Collector struct {
+	capture  *Capture
+	classes  *Classes
+	watchdog WatchdogConfig
+	breaches atomic.Int64
+
+	// onBreach, when set, runs synchronously for every SLO breach —
+	// the server hangs its slog warning here.
+	onBreach func(*QueryRecord)
+}
+
+// NewCollector builds the continuous observability layer.
+func NewCollector(cfg CollectorConfig) *Collector {
+	return &Collector{
+		capture:  NewCapture(cfg.Capture),
+		classes:  NewClasses(cfg.Classes),
+		watchdog: cfg.Watchdog.withDefaults(),
+	}
+}
+
+// OnBreach registers the breach hook (replacing any previous one). Set
+// it before traffic starts; it is not synchronized against Observe.
+func (c *Collector) OnBreach(f func(*QueryRecord)) {
+	if c != nil {
+		c.onBreach = f
+	}
+}
+
+// NewQueryRecord assembles the capture record for one finished query.
+// sum may be nil (a query that failed before tracing); stopReason empty
+// means clean completion.
+func NewQueryRecord(qid, endpoint string, keywords []string, rmax float64, k int, indexed bool, results int, stopReason string, start time.Time, elapsed time.Duration, sum *Summary) *QueryRecord {
+	rec := &QueryRecord{
+		QueryID:  qid,
+		Endpoint: endpoint,
+		Keywords: keywords,
+		Rmax:     rmax,
+		K:        k,
+		Indexed:  indexed,
+		Class:    ClassKey(len(keywords), indexed),
+		Start:    start,
+		TotalMS:  float64(elapsed) / float64(time.Millisecond),
+		Results:  results,
+		Trace:    sum,
+	}
+	if sum != nil {
+		if fp := sum.Labels["fingerprint"]; fp != "" {
+			rec.Fingerprint = fp
+		}
+	}
+	if stopReason != "" {
+		rec.StopReason = stopReason
+		rec.Errored = true
+	}
+	return rec
+}
+
+// Observe runs one completed query through the continuous layer:
+// watchdog verdict, per-class aggregation, capture decision. It
+// returns the record's breach verdict.
+func (c *Collector) Observe(rec *QueryRecord) (breached bool) {
+	if c == nil || rec == nil {
+		return false
+	}
+	if rec.Trace != nil {
+		breach, maxMS, medMS := c.watchdog.Check(rec.Trace.Emissions)
+		rec.MaxEmissionDelayMS = maxMS
+		rec.MedianEmissionDelayMS = medMS
+		if breach {
+			rec.SLOBreach = true
+			c.breaches.Add(1)
+		}
+	}
+	c.classes.Observe(rec)
+	c.capture.Observe(rec, false)
+	if rec.SLOBreach && c.onBreach != nil {
+		c.onBreach(rec)
+	}
+	return rec.SLOBreach
+}
+
+// Breaches returns the number of SLO breaches seen.
+func (c *Collector) Breaches() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.breaches.Load()
+}
+
+// SlowLog snapshots the capture ring, slowest first.
+func (c *Collector) SlowLog() []QueryRecord {
+	if c == nil {
+		return nil
+	}
+	return c.capture.Snapshot()
+}
+
+// Classes snapshots the per-class rolling aggregates.
+func (c *Collector) Classes() []ClassSnapshot {
+	if c == nil {
+		return nil
+	}
+	return c.classes.Snapshot()
+}
+
+// CaptureStats reports (queries observed, records retained).
+func (c *Collector) CaptureStats() (observed, retained int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.capture.Stats()
+}
+
+// Register wires the collector into a metrics registry: the global
+// breach counter, capture occupancy, and the per-class families —
+// cumulative counters labeled by class plus windowed gauges for rate,
+// latency quantiles and emission delays. Labels render in a fixed
+// order (indexed, keywords) across every family.
+func (c *Collector) Register(reg *Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("commdb_emission_slo_breaches_total",
+		"queries whose max inter-emission gap exceeded the SLO multiple of their median",
+		c.breaches.Load)
+	reg.CounterFunc("commdb_capture_observed_total", "completed queries offered to the capture ring",
+		func() int64 { observed, _ := c.capture.Stats(); return observed })
+	reg.CounterFunc("commdb_capture_retained_total", "query records retained by the capture ring",
+		func() int64 { _, retained := c.capture.Stats(); return retained })
+
+	classLabels := func(s *ClassSnapshot) []Label {
+		return []Label{{Name: "indexed", Value: boolWord(s.Indexed)}, {Name: "keywords", Value: s.Keywords}}
+	}
+	family := func(value func(*ClassSnapshot) float64) func() []LabeledSample {
+		return func() []LabeledSample {
+			classes := c.classes.Snapshot()
+			out := make([]LabeledSample, len(classes))
+			for i := range classes {
+				out[i] = LabeledSample{Labels: classLabels(&classes[i]), Value: value(&classes[i])}
+			}
+			return out
+		}
+	}
+	reg.LabeledCounterFunc("commdb_class_queries_total", "completed queries per query class",
+		family(func(s *ClassSnapshot) float64 { return float64(s.Total) }))
+	reg.LabeledCounterFunc("commdb_class_errors_total", "errored or early-stopped queries per query class",
+		family(func(s *ClassSnapshot) float64 { return float64(s.Errors) }))
+	reg.LabeledCounterFunc("commdb_class_slo_breaches_total", "emission-delay SLO breaches per query class",
+		family(func(s *ClassSnapshot) float64 { return float64(s.SLOBreaches) }))
+	reg.LabeledGaugeFunc("commdb_class_query_rate", "sliding-window query rate per second per class",
+		family(func(s *ClassSnapshot) float64 { return s.RatePerSec }))
+	reg.LabeledGaugeFunc("commdb_class_latency_p50_ms", "sliding-window median latency per class",
+		family(func(s *ClassSnapshot) float64 { return s.P50MS }))
+	reg.LabeledGaugeFunc("commdb_class_latency_p95_ms", "sliding-window p95 latency per class",
+		family(func(s *ClassSnapshot) float64 { return s.P95MS }))
+	reg.LabeledGaugeFunc("commdb_class_latency_p99_ms", "sliding-window p99 latency per class",
+		family(func(s *ClassSnapshot) float64 { return s.P99MS }))
+	reg.LabeledGaugeFunc("commdb_class_emission_delay_max_ms", "sliding-window max inter-emission delay per class",
+		family(func(s *ClassSnapshot) float64 { return s.EmissionMaxMS }))
+	reg.LabeledGaugeFunc("commdb_class_emission_delay_mean_max_ms", "sliding-window mean of per-query max inter-emission delays per class",
+		family(func(s *ClassSnapshot) float64 { return s.EmissionMeanMaxMS }))
+}
+
+func boolWord(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -12,8 +13,13 @@ import (
 // the format's basic invariants: parseable sample lines with non-blank
 // valid metric names, a TYPE declaration preceding every sample family,
 // no duplicate TYPE declarations, and no duplicate samples (same name
-// and label set). CI runs it over /metricsz so a malformed exposition
-// fails the build rather than the scrape.
+// and label set). Labeled samples are parsed in full: label names must
+// be valid, quoted values must use only the format's escapes (\\, \",
+// \n), a label name may not repeat within one sample, and duplicate
+// detection canonicalizes label order so two samples that differ only
+// in label ordering are still flagged as duplicates. CI runs it over
+// /metricsz so a malformed exposition fails the build rather than the
+// scrape.
 func LintPrometheus(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -61,7 +67,11 @@ func LintPrometheus(r io.Reader) error {
 		if _, ok := typed[family]; !ok {
 			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
 		}
-		id := name + "{" + labels + "}"
+		pairs, err := parseLabels(labels)
+		if err != nil {
+			return fmt.Errorf("line %d: sample %s: %v", lineNo, name, err)
+		}
+		id := name + "{" + canonicalLabels(pairs) + "}"
 		if _, dup := seen[id]; dup {
 			return fmt.Errorf("line %d: duplicate sample %s", lineNo, id)
 		}
@@ -77,12 +87,14 @@ func LintPrometheus(r io.Reader) error {
 }
 
 // parseSample splits "name{labels} value" (labels optional) into parts.
+// The closing brace is located with a quote-aware scan, so a '}' inside
+// a quoted label value does not truncate the label set.
 func parseSample(line string) (name, labels, value string, err error) {
 	rest := line
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		name = rest[:i]
-		j := strings.IndexByte(rest, '}')
-		if j < i {
+		j := closingBrace(rest, i)
+		if j < 0 {
 			return "", "", "", fmt.Errorf("unclosed label set in %q", line)
 		}
 		labels = rest[i+1 : j]
@@ -107,6 +119,121 @@ func parseSample(line string) (name, labels, value string, err error) {
 	}
 	// A timestamp may follow the value; the value is the first field.
 	return name, labels, fields[0], nil
+}
+
+// closingBrace returns the index of the '}' that closes the label set
+// opened at open, skipping quoted label values (where '}' is literal
+// and '\"' is an escaped quote), or -1 when unclosed.
+func closingBrace(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseLabels splits the interior of a label set into name/value pairs,
+// validating label names, quoting and escaping, and rejecting a label
+// name that repeats within the sample. An empty interior is a valid
+// empty label set.
+func parseLabels(labels string) ([]Label, error) {
+	s := strings.TrimSpace(labels)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Label
+	names := map[string]struct{}{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no '='", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := names[name]; dup {
+			return nil, fmt.Errorf("label %q repeated within one sample", name)
+		}
+		names[name] = struct{}{}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", name)
+		}
+		val, rest, err := scanQuoted(s)
+		if err != nil {
+			return nil, fmt.Errorf("label %q: %v", name, err)
+		}
+		out = append(out, Label{Name: name, Value: val})
+		s = strings.TrimSpace(rest)
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = strings.TrimSpace(s[1:])
+			// A single trailing comma before '}' is permitted by the format.
+		}
+	}
+	return out, nil
+}
+
+// scanQuoted consumes a leading quoted string, unescaping \\, \" and
+// \n — the only escapes the text format allows in label values.
+func scanQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c in %q", s[i], s)
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value in %q", s)
+}
+
+// canonicalLabels renders pairs sorted by name so duplicate-sample
+// detection is order-independent.
+func canonicalLabels(pairs []Label) string {
+	sorted := append([]Label(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
 }
 
 // sampleFamily maps a sample name to the family its TYPE line declares:

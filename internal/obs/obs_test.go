@@ -245,6 +245,92 @@ func TestLintPrometheus(t *testing.T) {
 	}
 }
 
+// TestLintPrometheusLabels: the lint parses labeled samples in full —
+// validating names, quoting and escaping — and detects duplicate label
+// sets even when the label order differs.
+func TestLintPrometheusLabels(t *testing.T) {
+	good := strings.Join([]string{
+		"# TYPE c counter",
+		`c{indexed="true",keywords="2"} 1`,
+		`c{indexed="false",keywords="2"} 3`,
+		`c{indexed="true",keywords="4+"} 2`,
+		`c{msg="a \"quoted\" value with \\ and \n"} 4`,
+		`c 9`, // the bare sample is distinct from every labeled one
+		"",
+	}, "\n")
+	if err := LintPrometheus(strings.NewReader(good)); err != nil {
+		t.Fatalf("good labeled exposition rejected: %v", err)
+	}
+
+	cases := map[string]string{
+		"reordered duplicate label set": "# TYPE c counter\n" +
+			`c{a="1",b="2"} 1` + "\n" + `c{b="2",a="1"} 2` + "\n",
+		"repeated label in one sample": "# TYPE c counter\n" + `c{a="1",a="2"} 1` + "\n",
+		"invalid label name":           "# TYPE c counter\n" + `c{9bad="1"} 1` + "\n",
+		"unquoted label value":         "# TYPE c counter\n" + `c{a=1} 1` + "\n",
+		"invalid escape":               "# TYPE c counter\n" + `c{a="\t"} 1` + "\n",
+		"unterminated value":           "# TYPE c counter\n" + `c{a="1} 1` + "\n",
+		"missing equals":               "# TYPE c counter\n" + `c{a} 1` + "\n",
+	}
+	for name, payload := range cases {
+		if err := LintPrometheus(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, payload)
+		}
+	}
+
+	// A '}' inside a quoted value must not truncate the label set.
+	brace := "# TYPE c counter\n" + `c{a="x}y"} 1` + "\n"
+	if err := LintPrometheus(strings.NewReader(brace)); err != nil {
+		t.Fatalf("brace-in-value sample rejected: %v", err)
+	}
+}
+
+// TestRegistryLabeledFamilies: labeled scrape-time families render with
+// escaped values and mix cleanly with plain metrics.
+func TestRegistryLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounterFunc("commdb_class_queries_total", "queries per class", func() []LabeledSample {
+		return []LabeledSample{
+			{Labels: []Label{{Name: "indexed", Value: "true"}, {Name: "keywords", Value: "2"}}, Value: 7},
+			{Labels: []Label{{Name: "indexed", Value: "false"}, {Name: "keywords", Value: `odd"value`}}, Value: 1},
+		}
+	})
+	r.LabeledGaugeFunc("commdb_class_latency_p50_ms", "p50 per class", func() []LabeledSample {
+		return []LabeledSample{{Labels: []Label{{Name: "indexed", Value: "true"}, {Name: "keywords", Value: "2"}}, Value: 1.5}}
+	})
+	r.Counter("commdb_plain_total", "plain").Add(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE commdb_class_queries_total counter",
+		`commdb_class_queries_total{indexed="true",keywords="2"} 7`,
+		`commdb_class_queries_total{indexed="false",keywords="odd\"value"} 1`,
+		`commdb_class_latency_p50_ms{indexed="true",keywords="2"} 1.5`,
+		"commdb_plain_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint failed: %v\n%s", err, out)
+	}
+
+	// Registering a labeled family over an existing plain metric panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("labeled re-registration over a plain counter accepted")
+			}
+		}()
+		r.LabeledCounterFunc("commdb_plain_total", "", func() []LabeledSample { return nil })
+	}()
+}
+
 func BenchmarkTraceEmission(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) {
 		var tr *Trace

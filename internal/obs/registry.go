@@ -105,7 +105,21 @@ type metric struct {
 	gauge      *Gauge
 	counterFn  func() int64
 	gaugeFn    func() float64
+	samplesFn  func() []LabeledSample
 	hist       *Histogram
+}
+
+// Label is one name="value" pair on a labeled sample.
+type Label struct {
+	Name, Value string
+}
+
+// LabeledSample is one sample of a labeled metric family, produced at
+// scrape time. Labels render in the order given; families should emit a
+// fixed label order across samples so scrapes are deterministic.
+type LabeledSample struct {
+	Labels []Label
+	Value  float64
 }
 
 // Registry holds named metrics and renders them as Prometheus text
@@ -201,6 +215,81 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	m.gauge = nil
 }
 
+// LabeledCounterFunc registers a counter family whose labeled samples
+// are produced at scrape time — the exposition for per-class rolling
+// aggregates, where the label sets (query classes) are discovered at
+// runtime. Every sample must carry the same label names in the same
+// order; values must be non-decreasing per label set (counter
+// semantics are the caller's contract).
+func (r *Registry) LabeledCounterFunc(name, help string, f func() []LabeledSample) {
+	m := r.register(name, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.counter != nil || m.counterFn != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered without labels", name))
+	}
+	m.samplesFn = f
+}
+
+// LabeledGaugeFunc registers a gauge family whose labeled samples are
+// produced at scrape time.
+func (r *Registry) LabeledGaugeFunc(name, help string, f func() []LabeledSample) {
+	m := r.register(name, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.gauge != nil || m.gaugeFn != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered without labels", name))
+	}
+	m.samplesFn = f
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue applies the text-exposition escaping for quoted
+// label values: backslash, double-quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeLabeledSamples renders one family's labeled samples.
+func writeLabeledSamples(b *strings.Builder, name string, samples []LabeledSample) {
+	for _, s := range samples {
+		b.WriteString(name)
+		if len(s.Labels) > 0 {
+			b.WriteByte('{')
+			for i, l := range s.Labels {
+				if !validLabelName(l.Name) {
+					panic(fmt.Sprintf("obs: metric %q sample has invalid label name %q", name, l.Name))
+				}
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(l.Name)
+				b.WriteString(`="`)
+				b.WriteString(escapeLabelValue(l.Value))
+				b.WriteByte('"')
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(s.Value))
+		b.WriteByte('\n')
+	}
+}
+
 // Histogram returns the named histogram with the given finite upper
 // bounds (ascending), creating it on first use; the +Inf bucket is
 // implicit.
@@ -239,6 +328,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
 		switch m.kind {
 		case kindCounter:
+			if m.samplesFn != nil {
+				writeLabeledSamples(&b, m.name, m.samplesFn())
+				continue
+			}
 			v := int64(0)
 			if m.counterFn != nil {
 				v = m.counterFn()
@@ -247,7 +340,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(&b, "%s %d\n", m.name, v)
 		case kindGauge:
-			if m.gaugeFn != nil {
+			if m.samplesFn != nil {
+				writeLabeledSamples(&b, m.name, m.samplesFn())
+			} else if m.gaugeFn != nil {
 				fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
 			} else {
 				v := int64(0)

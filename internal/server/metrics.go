@@ -89,6 +89,9 @@ func newMetrics(s *Server) *metrics {
 		s.stats.budgetTrips.Load)
 	reg.CounterFunc("commdb_canceled_total", "queries stopped by cancellation or shutdown",
 		s.stats.canceled.Load)
+	// The continuous layer: the SLO breach counter, capture occupancy,
+	// and the labeled per-class families.
+	s.collector.Register(reg)
 	return m
 }
 

@@ -77,9 +77,16 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger, when non-nil, receives one structured line per query with
 	// the query ID that also rides the X-Query-Id response header and
-	// the trace, tying logs, traces and metrics together. nil disables
+	// the trace, tying logs, traces and metrics together — plus a
+	// warning line for every emission-delay SLO breach. nil disables
 	// request logging.
 	Logger *slog.Logger
+	// Obs tunes the always-on continuous observability layer: the
+	// tail-sampled slow-query capture ring (GET /debug/queries), the
+	// per-class rolling aggregates (/statsz, /metricsz), and the
+	// emission-delay SLO watchdog. Zero values get defaults; set
+	// Obs.Capture.Disabled to turn retention off.
+	Obs obs.CollectorConfig
 	// Pprof mounts net/http/pprof under GET /debug/pprof/ on the
 	// server's handler.
 	Pprof bool
@@ -117,15 +124,16 @@ func (c Config) withDefaults() Config {
 // or NewWithEngine, mount Handler on an http.Server, and call Shutdown
 // to drain.
 type Server struct {
-	eng     Engine
-	cfg     Config
-	adm     *admission
-	cache   *lruCache
-	flights *flightGroup
-	stats   stats
-	metrics *metrics
-	qids    atomic.Int64
-	mux     *http.ServeMux
+	eng       Engine
+	cfg       Config
+	adm       *admission
+	cache     *lruCache
+	flights   *flightGroup
+	stats     stats
+	metrics   *metrics
+	collector *obs.Collector
+	qids      atomic.Int64
+	mux       *http.ServeMux
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
@@ -153,6 +161,20 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 	}
+	s.collector = obs.NewCollector(cfg.Obs)
+	if cfg.Logger != nil {
+		logger := cfg.Logger
+		s.collector.OnBreach(func(rec *obs.QueryRecord) {
+			logger.Warn("emission SLO breach",
+				"qid", rec.QueryID,
+				"endpoint", rec.Endpoint,
+				"keywords", rec.Keywords,
+				"class", rec.Class,
+				"max_delay_ms", rec.MaxEmissionDelayMS,
+				"median_delay_ms", rec.MedianEmissionDelayMS,
+				"total_ms", rec.TotalMS)
+		})
+	}
 	s.metrics = newMetrics(s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search/topk", s.handleTopK)
@@ -160,6 +182,7 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	if cfg.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -204,6 +227,9 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.CacheBytes = s.cache.Bytes()
 	snap.SingleflightShared = s.flights.joins.Load()
 	snap.AdmissionWaiting = s.adm.waiting.Load()
+	snap.CaptureObserved, snap.CaptureRetained = s.collector.CaptureStats()
+	snap.SLOBreaches = s.collector.Breaches()
+	snap.QueryClasses = s.collector.Classes()
 	return snap
 }
 
@@ -408,13 +434,18 @@ func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact boo
 	tr := obs.NewTrace(qid)
 	ctx = obs.ContextWithTrace(ctx, tr)
 	start := time.Now()
+	var results int
+	var stopReason string
 	defer func() {
 		s.stats.queriesCompleted.Add(1)
 		s.stats.observeLatency(time.Since(start))
-		s.metrics.absorb(tr.Summary())
+		sum := tr.Summary()
+		s.metrics.absorb(sum)
+		s.observeQuery(qid, "topk", q, k, results, stopReason, start, sum)
 	}()
 	st, err := s.eng.TopK(ctx, q)
 	if err != nil {
+		stopReason = err.Error()
 		return nil, err
 	}
 	g := s.eng.Graph()
@@ -431,6 +462,7 @@ func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact boo
 		stopErr = st.Err()
 	}
 	s.classifyStop(stopErr)
+	results, stopReason = len(records), StopReason(stopErr)
 	val := &cacheValue{
 		records:  records,
 		complete: stopErr == nil,
@@ -475,6 +507,7 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 
 	st, err := s.eng.All(ctx, q)
 	if err != nil {
+		s.observeQuery(qid, "all", q, 0, 0, err.Error(), start, tr.Summary())
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -508,6 +541,7 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 	trailer := NewTrailer(count, stopErr, time.Since(start))
 	sum := tr.Summary()
 	s.metrics.absorb(sum)
+	s.observeQuery(qid, "all", q, 0, count, trailer.Reason, start, sum)
 	if req.Trace {
 		trailer.Trace = sum
 	}

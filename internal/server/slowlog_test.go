@@ -1,0 +1,418 @@
+package server
+
+// End-to-end tests of the continuous observability layer: the
+// emission-delay SLO watchdog, the tail-sampled slow-query capture ring
+// behind GET /debug/queries, the per-class rolling aggregates, and
+// their exposure through /statsz and /metricsz.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"commdb"
+	"commdb/internal/obs"
+)
+
+// stallStream emits one community per configured delay, recording each
+// emission on the query's trace like the real enumerators do — so the
+// watchdog sees genuine inter-emission gaps.
+type stallStream struct {
+	ctx    context.Context
+	delays []time.Duration
+	i      int
+}
+
+func (s *stallStream) Next() (*commdb.Community, bool) {
+	if s.i >= len(s.delays) {
+		return nil, false
+	}
+	time.Sleep(s.delays[s.i])
+	if tr := obs.FromContext(s.ctx); tr != nil {
+		tr.Emission()
+	}
+	s.i++
+	return fakeCommunity(s.i), true
+}
+
+func (s *stallStream) Err() error { return nil }
+
+// stallEngine serves every query with a fresh stallStream.
+type stallEngine struct{ delays []time.Duration }
+
+func (e *stallEngine) stream(ctx context.Context) (Stream, error) {
+	return &stallStream{ctx: ctx, delays: e.delays}, nil
+}
+func (e *stallEngine) All(ctx context.Context, _ commdb.Query) (Stream, error) {
+	return e.stream(ctx)
+}
+func (e *stallEngine) TopK(ctx context.Context, _ commdb.Query) (Stream, error) {
+	return e.stream(ctx)
+}
+func (e *stallEngine) Graph() *commdb.Graph { return nil }
+
+// syncWriter serializes slog output so the test can read it racelessly.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return b
+}
+
+func debugQueries(t *testing.T, baseURL string) DebugQueriesResponse {
+	t.Helper()
+	var out DebugQueriesResponse
+	if err := json.Unmarshal(getBody(t, baseURL+"/debug/queries"), &out); err != nil {
+		t.Fatalf("decoding /debug/queries: %v", err)
+	}
+	return out
+}
+
+// TestSLOBreachEndToEnd is the acceptance test for the watchdog: a
+// query whose enumeration stalls mid-stream (fast emissions, then one
+// long gap) must increment commdb_emission_slo_breaches_total, be
+// force-captured into /debug/queries with its trace, and produce a
+// structured warning log line.
+func TestSLOBreachEndToEnd(t *testing.T) {
+	// Seven quick emissions then an 80ms stall: median gap is tiny, the
+	// max is > 8x the median and above the 1ms absolute floor.
+	delays := []time.Duration{
+		time.Millisecond, time.Millisecond, time.Millisecond, time.Millisecond,
+		time.Millisecond, time.Millisecond, time.Millisecond, 80 * time.Millisecond,
+	}
+	logw := &syncWriter{}
+	srv := NewWithEngine(&stallEngine{delays: delays}, Config{
+		Logger: slog.New(slog.NewTextHandler(logw, nil)),
+		Obs: obs.CollectorConfig{
+			Watchdog: obs.WatchdogConfig{Multiple: 8, MinDelayMS: 1, MinEmissions: 4},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/search/topk",
+		searchBody(t, []string{"stall", "query"}, map[string]any{"k": len(delays)}))
+	out := decodeTopK(t, resp)
+	if len(out.Results) != len(delays) {
+		t.Fatalf("got %d results, want %d", len(out.Results), len(delays))
+	}
+
+	metrics := string(getBody(t, ts.URL+"/metricsz"))
+	if !strings.Contains(metrics, "commdb_emission_slo_breaches_total 1") {
+		t.Fatalf("metricsz missing breach counter:\n%s", grepLines(metrics, "slo"))
+	}
+
+	dbg := debugQueries(t, ts.URL)
+	if dbg.SLOBreaches != 1 {
+		t.Fatalf("slo_breaches = %d, want 1", dbg.SLOBreaches)
+	}
+	var breach *obs.QueryRecord
+	for i := range dbg.Queries {
+		if dbg.Queries[i].SLOBreach {
+			breach = &dbg.Queries[i]
+			break
+		}
+	}
+	if breach == nil {
+		t.Fatalf("no SLO-breaching record in /debug/queries (%d records)", len(dbg.Queries))
+	}
+	if !containsStr(breach.Captured, obs.CapturedBreach) {
+		t.Fatalf("breach record capture reasons = %v, want %q", breach.Captured, obs.CapturedBreach)
+	}
+	if breach.Trace == nil || breach.Trace.Emissions == nil {
+		t.Fatal("breach record was captured without its trace")
+	}
+	if n := breach.Trace.Emissions.Count; n != int64(len(delays)) {
+		t.Fatalf("captured trace has %d emissions, want %d", n, len(delays))
+	}
+	if breach.MaxEmissionDelayMS < 50 {
+		t.Fatalf("max emission delay = %.2fms, want the ~80ms stall", breach.MaxEmissionDelayMS)
+	}
+	if breach.MedianEmissionDelayMS >= breach.MaxEmissionDelayMS {
+		t.Fatalf("median %.2fms not below max %.2fms", breach.MedianEmissionDelayMS, breach.MaxEmissionDelayMS)
+	}
+
+	log := logw.String()
+	if !strings.Contains(log, "emission SLO breach") {
+		t.Fatalf("no SLO warning logged:\n%s", log)
+	}
+}
+
+// TestSLONoFalsePositiveUniformSlow: a uniformly slow stream has a
+// large max gap but an equally large median, so it must not breach.
+func TestSLONoFalsePositiveUniformSlow(t *testing.T) {
+	delays := []time.Duration{
+		4 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond,
+		4 * time.Millisecond, 4 * time.Millisecond,
+	}
+	srv := NewWithEngine(&stallEngine{delays: delays}, Config{
+		Obs: obs.CollectorConfig{
+			Watchdog: obs.WatchdogConfig{Multiple: 8, MinDelayMS: 1, MinEmissions: 4},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/search/topk",
+		searchBody(t, []string{"steady"}, map[string]any{"k": len(delays)}))
+	decodeTopK(t, resp)
+
+	if dbg := debugQueries(t, ts.URL); dbg.SLOBreaches != 0 {
+		t.Fatalf("uniformly slow query breached the SLO: %d breaches", dbg.SLOBreaches)
+	}
+}
+
+// TestDebugQueriesMixedWorkload drives the paper's running example
+// through a mixed workload — healthy queries across distinct classes
+// plus a budget-tripped one — and checks the slow log, the per-class
+// aggregates in /statsz, and the labeled exposition in /metricsz.
+func TestDebugQueriesMixedWorkload(t *testing.T) {
+	_, ts := newPaperServer(t, Config{CacheEntries: -1})
+
+	// Healthy queries in two classes: kw3 and kw2.
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/search/topk",
+			searchBody(t, []string{"a", "b", "c"}, map[string]any{"k": 3 + i}))
+		decodeTopK(t, resp)
+	}
+	resp := postJSON(t, ts.URL+"/v1/search/topk",
+		searchBody(t, []string{"a", "b"}, map[string]any{"k": 2}))
+	decodeTopK(t, resp)
+
+	// A budget-tripped query: one relaxation is never enough, so the
+	// enumeration stops with a budget stop reason and must always be
+	// captured regardless of its latency.
+	resp = postJSON(t, ts.URL+"/v1/search/topk", searchBody(t, []string{"a"}, map[string]any{
+		"k": 5, "limits": map[string]any{"max_relaxations": 1},
+	}))
+	tripped := decodeTopK(t, resp)
+	if tripped.Complete {
+		t.Fatal("budget-limited query reported complete")
+	}
+
+	dbg := debugQueries(t, ts.URL)
+	if dbg.Observed != 5 {
+		t.Fatalf("observed = %d, want 5", dbg.Observed)
+	}
+	if dbg.Retained == 0 || len(dbg.Queries) == 0 {
+		t.Fatal("mixed workload captured nothing")
+	}
+	// Records come back slowest-first with full traces.
+	for i := 1; i < len(dbg.Queries); i++ {
+		if dbg.Queries[i].TotalMS > dbg.Queries[i-1].TotalMS {
+			t.Fatalf("slow log not sorted: %v then %v ms", dbg.Queries[i-1].TotalMS, dbg.Queries[i].TotalMS)
+		}
+	}
+	var sawSlow, sawErrored bool
+	for _, rec := range dbg.Queries {
+		if containsStr(rec.Captured, obs.CapturedSlow) {
+			sawSlow = true
+		}
+		if containsStr(rec.Captured, obs.CapturedErrored) {
+			sawErrored = true
+			if !strings.Contains(rec.StopReason, "budget") {
+				t.Fatalf("errored record stop reason = %q, want a budget trip", rec.StopReason)
+			}
+		}
+		if rec.Trace == nil {
+			t.Fatalf("record %s captured without trace", rec.QueryID)
+		}
+		if rec.Fingerprint == "" {
+			t.Fatalf("record %s has no fingerprint", rec.QueryID)
+		}
+	}
+	if !sawSlow || !sawErrored {
+		t.Fatalf("capture reasons missing: slow=%v errored=%v", sawSlow, sawErrored)
+	}
+
+	// Per-class aggregates: three distinct keyword buckets were queried.
+	classes := map[string]obs.ClassSnapshot{}
+	for _, c := range dbg.Classes {
+		classes[c.Class] = c
+	}
+	for _, want := range []string{"kw1", "kw2", "kw3"} {
+		found := false
+		for class := range classes {
+			if strings.HasPrefix(class, want+"/") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no class row for keyword bucket %s: %v", want, keysOf(classes))
+		}
+	}
+	for class, c := range classes {
+		if c.WindowCount == 0 || c.P50MS <= 0 {
+			t.Fatalf("class %s has empty window stats: %+v", class, c)
+		}
+	}
+
+	// /statsz carries the same rows plus the capture counters.
+	var snap StatsSnapshot
+	if err := json.Unmarshal(getBody(t, ts.URL+"/statsz"), &snap); err != nil {
+		t.Fatalf("decoding /statsz: %v", err)
+	}
+	if snap.CaptureObserved != 5 || snap.CaptureRetained == 0 {
+		t.Fatalf("statsz capture counters = %d/%d", snap.CaptureObserved, snap.CaptureRetained)
+	}
+	if len(snap.QueryClasses) != len(dbg.Classes) {
+		t.Fatalf("statsz has %d classes, /debug/queries has %d", len(snap.QueryClasses), len(dbg.Classes))
+	}
+
+	// /metricsz exposes the labeled per-class families and still lints.
+	metrics := string(getBody(t, ts.URL+"/metricsz"))
+	if err := obs.LintPrometheus(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("metricsz lint: %v", err)
+	}
+	for _, name := range []string{
+		"commdb_class_queries_total{",
+		"commdb_class_latency_p50_ms{",
+		"commdb_class_query_rate{",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Fatalf("metricsz missing labeled family %s:\n%s", name, grepLines(metrics, "commdb_class"))
+		}
+	}
+	// Labels render in fixed order with the keyword bucket quoted.
+	if !strings.Contains(metrics, `commdb_class_queries_total{indexed="`) {
+		t.Fatalf("class labels not in canonical order:\n%s", grepLines(metrics, "commdb_class_queries_total"))
+	}
+}
+
+// TestCaptureConcurrencyStress hammers the capture ring and the rolling
+// aggregates from concurrent queries while scraping /debug/queries,
+// /statsz and /metricsz — the satellite -race test for the whole layer.
+func TestCaptureConcurrencyStress(t *testing.T) {
+	eng := &fakeEngine{n: 2}
+	srv := NewWithEngine(eng, Config{
+		CacheEntries: -1,
+		Obs: obs.CollectorConfig{
+			Capture:  obs.CaptureConfig{SlowN: 8, RingSize: 32, SampleEvery: 4},
+			Watchdog: obs.WatchdogConfig{Multiple: 8, MinDelayMS: 1, MinEmissions: 4},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const writers, perWriter = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				kws := []string{fmt.Sprintf("w%d", w), fmt.Sprintf("i%d", i)}
+				if i%3 == 0 {
+					kws = kws[:1]
+				}
+				resp := postJSON(t, ts.URL+"/v1/search/topk",
+					searchBody(t, kws, map[string]any{"k": 1 + i%3}))
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				debugQueries(t, ts.URL)
+				if err := obs.LintPrometheus(bytes.NewReader(getBody(t, ts.URL+"/metricsz"))); err != nil {
+					t.Errorf("metricsz lint under load: %v", err)
+					return
+				}
+				getBody(t, ts.URL+"/statsz")
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	dbg := debugQueries(t, ts.URL)
+	if want := int64(writers * perWriter); dbg.Observed != want {
+		t.Fatalf("observed = %d, want %d", dbg.Observed, want)
+	}
+	if len(dbg.Queries) == 0 || len(dbg.Classes) == 0 {
+		t.Fatal("stress run captured no records or classes")
+	}
+	var total int64
+	for _, c := range dbg.Classes {
+		total += c.Total
+	}
+	if total != int64(writers*perWriter) {
+		t.Fatalf("class totals sum to %d, want %d", total, writers*perWriter)
+	}
+}
+
+func containsStr(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func keysOf(m map[string]obs.ClassSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// grepLines returns the lines of s containing sub, for failure output.
+func grepLines(s, sub string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

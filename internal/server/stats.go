@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"commdb/internal/obs"
 )
 
 // latencyBucketsMS are the histogram's upper bounds in milliseconds;
@@ -97,6 +99,17 @@ type StatsSnapshot struct {
 	AdmissionWaiting    int64 `json:"admission_waiting"`
 	BudgetTrips         int64 `json:"budget_trips"`
 	Canceled            int64 `json:"canceled"`
+
+	// Continuous-layer counters: capture ring occupancy and the
+	// emission-delay SLO watchdog.
+	CaptureObserved int64 `json:"capture_observed"`
+	CaptureRetained int64 `json:"capture_retained"`
+	SLOBreaches     int64 `json:"slo_breaches"`
+
+	// QueryClasses are the per-class rolling aggregates (keyword-count
+	// bucket × indexed/plain): window rate, latency quantiles and
+	// emission-delay stats per class.
+	QueryClasses []obs.ClassSnapshot `json:"query_classes,omitempty"`
 
 	Latency struct {
 		Count   int64           `json:"count"`

@@ -1,0 +1,166 @@
+package server
+
+// Direct unit tests of the log-spaced latency histogram's quantile
+// interpolation — previously only exercised indirectly through the
+// /statsz wire format.
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// quantileFromObservations feeds durations through observeLatency and
+// reads a quantile back, exercising the same bucketing /statsz uses.
+func quantileFromObservations(t *testing.T, ms []float64, q float64) float64 {
+	t.Helper()
+	var s stats
+	for _, m := range ms {
+		s.observeLatency(time.Duration(m * float64(time.Millisecond)))
+	}
+	snap := s.snapshot()
+	switch q {
+	case 0.50:
+		return snap.Latency.P50MS
+	case 0.95:
+		return snap.Latency.P95MS
+	case 0.99:
+		return snap.Latency.P99MS
+	}
+	t.Fatalf("unsupported quantile %v", q)
+	return 0
+}
+
+// TestHistQuantileEmpty: no observations yield zero quantiles, not NaN
+// or a bucket bound.
+func TestHistQuantileEmpty(t *testing.T) {
+	var s stats
+	snap := s.snapshot()
+	if snap.Latency.P50MS != 0 || snap.Latency.P95MS != 0 || snap.Latency.P99MS != 0 {
+		t.Fatalf("empty histogram quantiles = %v/%v/%v, want 0",
+			snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS)
+	}
+	if snap.Latency.MeanMS != 0 || snap.Latency.Count != 0 {
+		t.Fatalf("empty histogram mean=%v count=%d", snap.Latency.MeanMS, snap.Latency.Count)
+	}
+}
+
+// TestHistQuantileSingleSample: with one observation every quantile
+// lands inside that observation's bucket.
+func TestHistQuantileSingleSample(t *testing.T) {
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := quantileFromObservations(t, []float64{7}, q)
+		// 7ms lands in the (5, 10] bucket; interpolation stays inside it.
+		if got <= 5 || got > 10 {
+			t.Errorf("p%v of a single 7ms sample = %v, want within (5, 10]", q*100, got)
+		}
+	}
+}
+
+// TestHistQuantileExactBucketBoundary: an observation exactly on a
+// bucket's upper bound counts in that bucket (bounds are inclusive),
+// and the quantile of N identical boundary samples is the bound.
+func TestHistQuantileExactBucketBoundary(t *testing.T) {
+	var s stats
+	for i := 0; i < 100; i++ {
+		s.observeLatency(10 * time.Millisecond) // exactly the 10ms bound
+	}
+	snap := s.snapshot()
+	// All mass is in the (5, 10] bucket: its count is 100 and the next
+	// bucket is empty.
+	var bucket10, bucket25 int64
+	for _, b := range snap.Latency.Buckets {
+		switch float64(b.LE) {
+		case 10:
+			bucket10 = b.Count
+		case 25:
+			bucket25 = b.Count
+		}
+	}
+	if bucket10 != 100 || bucket25 != 0 {
+		t.Fatalf("boundary sample mis-bucketed: le=10 count=%d, le=25 count=%d", bucket10, bucket25)
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := quantileFromObservations(t, repeat(10, 100), q)
+		if got <= 5 || got > 10 {
+			t.Errorf("p%v of 100 exact-boundary samples = %v, want within (5, 10]", q*100, got)
+		}
+	}
+}
+
+// TestHistQuantileInterpolation: a known mixture interpolates linearly
+// within the containing bucket.
+func TestHistQuantileInterpolation(t *testing.T) {
+	// 50 samples in (1, 2], 50 samples in (25, 50]: p50 must sit at the
+	// top of the first group's bucket, p95 inside the second group's.
+	ms := append(repeat(1.5, 50), repeat(30, 50)...)
+	p50 := quantileFromObservations(t, ms, 0.50)
+	if p50 <= 1 || p50 > 2 {
+		t.Errorf("p50 = %v, want within (1, 2]", p50)
+	}
+	p95 := quantileFromObservations(t, ms, 0.95)
+	if p95 <= 25 || p95 > 50 {
+		t.Errorf("p95 = %v, want within (25, 50]", p95)
+	}
+	// Exact interpolation arithmetic: rank 50 of 100 falls exactly at
+	// the first group's cumulative count, so p50 is that bucket's upper
+	// bound.
+	counts := make([]int64, len(latencyBucketsMS)+1)
+	counts[1] = 50 // (1, 2]
+	counts[5] = 50 // (25, 50]
+	if got := histQuantile(counts, 100, 0.50); got != 2 {
+		t.Errorf("histQuantile p50 = %v, want exactly 2 (rank on cumulative boundary)", got)
+	}
+	// Rank 95 → 45th sample of the second bucket: 25 + (45/50)*(50-25).
+	want := 25 + (45.0/50.0)*25
+	if got := histQuantile(counts, 100, 0.95); math.Abs(got-want) > 1e-9 {
+		t.Errorf("histQuantile p95 = %v, want %v", got, want)
+	}
+}
+
+// TestHistQuantileInfOverflow: observations beyond the last finite
+// bound land in the +Inf bucket and quantiles report the last finite
+// bound rather than infinity.
+func TestHistQuantileInfOverflow(t *testing.T) {
+	var s stats
+	for i := 0; i < 10; i++ {
+		s.observeLatency(time.Hour) // far beyond the 10000ms last bound
+	}
+	snap := s.snapshot()
+	last := snap.Latency.Buckets[len(snap.Latency.Buckets)-1]
+	if !math.IsInf(float64(last.LE), 1) || last.Count != 10 {
+		t.Fatalf("+Inf bucket = %+v, want all 10 samples", last)
+	}
+	lastFinite := latencyBucketsMS[len(latencyBucketsMS)-1]
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := quantileFromObservations(t, repeat(3.6e6, 10), q)
+		if got != lastFinite {
+			t.Errorf("p%v of overflow-only samples = %v, want last finite bound %v", q*100, got, lastFinite)
+		}
+		if math.IsInf(got, 1) || math.IsNaN(got) {
+			t.Errorf("p%v produced %v", q*100, got)
+		}
+	}
+}
+
+// TestHistQuantileMonotone: quantiles never decrease as q rises.
+func TestHistQuantileMonotone(t *testing.T) {
+	ms := append(append(repeat(0.5, 30), repeat(8, 40)...), repeat(300, 30)...)
+	var s stats
+	for _, m := range ms {
+		s.observeLatency(time.Duration(m * float64(time.Millisecond)))
+	}
+	snap := s.snapshot()
+	if !(snap.Latency.P50MS <= snap.Latency.P95MS && snap.Latency.P95MS <= snap.Latency.P99MS) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v",
+			snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS)
+	}
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

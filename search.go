@@ -229,6 +229,12 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 		} else {
 			tr.SetLabel("projected", "false")
 		}
+		// Identity labels make every trace self-describing, so the
+		// continuous layer (slow-query capture, per-class aggregates)
+		// can classify a trace without re-deriving the query.
+		tr.SetLabel("fingerprint", q.Fingerprint())
+		tr.SetLabel("keywords", strings.Join(q.Normalized().Keywords, ","))
+		tr.SetLabel("rmax", strconv.FormatFloat(q.Rmax, 'g', -1, 64))
 		// Snapshot what the query consumed once the trace is finalized;
 		// the enumerate span is also closed here for queries abandoned
 		// mid-enumeration.
