@@ -15,7 +15,10 @@ func TestPublicTableI(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantCosts := []float64{7, 10, 11, 14, 15}
-	got := it.Collect(10)
+	got, err := it.Collect(10)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
 	if len(got) != 5 {
 		t.Fatalf("collected %d communities, want 5", len(got))
 	}
@@ -126,14 +129,14 @@ func TestIndexedTopKContinuation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := it.Collect(5)
-	more := it.Collect(5)
+	first, _ := it.Collect(5)
+	more, _ := it.Collect(5)
 
 	it2, err := s.TopK(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh := it2.Collect(10)
+	fresh, _ := it2.Collect(10)
 	if len(fresh) != len(first)+len(more) {
 		t.Fatalf("continuation %d+%d vs fresh %d", len(first), len(more), len(fresh))
 	}
@@ -195,7 +198,7 @@ func TestGraphIORoundTripPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := it.Collect(10); len(got) != 5 {
+	if got, _ := it.Collect(10); len(got) != 5 {
 		t.Fatalf("round-tripped graph yields %d communities", len(got))
 	}
 }
@@ -300,7 +303,10 @@ func TestConcurrentQueries(t *testing.T) {
 					errs <- err
 					return
 				}
-				it.Collect(20)
+				if _, cerr := it.Collect(20); cerr != nil {
+					errs <- cerr
+					return
+				}
 			}(kws)
 		}
 	}

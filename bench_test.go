@@ -105,7 +105,7 @@ func BenchmarkTableI(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if got := it.Collect(10); len(got) != 5 {
+		if got, _ := it.Collect(10); len(got) != 5 {
 			b.Fatalf("got %d communities, want 5", len(got))
 		}
 	}

@@ -1,10 +1,12 @@
 package main
 
-// The -compare mode is the perf-regression gate: it diffs two -serve
-// reports (an old baseline and a fresh run) and exits nonzero when the
-// new run regresses beyond the tolerance — throughput lower, or any
-// latency quantile higher. CI runs it against the committed baseline so
-// a slowdown fails the build instead of landing silently.
+// The -compare mode is the perf-regression gate: it diffs two reports
+// (an old baseline and a fresh run) and exits nonzero when the new run
+// regresses beyond the tolerance — throughput lower, or any latency
+// metric higher. It handles both -serve and -parallel reports, sniffing
+// the kind from the JSON shape ("degrees" key → parallel report); both
+// inputs must be the same kind. CI runs it against the committed
+// baseline so a slowdown fails the build instead of landing silently.
 
 import (
 	"encoding/json"
@@ -75,32 +77,92 @@ func regressions(deltas []metricDelta) []metricDelta {
 	return out
 }
 
-// loadReport reads a -serve JSON report.
-func loadReport(path string) (serveBenchReport, error) {
-	var rep serveBenchReport
-	b, err := os.ReadFile(path)
+// compareParallelReports diffs a new -parallel report against an old
+// one: per-degree engine_init and total latency, higher is worse. Only
+// degrees present in both reports are compared. Speedup ratios are NOT
+// gated — they depend on host core count, so a single-core CI runner
+// comparing against a multi-core baseline would fail spuriously;
+// absolute latencies at matching degrees are the stable signal.
+func compareParallelReports(old, new parallelBenchReport, tolerance float64) []metricDelta {
+	newByDeg := map[int]degreeStats{}
+	for _, d := range new.Degrees {
+		newByDeg[d.Parallelism] = d
+	}
+	var out []metricDelta
+	for _, o := range old.Degrees {
+		n, ok := newByDeg[o.Parallelism]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			name     string
+			old, new float64
+		}{
+			{fmt.Sprintf("p%d.first_result_ms", o.Parallelism), o.FirstResultMS, n.FirstResultMS},
+			{fmt.Sprintf("p%d.total_ms", o.Parallelism), o.TotalMS, n.TotalMS},
+		} {
+			if m.old < minCompareMS {
+				continue
+			}
+			d := metricDelta{Name: m.name, Old: m.old, New: m.new, Ratio: m.new / m.old}
+			d.Regress = m.new > m.old*(1+tolerance)
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// loadDeltas reads two report files of the same sniffed kind and
+// returns their metric diffs.
+func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, error) {
+	oldB, err := os.ReadFile(oldPath)
 	if err != nil {
-		return rep, err
+		return nil, err
 	}
-	if err := json.Unmarshal(b, &rep); err != nil {
-		return rep, fmt.Errorf("%s: %w", path, err)
+	newB, err := os.ReadFile(newPath)
+	if err != nil {
+		return nil, err
 	}
-	return rep, nil
+	if isParallelReport(oldB) != isParallelReport(newB) {
+		return nil, fmt.Errorf("%s and %s are different report kinds", oldPath, newPath)
+	}
+	if isParallelReport(oldB) {
+		var old, new parallelBenchReport
+		if err := json.Unmarshal(oldB, &old); err != nil {
+			return nil, fmt.Errorf("%s: %w", oldPath, err)
+		}
+		if err := json.Unmarshal(newB, &new); err != nil {
+			return nil, fmt.Errorf("%s: %w", newPath, err)
+		}
+		return compareParallelReports(old, new, tolerance), nil
+	}
+	var old, new serveBenchReport
+	if err := json.Unmarshal(oldB, &old); err != nil {
+		return nil, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	if err := json.Unmarshal(newB, &new); err != nil {
+		return nil, fmt.Errorf("%s: %w", newPath, err)
+	}
+	return compareReports(old, new, tolerance), nil
+}
+
+// isParallelReport sniffs the report kind: only -parallel reports carry
+// a top-level "degrees" array.
+func isParallelReport(b []byte) bool {
+	var probe struct {
+		Degrees []json.RawMessage `json:"degrees"`
+	}
+	return json.Unmarshal(b, &probe) == nil && probe.Degrees != nil
 }
 
 // runCompare is the -compare entry point: benchrunner -compare
 // [-tolerance 0.15] old.json new.json. It prints every compared metric
 // and returns an error (→ exit 1) when any regresses.
 func runCompare(oldPath, newPath string, tolerance float64) error {
-	old, err := loadReport(oldPath)
+	deltas, err := loadDeltas(oldPath, newPath, tolerance)
 	if err != nil {
 		return err
 	}
-	new, err := loadReport(newPath)
-	if err != nil {
-		return err
-	}
-	deltas := compareReports(old, new, tolerance)
 	if len(deltas) == 0 {
 		return fmt.Errorf("no comparable metrics between %s and %s", oldPath, newPath)
 	}

@@ -18,6 +18,11 @@
 // streams against an in-process server on the synthetic DBLP graph,
 // reporting throughput and p50/p95/p99 latency, written to
 // BENCH_serve.json.
+//
+// With -parallel it sweeps the in-query parallel execution engine
+// (WithParallelism) over a set of worker degrees on the synthetic DBLP
+// graph, reporting per-degree engine-init and total latency plus
+// speedups against the sequential run, written to BENCH_parallel.json.
 package main
 
 import (
@@ -52,7 +57,13 @@ func main() {
 		serveNoCache  = flag.Bool("serve-nocache", false, "-serve: disable the server's result cache")
 		serveOut      = flag.String("serve-out", "BENCH_serve.json", "-serve: JSON report path")
 
-		compare   = flag.Bool("compare", false, "compare two -serve reports: benchrunner -compare old.json new.json")
+		parallel        = flag.Bool("parallel", false, "benchmark the in-query parallel execution engine instead of the algorithms")
+		parallelDegrees = flag.String("parallel-degrees", "1,2,4", "-parallel: comma-separated parallelism degrees to sweep")
+		parallelQueries = flag.Int("parallel-queries", 5, "-parallel: averaged repetitions per degree (plus one warm-up)")
+		parallelK       = flag.Int("parallel-k", 50, "-parallel: communities materialized per query")
+		parallelOut     = flag.String("parallel-out", "BENCH_parallel.json", "-parallel: JSON report path")
+
+		compare   = flag.Bool("compare", false, "compare two -serve or -parallel reports: benchrunner -compare old.json new.json")
 		tolerance = flag.Float64("tolerance", 0.15, "-compare: allowed fractional regression before failing")
 	)
 	flag.Parse()
@@ -69,6 +80,13 @@ func main() {
 	}
 	if *serve {
 		if err := runServe(*authors, *seed, *dblpBoost, *serveClients, *serveRequests, *serveUnique, *serveNoCache, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *parallel {
+		if err := runParallel(*authors, *seed, *dblpBoost, *parallelDegrees, *parallelQueries, *parallelK, *parallelOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

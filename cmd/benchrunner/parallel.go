@@ -1,0 +1,232 @@
+package main
+
+// The -parallel mode measures the in-query parallel execution engine:
+// it runs the same l-keyword top-k query over an un-indexed searcher
+// (so engine init is dominated by the l full-graph bounded Dijkstras —
+// the fan-out target) at a sweep of parallelism degrees, and reports
+// per-degree engine-init and total wall-clock alongside the speedup
+// against the strictly sequential degree-1 run. Results are written as
+// JSON (default BENCH_parallel.json) so runs can be diffed across
+// commits with -compare.
+//
+// The sweep also doubles as an end-to-end determinism check: every
+// degree must produce the identical community sequence, and any
+// mismatch fails the run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"commdb"
+	"commdb/internal/bench"
+	"commdb/internal/obs"
+)
+
+// parallelBenchReport is the BENCH_parallel.json schema.
+type parallelBenchReport struct {
+	Dataset  string   `json:"dataset"`
+	Authors  int      `json:"authors"`
+	Nodes    int      `json:"nodes"`
+	Edges    int      `json:"edges"`
+	Keywords []string `json:"keywords"`
+	Rmax     float64  `json:"rmax"`
+	K        int      `json:"k"`
+	// QueriesPerDegree is how many repetitions each degree's figures
+	// average over (after one discarded warm-up).
+	QueriesPerDegree int `json:"queries_per_degree"`
+	// HostCPUs records runtime.NumCPU(): wall-clock speedup is bounded
+	// by it, so a single-core host legitimately reports ~1x.
+	HostCPUs int           `json:"host_cpus"`
+	Degrees  []degreeStats `json:"degrees"`
+}
+
+// degreeStats is one parallelism degree's measurement.
+type degreeStats struct {
+	Parallelism int `json:"parallelism"`
+	// EngineInitMS is the raw engine_init span. At degree 1 the
+	// per-keyword Dijkstras run lazily during enumeration, so this span
+	// alone is not comparable across degrees; FirstResultMS is.
+	EngineInitMS float64 `json:"engine_init_ms"`
+	// FirstResultMS is query start to the first emitted community — by
+	// then every keyword's neighbor set exists in both modes, so it is
+	// the apples-to-apples measure of the init fan-out.
+	FirstResultMS float64 `json:"first_result_ms"`
+	EnumerateMS   float64 `json:"enumerate_ms"`
+	TotalMS       float64 `json:"total_ms"`
+	// Speedups are against the degree-1 run of the same sweep:
+	// InitSpeedup from FirstResultMS, TotalSpeedup from TotalMS.
+	InitSpeedup  float64 `json:"init_speedup"`
+	TotalSpeedup float64 `json:"total_speedup"`
+}
+
+// parseDegrees parses the -parallel-degrees CSV.
+func parseDegrees(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -parallel-degrees entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-parallel-degrees is empty")
+	}
+	return out, nil
+}
+
+// runParallel is the -parallel entry point.
+func runParallel(authors int, seed int64, boost float64, degreesCSV string, queries, k int, out string) error {
+	degrees, err := parseDegrees(degreesCSV)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("building DBLP dataset (authors=%d, boost=%gx)...\n", authors, boost)
+	d, err := bench.BuildDBLPBoosted(authors, seed, boost)
+	if err != nil {
+		return err
+	}
+	p := d.Config.Defaults
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d nodes, %d edges; query: %v rmax=%g k=%d\n",
+		d.G.NumNodes(), d.G.NumEdges(), keywords, p.Rmax, k)
+
+	rep := parallelBenchReport{
+		Dataset:          "dblp",
+		Authors:          authors,
+		Nodes:            d.G.NumNodes(),
+		Edges:            d.G.NumEdges(),
+		Keywords:         keywords,
+		Rmax:             p.Rmax,
+		K:                k,
+		QueriesPerDegree: queries,
+		HostCPUs:         runtime.NumCPU(),
+	}
+	q := commdb.Query{Keywords: keywords, Rmax: p.Rmax}
+
+	// canonical is degree-1's cost sequence; every other degree must
+	// reproduce it exactly (the engine's determinism contract).
+	var canonical []float64
+	var baseInit, baseTotal float64
+	for _, deg := range degrees {
+		s, err := commdb.Open(d.G, commdb.WithParallelism(deg))
+		if err != nil {
+			return err
+		}
+		var initSum, firstSum, enumSum, totalSum float64
+		// One discarded warm-up run per degree hides one-time costs
+		// (page cache, branch predictors, pool fill) from the average.
+		for r := -1; r < queries; r++ {
+			m, costs, err := runParallelQuery(s, q, k)
+			if err != nil {
+				return err
+			}
+			if r < 0 {
+				continue
+			}
+			initSum += m.initMS
+			firstSum += m.firstMS
+			enumSum += m.enumMS
+			totalSum += m.totalMS
+			if canonical == nil {
+				canonical = costs
+			} else if err := sameCosts(canonical, costs); err != nil {
+				return fmt.Errorf("parallelism %d diverged from sequential: %w", deg, err)
+			}
+		}
+		ds := degreeStats{
+			Parallelism:   deg,
+			EngineInitMS:  initSum / float64(queries),
+			FirstResultMS: firstSum / float64(queries),
+			EnumerateMS:   enumSum / float64(queries),
+			TotalMS:       totalSum / float64(queries),
+		}
+		if deg == 1 {
+			baseInit, baseTotal = ds.FirstResultMS, ds.TotalMS
+		}
+		if baseInit > 0 && ds.FirstResultMS > 0 {
+			ds.InitSpeedup = baseInit / ds.FirstResultMS
+		}
+		if baseTotal > 0 && ds.TotalMS > 0 {
+			ds.TotalSpeedup = baseTotal / ds.TotalMS
+		}
+		rep.Degrees = append(rep.Degrees, ds)
+		fmt.Printf("  parallelism %2d: first_result %8.3fms  enumerate %8.3fms  total %8.3fms  (init %0.2fx, total %0.2fx)\n",
+			deg, ds.FirstResultMS, ds.EnumerateMS, ds.TotalMS, ds.InitSpeedup, ds.TotalSpeedup)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}
+
+// queryTimings is one query's measured latencies.
+type queryTimings struct {
+	initMS, firstMS, enumMS, totalMS float64
+}
+
+// runParallelQuery runs one top-k query, timing the first emission and
+// the whole run and extracting the engine_init and enumerate spans from
+// its trace.
+func runParallelQuery(s *commdb.Searcher, q commdb.Query, k int) (queryTimings, []float64, error) {
+	var m queryTimings
+	tr := obs.NewTrace("parallel-bench")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	start := time.Now()
+	it, err := s.TopKCtx(ctx, q)
+	if err != nil {
+		return m, nil, err
+	}
+	var costs []float64
+	for len(costs) < k {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		if len(costs) == 0 {
+			m.firstMS = float64(time.Since(start)) / float64(time.Millisecond)
+		}
+		costs = append(costs, c.Cost)
+	}
+	if err := it.Close(); err != nil {
+		return m, nil, err
+	}
+	m.totalMS = float64(time.Since(start)) / float64(time.Millisecond)
+	for _, sp := range tr.Summary().Spans {
+		switch sp.Name {
+		case "engine_init":
+			m.initMS += sp.DurMS
+		case "enumerate":
+			m.enumMS += sp.DurMS
+		}
+	}
+	return m, costs, nil
+}
+
+// sameCosts asserts two runs produced the same ranking.
+func sameCosts(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("result %d cost differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}

@@ -230,7 +230,7 @@ func runServe(authors int, seed int64, boost float64, clients, requests int, uni
 
 	p := d.Config.Defaults
 	fmt.Printf("building index (rmax=%g)...\n", p.Rmax)
-	s, err := commdb.NewIndexedSearcher(d.G, p.Rmax)
+	s, err := commdb.Open(d.G, commdb.WithIndex(p.Rmax))
 	if err != nil {
 		return err
 	}

@@ -64,28 +64,29 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per query, e.g. 50ms (0 = unlimited)")
 		maxVisited = flag.Int64("max-visited", 0, "budget on shortest-path work units per query (0 = unlimited)")
 		maxResults = flag.Int64("max-results", 0, "budget on returned communities per query (0 = unlimited)")
+		parallel   = flag.Int("parallelism", 0, "worker goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	lim := commdb.Limits{Timeout: *timeout, MaxRelaxations: *maxVisited, MaxResults: *maxResults}
 	if *replMode {
-		if err := runRepl(*graphPath, *example, *indexPath, *useIndex, *rmax, lim); err != nil {
+		if err := runRepl(*graphPath, *example, *indexPath, *useIndex, *rmax, *parallel, lim); err != nil {
 			fmt.Fprintln(os.Stderr, "commsearch:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose, *jsonOut, *explain, lim); err != nil {
+	if err := run(*graphPath, *example, *indexPath, *keywords, *rmax, *top, *all, *max, *useIndex, *verbose, *jsonOut, *explain, *parallel, lim); err != nil {
 		fmt.Fprintln(os.Stderr, "commsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func runRepl(graphPath, example, indexPath string, useIndex bool, rmax float64, lim commdb.Limits) error {
+func runRepl(graphPath, example, indexPath string, useIndex bool, rmax float64, parallel int, lim commdb.Limits) error {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return err
 	}
-	s, err := newSearcher(g, indexPath, useIndex, rmax)
+	s, err := newSearcher(g, indexPath, useIndex, rmax, parallel)
 	if err != nil {
 		return err
 	}
@@ -109,22 +110,22 @@ func stopReason(err error) string {
 
 // newSearcher picks the searcher flavour: load a saved index, build one
 // fresh, or scan per query.
-func newSearcher(g *commdb.Graph, indexPath string, useIndex bool, rmax float64) (*commdb.Searcher, error) {
+func newSearcher(g *commdb.Graph, indexPath string, useIndex bool, rmax float64, parallel int) (*commdb.Searcher, error) {
+	opts := []commdb.Option{commdb.WithParallelism(parallel)}
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return commdb.NewSearcherWithIndex(g, f)
+		opts = append(opts, commdb.WithIndexReader(f))
+	} else if useIndex {
+		opts = append(opts, commdb.WithIndex(rmax))
 	}
-	if useIndex {
-		return commdb.NewIndexedSearcher(g, rmax)
-	}
-	return commdb.NewSearcher(g), nil
+	return commdb.Open(g, opts...)
 }
 
-func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose, jsonOut, explain bool, lim commdb.Limits) error {
+func run(graphPath, example, indexPath, keywords string, rmax float64, top int, all bool, max int, useIndex, verbose, jsonOut, explain bool, parallel int, lim commdb.Limits) error {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return err
@@ -137,7 +138,7 @@ func run(graphPath, example, indexPath, keywords string, rmax float64, top int, 
 		top = 10
 	}
 
-	s, err := newSearcher(g, indexPath, useIndex, rmax)
+	s, err := newSearcher(g, indexPath, useIndex, rmax, parallel)
 	if err != nil {
 		return err
 	}

@@ -47,12 +47,13 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		graphPath = flag.String("graph", "", "graph file written by cmd/datagen")
-		indexPath = flag.String("index-file", "", "index file written by cmd/indexbuild (implies projected search)")
-		example   = flag.String("example", "", "built-in example graph: paper or intro")
-		useIndex  = flag.Bool("index", false, "build inverted indexes and serve projected searches")
-		rmaxMax   = flag.Float64("rmax-max", 8, "index radius for -index; also the largest Rmax indexed queries may use")
+		addr        = flag.String("addr", ":8080", "listen address")
+		graphPath   = flag.String("graph", "", "graph file written by cmd/datagen")
+		indexPath   = flag.String("index-file", "", "index file written by cmd/indexbuild (implies projected search)")
+		example     = flag.String("example", "", "built-in example graph: paper or intro")
+		useIndex    = flag.Bool("index", false, "build inverted indexes and serve projected searches")
+		rmaxMax     = flag.Float64("rmax-max", 8, "index radius for -index; also the largest Rmax indexed queries may use")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
 
 		maxConcurrent = flag.Int("max-concurrent", 0, "concurrently executing queries (0 = GOMAXPROCS)")
 		maxQueue      = flag.Int("max-queue", 0, "requests allowed to wait for a slot (0 = 2x max-concurrent)")
@@ -92,14 +93,14 @@ func main() {
 		Logger: logger,
 		Pprof:  *pprofEnable,
 	}
-	if err := run(*addr, *graphPath, *indexPath, *example, *useIndex, *rmaxMax, cfg, *shutdownGrace); err != nil {
+	if err := run(*addr, *graphPath, *indexPath, *example, *useIndex, *rmaxMax, *parallelism, cfg, *shutdownGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "commserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax float64, cfg server.Config, grace time.Duration) error {
-	s, err := buildSearcher(graphPath, indexPath, example, useIndex, rmaxMax)
+func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax float64, parallelism int, cfg server.Config, grace time.Duration) error {
+	s, err := buildSearcher(graphPath, indexPath, example, useIndex, rmaxMax, parallelism)
 	if err != nil {
 		return err
 	}
@@ -137,12 +138,15 @@ func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax floa
 }
 
 // buildSearcher loads the graph and picks the searcher flavour: saved
-// index, freshly built index, or per-query scans.
-func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax float64) (*commdb.Searcher, error) {
+// index, freshly built index, or per-query scans. The searcher's
+// workspace pool is shared by concurrent requests and by each query's
+// parallel workers.
+func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax float64, parallelism int) (*commdb.Searcher, error) {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return nil, err
 	}
+	opts := []commdb.Option{commdb.WithParallelism(parallelism)}
 	switch {
 	case indexPath != "":
 		f, err := os.Open(indexPath)
@@ -150,12 +154,11 @@ func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax 
 			return nil, err
 		}
 		defer f.Close()
-		return commdb.NewSearcherWithIndex(g, f)
+		opts = append(opts, commdb.WithIndexReader(f))
 	case useIndex:
-		return commdb.NewIndexedSearcher(g, rmaxMax)
-	default:
-		return commdb.NewSearcher(g), nil
+		opts = append(opts, commdb.WithIndex(rmaxMax))
 	}
+	return commdb.Open(g, opts...)
 }
 
 func loadGraph(graphPath, example string) (*commdb.Graph, error) {

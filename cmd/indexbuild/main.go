@@ -47,7 +47,7 @@ func run(graphPath string, rmax float64, out string) error {
 	fmt.Printf("graph: %s\n", commdb.GraphStatsOf(g))
 
 	start := time.Now()
-	s, err := commdb.NewIndexedSearcher(g, rmax)
+	s, err := commdb.Open(g, commdb.WithIndex(rmax))
 	if err != nil {
 		return err
 	}

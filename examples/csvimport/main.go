@@ -83,7 +83,8 @@ func main() {
 	check(err)
 	fmt.Printf("graph: %s\n\n", commdb.GraphStatsOf(g))
 
-	s := commdb.NewSearcher(g)
+	s, err := commdb.Open(g)
+	check(err)
 	for _, cost := range []struct {
 		name string
 		fn   commdb.CostFunction

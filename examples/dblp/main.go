@@ -31,7 +31,7 @@ func main() {
 	const rmax = 8
 	fmt.Println("building inverted indexes (invertedN + invertedE)...")
 	start := time.Now()
-	s, err := commdb.NewIndexedSearcher(g, rmax)
+	s, err := commdb.Open(g, commdb.WithIndex(rmax))
 	if err != nil {
 		panic(err)
 	}

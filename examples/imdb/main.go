@@ -27,7 +27,7 @@ func main() {
 	fmt.Printf("database: %d tuples -> graph: %s\n\n", db.NumTuples(), commdb.GraphStatsOf(g))
 
 	const rmax = 12
-	s, err := commdb.NewIndexedSearcher(g, rmax)
+	s, err := commdb.Open(g, commdb.WithIndex(rmax))
 	if err != nil {
 		panic(err)
 	}

@@ -25,7 +25,7 @@ func main() {
 		panic(err)
 	}
 	const rmax = 8
-	s, err := commdb.NewIndexedSearcher(g, rmax)
+	s, err := commdb.Open(g, commdb.WithIndex(rmax))
 	if err != nil {
 		panic(err)
 	}
@@ -40,7 +40,10 @@ func main() {
 	seen := 0
 	for round := 1; round <= 3; round++ {
 		start := time.Now()
-		batch := it.Collect(20)
+		batch, err := it.Collect(20)
+		if err != nil {
+			panic(err)
+		}
 		seen += len(batch)
 		last := 0.0
 		if len(batch) > 0 {
@@ -62,7 +65,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		got := it2.Collect(k)
+		got, _ := it2.Collect(k)
 		fmt.Printf("  fresh top-%d: %d communities in %8v\n",
 			k, len(got), time.Since(start).Round(time.Microsecond))
 	}

@@ -15,7 +15,10 @@ import (
 
 func main() {
 	g, _ := commdb.PaperExampleGraph()
-	s := commdb.NewSearcher(g)
+	s, err := commdb.Open(g)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("Table I — top communities for {a, b, c} with Rmax = 8:")
 	it, err := s.TopK(commdb.Query{Keywords: []string{"a", "b", "c"}, Rmax: 8})
@@ -36,7 +39,10 @@ func main() {
 	fmt.Println()
 	fmt.Println("Introduction example — {kate, smith} with Rmax = 6:")
 	ig, _ := commdb.IntroExampleGraph()
-	is := commdb.NewSearcher(ig)
+	is, err := commdb.Open(ig)
+	if err != nil {
+		panic(err)
+	}
 	all, err := is.All(commdb.Query{Keywords: []string{"kate", "smith"}, Rmax: 6})
 	if err != nil {
 		panic(err)

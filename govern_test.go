@@ -238,7 +238,7 @@ func TestMaxNeighborRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := it.Collect(10); len(got) != 0 {
+	if got, _ := it.Collect(10); len(got) != 0 {
 		t.Fatalf("one allowed Dijkstra cannot produce %d communities", len(got))
 	}
 	var be ErrBudgetExhausted
@@ -302,7 +302,7 @@ func TestGovernedIndexedQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := it.Collect(10)
+	got, _ := it.Collect(10)
 	if len(got) != 3 {
 		t.Fatalf("MaxResults=3 granted %d", len(got))
 	}

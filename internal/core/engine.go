@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"commdb/internal/fulltext"
 	"commdb/internal/govern"
@@ -43,6 +45,12 @@ type Engine struct {
 	rmax float64
 	l    int
 
+	// pool, when non-nil, is where ws (and any worker workspaces) came
+	// from and where Close returns them. par is the engine's
+	// parallelism degree; <= 1 means strictly sequential.
+	pool *sssp.Pool
+	par  int
+
 	// keywordNodes[i] is V_i: all nodes containing keyword i.
 	keywordNodes [][]graph.NodeID
 
@@ -65,16 +73,16 @@ type Engine struct {
 	sum []float64
 	cnt []int16
 
-	// getcomm scratch (Algorithm 4), lazily allocated.
-	gcFwd    *sssp.Result
-	gcRev    *sssp.Result
-	gcKnode  []*sssp.Result
-	gcMark   []int32
-	gcMarkID int32
+	// gc is the engine's own GetCommunity scratch (Algorithm 4),
+	// lazily allocated; pipeline workers use private gcScratch values
+	// instead so materializations run concurrently.
+	gc *gcScratch
 
 	// neighborRuns counts Dijkstra invocations, exposed for the
-	// benchmark harness and complexity tests.
-	neighborRuns int
+	// benchmark harness and complexity tests. Atomic because the
+	// parallel-init fanout and pipeline workers increment it
+	// concurrently.
+	neighborRuns atomic.Int64
 
 	// noSlotCache disables full-set memoization and the unchanged-pin
 	// skip, for the ablation benchmark only.
@@ -146,10 +154,28 @@ func (e *Engine) CostOf(dists []float64) float64 {
 // pseudocode is written. Exists for the ablation benchmark.
 func (e *Engine) DisableSlotCache() { e.noSlotCache = true }
 
+// EngineConfig tunes an engine's execution strategy. The zero value is
+// the strictly sequential engine with private workspaces.
+type EngineConfig struct {
+	// Pool supplies (and reclaims, via Engine.Close) the engine's
+	// shortest-path workspaces. nil allocates private workspaces.
+	Pool *sssp.Pool
+	// Parallelism is the number of worker goroutines PrecomputeNeighborSets
+	// and the materialization pipeline may use. Values <= 1 keep every
+	// code path strictly sequential.
+	Parallelism int
+}
+
 // NewEngine prepares a query against g. Keywords are matched after
 // tokenization (each must be a single term). ix may be nil, in which
-// case keyword nodes are found by scanning the graph.
+// case keyword nodes are found by scanning the graph. The engine is
+// strictly sequential; use NewEngineCfg for parallel execution.
 func NewEngine(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax float64) (*Engine, error) {
+	return NewEngineCfg(g, ix, keywords, rmax, EngineConfig{})
+}
+
+// NewEngineCfg is NewEngine with an execution configuration.
+func NewEngineCfg(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax float64, cfg EngineConfig) (*Engine, error) {
 	if len(keywords) == 0 {
 		return nil, ErrNoKeywords
 	}
@@ -164,9 +190,14 @@ func NewEngine(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax float
 	}
 	l := len(keywords)
 	n := g.NumNodes()
+	if cfg.Parallelism > 1 && cfg.Pool == nil {
+		cfg.Pool = sssp.NewPool()
+	}
 	e := &Engine{
 		g:            g,
-		ws:           sssp.NewWorkspace(g),
+		ws:           cfg.Pool.Get(g), // nil-pool Get allocates fresh
+		pool:         cfg.Pool,
+		par:          cfg.Parallelism,
 		rmax:         rmax,
 		l:            l,
 		keywordNodes: make([][]graph.NodeID, l),
@@ -238,7 +269,100 @@ func (e *Engine) HasAllKeywords() bool {
 
 // NeighborRuns reports how many bounded Dijkstra runs the engine has
 // executed, a machine-independent cost measure used in delay tests.
-func (e *Engine) NeighborRuns() int { return e.neighborRuns }
+func (e *Engine) NeighborRuns() int { return int(e.neighborRuns.Load()) }
+
+// Parallelism reports the engine's configured worker count; <= 1 means
+// strictly sequential.
+func (e *Engine) Parallelism() int { return e.par }
+
+// Close returns the engine's pooled workspaces. The engine must not be
+// used afterwards. Close is idempotent and safe on an engine with no
+// pool.
+func (e *Engine) Close() {
+	if e.ws != nil {
+		e.pool.Put(e.ws) // nil-pool Put just detaches
+		e.ws = nil
+	}
+	if e.gc != nil {
+		e.gc.release(e.pool)
+		e.gc = nil
+	}
+}
+
+// PrecomputeNeighborSets eagerly computes every cached full-set run
+// Neighbor(V_i), fanning the per-keyword bounded reverse Dijkstras
+// across min(par, l) worker goroutines. The enumerators' later
+// setSlotFull calls then find the cached results, so enumeration
+// semantics — order, budgets, trace totals — are byte-identical to the
+// sequential engine; only the wall-clock of engine init changes.
+//
+// It is a no-op when parallelism is off, the slot cache is disabled
+// (the ablation path must recompute), or some keyword is absent (the
+// query is already known empty).
+func (e *Engine) PrecomputeNeighborSets() {
+	if e.par <= 1 || e.noSlotCache || !e.HasAllKeywords() {
+		return
+	}
+	var idx []int
+	for i := 0; i < e.l; i++ {
+		if e.full[i] == nil {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	workers := min(e.par, len(idx))
+	if workers == 1 {
+		// A single worker gains nothing over the lazy path; let
+		// setSlotFull compute on demand with the engine's own workspace.
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			ws := e.pool.Get(e.g)
+			defer e.pool.Put(ws)
+			ws.SetBudget(e.budget)
+			ws.SetTrace(e.tr)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(idx) {
+					return
+				}
+				i := idx[t]
+				res := sssp.NewResult(e.g.NumNodes())
+				e.budget.ChargeNeighborRun() // a tripped budget empties the run
+				ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
+				e.neighborRuns.Add(1)
+				e.tr.Add("neighbor_runs", 1)
+				e.full[i] = res // distinct i per task: no two workers share a slot
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		// Preserve the public contract that query panics surface (and are
+		// recovered) on the calling goroutine.
+		panic(panicked)
+	}
+}
 
 // slotDesc describes a slot's current contents so identical
 // re-installs are skipped (the pins and full-set restores of the
@@ -306,7 +430,7 @@ func (e *Engine) setSlot(i int, seeds []graph.NodeID) {
 	res := e.buffer()
 	e.budget.ChargeNeighborRun() // a tripped budget empties the run below
 	e.ws.RunFromNodes(sssp.Reverse, seeds, e.rmax, res)
-	e.neighborRuns++
+	e.neighborRuns.Add(1)
 	e.tr.Add("neighbor_runs", 1)
 	e.install(i, res, slotDesc{kind: slotSet})
 }
@@ -320,7 +444,7 @@ func (e *Engine) setSlotSingle(i int, v graph.NodeID) {
 	res := e.buffer()
 	e.budget.ChargeNeighborRun()
 	e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{v}, e.rmax, res)
-	e.neighborRuns++
+	e.neighborRuns.Add(1)
 	e.tr.Add("neighbor_runs", 1)
 	e.install(i, res, slotDesc{kind: slotSingle, node: v})
 }
@@ -340,7 +464,7 @@ func (e *Engine) setSlotFull(i int) {
 		res := sssp.NewResult(e.g.NumNodes())
 		e.budget.ChargeNeighborRun()
 		e.ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
-		e.neighborRuns++
+		e.neighborRuns.Add(1)
 		e.tr.Add("neighbor_runs", 1)
 		e.full[i] = res
 	}
@@ -458,12 +582,8 @@ func (e *Engine) Bytes() int64 {
 	for _, ks := range e.keywordNodes {
 		b += int64(len(ks)) * 4
 	}
-	if e.gcFwd != nil {
-		b += e.gcFwd.Bytes() + e.gcRev.Bytes()
-		for _, r := range e.gcKnode {
-			b += r.Bytes()
-		}
-		b += int64(len(e.gcMark)) * 4
+	if e.gc != nil {
+		b += e.gc.bytes()
 	}
 	return b
 }

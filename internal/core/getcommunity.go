@@ -7,6 +7,61 @@ import (
 	"commdb/internal/sssp"
 )
 
+// gcScratch holds the buffers of one Algorithm 4 materialization: a
+// shortest-path workspace plus the pass results and the membership
+// mark array. The engine lazily owns one for the sequential path; each
+// materialization-pipeline worker owns a private one, so concurrent
+// GetCommunity calls never share mutable state — everything they read
+// off the Engine (graph, radius, cost function, budget, trace) is
+// immutable after setup or internally synchronized.
+type gcScratch struct {
+	ws *sssp.Workspace
+	// ownWS marks a workspace checked out of the engine's pool for this
+	// scratch alone; release returns it. The engine's own scratch
+	// borrows e.ws instead (Engine.Close returns that one).
+	ownWS  bool
+	fwd    *sssp.Result
+	rev    *sssp.Result
+	knode  []*sssp.Result
+	mark   []int32
+	markID int32
+}
+
+// newGCScratch sizes a scratch for the engine's graph and keyword
+// count around the given workspace.
+func (e *Engine) newGCScratch(ws *sssp.Workspace, owned bool) *gcScratch {
+	n := e.g.NumNodes()
+	sc := &gcScratch{
+		ws:    ws,
+		ownWS: owned,
+		fwd:   sssp.NewResult(n),
+		rev:   sssp.NewResult(n),
+		knode: make([]*sssp.Result, e.l),
+		mark:  make([]int32, n),
+	}
+	for i := range sc.knode {
+		sc.knode[i] = sssp.NewResult(n)
+	}
+	return sc
+}
+
+// release returns an owned workspace to the pool. Idempotent.
+func (sc *gcScratch) release(p *sssp.Pool) {
+	if sc.ownWS && sc.ws != nil {
+		p.Put(sc.ws)
+		sc.ws = nil
+	}
+}
+
+// bytes reports the scratch's logical footprint, for Engine.Bytes.
+func (sc *gcScratch) bytes() int64 {
+	b := sc.fwd.Bytes() + sc.rev.Bytes() + int64(len(sc.mark))*4
+	for _, r := range sc.knode {
+		b += r.Bytes()
+	}
+	return b
+}
+
 // GetCommunity is Algorithm 4: materialize the community uniquely
 // determined by core c.
 //
@@ -16,18 +71,26 @@ import (
 // reverse pass from the core nodes; a node belongs to the community iff
 // dist(s,u) + dist(u,t) <= Rmax. Total cost O(l·(n·log n + m)).
 func (e *Engine) GetCommunity(c Core) *Community {
+	if e.gc == nil {
+		e.gc = e.newGCScratch(e.ws, false)
+	}
+	return e.getCommunity(c, e.gc)
+}
+
+// getCommunity is GetCommunity against an explicit scratch, the form
+// the materialization pipeline's workers call concurrently.
+func (e *Engine) getCommunity(c Core, sc *gcScratch) *Community {
 	e.tr.Add("getcommunity_calls", 1)
-	e.ensureGCBuffers()
 
 	// Distinct knodes (a node may serve several keyword positions).
 	knodes := distinctNodes(c)
 
-	// Per-knode reverse passes: after these, gcKnode[j].Dist(v) is
+	// Per-knode reverse passes: after these, sc.knode[j].Dist(v) is
 	// dist(v, knodes[j]) when within Rmax.
 	for j, kn := range knodes {
 		e.budget.ChargeNeighborRun()
-		e.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{kn}, e.rmax, e.gcKnode[j])
-		e.neighborRuns++
+		sc.ws.RunFromNodes(sssp.Reverse, []graph.NodeID{kn}, e.rmax, sc.knode[j])
+		e.neighborRuns.Add(1)
 		e.tr.Add("neighbor_runs", 1)
 	}
 
@@ -35,7 +98,7 @@ func (e *Engine) GetCommunity(c Core) *Community {
 	// and probe the others.
 	smallest := 0
 	for j := 1; j < len(knodes); j++ {
-		if e.gcKnode[j].Len() < e.gcKnode[smallest].Len() {
+		if sc.knode[j].Len() < sc.knode[smallest].Len() {
 			smallest = j
 		}
 	}
@@ -46,13 +109,13 @@ func (e *Engine) GetCommunity(c Core) *Community {
 	var centers []graph.NodeID
 	cost := 0.0
 	haveCost := false
-	for _, v := range e.gcKnode[smallest].Visited() {
+	for _, v := range sc.knode[smallest].Visited() {
 		all := true
 		for j := range knodes {
 			if j == smallest {
 				continue
 			}
-			if !e.gcKnode[j].Contains(v) {
+			if !sc.knode[j].Contains(v) {
 				all = false
 				break
 			}
@@ -65,7 +128,7 @@ func (e *Engine) GetCommunity(c Core) *Community {
 		// nodes contribute once per position.
 		dists := make([]float64, len(c))
 		for i, ci := range c {
-			dists[i], _ = e.gcKnode[knodeIdx[ci]].Dist(v)
+			dists[i], _ = sc.knode[knodeIdx[ci]].Dist(v)
 		}
 		total := e.CostOf(dists)
 		if !haveCost || total < cost {
@@ -87,19 +150,19 @@ func (e *Engine) GetCommunity(c Core) *Community {
 	// Forward pass from all centers (virtual source s) and reverse pass
 	// from all knodes (virtual sink t).
 	e.budget.ChargeNeighborRun()
-	e.ws.RunFromNodes(sssp.Forward, centers, e.rmax, e.gcFwd)
+	sc.ws.RunFromNodes(sssp.Forward, centers, e.rmax, sc.fwd)
 	e.budget.ChargeNeighborRun()
-	e.ws.RunFromNodes(sssp.Reverse, knodes, e.rmax, e.gcRev)
-	e.neighborRuns += 2
+	sc.ws.RunFromNodes(sssp.Reverse, knodes, e.rmax, sc.rev)
+	e.neighborRuns.Add(2)
 	e.tr.Add("neighbor_runs", 2)
 
-	e.gcMarkID++
-	mark := e.gcMarkID
-	for _, u := range e.gcFwd.Visited() {
-		ds, _ := e.gcFwd.Dist(u)
-		dt, ok := e.gcRev.Dist(u)
+	sc.markID++
+	mark := sc.markID
+	for _, u := range sc.fwd.Visited() {
+		ds, _ := sc.fwd.Dist(u)
+		dt, ok := sc.rev.Dist(u)
 		if ok && ds+dt <= e.rmax {
-			e.gcMark[u] = mark
+			sc.mark[u] = mark
 			r.Nodes = append(r.Nodes, u)
 		}
 	}
@@ -124,26 +187,12 @@ func (e *Engine) GetCommunity(c Core) *Community {
 	// Induced edges over the community's nodes.
 	for _, u := range r.Nodes {
 		for _, edge := range e.g.OutEdges(u) {
-			if e.gcMark[edge.To] == mark {
+			if sc.mark[edge.To] == mark {
 				r.Edges = append(r.Edges, graph.EdgePair{From: u, To: edge.To})
 			}
 		}
 	}
 	return r
-}
-
-func (e *Engine) ensureGCBuffers() {
-	if e.gcFwd != nil {
-		return
-	}
-	n := e.g.NumNodes()
-	e.gcFwd = sssp.NewResult(n)
-	e.gcRev = sssp.NewResult(n)
-	e.gcKnode = make([]*sssp.Result, e.l)
-	for i := range e.gcKnode {
-		e.gcKnode[i] = sssp.NewResult(n)
-	}
-	e.gcMark = make([]int32, n)
 }
 
 func distinctNodes(c Core) []graph.NodeID {

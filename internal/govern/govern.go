@@ -33,9 +33,16 @@
 // an atomic load; neither belongs in a loop that relaxes an edge in a
 // few nanoseconds. Call sites therefore batch: they accumulate work in
 // a local counter and call Charge* once per Stride (~1024) operations.
-// The Budget itself takes a mutex on every charge, which at that
-// granularity is noise — and makes one Budget safely shareable across
-// the worker goroutines of a parallel index build.
+//
+// # Concurrency
+//
+// Every counter is an atomic and the sticky stop reason is a
+// lock-free load, so one Budget is safely — and cheaply — shared by
+// all the worker goroutines of a parallel query: the fan-out Dijkstras
+// of engine init, the materialization pipeline, and a parallel index
+// build all charge the same Budget without serializing on a mutex.
+// The mutex is only taken on the trip path, to record the first
+// failure exactly once.
 //
 // A nil *Budget is valid everywhere and means "unlimited": every
 // method is a no-op on a nil receiver, so ungoverned paths pay one
@@ -46,6 +53,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -135,23 +143,30 @@ func (l Limits) IsZero() bool {
 // subsequent Charge*/Poll/Err returns it, so all layers of a query
 // observe one consistent stop reason.
 //
-// A Budget is safe for concurrent use. Methods on a nil *Budget are
-// no-ops returning nil, so a nil Budget is the canonical "unlimited".
+// A Budget is safe for concurrent use: counters are atomics charged
+// lock-free from any number of worker goroutines, and the sticky stop
+// reason is published through an atomic pointer. Methods on a nil
+// *Budget are no-ops returning nil, so a nil Budget is the canonical
+// "unlimited".
 type Budget struct {
 	ctx context.Context
 
-	mu          sync.Mutex
+	// deadline/hasDeadline/lim are written once in New and read-only
+	// afterwards, so charges need no lock to consult them.
 	deadline    time.Time
 	hasDeadline bool
 	lim         Limits
 
-	relaxations  int64
-	neighborRuns int64
-	canTuples    int64
-	heapBytes    int64
-	results      int64
+	relaxations  atomic.Int64
+	neighborRuns atomic.Int64
+	canTuples    atomic.Int64
+	heapBytes    atomic.Int64
+	results      atomic.Int64
 
-	err error // sticky stop reason
+	// stop is the sticky stop reason; mu serializes only the trip path
+	// so the first failure wins exactly once.
+	stop atomic.Pointer[error]
+	mu   sync.Mutex
 }
 
 // New builds a Budget from a context and limits. It returns nil — the
@@ -200,9 +215,7 @@ func (b *Budget) Err() error {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.checkLocked()
+	return b.check()
 }
 
 // Poll is a pure liveness check — cancellation and deadline, no
@@ -217,10 +230,8 @@ func (b *Budget) ChargeRelaxations(n int64) error {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.relaxations += n
-	return b.checkLocked()
+	b.relaxations.Add(n)
+	return b.check()
 }
 
 // ChargeNeighborRun records one bounded Dijkstra invocation.
@@ -228,10 +239,8 @@ func (b *Budget) ChargeNeighborRun() error {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.neighborRuns++
-	return b.checkLocked()
+	b.neighborRuns.Add(1)
+	return b.check()
 }
 
 // ChargeTuple records one can-list tuple of the given logical size.
@@ -239,11 +248,9 @@ func (b *Budget) ChargeTuple(bytes int64) error {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.canTuples++
-	b.heapBytes += bytes
-	return b.checkLocked()
+	b.canTuples.Add(1)
+	b.heapBytes.Add(bytes)
+	return b.check()
 }
 
 // ChargeResult grants one result to the caller. Enumerators pre-charge
@@ -253,10 +260,20 @@ func (b *Budget) ChargeResult() error {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.results++
-	return b.checkLocked()
+	b.results.Add(1)
+	return b.check()
+}
+
+// AtResultsLimit reports whether the results budget is fully granted,
+// i.e. the next ChargeResult must trip. The materialization pipeline
+// peeks at this to drain in-flight work before taking the final,
+// tripping charge: a sticky trip aborts every concurrent Dijkstra, and
+// communities already granted must not be voided retroactively.
+func (b *Budget) AtResultsLimit() bool {
+	if b == nil {
+		return false
+	}
+	return b.lim.MaxResults > 0 && b.results.Load() >= b.lim.MaxResults
 }
 
 // Spent reports the current consumption of one resource.
@@ -264,37 +281,33 @@ func (b *Budget) Spent(r Resource) int64 {
 	if b == nil {
 		return 0
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch r {
 	case ResourceRelaxations:
-		return b.relaxations
+		return b.relaxations.Load()
 	case ResourceNeighborRuns:
-		return b.neighborRuns
+		return b.neighborRuns.Load()
 	case ResourceCanTuples:
-		return b.canTuples
+		return b.canTuples.Load()
 	case ResourceHeapBytes:
-		return b.heapBytes
+		return b.heapBytes.Load()
 	case ResourceResults:
-		return b.results
+		return b.results.Load()
 	}
 	return 0
 }
 
-// checkLocked evaluates, in order: the sticky reason, context
-// cancellation, the deadline, then each counter against its limit. The
-// first failure is recorded and returned forever after.
-func (b *Budget) checkLocked() error {
-	if b.err != nil {
-		return b.err
+// check evaluates, in order: the sticky reason, context cancellation,
+// the deadline, then each counter against its limit. The first failure
+// is recorded and returned forever after.
+func (b *Budget) check() error {
+	if p := b.stop.Load(); p != nil {
+		return *p
 	}
 	if err := context.Cause(b.ctx); err != nil {
-		b.err = err
-		return b.err
+		return b.trip(err)
 	}
 	if b.hasDeadline && !time.Now().Before(b.deadline) {
-		b.err = context.DeadlineExceeded
-		return b.err
+		return b.trip(context.DeadlineExceeded)
 	}
 	type probe struct {
 		res   Resource
@@ -302,16 +315,28 @@ func (b *Budget) checkLocked() error {
 		limit int64
 	}
 	for _, p := range []probe{
-		{ResourceRelaxations, b.relaxations, b.lim.MaxRelaxations},
-		{ResourceNeighborRuns, b.neighborRuns, b.lim.MaxNeighborRuns},
-		{ResourceCanTuples, b.canTuples, b.lim.MaxCanTuples},
-		{ResourceHeapBytes, b.heapBytes, b.lim.MaxHeapBytes},
-		{ResourceResults, b.results, b.lim.MaxResults},
+		{ResourceRelaxations, b.relaxations.Load(), b.lim.MaxRelaxations},
+		{ResourceNeighborRuns, b.neighborRuns.Load(), b.lim.MaxNeighborRuns},
+		{ResourceCanTuples, b.canTuples.Load(), b.lim.MaxCanTuples},
+		{ResourceHeapBytes, b.heapBytes.Load(), b.lim.MaxHeapBytes},
+		{ResourceResults, b.results.Load(), b.lim.MaxResults},
 	} {
 		if p.limit > 0 && p.spent > p.limit {
-			b.err = ErrBudgetExhausted{Resource: p.res, Spent: p.spent, Limit: p.limit}
-			return b.err
+			return b.trip(ErrBudgetExhausted{Resource: p.res, Spent: p.spent, Limit: p.limit})
 		}
 	}
 	return nil
+}
+
+// trip records err as the sticky stop reason unless another goroutine
+// beat it; the recorded reason — not necessarily err — is returned, so
+// every caller observes the same first failure.
+func (b *Budget) trip(err error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.stop.Load(); p != nil {
+		return *p
+	}
+	b.stop.Store(&err)
+	return err
 }

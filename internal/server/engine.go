@@ -6,13 +6,17 @@ import (
 	"commdb"
 )
 
-// Stream is the iterator surface the server consumes: both of commdb's
-// enumerators satisfy it. Next yields communities until the query is
-// exhausted or stopped early; Err then reports why it stopped (nil
-// after a clean exhaustion).
+// Stream is the iterator surface the server consumes: commdb's
+// Results iterator satisfies it. Next yields communities until the
+// query is exhausted or stopped early; Err then reports why it stopped
+// (nil after a clean exhaustion). Close releases the query's resources
+// — with a parallel searcher a stream abandoned before exhaustion
+// (top-k reached k, client gone) still has materialization workers
+// running, so every handler must Close its stream.
 type Stream interface {
 	Next() (*commdb.Community, bool)
 	Err() error
+	Close() error
 }
 
 // Engine is the query surface the server serves. The production engine

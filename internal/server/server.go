@@ -448,6 +448,9 @@ func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact boo
 		stopReason = err.Error()
 		return nil, err
 	}
+	// A top-k stream is abandoned once k results arrive; Close stops
+	// the searcher's in-flight materialization workers.
+	defer st.Close()
 	g := s.eng.Graph()
 	records := make([]CommunityRecord, 0, k)
 	for len(records) < k {
@@ -511,6 +514,9 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The stream is abandoned when the client disconnects mid-body;
+	// Close stops the searcher's in-flight materialization workers.
+	defer st.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
 	w.WriteHeader(http.StatusOK)

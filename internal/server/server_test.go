@@ -59,7 +59,8 @@ func (s *fakeStream) Next() (*commdb.Community, bool) {
 	return fakeCommunity(s.i), true
 }
 
-func (s *fakeStream) Err() error { return s.err }
+func (s *fakeStream) Err() error   { return s.err }
+func (s *fakeStream) Close() error { return s.err }
 
 // fakeEngine serves every query with a fresh fakeStream and counts
 // executions.

@@ -44,7 +44,8 @@ func (s *stallStream) Next() (*commdb.Community, bool) {
 	return fakeCommunity(s.i), true
 }
 
-func (s *stallStream) Err() error { return nil }
+func (s *stallStream) Err() error   { return nil }
+func (s *stallStream) Close() error { return nil }
 
 // stallEngine serves every query with a fresh stallStream.
 type stallEngine struct{ delays []time.Duration }

@@ -136,7 +136,8 @@ func (r *Result) add(v graph.NodeID, d float64, src, via graph.NodeID) {
 }
 
 // Workspace holds the per-graph scratch state shared by successive
-// Dijkstra runs. It is not safe for concurrent use.
+// Dijkstra runs. It is not safe for concurrent use, but a Pool of
+// workspaces lets any number of concurrent runs each own one.
 type Workspace struct {
 	g     *graph.Graph
 	tent  []float64
@@ -145,6 +146,14 @@ type Workspace struct {
 	stamp []uint32
 	epoch uint32
 	pq    heap.Binary
+
+	// gen is the workspace's version stamp: bumped every time a Pool
+	// hands the workspace out, so tests (and debugging) can tell
+	// distinct checkouts of one recycled workspace apart. Correctness
+	// across reuses rests on epoch stamping: every Run bumps epoch, so
+	// tentative state from any earlier run — same query or not — can
+	// never satisfy a current-epoch stamp check.
+	gen uint64
 
 	// budget, when non-nil, governs every run: work is charged in
 	// batches of ~govern.Stride relaxations and a run stops early
@@ -162,18 +171,39 @@ type Workspace struct {
 
 // NewWorkspace returns a Workspace for g.
 func NewWorkspace(g *graph.Graph) *Workspace {
+	w := &Workspace{}
+	w.bind(g)
+	return w
+}
+
+// bind points the workspace at g, sizing the scratch arrays to the
+// graph. Rebinding a used workspace to another graph is safe without
+// wiping: retained stamps are all ≤ the current epoch, and Run bumps
+// the epoch before stamping, so stale entries can never pass a
+// current-epoch check. When the arrays must grow they are reallocated
+// (zero stamps, equally unreachable).
+func (w *Workspace) bind(g *graph.Graph) {
+	w.g = g
 	n := g.NumNodes()
-	return &Workspace{
-		g:     g,
-		tent:  make([]float64, n),
-		tsrc:  make([]graph.NodeID, n),
-		tvia:  make([]graph.NodeID, n),
-		stamp: make([]uint32, n),
+	if cap(w.tent) < n {
+		w.tent = make([]float64, n)
+		w.tsrc = make([]graph.NodeID, n)
+		w.tvia = make([]graph.NodeID, n)
+		w.stamp = make([]uint32, n)
+		return
 	}
+	w.tent = w.tent[:n]
+	w.tsrc = w.tsrc[:n]
+	w.tvia = w.tvia[:n]
+	w.stamp = w.stamp[:n]
 }
 
 // Graph returns the graph the workspace was created for.
 func (w *Workspace) Graph() *graph.Graph { return w.g }
+
+// Generation reports how many times a Pool has handed this workspace
+// out; 0 for a workspace that never lived in a pool.
+func (w *Workspace) Generation() uint64 { return w.gen }
 
 // SetBudget installs a governance budget consulted by every subsequent
 // run; nil removes governance. When the budget trips, the current run
@@ -228,8 +258,12 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 	}
 	w.epoch++
 	if w.epoch == 0 { // wrapped: wipe stamps once
-		for i := range w.stamp {
-			w.stamp[i] = 0
+		// The wipe covers the full capacity, not just the current graph's
+		// prefix: a later bind to a larger graph within capacity would
+		// otherwise re-expose stale stamps from before the wrap.
+		full := w.stamp[:cap(w.stamp)]
+		for i := range full {
+			full[i] = 0
 		}
 		w.epoch = 1
 	}

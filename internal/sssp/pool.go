@@ -1,0 +1,60 @@
+package sssp
+
+import (
+	"sync"
+
+	"commdb/internal/graph"
+)
+
+// Pool recycles Workspaces across queries and across the worker
+// goroutines of one query, so concurrent Dijkstra runs never allocate
+// fresh distance arrays on the hot path. A Workspace's scratch is the
+// dominant per-query allocation (four O(n) arrays plus the heap), and
+// a serving process runs many short queries concurrently — the pool
+// turns that into a steady state of ~max-concurrency workspaces.
+//
+// The pool is graph-agnostic: Get rebinds whatever workspace it finds
+// to the requested graph, so one pool serves full-graph queries and
+// the per-query projected subgraphs alike. Safety across reuses rests
+// on epoch stamping (see Workspace.bind); each checkout additionally
+// bumps the workspace's generation stamp so leakage bugs are
+// attributable in tests.
+//
+// A nil *Pool is valid: Get allocates a fresh workspace and Put drops
+// it, so un-pooled paths need no branches at the call sites.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty workspace pool.
+func NewPool() *Pool {
+	return &Pool{p: sync.Pool{New: func() any { return &Workspace{} }}}
+}
+
+// Get returns a workspace bound to g, recycling a pooled one when
+// available. The caller owns it until Put.
+func (p *Pool) Get(g *graph.Graph) *Workspace {
+	if p == nil {
+		return NewWorkspace(g)
+	}
+	w := p.p.Get().(*Workspace)
+	w.bind(g)
+	w.gen++
+	return w
+}
+
+// Put returns a workspace to the pool. The workspace's budget and
+// trace are detached so a pooled workspace never pins a finished
+// query's governance state or trace.
+func (p *Pool) Put(w *Workspace) {
+	if w == nil {
+		return
+	}
+	w.budget = nil
+	w.tr = nil
+	w.tick = 0
+	if p == nil {
+		return
+	}
+	p.p.Put(w)
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"commdb/internal/core"
@@ -16,6 +18,7 @@ import (
 	"commdb/internal/graph"
 	"commdb/internal/index"
 	"commdb/internal/obs"
+	"commdb/internal/sssp"
 )
 
 // CostFunction selects how a community's cost aggregates its
@@ -62,6 +65,23 @@ var ErrDeadlineExceeded = context.DeadlineExceeded
 // ErrCanceled is the iterator stop reason when the query's context was
 // canceled. It is context.Canceled.
 var ErrCanceled = context.Canceled
+
+// Collector is the always-on observability layer: pass one to
+// Open(WithCollector) and every finished query is folded into its
+// slow-query capture, per-class aggregates and SLO watchdog. See the
+// obs package for configuration.
+type Collector = obs.Collector
+
+// CollectorConfig bundles the Collector's knobs; the zero value gets
+// defaults throughout.
+type CollectorConfig = obs.CollectorConfig
+
+// QueryRecord is one finished query as seen by a Collector.
+type QueryRecord = obs.QueryRecord
+
+// NewCollector builds a continuous observability layer for
+// Open(WithCollector).
+func NewCollector(cfg CollectorConfig) *Collector { return obs.NewCollector(cfg) }
 
 // Query is one l-keyword community query.
 type Query struct {
@@ -130,34 +150,144 @@ func (q Query) Fingerprint() string {
 }
 
 // Searcher answers community queries over one graph. A plain Searcher
-// scans the graph per query; an indexed Searcher (NewIndexedSearcher)
-// first projects a small query-specific subgraph using the paper's
-// inverted indexes, which is dramatically faster on large graphs, with
-// identical results.
+// scans the graph per query; an indexed Searcher (Open with WithIndex
+// or WithIndexReader) first projects a small query-specific subgraph
+// using the paper's inverted indexes, which is dramatically faster on
+// large graphs, with identical results.
 //
 // A Searcher is safe for concurrent use; each query gets its own
-// engine.
+// engine, and all queries share one workspace pool so steady-state
+// serving allocates no per-query distance arrays.
 type Searcher struct {
 	g  *Graph
 	ft *fulltext.Index
 	ix *index.Index
+
+	// pool recycles shortest-path workspaces across queries and across
+	// the worker goroutines of one parallel query.
+	pool *sssp.Pool
+	// par is the per-query parallelism degree; 1 means strictly
+	// sequential execution.
+	par int
+	// col, when non-nil, observes every finished query.
+	col *obs.Collector
+}
+
+// Option configures Open.
+type Option func(*openConfig)
+
+type openConfig struct {
+	buildIndex  bool
+	indexRmax   float64
+	indexReader io.Reader
+	parallelism int
+	collector   *obs.Collector
+}
+
+// WithIndex builds the paper's invertedN/invertedE indexes for radii up
+// to maxRmax, so queries run on projected subgraphs. Building takes one
+// bounded shortest-path pass per distinct term; it is a one-time cost
+// amortized over all queries. Mutually exclusive with WithIndexReader.
+func WithIndex(maxRmax float64) Option {
+	return func(c *openConfig) {
+		c.buildIndex = true
+		c.indexRmax = maxRmax
+	}
+}
+
+// WithIndexReader loads an index previously saved with WriteIndex,
+// built over exactly the graph being opened. Mutually exclusive with
+// WithIndex.
+func WithIndexReader(r io.Reader) Option {
+	return func(c *openConfig) { c.indexReader = r }
+}
+
+// WithParallelism sets how many worker goroutines one query may use:
+// the per-keyword Dijkstras of engine init fan out across them, and
+// community materialization runs on them while the enumeration
+// produces the next cores. Results — order, content, Err — are
+// identical at every setting; only wall-clock changes.
+//
+// n <= 0 selects the default, runtime.GOMAXPROCS(0). n == 1 forces the
+// strictly sequential engine.
+func WithParallelism(n int) Option {
+	return func(c *openConfig) { c.parallelism = n }
+}
+
+// WithCollector wires an always-on observability collector: every
+// query finished through the searcher (exhausted or closed) is
+// observed. Share one collector across searchers to aggregate.
+func WithCollector(col *Collector) Option {
+	return func(c *openConfig) { c.collector = col }
+}
+
+// Open returns a Searcher over g. With no options it scans the graph
+// per query and parallelizes each query over runtime.GOMAXPROCS(0)
+// workers; see WithIndex, WithIndexReader, WithParallelism and
+// WithCollector.
+func Open(g *Graph, opts ...Option) (*Searcher, error) {
+	if g == nil {
+		return nil, fmt.Errorf("commdb: Open: nil graph")
+	}
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.buildIndex && cfg.indexReader != nil {
+		return nil, fmt.Errorf("commdb: WithIndex and WithIndexReader are mutually exclusive")
+	}
+	par := cfg.parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	s := &Searcher{g: g, pool: sssp.NewPool(), par: par, col: cfg.collector}
+	switch {
+	case cfg.buildIndex:
+		ix, err := index.Build(g, index.BuildOptions{R: cfg.indexRmax})
+		if err != nil {
+			return nil, err
+		}
+		s.ix, s.ft = ix, ix.Fulltext()
+	case cfg.indexReader != nil:
+		ix, err := index.ReadInto(cfg.indexReader, g)
+		if err != nil {
+			return nil, err
+		}
+		s.ix, s.ft = ix, ix.Fulltext()
+	default:
+		s.ft = fulltext.Build(g)
+	}
+	return s, nil
 }
 
 // NewSearcher returns an un-indexed searcher over g.
+//
+// Deprecated: use Open(g).
 func NewSearcher(g *Graph) *Searcher {
-	return &Searcher{g: g, ft: fulltext.Build(g)}
+	s, err := Open(g)
+	if err != nil {
+		// Open without index options cannot fail; keep the legacy
+		// no-error signature honest if that ever changes.
+		panic(err)
+	}
+	return s
 }
 
-// NewIndexedSearcher builds the paper's invertedN/invertedE indexes for
-// radii up to maxRmax and returns a searcher whose queries run on
-// projected subgraphs. Building takes one bounded shortest-path pass
-// per distinct term; it is a one-time cost amortized over all queries.
+// NewIndexedSearcher builds the paper's inverted indexes for radii up
+// to maxRmax and returns a searcher whose queries run on projected
+// subgraphs.
+//
+// Deprecated: use Open(g, WithIndex(maxRmax)).
 func NewIndexedSearcher(g *Graph, maxRmax float64) (*Searcher, error) {
-	ix, err := index.Build(g, index.BuildOptions{R: maxRmax})
-	if err != nil {
-		return nil, err
-	}
-	return &Searcher{g: g, ft: ix.Fulltext(), ix: ix}, nil
+	return Open(g, WithIndex(maxRmax))
+}
+
+// NewSearcherWithIndex loads an index previously saved with WriteIndex,
+// built over exactly this graph.
+//
+// Deprecated: use Open(g, WithIndexReader(r)).
+func NewSearcherWithIndex(g *Graph, r io.Reader) (*Searcher, error) {
+	return Open(g, WithIndexReader(r))
 }
 
 // Indexed reports whether the searcher projects queries through the
@@ -167,6 +297,9 @@ func (s *Searcher) Indexed() bool { return s.ix != nil }
 // Graph returns the searched graph.
 func (s *Searcher) Graph() *Graph { return s.g }
 
+// Parallelism reports the searcher's per-query worker count.
+func (s *Searcher) Parallelism() int { return s.par }
+
 // KeywordFrequency reports the KWF of a term: the fraction of graph
 // nodes containing it.
 func (s *Searcher) KeywordFrequency(term string) float64 { return s.ft.KWF(term) }
@@ -175,9 +308,11 @@ func (s *Searcher) KeywordFrequency(term string) float64 { return s.ft.KWF(term)
 // engine plus the mapping back to the searcher's graph.
 type session struct {
 	s      *Searcher
+	q      Query
 	eng    *core.Engine
 	sub    *graph.Subgraph // nil when running directly on s.g
 	inNode map[NodeID]bool // scratch for edge re-induction
+	start  time.Time
 
 	// tr is the query's trace (nil when the context carries none); the
 	// enumerate span runs from the first Next to exhaustion, closed at
@@ -222,7 +357,7 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 	}
 	bud := govern.New(ctx, q.Limits)
 	tr := obs.FromContext(ctx)
-	sess := &session{s: s, tr: tr}
+	sess := &session{s: s, q: q, tr: tr, start: time.Now()}
 	if tr != nil {
 		if s.ix != nil {
 			tr.SetLabel("projected", "true")
@@ -235,6 +370,7 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 		tr.SetLabel("fingerprint", q.Fingerprint())
 		tr.SetLabel("keywords", strings.Join(q.Normalized().Keywords, ","))
 		tr.SetLabel("rmax", strconv.FormatFloat(q.Rmax, 'g', -1, 64))
+		tr.SetLabel("parallelism", strconv.Itoa(s.par))
 		// Snapshot what the query consumed once the trace is finalized;
 		// the enumerate span is also closed here for queries abandoned
 		// mid-enumeration.
@@ -251,7 +387,7 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 	var ft *fulltext.Index = s.ft
 	if s.ix != nil {
 		if q.Rmax > s.ix.R() {
-			return nil, fmt.Errorf("commdb: Rmax %v exceeds the index radius %v given to NewIndexedSearcher", q.Rmax, s.ix.R())
+			return nil, fmt.Errorf("commdb: Rmax %v exceeds the index radius %v given to WithIndex", q.Rmax, s.ix.R())
 		}
 		proj, err := s.ix.ProjectTrace(q.Keywords, q.Rmax, bud, tr)
 		if err != nil {
@@ -262,13 +398,19 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 		ft = nil // projected graphs are small; scanning is fine
 	}
 	endInit := tr.StartSpan("engine_init")
-	eng, err := core.NewEngine(target, ft, q.Keywords, q.Rmax)
+	eng, err := core.NewEngineCfg(target, ft, q.Keywords, q.Rmax, core.EngineConfig{
+		Pool:        s.pool,
+		Parallelism: s.par,
+	})
 	if err != nil {
 		return nil, err
 	}
 	eng.SetCostFunction(q.Cost)
 	eng.SetBudget(bud)
 	eng.SetTrace(tr)
+	// Fan the per-keyword full-set Dijkstras across the workers now,
+	// inside the engine_init span; the enumerators find them cached.
+	eng.PrecomputeNeighborSets()
 	endInit()
 	sess.eng = eng
 	return sess, nil
@@ -325,6 +467,18 @@ func (sess *session) mapBack(r *Community) *Community {
 	return mapped
 }
 
+// mapBackCore translates one core to the searcher's graph.
+func (sess *session) mapBackCore(cc CoreCost) CoreCost {
+	if sess.sub == nil {
+		return cc
+	}
+	mapped := make(Core, len(cc.Core))
+	for i, v := range cc.Core {
+		mapped[i] = sess.sub.ToParent[v]
+	}
+	return CoreCost{Core: mapped, Cost: cc.Cost}
+}
+
 func mapIDs(in []NodeID, toParent []NodeID) []NodeID {
 	out := make([]NodeID, len(in))
 	for i, v := range in {
@@ -333,28 +487,99 @@ func mapIDs(in []NodeID, toParent []NodeID) []NodeID {
 	return out
 }
 
-// AllIterator enumerates every community of a query in polynomial
-// delay (Algorithm 1 of the paper), duplication-free and complete.
+// Algorithm selects which of the paper's enumerations a search runs.
+type Algorithm int
+
+const (
+	// AlgoAll is COMM-all (Algorithm 1): every community, polynomial
+	// delay, duplication-free. The first community returned is a
+	// minimum-cost one; the rest follow in enumeration (not ranking)
+	// order.
+	AlgoAll Algorithm = iota
+	// AlgoTopK is COMM-k (Algorithm 5): communities in non-decreasing
+	// cost order, with no fixed k — every Next produces the next best
+	// community, so k can be enlarged interactively at no extra cost.
+	AlgoTopK
+)
+
+// String names the algorithm as labeled in traces.
+func (a Algorithm) String() string {
+	if a == AlgoTopK {
+		return "comm_k"
+	}
+	return "comm_all"
+}
+
+// enumerator is the common face of the core enumerators.
+type enumerator interface {
+	Next() (*Community, bool)
+	NextCore() (CoreCost, bool)
+	Err() error
+}
+
+// Iterator streams one query's communities. Both algorithms return the
+// same implementation (*Results); the interface is the contract.
 //
 // When the query carries Limits or a cancelable context, Next may
-// return false before the query is exhausted; Err then reports why,
-// and the communities already returned are a valid partial set.
-type AllIterator struct {
+// return ok == false before the query is exhausted; Err then reports
+// why, and the communities already returned are a valid partial set
+// (for AlgoTopK, a valid ranking prefix).
+type Iterator interface {
+	// Next returns the next community, or ok == false when the query is
+	// exhausted or stopped early (see Err).
+	Next() (*Community, bool)
+	// NextCore advances without materializing the community subgraph;
+	// cheaper when only cores and costs are needed.
+	NextCore() (CoreCost, bool)
+	// Err reports why the enumeration stopped: nil after a clean
+	// exhaustion, or the stop reason — ErrCanceled,
+	// ErrDeadlineExceeded, an ErrBudgetExhausted (match with
+	// errors.As), or a recovered internal panic. It is meaningful once
+	// Next or NextCore has returned ok == false.
+	Err() error
+	// Close releases the query's resources: it stops any in-flight
+	// parallel materialization, returns pooled workspaces, and reports
+	// the query to the searcher's Collector. Exhausting the iterator
+	// closes it implicitly; Close is idempotent and returns Err.
+	Close() error
+}
+
+// Results is the iterator over one query's communities, returned by
+// All/TopK/SearchCtx. See Iterator for the contract.
+//
+// On a searcher with parallelism >= 2 the first Next starts the
+// materialization pipeline: enumeration keeps producing cores in paper
+// order on one goroutine while GetCommunity calls fan out across
+// workers, and a reorder buffer preserves the exact sequential
+// emission order. Callers that abandon a Results mid-stream must call
+// Close to stop those workers; iterating to exhaustion closes
+// implicitly.
+type Results struct {
 	sess *session
-	it   *core.AllEnumerator
-	err  error // panic recovered at the public boundary
+	algo Algorithm
+	enum enumerator
+	pipe *core.Pipeline
+
+	err      error // panic recovered at the public boundary
+	done     bool  // enumeration finished (naturally or stopped)
+	closed   bool  // resources released, collector observed
+	produced int
 }
 
-// All starts a COMM-all enumeration. The first community returned is a
-// minimum-cost one; the rest follow in enumeration (not ranking) order.
-func (s *Searcher) All(q Query) (*AllIterator, error) {
-	return s.AllCtx(context.Background(), q)
-}
+// AllIterator enumerates every community of a query.
+//
+// Deprecated: use the Iterator interface or *Results.
+type AllIterator = Results
 
-// AllCtx is All bound to a context: canceling ctx (or hitting its
-// deadline) stops the enumeration within a bounded number of Next
-// calls, with the reason readable from Err.
-func (s *Searcher) AllCtx(ctx context.Context, q Query) (it *AllIterator, err error) {
+// TopKIterator enumerates communities in non-decreasing cost order.
+//
+// Deprecated: use the Iterator interface or *Results.
+type TopKIterator = Results
+
+// SearchCtx starts an enumeration of q under algo, bound to ctx:
+// canceling ctx (or hitting its deadline) stops the enumeration within
+// a bounded number of Next calls, with the reason readable from Err.
+func (s *Searcher) SearchCtx(ctx context.Context, algo Algorithm, q Query) (it *Results, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			it, err = nil, recoverQueryPanic(p)
@@ -364,26 +589,63 @@ func (s *Searcher) AllCtx(ctx context.Context, q Query) (it *AllIterator, err er
 	if err != nil {
 		return nil, err
 	}
-	sess.tr.SetLabel("algorithm", "comm_all")
-	return &AllIterator{sess: sess, it: core.NewAll(sess.eng)}, nil
+	sess.tr.SetLabel("algorithm", algo.String())
+	r := &Results{sess: sess, algo: algo}
+	if algo == AlgoTopK {
+		r.enum = core.NewTopK(sess.eng)
+	} else {
+		r.enum = core.NewAll(sess.eng)
+	}
+	return r, nil
 }
 
-// Err reports why the enumeration stopped: nil after a clean
-// exhaustion, or the stop reason — ErrCanceled, ErrDeadlineExceeded,
-// an ErrBudgetExhausted (match with errors.As), or a recovered
-// internal panic — when it ended early. It is meaningful once Next or
-// NextCore has returned ok == false.
-func (it *AllIterator) Err() error {
+// All starts a COMM-all enumeration (see AlgoAll).
+func (s *Searcher) All(q Query) (*Results, error) {
+	return s.SearchCtx(context.Background(), AlgoAll, q)
+}
+
+// AllCtx is All bound to a context.
+func (s *Searcher) AllCtx(ctx context.Context, q Query) (*Results, error) {
+	return s.SearchCtx(ctx, AlgoAll, q)
+}
+
+// TopK starts a COMM-k enumeration (see AlgoTopK).
+func (s *Searcher) TopK(q Query) (*Results, error) {
+	return s.SearchCtx(context.Background(), AlgoTopK, q)
+}
+
+// TopKCtx is TopK bound to a context.
+func (s *Searcher) TopKCtx(ctx context.Context, q Query) (*Results, error) {
+	return s.SearchCtx(ctx, AlgoTopK, q)
+}
+
+// startPipeline begins parallel materialization when the searcher is
+// parallel; once started, the wrapped enumerator belongs to the
+// pipeline's producer goroutine and must not be touched directly.
+func (it *Results) startPipeline() {
+	if it.pipe != nil || it.done {
+		return
+	}
+	if par := it.sess.eng.Parallelism(); par >= 2 {
+		it.pipe = core.NewPipeline(it.sess.eng, it.enum, par)
+	}
+}
+
+// Err reports why the enumeration stopped; see Iterator.
+func (it *Results) Err() error {
 	if it.err != nil {
 		return it.err
 	}
-	return it.it.Err()
+	if it.pipe != nil {
+		return it.pipe.Err()
+	}
+	return it.enum.Err()
 }
 
 // Next returns the next community, or ok == false when the query is
 // exhausted or stopped early (see Err).
-func (it *AllIterator) Next() (r *Community, ok bool) {
-	if it.err != nil {
+func (it *Results) Next() (r *Community, ok bool) {
+	if it.err != nil || it.done {
 		return nil, false
 	}
 	defer func() {
@@ -393,18 +655,27 @@ func (it *AllIterator) Next() (r *Community, ok bool) {
 		}
 	}()
 	it.sess.noteNext()
-	r0, ok := it.it.Next()
+	it.startPipeline()
+	var r0 *Community
+	if it.pipe != nil {
+		_, r0, ok = it.pipe.Next()
+	} else {
+		r0, ok = it.enum.Next()
+	}
 	if !ok {
-		it.sess.finishEnum()
+		it.finish()
 		return nil, false
 	}
+	it.produced++
 	return it.sess.mapBack(r0), true
 }
 
 // NextCore advances without materializing the community subgraph;
-// cheaper when only cores and costs are needed.
-func (it *AllIterator) NextCore() (cc CoreCost, ok bool) {
-	if it.err != nil {
+// cheaper when only cores and costs are needed. (Once Next has started
+// the parallel pipeline, the pipeline still materializes lookahead
+// communities; NextCore then returns their cores in order.)
+func (it *Results) NextCore() (cc CoreCost, ok bool) {
+	if it.err != nil || it.done {
 		return CoreCost{}, false
 	}
 	defer func() {
@@ -414,142 +685,100 @@ func (it *AllIterator) NextCore() (cc CoreCost, ok bool) {
 		}
 	}()
 	it.sess.noteNext()
-	cc, ok = it.it.NextCore()
+	if it.pipe != nil {
+		cc, _, ok = it.pipe.Next()
+	} else {
+		cc, ok = it.enum.NextCore()
+	}
 	if !ok {
-		it.sess.finishEnum()
-	}
-	if !ok || it.sess.sub == nil {
-		return cc, ok
-	}
-	mapped := make(Core, len(cc.Core))
-	for i, v := range cc.Core {
-		mapped[i] = it.sess.sub.ToParent[v]
-	}
-	return CoreCost{Core: mapped, Cost: cc.Cost}, true
-}
-
-// TopKIterator enumerates communities in non-decreasing cost order
-// (Algorithm 5 of the paper). It has no fixed k: every Next call
-// produces the next best community, so a user can interactively keep
-// enlarging k without any recomputation.
-//
-// When the query carries Limits or a cancelable context, Next may
-// return false before the query is exhausted; Err then reports why,
-// and the communities already returned are a valid ranking prefix.
-type TopKIterator struct {
-	sess *session
-	it   *core.TopKEnumerator
-	err  error // panic recovered at the public boundary
-}
-
-// TopK starts a COMM-k enumeration.
-func (s *Searcher) TopK(q Query) (*TopKIterator, error) {
-	return s.TopKCtx(context.Background(), q)
-}
-
-// TopKCtx is TopK bound to a context: canceling ctx (or hitting its
-// deadline) stops the enumeration within a bounded number of Next
-// calls, with the reason readable from Err.
-func (s *Searcher) TopKCtx(ctx context.Context, q Query) (it *TopKIterator, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			it, err = nil, recoverQueryPanic(p)
-		}
-	}()
-	sess, err := s.newSession(ctx, q)
-	if err != nil {
-		return nil, err
-	}
-	sess.tr.SetLabel("algorithm", "comm_k")
-	return &TopKIterator{sess: sess, it: core.NewTopK(sess.eng)}, nil
-}
-
-// Err reports why the enumeration stopped: nil after a clean
-// exhaustion, or the stop reason — ErrCanceled, ErrDeadlineExceeded,
-// an ErrBudgetExhausted (match with errors.As), or a recovered
-// internal panic — when it ended early. It is meaningful once Next or
-// NextCore has returned ok == false.
-func (it *TopKIterator) Err() error {
-	if it.err != nil {
-		return it.err
-	}
-	return it.it.Err()
-}
-
-// Next returns the next best community, or ok == false when exhausted
-// or stopped early (see Err).
-func (it *TopKIterator) Next() (r *Community, ok bool) {
-	if it.err != nil {
-		return nil, false
-	}
-	defer func() {
-		if p := recover(); p != nil {
-			it.err = recoverQueryPanic(p)
-			r, ok = nil, false
-		}
-	}()
-	it.sess.noteNext()
-	r0, ok := it.it.Next()
-	if !ok {
-		it.sess.finishEnum()
-		return nil, false
-	}
-	return it.sess.mapBack(r0), true
-}
-
-// NextCore advances without materializing the community subgraph.
-func (it *TopKIterator) NextCore() (cc CoreCost, ok bool) {
-	if it.err != nil {
+		it.finish()
 		return CoreCost{}, false
 	}
-	defer func() {
-		if p := recover(); p != nil {
-			it.err = recoverQueryPanic(p)
-			cc, ok = CoreCost{}, false
-		}
-	}()
-	it.sess.noteNext()
-	cc, ok = it.it.NextCore()
-	if !ok {
-		it.sess.finishEnum()
-	}
-	if !ok || it.sess.sub == nil {
-		return cc, ok
-	}
-	mapped := make(Core, len(cc.Core))
-	for i, v := range cc.Core {
-		mapped[i] = it.sess.sub.ToParent[v]
-	}
-	return CoreCost{Core: mapped, Cost: cc.Cost}, true
+	it.produced++
+	return it.sess.mapBackCore(cc), true
 }
 
-// Collect drains up to k communities from the iterator (a convenience
-// wrapper around Next). It may return fewer than k when the query is
-// exhausted or stopped early — check Err to distinguish.
-func (it *TopKIterator) Collect(k int) []*Community {
-	out := make([]*Community, 0, k)
-	for len(out) < k {
-		r, ok := it.Next()
-		if !ok {
-			break
-		}
-		out = append(out, r)
-	}
-	return out
+// finish records natural exhaustion and releases resources.
+func (it *Results) finish() {
+	it.done = true
+	it.release()
 }
 
-// CollectAll drains every community from an AllIterator. Use with
-// care: the result set can be large — or bound it with Query.Limits
-// and check Err for the stop reason.
-func (it *AllIterator) CollectAll(limit int) []*Community {
+// Close releases the query's resources; see Iterator. It is safe to
+// call mid-stream (the remaining communities are discarded) and after
+// exhaustion (a no-op beyond returning Err).
+func (it *Results) Close() error {
+	it.done = true
+	it.release()
+	return it.Err()
+}
+
+// release tears down the pipeline, closes spans, returns workspaces
+// and reports to the collector — exactly once.
+func (it *Results) release() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	if it.pipe != nil {
+		it.pipe.Close()
+	}
+	it.sess.finishEnum()
+	it.sess.eng.Close()
+	it.observe()
+}
+
+// queryCounter numbers collector records for queries run outside any
+// serving layer (which mint their own query IDs).
+var queryCounter atomic.Int64
+
+// observe reports the finished query to the searcher's collector.
+func (it *Results) observe() {
+	col := it.sess.s.col
+	if col == nil {
+		return
+	}
+	var sum *obs.Summary
+	if it.sess.tr != nil {
+		sum = it.sess.tr.Summary()
+	}
+	stop := ""
+	if err := it.Err(); err != nil {
+		stop = err.Error()
+	}
+	n := it.sess.q.Normalized()
+	rec := obs.NewQueryRecord(
+		fmt.Sprintf("search-%d", queryCounter.Add(1)),
+		it.algo.String(),
+		n.Keywords, n.Rmax, it.produced, it.sess.s.Indexed(),
+		it.produced, stop, it.sess.start, time.Since(it.sess.start), sum,
+	)
+	col.Observe(rec)
+}
+
+// Collect drains up to max communities from the iterator (max <= 0
+// means all of them), closing it when the enumeration ends. The error
+// is the iterator's Err: nil when max was reached or the query was
+// cleanly exhausted, the stop reason when governance ended the query
+// early — in which case the communities returned alongside it are a
+// valid partial set.
+func (it *Results) Collect(max int) ([]*Community, error) {
 	var out []*Community
-	for limit <= 0 || len(out) < limit {
+	for max <= 0 || len(out) < max {
 		r, ok := it.Next()
 		if !ok {
-			break
+			return out, it.Err()
 		}
 		out = append(out, r)
 	}
+	return out, nil
+}
+
+// CollectAll drains every community, discarding the stop reason.
+//
+// Deprecated: use Collect, which reports why a drain ended early.
+func (it *Results) CollectAll(limit int) []*Community {
+	out, _ := it.Collect(limit)
 	return out
 }
 
@@ -561,16 +790,6 @@ func (s *Searcher) WriteIndex(w io.Writer) error {
 		return fmt.Errorf("commdb: searcher has no index to write")
 	}
 	return s.ix.Write(w)
-}
-
-// NewSearcherWithIndex loads an index previously saved with WriteIndex,
-// built over exactly this graph.
-func NewSearcherWithIndex(g *Graph, r io.Reader) (*Searcher, error) {
-	ix, err := index.ReadInto(r, g)
-	if err != nil {
-		return nil, err
-	}
-	return &Searcher{g: g, ft: ix.Fulltext(), ix: ix}, nil
 }
 
 // IndexBytes reports the logical size of the searcher's inverted

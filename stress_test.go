@@ -122,9 +122,9 @@ func TestSearcherConcurrentStress(t *testing.T) {
 						errs <- fmt.Errorf("worker %d: TopK: %w", w, err)
 						return
 					}
-					got := it.Collect(3)
-					if err := it.Err(); err != nil {
-						errs <- fmt.Errorf("worker %d: TopK stopped early: %w", w, err)
+					got, cerr := it.Collect(3)
+					if cerr != nil {
+						errs <- fmt.Errorf("worker %d: TopK stopped early: %w", w, cerr)
 						return
 					}
 					if len(got) > 0 && got[0].Cost != e.bestCost {
