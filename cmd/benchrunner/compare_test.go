@@ -126,3 +126,66 @@ func TestRunCompareExitPath(t *testing.T) {
 		t.Fatal("missing file returned nil")
 	}
 }
+
+// TestCompareToleratesEpochFields: BENCH_serve.json now embeds the
+// snapshot-epoch block in server_stats (and may in the future grow
+// per-outcome reload counters there). -compare of a new report against
+// a pre-epoch baseline — and the reverse — must work: epoch fields are
+// operational telemetry, not gated metrics.
+func TestCompareToleratesEpochFields(t *testing.T) {
+	dir := t.TempDir()
+
+	oldRep := baselineReport()
+	oldB, err := json.Marshal(oldRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the "new" report by splicing an epochs block (with a made-up
+	// extra field, standing in for whatever the block grows next) into
+	// server_stats at the JSON level.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(oldB, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]json.RawMessage
+	if err := json.Unmarshal(raw["server_stats"], &stats); err != nil {
+		t.Fatal(err)
+	}
+	stats["epochs"] = json.RawMessage(`{
+		"epoch": 7, "source": "reload", "started_at": "2026-08-08T00:00:00Z",
+		"active_leases": 2, "probation": false,
+		"reloads": {"success": 6, "rejected_corrupt": 1, "rolled_back": 1},
+		"some_future_field": "ignored"
+	}`)
+	raw["server_stats"], err = json.Marshal(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newB, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, oldB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, newB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dir := range [][2]string{{oldPath, newPath}, {newPath, oldPath}} {
+		deltas, err := loadDeltas(dir[0], dir[1], 0.15)
+		if err != nil {
+			t.Fatalf("compare %s -> %s: %v", dir[0], dir[1], err)
+		}
+		if len(deltas) == 0 {
+			t.Fatalf("compare %s -> %s produced no metrics", dir[0], dir[1])
+		}
+		if bad := regressions(deltas); len(bad) != 0 {
+			t.Fatalf("epoch fields perturbed the gate: %+v", bad)
+		}
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"commdb"
+	"commdb/internal/fault"
 	"commdb/internal/obs"
+	"commdb/internal/snapshot"
 )
 
 // repl runs the interactive session: the user issues queries and then
@@ -42,6 +44,19 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 		pending = nil
 	}
 
+	// The epoch manager behind `reload`: the same fail-closed swap path
+	// commserve uses, sized down to one session. A rejected artifact
+	// (corrupt, truncated, wrong graph, shrunken radius) leaves the
+	// current searcher untouched, and an open iterator keeps answering
+	// 'more' from the epoch it started on.
+	var reloadPath string
+	snaps := snapshot.New(s, snapshot.Config{
+		Load: func(inj *fault.Injector) (*commdb.Searcher, error) {
+			return snapshot.IndexFileLoader(g, reloadPath)(inj)
+		},
+		Logf: func(format string, a ...any) { fmt.Fprintf(out, "  "+format+"\n", a...) },
+	})
+
 	scanner := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "> ")
@@ -63,6 +78,7 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 			fmt.Fprintln(out, "  kwf <kw>         keyword frequency of a term")
 			fmt.Fprintln(out, "  stats            trace of the current query: stages, counters, emission delays")
 			fmt.Fprintln(out, "  slowlog          session slow-query log: captured traces, classes, SLO breaches")
+			fmt.Fprintln(out, "  reload <file>    swap in a new index artifact (fail-closed: a bad file is rejected)")
 			fmt.Fprintln(out, "  quit             exit")
 		case "quit", "exit":
 			flush()
@@ -134,6 +150,23 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 			pending = &replQuery{qid: tr.QueryID(), keywords: fields[1:], rmax: rmax, start: begin, tr: tr}
 			replShow(out, g, it, &shown, 5)
 			pending.active += time.Since(begin)
+		case "reload":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: reload <index-file>")
+				continue
+			}
+			reloadPath = fields[1]
+			if outcome, err := snaps.Reload(context.Background()); err != nil {
+				fmt.Fprintf(out, "reload rejected (%s): %v — current index keeps serving\n", outcome, err)
+				continue
+			}
+			// New queries run on the new epoch; an open iterator keeps its
+			// old searcher and stays valid for 'more'.
+			l := snaps.Acquire()
+			s = l.Searcher()
+			l.Release()
+			fmt.Fprintf(out, "reload ok: epoch %d serving (indexed=%v, radius=%v)\n",
+				snaps.Current(), s.Indexed(), s.IndexRadius())
 		case "stats":
 			if lastTr == nil {
 				fmt.Fprintln(out, "no query yet — use q first")

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -146,5 +149,49 @@ func TestReplSlowlogEmpty(t *testing.T) {
 	out := runReplScript(t, "slowlog\nquit\n")
 	if !strings.Contains(out, "slow-query log: 0 observed, 0 retained, 0 SLO breaches") {
 		t.Fatalf("empty slowlog header wrong:\n%s", out)
+	}
+}
+
+// TestReplReload: `reload` swaps a serialized index in through the
+// epoch path — a truncated artifact is rejected with the session
+// unchanged, a good one starts a new epoch, and queries still answer
+// correctly afterwards.
+func TestReplReload(t *testing.T) {
+	g, _ := commdb.PaperExampleGraph()
+	s, err := commdb.Open(g, commdb.WithIndex(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good := filepath.Join(dir, "paper.index")
+	if err := os.WriteFile(good, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.index")
+	if err := os.WriteFile(bad, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runReplScript(t, "reload "+bad+"\nreload "+good+"\nq a b c\nquit\n")
+	if !strings.Contains(out, "reload rejected") || !strings.Contains(out, "current index keeps serving") {
+		t.Fatalf("truncated artifact not rejected:\n%s", out)
+	}
+	// The bad attempt must not have consumed an epoch: the good reload
+	// lands on epoch 2.
+	if !strings.Contains(out, "reload ok: epoch 2 serving (indexed=true, radius=8)") {
+		t.Fatalf("good reload missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#1 cost=7.000") {
+		t.Fatalf("query after reload wrong:\n%s", out)
+	}
+	if help := runReplScript(t, "help\nquit\n"); !strings.Contains(help, "reload <file>") {
+		t.Fatalf("help does not mention reload:\n%s", help)
+	}
+	if usage := runReplScript(t, "reload\nquit\n"); !strings.Contains(usage, "usage: reload <index-file>") {
+		t.Fatalf("usage line missing:\n%s", usage)
 	}
 }

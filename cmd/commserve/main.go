@@ -26,6 +26,14 @@
 // cannot monopolize the query governor's budget. On SIGINT/SIGTERM the
 // server stops admitting, cancels in-flight queries through the
 // governor, drains streams with correct trailers, then exits.
+//
+// When serving from files (-graph), the server hot-reloads: SIGHUP, an
+// authenticated POST /admin/reload (-admin-token, or the
+// COMMSERVE_ADMIN_TOKEN environment variable), or -reload-watch (which
+// polls the artifact's mtime) all load a fresh epoch from the same
+// paths and swap it in atomically. In-flight queries — including
+// NDJSON streams — finish on the epoch they started on; a corrupt or
+// truncated artifact is rejected with the current epoch still serving.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 
 	"commdb"
 	"commdb/internal/server"
+	"commdb/internal/snapshot"
 )
 
 func main() {
@@ -69,10 +78,16 @@ func main() {
 
 		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "drain budget on SIGINT/SIGTERM")
 
+		adminToken  = flag.String("admin-token", "", "bearer token for POST /admin/reload (default $COMMSERVE_ADMIN_TOKEN; empty disables the endpoint)")
+		reloadWatch = flag.Duration("reload-watch", 0, "poll the served artifact's mtime at this interval and reload on change (0 disables)")
+
 		logQueries  = flag.Bool("log", false, "log one structured line per query (JSON on stderr)")
 		pprofEnable = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+	if *adminToken == "" {
+		*adminToken = os.Getenv("COMMSERVE_ADMIN_TOKEN")
+	}
 	var logger *slog.Logger
 	if *logQueries {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -90,24 +105,47 @@ func main() {
 			MaxRelaxations: *maxVisited,
 			MaxResults:     *maxResults,
 		},
-		Logger: logger,
-		Pprof:  *pprofEnable,
+		Logger:     logger,
+		Pprof:      *pprofEnable,
+		AdminToken: *adminToken,
 	}
-	if err := run(*addr, *graphPath, *indexPath, *example, *useIndex, *rmaxMax, *parallelism, cfg, *shutdownGrace); err != nil {
+	if err := run(*addr, *graphPath, *indexPath, *example, *useIndex, *rmaxMax, *parallelism, cfg, *shutdownGrace, *reloadWatch); err != nil {
 		fmt.Fprintln(os.Stderr, "commserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax float64, parallelism int, cfg server.Config, grace time.Duration) error {
+func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax float64, parallelism int, cfg server.Config, grace, watchEvery time.Duration) error {
 	s, err := buildSearcher(graphPath, indexPath, example, useIndex, rmaxMax, parallelism)
 	if err != nil {
 		return err
 	}
 	log.Printf("graph: %d nodes, %d edges (indexed=%v)", s.Graph().NumNodes(), s.Graph().NumEdges(), s.Indexed())
 
+	// Hot reload needs an on-disk artifact to reload from; the built-in
+	// example graphs have none, so they serve a single fixed epoch.
+	var snaps *snapshot.Manager
+	if loader := buildLoader(graphPath, indexPath, useIndex, rmaxMax, parallelism); loader != nil {
+		snaps = snapshot.New(s, snapshot.Config{Load: loader, Logf: log.Printf})
+		cfg.Snapshots = snaps
+	}
+
 	app := server.New(s, cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: app.Handler()}
+
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if snaps != nil && watchEvery > 0 {
+		// Watch the artifact the reload actually re-reads: the index file
+		// when serving one, otherwise the graph file. indexbuild publishes
+		// by atomic rename, so a changed mtime is a complete artifact.
+		watchPath := indexPath
+		if watchPath == "" {
+			watchPath = graphPath
+		}
+		log.Printf("watching %s (every %v)", watchPath, watchEvery)
+		go snaps.Watch(watchCtx, watchPath, watchEvery)
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -117,11 +155,28 @@ func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax floa
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-sigc:
-		log.Printf("caught %v; draining (grace %v)", sig, grace)
+	hupc := make(chan os.Signal, 1)
+	if snaps != nil {
+		signal.Notify(hupc, syscall.SIGHUP)
+	}
+loop:
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case <-hupc:
+			log.Printf("caught SIGHUP; reloading")
+			go func() {
+				if outcome, err := snaps.Reload(context.Background()); err != nil {
+					log.Printf("reload rejected (%s): %v", outcome, err)
+				} else {
+					log.Printf("reload complete: epoch %d serving", snaps.Current())
+				}
+			}()
+		case sig := <-sigc:
+			log.Printf("caught %v; draining (grace %v)", sig, grace)
+			break loop
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
@@ -159,6 +214,25 @@ func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax 
 		opts = append(opts, commdb.WithIndex(rmaxMax))
 	}
 	return commdb.Open(g, opts...)
+}
+
+// buildLoader returns the snapshot loader matching the serving flags,
+// or nil when there is no on-disk artifact to reload from. The loader
+// mirrors buildSearcher exactly, so a reload produces the same flavour
+// of searcher the process booted with.
+func buildLoader(graphPath, indexPath string, useIndex bool, rmaxMax float64, parallelism int) snapshot.Loader {
+	if graphPath == "" {
+		return nil
+	}
+	opts := []commdb.Option{commdb.WithParallelism(parallelism)}
+	if indexPath != "" {
+		return snapshot.GraphIndexFileLoader(graphPath, indexPath, opts...)
+	}
+	r := 0.0
+	if useIndex {
+		r = rmaxMax
+	}
+	return snapshot.GraphFileLoader(graphPath, r, opts...)
 }
 
 func loadGraph(graphPath, example string) (*commdb.Graph, error) {

@@ -12,7 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"commdb"
@@ -53,17 +55,49 @@ func run(graphPath string, rmax float64, out string) error {
 	}
 	fmt.Printf("index built in %v: %d KB\n", time.Since(start).Round(time.Millisecond), s.IndexBytes()/1024)
 
-	w, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer w.Close()
-	if err := s.WriteIndex(w); err != nil {
-		return err
-	}
-	if err := w.Close(); err != nil {
+	if err := writeAtomic(out, s.WriteIndex); err != nil {
 		return err
 	}
 	fmt.Printf("written to %s\n", out)
+	return nil
+}
+
+// writeAtomic publishes the artifact with the temp-file + fsync +
+// rename discipline: a reader (or a watching commserve) at out either
+// sees the previous complete file or the new complete file, never a
+// torn write — a crash mid-build leaves only a .tmp to sweep up. The
+// temp file lives in out's directory so the rename stays within one
+// filesystem.
+func writeAtomic(out string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(out), filepath.Base(out)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	// CreateTemp opens 0600; publish world-readable (modulo umask) like
+	// os.Create used to, so a server under another uid can load it.
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return err
+	}
+	// Data must be durable before the rename, or a crash could publish
+	// the name pointing at unwritten blocks.
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), out); err != nil {
+		return err
+	}
+	tmp = nil
 	return nil
 }

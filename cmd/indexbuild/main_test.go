@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -71,5 +73,50 @@ func TestIndexBuildErrors(t *testing.T) {
 	}
 	if err := run("/nonexistent", 8, filepath.Join(t.TempDir(), "x")); err == nil {
 		t.Fatal("missing graph file should error")
+	}
+}
+
+// TestIndexBuildAtomicPublish: the artifact appears via rename, so a
+// successful build leaves no temp files behind and a failed write
+// leaves the previous artifact byte-identical.
+func TestIndexBuildAtomicPublish(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "a.index")
+
+	if err := writeAtomic(out, func(w io.Writer) error {
+		_, err := w.Write([]byte("first artifact"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer that fails mid-stream must not disturb the published file
+	// and must clean up its temp file.
+	err := writeAtomic(out, func(w io.Writer) error {
+		if _, err := w.Write([]byte("torn ")); err != nil {
+			return err
+		}
+		return errors.New("disk went away")
+	})
+	if err == nil {
+		t.Fatal("failed write should surface its error")
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first artifact" {
+		t.Fatalf("published artifact disturbed by failed write: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "a.index" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp files left behind: %v", names)
 	}
 }

@@ -1,0 +1,253 @@
+// Package fault provides deterministic, seedable fault injection for
+// robustness tests: short reads, bit-flips, slow I/O, injected errors
+// and load-time panics, armed per named injection point.
+//
+// Production code threads an *Injector (usually nil) into its I/O
+// paths; a nil injector is a no-op on every call, so the production
+// path pays one nil check and nothing else. Tests arm points with
+// plans and drive the code under test through real failures:
+//
+//	inj := fault.New(42)
+//	inj.Arm(fault.PointIndexRead, fault.Plan{Mode: fault.BitFlip})
+//	r := inj.Reader(fault.PointIndexRead, file) // corrupts one bit
+//
+// All decisions are deterministic for a given seed and call sequence,
+// so a failing chaos run reproduces from its seed.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Point names an injection site. Sites are just labels: packages
+// declare the points they honor and tests arm them.
+type Point string
+
+// Injection points honored by the snapshot/index loading stack.
+const (
+	// PointLoad fires inside the snapshot loader before any file is
+	// opened — the site for load-time panics and transient errors.
+	PointLoad Point = "load"
+	// PointGraphRead wraps the graph file reader.
+	PointGraphRead Point = "graph-read"
+	// PointIndexRead wraps the index file reader.
+	PointIndexRead Point = "index-read"
+)
+
+// Mode selects what an armed point does when it fires.
+type Mode int
+
+const (
+	// None never fires.
+	None Mode = iota
+	// ShortRead makes a wrapped reader report EOF before the stream's
+	// real end (sticky: once fired, the reader stays at EOF).
+	ShortRead
+	// BitFlip flips one bit of the data returned by a wrapped reader.
+	BitFlip
+	// SlowIO sleeps Plan.Delay before the operation proceeds normally.
+	SlowIO
+	// Panic panics with a recognizable message.
+	Panic
+	// Error returns ErrInjected (a transient-looking failure).
+	Error
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ShortRead:
+		return "short-read"
+	case BitFlip:
+		return "bit-flip"
+	case SlowIO:
+		return "slow-io"
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	default:
+		return "none"
+	}
+}
+
+// ErrInjected is the error returned by Error-mode injections. It wraps
+// nothing, so callers classifying it see an opaque I/O-like failure.
+var ErrInjected = errors.New("fault: injected error")
+
+// Plan describes when and how an armed point fires.
+type Plan struct {
+	// Mode is the fault to inject.
+	Mode Mode
+	// SkipOps lets that many eligible operations pass before the first
+	// fire, so a fault can land mid-stream rather than at byte zero.
+	SkipOps int
+	// Fires bounds how many operations fire; 0 means one. A point whose
+	// fires are spent passes operations through untouched — the shape of
+	// a transient failure that heals.
+	Fires int
+	// Prob, when in (0, 1], gates each eligible operation on a draw from
+	// the injector's seeded RNG instead of firing unconditionally.
+	Prob float64
+	// Delay is the SlowIO sleep.
+	Delay time.Duration
+}
+
+type planState struct {
+	Plan
+	ops   int // eligible operations seen
+	fired int // times actually fired
+}
+
+// Injector holds the armed points. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plans map[Point]*planState
+}
+
+// New returns an injector whose probabilistic decisions derive from
+// seed. A nil *Injector is valid and injects nothing.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), plans: map[Point]*planState{}}
+}
+
+// Arm installs (or replaces) the plan at a point, resetting its
+// operation and fire counts.
+func (in *Injector) Arm(p Point, plan Plan) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plans[p] = &planState{Plan: plan}
+}
+
+// Disarm removes the plan at a point.
+func (in *Injector) Disarm(p Point) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.plans, p)
+}
+
+// Fired reports how many times the point has fired since it was armed.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.plans[p]; st != nil {
+		return st.fired
+	}
+	return 0
+}
+
+// decide consumes one eligible operation at p and reports whether it
+// fires, with the plan's mode and parameters.
+func (in *Injector) decide(p Point) (Plan, bool) {
+	if in == nil {
+		return Plan{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.plans[p]
+	if st == nil || st.Mode == None {
+		return Plan{}, false
+	}
+	st.ops++
+	if st.ops <= st.SkipOps {
+		return Plan{}, false
+	}
+	maxFires := st.Fires
+	if maxFires <= 0 {
+		maxFires = 1
+	}
+	if st.fired >= maxFires {
+		return Plan{}, false
+	}
+	if st.Prob > 0 && in.rng.Float64() >= st.Prob {
+		return Plan{}, false
+	}
+	st.fired++
+	return st.Plan, true
+}
+
+// intn draws from the seeded RNG.
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Op is the hook for non-reader injection sites (e.g. a load-time
+// panic inside a snapshot swap). It may sleep, panic, or return
+// ErrInjected; ShortRead and BitFlip are meaningless here and act like
+// Error. A nil injector returns nil.
+func (in *Injector) Op(p Point) error {
+	plan, fire := in.decide(p)
+	if !fire {
+		return nil
+	}
+	switch plan.Mode {
+	case SlowIO:
+		time.Sleep(plan.Delay)
+		return nil
+	case Panic:
+		panic(fmt.Sprintf("fault: injected panic at %s", p))
+	default:
+		return fmt.Errorf("%w at %s", ErrInjected, p)
+	}
+}
+
+// Reader wraps r with injection at point p. Each Read is one eligible
+// operation. A nil injector returns r unchanged.
+func (in *Injector) Reader(p Point, r io.Reader) io.Reader {
+	if in == nil {
+		return r
+	}
+	return &faultReader{in: in, p: p, r: r}
+}
+
+type faultReader struct {
+	in  *Injector
+	p   Point
+	r   io.Reader
+	eof bool // sticky after a ShortRead fire
+}
+
+func (fr *faultReader) Read(b []byte) (int, error) {
+	if fr.eof {
+		return 0, io.EOF
+	}
+	plan, fire := fr.in.decide(fr.p)
+	if !fire {
+		return fr.r.Read(b)
+	}
+	switch plan.Mode {
+	case ShortRead:
+		fr.eof = true
+		return 0, io.EOF
+	case BitFlip:
+		n, err := fr.r.Read(b)
+		if n > 0 {
+			i := fr.in.intn(n)
+			b[i] ^= 1 << uint(fr.in.intn(8))
+		}
+		return n, err
+	case SlowIO:
+		time.Sleep(plan.Delay)
+		return fr.r.Read(b)
+	case Panic:
+		panic(fmt.Sprintf("fault: injected panic at %s", fr.p))
+	default:
+		return 0, fmt.Errorf("%w at %s", ErrInjected, fr.p)
+	}
+}

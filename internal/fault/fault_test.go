@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Op(PointLoad); err != nil {
+		t.Fatal(err)
+	}
+	src := strings.NewReader("hello")
+	if r := in.Reader(PointIndexRead, src); r != src {
+		t.Fatal("nil injector should return the reader unchanged")
+	}
+	in.Arm(PointLoad, Plan{Mode: Panic}) // must not panic or crash
+	in.Disarm(PointLoad)
+	if in.Fired(PointLoad) != 0 {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	in := New(1)
+	in.Arm(PointIndexRead, Plan{Mode: ShortRead, SkipOps: 1})
+	r := in.Reader(PointIndexRead, strings.NewReader(strings.Repeat("x", 1<<16)))
+	buf := make([]byte, 8)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("skipped op should pass: %v", err)
+	}
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	// Sticky: further reads stay at EOF even though fires are spent.
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("short read should be sticky, got %v", err)
+	}
+	if in.Fired(PointIndexRead) != 1 {
+		t.Fatalf("fired = %d, want 1", in.Fired(PointIndexRead))
+	}
+}
+
+func TestBitFlipChangesExactlyOneBit(t *testing.T) {
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	in := New(7)
+	in.Arm(PointIndexRead, Plan{Mode: BitFlip})
+	r := in.Reader(PointIndexRead, bytes.NewReader(orig))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range got {
+		x := got[i] ^ orig[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("flipped %d bits, want 1", diffBits)
+	}
+}
+
+func TestErrorAndFireBudget(t *testing.T) {
+	in := New(3)
+	in.Arm(PointLoad, Plan{Mode: Error, Fires: 2})
+	for i := 0; i < 2; i++ {
+		if err := in.Op(PointLoad); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	// Transient failure heals: fires are spent, operations pass.
+	if err := in.Op(PointLoad); err != nil {
+		t.Fatalf("after fires spent: %v", err)
+	}
+	if in.Fired(PointLoad) != 2 {
+		t.Fatalf("fired = %d, want 2", in.Fired(PointLoad))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := New(5)
+	in.Arm(PointLoad, Plan{Mode: Panic})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(p.(string), "injected panic") {
+			t.Fatalf("unexpected panic payload %v", p)
+		}
+	}()
+	_ = in.Op(PointLoad)
+}
+
+func TestSlowIO(t *testing.T) {
+	in := New(9)
+	in.Arm(PointLoad, Plan{Mode: SlowIO, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Op(PointLoad); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("slow op took only %v", d)
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	run := func(seed int64) []byte {
+		in := New(seed)
+		in.Arm(PointIndexRead, Plan{Mode: BitFlip, Prob: 0.5, Fires: 4})
+		r := in.Reader(PointIndexRead, bytes.NewReader(bytes.Repeat([]byte{0x55}, 256)))
+		out := make([]byte, 0, 256)
+		buf := make([]byte, 16)
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				return out
+			}
+		}
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed should corrupt identically")
+	}
+	c := run(43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestRearmResetsCounts(t *testing.T) {
+	in := New(11)
+	in.Arm(PointLoad, Plan{Mode: Error})
+	if err := in.Op(PointLoad); !errors.Is(err, ErrInjected) {
+		t.Fatal("should fire")
+	}
+	in.Arm(PointLoad, Plan{Mode: Error})
+	if err := in.Op(PointLoad); !errors.Is(err, ErrInjected) {
+		t.Fatal("re-armed plan should fire again")
+	}
+	in.Disarm(PointLoad)
+	if err := in.Op(PointLoad); err != nil {
+		t.Fatal("disarmed point should pass")
+	}
+}

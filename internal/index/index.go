@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -144,6 +145,15 @@ func buildEdgeList(g *graph.Graph, ws *sssp.Workspace, res *sssp.Result, post []
 			}
 		}
 	}
+	// Canonical (From, To) order: Visited() settles in distance order, so
+	// sort to make builds byte-stable for serialization and to give the
+	// on-disk loader a strict monotonicity invariant to check against.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
 	return out
 }
 

@@ -3,7 +3,9 @@ package index
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"time"
@@ -17,72 +19,247 @@ import (
 // the paper reports for DBLP) is paid once. invertedN is not stored: it
 // is reconstructed from the graph in a single scan on load.
 //
-// Format: magic "CDBX" | version | R bits | term count | per term:
-// posting count then delta-coded (from, to) pairs with weight bits.
-
+// Format v2 is fail-closed: a loader either reconstructs exactly the
+// index that was written or returns an error wrapping ErrCorruptIndex
+// — never a short-but-plausible index. Layout:
+//
+//	magic "CDBX"
+//	header section:  version | R bits | term count | node count
+//	                 | CRC32-C of the section
+//	postings section: per term, posting count then (from, to, weight)
+//	                 triples sorted by (from, to), from delta-coded
+//	                 | CRC32-C of the section
+//	footer magic "XBDC", then EOF (trailing bytes are corruption)
+//
+// On load every posting passes a sanity gate against the live graph:
+// endpoints in bounds, (from, to) strictly increasing within a term,
+// and the edge present in the graph with the exact stored weight — so
+// an index from the wrong graph generation is rejected even when its
+// checksums are intact. v1 files (no checksums) are rejected; rebuild
+// them with cmd/indexbuild.
 const (
 	idxMagic   = "CDBX"
-	idxVersion = 1
+	idxFooter  = "XBDC"
+	idxVersion = 2
 )
 
+// ErrCorruptIndex marks a serialized index that failed validation:
+// truncated or flipped bytes, checksum mismatches, out-of-bounds or
+// non-monotonic postings, trailing garbage. Loading such an artifact
+// never yields a partial index; match with errors.Is. Corruption is a
+// permanent property of the artifact — retrying the load cannot help.
+var ErrCorruptIndex = errors.New("index: corrupt index artifact")
+
+// ErrIndexMismatch marks a structurally valid index that was built
+// over a different graph than the one it is being attached to. Like
+// corruption it is permanent for the (artifact, graph) pair.
+var ErrIndexMismatch = errors.New("index: index does not match graph")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// corruptf builds an ErrCorruptIndex-wrapped error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptIndex, fmt.Sprintf(format, args...))
+}
+
+// readErr classifies an I/O failure mid-load: any flavour of EOF means
+// the artifact ended before its format said it would (truncation →
+// corrupt); other errors (e.g. a device failure) pass through so
+// callers can classify them as transient.
+func readErr(err error, what string) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return corruptf("truncated while reading %s: %v", what, err)
+	}
+	return fmt.Errorf("index: reading %s: %w", what, err)
+}
+
+// cwriter accumulates a per-section CRC32-C over everything written.
+type cwriter struct {
+	bw  *bufio.Writer
+	crc uint32
+}
+
+func (w *cwriter) write(p []byte) {
+	w.bw.Write(p)
+	w.crc = crc32.Update(w.crc, castagnoli, p)
+}
+
+func (w *cwriter) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.write(buf[:n])
+}
+
+func (w *cwriter) varint(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.write(buf[:n])
+}
+
+func (w *cwriter) float(f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.write(buf[:])
+}
+
+// endSection emits the section's CRC (not itself checksummed) and
+// resets the accumulator for the next section.
+func (w *cwriter) endSection() {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], w.crc)
+	w.bw.Write(buf[:])
+	w.crc = 0
+}
+
+// creader mirrors cwriter: a CRC32-C accumulates over every byte the
+// decoder consumes, compared against the stored value at each section
+// boundary.
+type creader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+// ReadByte implements io.ByteReader for binary.ReadUvarint.
+func (c *creader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		var one = [1]byte{b}
+		c.crc = crc32.Update(c.crc, castagnoli, one[:])
+	}
+	return b, err
+}
+
+func (c *creader) full(p []byte) error {
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return err
+	}
+	c.crc = crc32.Update(c.crc, castagnoli, p)
+	return nil
+}
+
+func (c *creader) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(c)
+	if err != nil {
+		return 0, readErr(err, what)
+	}
+	return v, nil
+}
+
+func (c *creader) varint(what string) (int64, error) {
+	v, err := binary.ReadVarint(c)
+	if err != nil {
+		return 0, readErr(err, what)
+	}
+	return v, nil
+}
+
+func (c *creader) float(what string) (float64, error) {
+	var buf [8]byte
+	if err := c.full(buf[:]); err != nil {
+		return 0, readErr(err, what)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// endSection reads the stored CRC (not fed to the accumulator),
+// compares it against the computed one, and resets for the next
+// section.
+func (c *creader) endSection(name string) error {
+	var buf [4]byte
+	if _, err := io.ReadFull(c.br, buf[:]); err != nil {
+		return readErr(err, name+" checksum")
+	}
+	stored := binary.LittleEndian.Uint32(buf[:])
+	if stored != c.crc {
+		return corruptf("%s section checksum mismatch (stored %08x, computed %08x)", name, stored, c.crc)
+	}
+	c.crc = 0
+	return nil
+}
+
 // Write serializes the index's invertedE and radius to w. The graph
-// itself is serialized separately (graph.Write); Read checks that the
-// two match.
+// itself is serialized separately (graph.Write); ReadInto checks that
+// the two match. Postings are written in the sorted (From, To) order
+// Build produces, which the loader verifies as a monotonicity gate.
 func (ix *Index) Write(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(idxMagic); err != nil {
 		return err
 	}
-	writeUvarint(bw, idxVersion)
-	writeFloat(bw, ix.r)
-	writeUvarint(bw, uint64(len(ix.edges)))
+	cw := &cwriter{bw: bw}
+	cw.uvarint(idxVersion)
+	cw.float(ix.r)
+	cw.uvarint(uint64(len(ix.edges)))
+	cw.uvarint(uint64(ix.g.NumNodes()))
+	cw.endSection()
 	for _, posts := range ix.edges {
-		writeUvarint(bw, uint64(len(posts)))
+		cw.uvarint(uint64(len(posts)))
 		prevFrom := int64(0)
 		for _, e := range posts {
-			// Postings are grouped by From ascending (built from the
-			// settled order is not sorted; delta-code via zigzag).
-			writeVarint(bw, int64(e.From)-prevFrom)
+			cw.varint(int64(e.From) - prevFrom)
 			prevFrom = int64(e.From)
-			writeUvarint(bw, uint64(e.To))
-			writeFloat(bw, e.Weight)
+			cw.uvarint(uint64(e.To))
+			cw.float(e.Weight)
 		}
+	}
+	cw.endSection()
+	if _, err := bw.WriteString(idxFooter); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
 // ReadInto deserializes an index written by Write, attaching it to the
-// graph it was built from. The term count must match the graph's
-// dictionary.
+// graph it was built from. Loading is fail-closed: any truncation,
+// checksum mismatch, bounds violation, non-monotonic posting list,
+// posting absent from g, or trailing garbage returns an error wrapping
+// ErrCorruptIndex (or ErrIndexMismatch for a wrong-graph artifact) and
+// no index. It never panics on hostile input.
 func ReadInto(r io.Reader, g *graph.Graph) (*Index, error) {
 	start := time.Now()
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("index: reading magic: %w", err)
+		return nil, readErr(err, "magic")
 	}
 	if string(magic) != idxMagic {
-		return nil, fmt.Errorf("index: bad magic %q", magic)
+		return nil, corruptf("bad magic %q", magic)
 	}
-	ver, err := binary.ReadUvarint(br)
+	cr := &creader{br: br}
+	ver, err := cr.uvarint("version")
 	if err != nil {
 		return nil, err
 	}
 	if ver != idxVersion {
-		return nil, fmt.Errorf("index: unsupported version %d", ver)
+		return nil, corruptf("unsupported version %d (want %d; rebuild with cmd/indexbuild)", ver, idxVersion)
 	}
-	radius, err := readFloat(br)
+	radius, err := cr.float("radius")
 	if err != nil {
 		return nil, err
 	}
-	terms, err := binary.ReadUvarint(br)
+	if math.IsNaN(radius) || math.IsInf(radius, 0) || radius < 0 {
+		return nil, corruptf("non-finite or negative radius %v", radius)
+	}
+	terms, err := cr.uvarint("term count")
 	if err != nil {
 		return nil, err
 	}
 	if int(terms) != g.Dict().Size() {
-		return nil, fmt.Errorf("index: built over %d terms, graph has %d — wrong graph?",
-			terms, g.Dict().Size())
+		return nil, fmt.Errorf("%w: built over %d terms, graph has %d",
+			ErrIndexMismatch, terms, g.Dict().Size())
 	}
+	nodes, err := cr.uvarint("node count")
+	if err != nil {
+		return nil, err
+	}
+	if int(nodes) != g.NumNodes() {
+		return nil, fmt.Errorf("%w: built over %d nodes, graph has %d",
+			ErrIndexMismatch, nodes, g.NumNodes())
+	}
+	if err := cr.endSection("header"); err != nil {
+		return nil, err
+	}
+
 	ix := &Index{
 		g:     g,
 		r:     radius,
@@ -91,7 +268,7 @@ func ReadInto(r io.Reader, g *graph.Graph) (*Index, error) {
 	}
 	n := int64(g.NumNodes())
 	for t := uint64(0); t < terms; t++ {
-		cnt, err := binary.ReadUvarint(br)
+		cnt, err := cr.uvarint("posting count")
 		if err != nil {
 			return nil, err
 		}
@@ -103,55 +280,61 @@ func ReadInto(r io.Reader, g *graph.Graph) (*Index, error) {
 			capHint = 1 << 16
 		}
 		posts := make([]WeightedEdge, 0, capHint)
-		prevFrom := int64(0)
+		prevFrom, prevTo := int64(0), int64(-1)
 		for i := uint64(0); i < cnt; i++ {
-			df, err := binary.ReadVarint(br)
+			df, err := cr.varint("posting delta")
 			if err != nil {
 				return nil, err
 			}
 			from := prevFrom + df
-			prevFrom = from
-			to, err := binary.ReadUvarint(br)
+			to64, err := cr.uvarint("posting target")
 			if err != nil {
 				return nil, err
 			}
-			wt, err := readFloat(br)
+			to := int64(to64)
+			wt, err := cr.float("posting weight")
 			if err != nil {
 				return nil, err
 			}
-			if from < 0 || from >= n || int64(to) >= n {
-				return nil, fmt.Errorf("index: posting (%d,%d) outside graph", from, to)
+			if from < 0 || from >= n || to < 0 || to >= n {
+				return nil, corruptf("term %d posting (%d,%d) outside graph of %d nodes", t, from, to, n)
+			}
+			// Monotonicity: Build sorts each term's postings strictly by
+			// (From, To), so any other order means corrupted deltas.
+			if i > 0 && (from < prevFrom || (from == prevFrom && to <= prevTo)) {
+				return nil, corruptf("term %d posting %d (%d,%d) breaks (from,to) order after (%d,%d)",
+					t, i, from, to, prevFrom, prevTo)
+			}
+			prevFrom, prevTo = from, to
+			// The live-graph gate: the posting must be a real edge with
+			// the exact weight the build saw, or the artifact belongs to
+			// another generation of the data.
+			if w, ok := g.EdgeWeight(graph.NodeID(from), graph.NodeID(to)); !ok || w != wt {
+				return nil, fmt.Errorf("%w: term %d posting (%d,%d,%v) is not an edge of the live graph",
+					ErrIndexMismatch, t, from, to, wt)
 			}
 			posts = append(posts, WeightedEdge{From: graph.NodeID(from), To: graph.NodeID(to), Weight: wt})
 		}
 		ix.edges[t] = posts
 	}
+	if err := cr.endSection("postings"); err != nil {
+		return nil, err
+	}
+	footer := make([]byte, 4)
+	if _, err := io.ReadFull(br, footer); err != nil {
+		return nil, readErr(err, "footer")
+	}
+	if string(footer) != idxFooter {
+		return nil, corruptf("bad footer %q", footer)
+	}
+	// Trailing-garbage check: a well-formed artifact ends exactly at the
+	// footer. Extra bytes mean a torn write or concatenation bug.
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, readErr(err, "end of file")
+		}
+		return nil, corruptf("trailing garbage after footer")
+	}
 	ix.buildTime = time.Since(start) // load time stands in for build time
 	return ix, nil
-}
-
-func writeUvarint(w *bufio.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
-}
-
-func writeVarint(w *bufio.Writer, v int64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], v)
-	w.Write(buf[:n])
-}
-
-func writeFloat(w *bufio.Writer, f float64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
-	w.Write(buf[:])
-}
-
-func readFloat(r *bufio.Reader) (float64, error) {
-	var buf [8]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, err
-	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
 }

@@ -2,6 +2,8 @@ package index
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -86,6 +88,143 @@ func TestIndexIORejectsGarbage(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/3]
 	if _, err := ReadInto(bytes.NewReader(trunc), g); err == nil {
 		t.Fatal("truncated index should fail")
+	}
+}
+
+// loadClosed attempts a load and requires it to fail closed: an error
+// wrapping ErrCorruptIndex or ErrIndexMismatch, no index, no panic.
+// Returns false (with the test failed) when the load accepted the
+// artifact — callers use that to tell "corruption detected" apart from
+// "corruption happened to cancel out" in exhaustive sweeps.
+func loadClosed(t *testing.T, data []byte, g *graph.Graph, what string) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("%s: load panicked: %v", what, p)
+		}
+	}()
+	ix, err := ReadInto(bytes.NewReader(data), g)
+	if err == nil {
+		t.Fatalf("%s: corrupt artifact accepted", what)
+	}
+	if ix != nil {
+		t.Fatalf("%s: error AND partial index returned", what)
+	}
+	if !errors.Is(err, ErrCorruptIndex) && !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("%s: error %v wraps neither ErrCorruptIndex nor ErrIndexMismatch", what, err)
+	}
+}
+
+// smallArtifact builds a compact serialized index plus its graph, the
+// corpus for the exhaustive corruption sweeps.
+func smallArtifact(t *testing.T) ([]byte, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4242))
+	g, _ := randomKeywordGraph(t, rng, 12, 36, 2)
+	ix, err := Build(g, BuildOptions{R: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), g
+}
+
+func TestIndexIOTruncateEveryPrefix(t *testing.T) {
+	data, g := smallArtifact(t)
+	for n := 0; n < len(data); n++ {
+		loadClosed(t, data[:n], g, fmt.Sprintf("prefix of %d/%d bytes", n, len(data)))
+	}
+}
+
+func TestIndexIOFlipEveryByte(t *testing.T) {
+	data, g := smallArtifact(t)
+	mut := make([]byte, len(data))
+	for i := 0; i < len(data); i++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			copy(mut, data)
+			mut[i] ^= bit
+			// A flip is allowed to survive only if CRCs still verify —
+			// impossible for a single-bit flip over CRC32-protected
+			// sections, so every one must be rejected.
+			loadClosed(t, mut, g, fmt.Sprintf("byte %d bit %02x flipped", i, bit))
+		}
+	}
+}
+
+func TestIndexIOFuzzStyleCorruption(t *testing.T) {
+	data, g := smallArtifact(t)
+	rng := rand.New(rand.NewSource(99))
+	mut := make([]byte, 0, len(data)*2)
+	for round := 0; round < 500; round++ {
+		mut = append(mut[:0], data...)
+		switch rng.Intn(4) {
+		case 0: // random multi-byte stomp
+			off := rng.Intn(len(mut))
+			n := 1 + rng.Intn(8)
+			for j := 0; j < n && off+j < len(mut); j++ {
+				mut[off+j] = byte(rng.Intn(256))
+			}
+		case 1: // truncate
+			mut = mut[:rng.Intn(len(mut))]
+		case 2: // trailing garbage
+			extra := make([]byte, 1+rng.Intn(16))
+			rng.Read(extra)
+			mut = append(mut, extra...)
+		case 3: // splice a chunk out of the middle
+			off := rng.Intn(len(mut))
+			n := 1 + rng.Intn(16)
+			if off+n > len(mut) {
+				n = len(mut) - off
+			}
+			mut = append(mut[:off], mut[off+n:]...)
+		}
+		if bytes.Equal(mut, data) {
+			continue // mutation was a no-op (e.g. stomp wrote same bytes)
+		}
+		loadClosed(t, mut, g, fmt.Sprintf("fuzz round %d", round))
+	}
+}
+
+func TestIndexIOTrailingGarbage(t *testing.T) {
+	data, g := smallArtifact(t)
+	withExtra := append(append([]byte{}, data...), 0x00)
+	_, err := ReadInto(bytes.NewReader(withExtra), g)
+	if !errors.Is(err, ErrCorruptIndex) {
+		t.Fatalf("trailing byte accepted (err=%v)", err)
+	}
+}
+
+func TestIndexIORejectsOldVersion(t *testing.T) {
+	data, g := smallArtifact(t)
+	// Byte 4 is the uvarint version (2 → one byte). Rewriting it to 1
+	// simulates a stale v1 artifact; the header CRC also breaks, and
+	// either way the load must fail closed.
+	old := append([]byte{}, data...)
+	old[4] = 1
+	loadClosed(t, old, g, "version byte rewritten to 1")
+}
+
+func TestIndexIOErrClassification(t *testing.T) {
+	data, g := smallArtifact(t)
+	// Truncation → ErrCorruptIndex specifically (not just any error):
+	// callers use this to classify the failure as permanent.
+	_, err := ReadInto(bytes.NewReader(data[:len(data)/2]), g)
+	if !errors.Is(err, ErrCorruptIndex) {
+		t.Fatalf("truncation error %v does not wrap ErrCorruptIndex", err)
+	}
+	// Wrong graph → ErrIndexMismatch.
+	b := graph.NewBuilder()
+	b.AddNode("z", "zeta")
+	other, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadInto(bytes.NewReader(data), other)
+	if !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("mismatch error %v does not wrap ErrIndexMismatch", err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"net/http"
 
 	"commdb/internal/obs"
+	"commdb/internal/snapshot"
 )
 
 // traceCounterMetrics maps a trace counter name to the registered
@@ -92,6 +93,24 @@ func newMetrics(s *Server) *metrics {
 	// The continuous layer: the SLO breach counter, capture occupancy,
 	// and the labeled per-class families.
 	s.collector.Register(reg)
+	if snaps := s.snaps; snaps != nil {
+		reg.GaugeFunc("commdb_epoch", "serving snapshot epoch",
+			func() float64 { return float64(snaps.Current()) })
+		// Fixed outcome order (including zero-valued series) so scrapes
+		// are deterministic and dashboards see every outcome from boot.
+		reg.LabeledCounterFunc("commdb_reload_total", "snapshot reload attempts by outcome",
+			func() []obs.LabeledSample {
+				counts := snaps.Counts()
+				out := make([]obs.LabeledSample, 0, len(snapshot.Outcomes))
+				for _, o := range snapshot.Outcomes {
+					out = append(out, obs.LabeledSample{
+						Labels: []obs.Label{{Name: "outcome", Value: o}},
+						Value:  float64(counts[o]),
+					})
+				}
+				return out
+			})
+	}
 	return m
 }
 

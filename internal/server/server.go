@@ -27,6 +27,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +42,7 @@ import (
 
 	"commdb"
 	"commdb/internal/obs"
+	"commdb/internal/snapshot"
 )
 
 // ErrServerClosed is the cancellation cause propagated to every
@@ -90,6 +92,17 @@ type Config struct {
 	// Pprof mounts net/http/pprof under GET /debug/pprof/ on the
 	// server's handler.
 	Pprof bool
+	// Snapshots, when non-nil, turns on epoch-versioned hot reload:
+	// every request leases the manager's current epoch for its full
+	// duration (streams included), responses carry the epoch they were
+	// answered from, reload outcomes surface in /statsz and /metricsz,
+	// and POST /admin/reload triggers a reload. An SLO breach or
+	// internal errors during a fresh epoch's probation roll it back.
+	Snapshots *snapshot.Manager
+	// AdminToken authorizes POST /admin/reload (Bearer token). Empty
+	// disables the endpoint (requests get 403), so reload-over-HTTP is
+	// strictly opt-in.
+	AdminToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +138,7 @@ func (c Config) withDefaults() Config {
 // to drain.
 type Server struct {
 	eng       Engine
+	snaps     *snapshot.Manager
 	cfg       Config
 	adm       *admission
 	cache     *lruCache
@@ -154,6 +168,7 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 	baseCtx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		eng:        eng,
+		snaps:      cfg.Snapshots,
 		cfg:        cfg,
 		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
 		cache:      newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
@@ -162,23 +177,31 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 		cancelBase: cancel,
 	}
 	s.collector = obs.NewCollector(cfg.Obs)
-	if cfg.Logger != nil {
-		logger := cfg.Logger
+	// One combined breach hook (OnBreach replaces, not chains): log the
+	// breach and, during a fresh epoch's probation, roll the epoch back.
+	if cfg.Logger != nil || s.snaps != nil {
+		logger, snaps := cfg.Logger, s.snaps
 		s.collector.OnBreach(func(rec *obs.QueryRecord) {
-			logger.Warn("emission SLO breach",
-				"qid", rec.QueryID,
-				"endpoint", rec.Endpoint,
-				"keywords", rec.Keywords,
-				"class", rec.Class,
-				"max_delay_ms", rec.MaxEmissionDelayMS,
-				"median_delay_ms", rec.MedianEmissionDelayMS,
-				"total_ms", rec.TotalMS)
+			if logger != nil {
+				logger.Warn("emission SLO breach",
+					"qid", rec.QueryID,
+					"endpoint", rec.Endpoint,
+					"keywords", rec.Keywords,
+					"class", rec.Class,
+					"max_delay_ms", rec.MaxEmissionDelayMS,
+					"median_delay_ms", rec.MedianEmissionDelayMS,
+					"total_ms", rec.TotalMS)
+			}
+			if snaps != nil {
+				snaps.NoteBreach()
+			}
 		})
 	}
 	s.metrics = newMetrics(s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/search/all", s.handleAll)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
@@ -220,6 +243,27 @@ func (s *Server) logQuery(qid, endpoint string, q commdb.Query, elapsed time.Dur
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// lease pins the epoch one request serves from. Without a snapshot
+// manager it returns the fixed engine, epoch 0, and a no-op release.
+// With one, the caller must invoke release only after the response —
+// including a full NDJSON stream — is written, so a concurrent reload
+// can never retire the epoch mid-response.
+func (s *Server) lease() (eng Engine, epoch int64, release func()) {
+	if s.snaps == nil {
+		return s.eng, 0, func() {}
+	}
+	l := s.snaps.Acquire()
+	return searcherEngine{s: l.Searcher()}, l.Epoch(), l.Release
+}
+
+// observeEpoch feeds one finished execution into the snapshot
+// manager's probation window.
+func (s *Server) observeEpoch(epoch int64, err error) {
+	if s.snaps != nil {
+		s.snaps.ObserveQuery(epoch, err)
+	}
+}
+
 // Stats snapshots the serving counters.
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.stats.snapshot()
@@ -230,7 +274,49 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.CaptureObserved, snap.CaptureRetained = s.collector.CaptureStats()
 	snap.SLOBreaches = s.collector.Breaches()
 	snap.QueryClasses = s.collector.Classes()
+	if s.snaps != nil {
+		st := s.snaps.Status()
+		snap.Epochs = &st
+	}
 	return snap
+}
+
+// handleReload answers POST /admin/reload: authenticated epoch reload.
+// The endpoint requires both a snapshot manager and a configured admin
+// token; with no token it answers 403 so reload-over-HTTP is opt-in.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Add(1)
+	defer s.reqs.Done()
+	if s.snaps == nil {
+		writeError(w, http.StatusNotImplemented, "snapshot reload not enabled")
+		return
+	}
+	if s.cfg.AdminToken == "" {
+		writeError(w, http.StatusForbidden, "admin endpoint disabled: no admin token configured")
+		return
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	// Constant-time compare so the token can't be guessed byte-by-byte
+	// through response timing.
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix ||
+		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.cfg.AdminToken)) != 1 {
+		writeError(w, http.StatusUnauthorized, "bad admin token")
+		return
+	}
+	outcome, err := s.snaps.Reload(r.Context())
+	resp := ReloadResponse{Outcome: outcome, Epoch: s.snaps.Current()}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		if errors.Is(err, snapshot.ErrReloadInFlight) {
+			status = http.StatusConflict
+		} else {
+			// The artifact was rejected; the prior epoch keeps serving.
+			status = http.StatusUnprocessableEntity
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // Shutdown makes the server stop admitting (new requests get 503),
@@ -358,7 +444,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	qid := s.nextQueryID()
 	w.Header().Set("X-Query-Id", qid)
-	key := q.Fingerprint() + "|k=" + strconv.Itoa(k) + "|compact=" + strconv.FormatBool(req.Compact)
+	// The lease covers the whole request, cache lookup included: the
+	// epoch is part of the cache key, so a stale epoch's answers can
+	// never serve a request leased to a newer epoch.
+	eng, epoch, release := s.lease()
+	defer release()
+	key := q.Fingerprint() + "|k=" + strconv.Itoa(k) + "|compact=" + strconv.FormatBool(req.Compact) +
+		"|e" + strconv.FormatInt(epoch, 10)
 
 	// Cache hits bypass admission: they consume no engine resources,
 	// so they stay fast even when the pool is saturated. A trace
@@ -367,7 +459,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if val, hit := s.cache.Get(key); hit && !req.Trace {
 		s.stats.cacheHits.Add(1)
 		s.logQuery(qid, "topk", q, 0, len(val.records), "", true)
-		writeJSON(w, http.StatusOK, TopKResponse{Results: val.records, Complete: val.complete, Cached: true})
+		writeJSON(w, http.StatusOK, TopKResponse{Results: val.records, Complete: val.complete, Cached: true, Epoch: epoch})
 		return
 	}
 	s.stats.cacheMisses.Add(1)
@@ -395,7 +487,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		defer s.adm.release()
-		return s.runTopK(fctx, q, k, req.Compact, key, qid)
+		return s.runTopK(fctx, eng, epoch, q, k, req.Compact, key, qid)
 	})
 	if err != nil {
 		switch {
@@ -416,6 +508,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Reason:    val.reason,
 		Cached:    false,
 		ElapsedMS: time.Since(start).Milliseconds(),
+		Epoch:     epoch,
 	}
 	if req.Trace {
 		resp.Trace = val.trace
@@ -429,9 +522,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // Every execution runs under an internal trace whose summary feeds the
 // process metrics; the summary also rides the response when the
 // request asked for it.
-func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact bool, key, qid string) (*cacheValue, error) {
+func (s *Server) runTopK(ctx context.Context, eng Engine, epoch int64, q commdb.Query, k int, compact bool, key, qid string) (*cacheValue, error) {
 	s.stats.queriesStarted.Add(1)
 	tr := obs.NewTrace(qid)
+	if s.snaps != nil {
+		tr.SetLabel("epoch", strconv.FormatInt(epoch, 10))
+	}
 	ctx = obs.ContextWithTrace(ctx, tr)
 	start := time.Now()
 	var results int
@@ -443,15 +539,16 @@ func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact boo
 		s.metrics.absorb(sum)
 		s.observeQuery(qid, "topk", q, k, results, stopReason, start, sum)
 	}()
-	st, err := s.eng.TopK(ctx, q)
+	st, err := eng.TopK(ctx, q)
 	if err != nil {
 		stopReason = err.Error()
+		s.observeEpoch(epoch, err)
 		return nil, err
 	}
 	// A top-k stream is abandoned once k results arrive; Close stops
 	// the searcher's in-flight materialization workers.
 	defer st.Close()
-	g := s.eng.Graph()
+	g := eng.Graph()
 	records := make([]CommunityRecord, 0, k)
 	for len(records) < k {
 		c, ok := st.Next()
@@ -465,6 +562,7 @@ func (s *Server) runTopK(ctx context.Context, q commdb.Query, k int, compact boo
 		stopErr = st.Err()
 	}
 	s.classifyStop(stopErr)
+	s.observeEpoch(epoch, stopErr)
 	results, stopReason = len(records), StopReason(stopErr)
 	val := &cacheValue{
 		records:  records,
@@ -497,7 +595,14 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 
 	qid := s.nextQueryID()
 	w.Header().Set("X-Query-Id", qid)
+	// The lease spans the entire stream: every record and the trailer
+	// come from one epoch, even if a reload lands mid-stream.
+	eng, epoch, release := s.lease()
+	defer release()
 	tr := obs.NewTrace(qid)
+	if s.snaps != nil {
+		tr.SetLabel("epoch", strconv.FormatInt(epoch, 10))
+	}
 	ctx = obs.ContextWithTrace(ctx, tr)
 
 	s.stats.queriesStarted.Add(1)
@@ -508,9 +613,10 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 		s.stats.observeLatency(time.Since(start))
 	}()
 
-	st, err := s.eng.All(ctx, q)
+	st, err := eng.All(ctx, q)
 	if err != nil {
 		s.observeQuery(qid, "all", q, 0, 0, err.Error(), start, tr.Summary())
+		s.observeEpoch(epoch, err)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -527,7 +633,7 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	enc := json.NewEncoder(w)
-	g := s.eng.Graph()
+	g := eng.Graph()
 	count := 0
 	for {
 		c, ok := st.Next()
@@ -544,7 +650,9 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 	}
 	stopErr := st.Err()
 	s.classifyStop(stopErr)
+	s.observeEpoch(epoch, stopErr)
 	trailer := NewTrailer(count, stopErr, time.Since(start))
+	trailer.Epoch = epoch
 	sum := tr.Summary()
 	s.metrics.absorb(sum)
 	s.observeQuery(qid, "all", q, 0, count, trailer.Reason, start, sum)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"commdb/internal/obs"
+	"commdb/internal/snapshot"
 )
 
 // latencyBucketsMS are the histogram's upper bounds in milliseconds;
@@ -110,6 +111,11 @@ type StatsSnapshot struct {
 	// bucket × indexed/plain): window rate, latency quantiles and
 	// emission-delay stats per class.
 	QueryClasses []obs.ClassSnapshot `json:"query_classes,omitempty"`
+
+	// Epochs is the snapshot subsystem's state — serving epoch, active
+	// leases, probation, per-outcome reload counters — present only
+	// when the server runs with hot reload enabled.
+	Epochs *snapshot.Status `json:"epochs,omitempty"`
 
 	Latency struct {
 		Count   int64           `json:"count"`

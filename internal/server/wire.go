@@ -179,6 +179,11 @@ type Trailer struct {
 	Complete  bool   `json:"complete"`
 	Reason    string `json:"reason,omitempty"`
 	ElapsedMS int64  `json:"elapsed_ms"`
+	// Epoch is the snapshot epoch the whole stream was answered from
+	// (0 when the server runs without snapshot reload). Every record of
+	// one stream comes from this single epoch, even when a reload
+	// swapped epochs mid-stream.
+	Epoch int64 `json:"epoch,omitempty"`
 	// Trace is the query's trace summary, present when the request set
 	// "trace": true.
 	Trace *obs.Summary `json:"trace,omitempty"`
@@ -224,9 +229,25 @@ type TopKResponse struct {
 	// Cached reports the response was served from the result cache.
 	Cached    bool  `json:"cached"`
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Epoch is the snapshot epoch that answered (0 without snapshot
+	// reload). Cached answers carry the epoch too: the cache is keyed
+	// by epoch, so a hit is always epoch-consistent.
+	Epoch int64 `json:"epoch,omitempty"`
 	// Trace is the query's trace summary, present when the request set
 	// "trace": true.
 	Trace *obs.Summary `json:"trace,omitempty"`
+}
+
+// ReloadResponse is the body of POST /admin/reload.
+type ReloadResponse struct {
+	// Outcome is one of the snapshot outcome strings ("success",
+	// "rejected_corrupt", ...; empty when the reload could not start).
+	Outcome string `json:"outcome,omitempty"`
+	// Epoch is the serving epoch after the attempt — unchanged when the
+	// artifact was rejected.
+	Epoch int64 `json:"epoch"`
+	// Error is the load failure, when the reload was rejected.
+	Error string `json:"error,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

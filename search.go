@@ -2,6 +2,7 @@ package commdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -65,6 +66,24 @@ var ErrDeadlineExceeded = context.DeadlineExceeded
 // ErrCanceled is the iterator stop reason when the query's context was
 // canceled. It is context.Canceled.
 var ErrCanceled = context.Canceled
+
+// ErrInternal is the stop reason when a panic escaped an internal query
+// loop and was recovered at the public boundary — an engine bug, not a
+// property of the query. Serving layers treat it as a signal that the
+// running snapshot may be bad (see internal/snapshot's probation).
+var ErrInternal = errors.New("commdb: internal panic")
+
+// ErrCorruptIndex is returned by Open(WithIndexReader) when the
+// serialized index fails validation: truncation, checksum mismatch,
+// out-of-bounds or non-monotonic postings, trailing garbage. The error
+// is permanent for that artifact — reloading the same bytes cannot
+// succeed. Match with errors.Is.
+var ErrCorruptIndex = index.ErrCorruptIndex
+
+// ErrIndexMismatch is returned by Open(WithIndexReader) when the index
+// is structurally valid but was built over a different graph than the
+// one being opened. Match with errors.Is.
+var ErrIndexMismatch = index.ErrIndexMismatch
 
 // Collector is the always-on observability layer: pass one to
 // Open(WithCollector) and every finished query is folded into its
@@ -300,6 +319,17 @@ func (s *Searcher) Graph() *Graph { return s.g }
 // Parallelism reports the searcher's per-query worker count.
 func (s *Searcher) Parallelism() int { return s.par }
 
+// IndexRadius reports the largest Rmax the searcher's index supports,
+// or 0 when un-indexed. Snapshot reloads use it as a validation gate: a
+// replacement index must support at least the radius the serving one
+// does, or queries that worked before the swap would start failing.
+func (s *Searcher) IndexRadius() float64 {
+	if s.ix == nil {
+		return 0
+	}
+	return s.ix.R()
+}
+
 // KeywordFrequency reports the KWF of a term: the fraction of graph
 // nodes containing it.
 func (s *Searcher) KeywordFrequency(term string) float64 { return s.ft.KWF(term) }
@@ -420,7 +450,7 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 // into an error at the public boundary, so an engine bug fails one
 // query instead of the process.
 func recoverQueryPanic(p any) error {
-	return fmt.Errorf("commdb: internal panic: %v", p)
+	return fmt.Errorf("%w: %v", ErrInternal, p)
 }
 
 // mapBack translates a community from the projected ID space to the
