@@ -3,10 +3,11 @@ package main
 // The -compare mode is the perf-regression gate: it diffs two reports
 // (an old baseline and a fresh run) and exits nonzero when the new run
 // regresses beyond the tolerance — throughput lower, or any latency
-// metric higher. It handles both -serve and -parallel reports, sniffing
-// the kind from the JSON shape ("degrees" key → parallel report); both
-// inputs must be the same kind. CI runs it against the committed
-// baseline so a slowdown fails the build instead of landing silently.
+// metric higher. It handles -serve, -parallel and -delta reports,
+// sniffing the kind from the JSON shape ("degrees" key → parallel,
+// "delta_batches" key → delta); both inputs must be the same kind. CI
+// runs it against the committed baseline so a slowdown fails the build
+// instead of landing silently.
 
 import (
 	"encoding/json"
@@ -112,6 +113,36 @@ func compareParallelReports(old, new parallelBenchReport, tolerance float64) []m
 	return out
 }
 
+// compareDeltaReports diffs a new -delta report against an old one:
+// apply latencies and build times, higher is worse. The speedup ratio
+// is not gated (it is a quotient of two gated latencies), the dirty-set
+// sizes are workload shape, not performance, and the single worst batch
+// (max_apply_ms) is reported but not gated — one scheduler hiccup in
+// one batch of twenty would flake the build; mean and p50 already
+// catch real slowdowns.
+func compareDeltaReports(old, new deltaBenchReport, tolerance float64) []metricDelta {
+	var out []metricDelta
+	for _, m := range []struct {
+		name     string
+		old, new float64
+		gated    bool
+	}{
+		{"full_build_ms", old.FullBuildMS, new.FullBuildMS, true},
+		{"rebuild_ms", old.RebuildMS, new.RebuildMS, true},
+		{"mean_apply_ms", old.MeanApplyMS, new.MeanApplyMS, true},
+		{"p50_apply_ms", old.P50ApplyMS, new.P50ApplyMS, true},
+		{"max_apply_ms", old.MaxApplyMS, new.MaxApplyMS, false},
+	} {
+		if m.old < minCompareMS {
+			continue
+		}
+		d := metricDelta{Name: m.name, Old: m.old, New: m.new, Ratio: m.new / m.old}
+		d.Regress = m.gated && m.new > m.old*(1+tolerance)
+		out = append(out, d)
+	}
+	return out
+}
+
 // loadDeltas reads two report files of the same sniffed kind and
 // returns their metric diffs.
 func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, error) {
@@ -123,10 +154,13 @@ func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, erro
 	if err != nil {
 		return nil, err
 	}
-	if isParallelReport(oldB) != isParallelReport(newB) {
-		return nil, fmt.Errorf("%s and %s are different report kinds", oldPath, newPath)
+	oldKind, newKind := reportKind(oldB), reportKind(newB)
+	if oldKind != newKind {
+		return nil, fmt.Errorf("%s (%s) and %s (%s) are different report kinds",
+			oldPath, oldKind, newPath, newKind)
 	}
-	if isParallelReport(oldB) {
+	switch oldKind {
+	case "parallel":
 		var old, new parallelBenchReport
 		if err := json.Unmarshal(oldB, &old); err != nil {
 			return nil, fmt.Errorf("%s: %w", oldPath, err)
@@ -135,24 +169,46 @@ func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, erro
 			return nil, fmt.Errorf("%s: %w", newPath, err)
 		}
 		return compareParallelReports(old, new, tolerance), nil
+	case "delta":
+		var old, new deltaBenchReport
+		if err := json.Unmarshal(oldB, &old); err != nil {
+			return nil, fmt.Errorf("%s: %w", oldPath, err)
+		}
+		if err := json.Unmarshal(newB, &new); err != nil {
+			return nil, fmt.Errorf("%s: %w", newPath, err)
+		}
+		return compareDeltaReports(old, new, tolerance), nil
+	default:
+		var old, new serveBenchReport
+		if err := json.Unmarshal(oldB, &old); err != nil {
+			return nil, fmt.Errorf("%s: %w", oldPath, err)
+		}
+		if err := json.Unmarshal(newB, &new); err != nil {
+			return nil, fmt.Errorf("%s: %w", newPath, err)
+		}
+		return compareReports(old, new, tolerance), nil
 	}
-	var old, new serveBenchReport
-	if err := json.Unmarshal(oldB, &old); err != nil {
-		return nil, fmt.Errorf("%s: %w", oldPath, err)
-	}
-	if err := json.Unmarshal(newB, &new); err != nil {
-		return nil, fmt.Errorf("%s: %w", newPath, err)
-	}
-	return compareReports(old, new, tolerance), nil
 }
 
-// isParallelReport sniffs the report kind: only -parallel reports carry
-// a top-level "degrees" array.
-func isParallelReport(b []byte) bool {
+// reportKind sniffs a report's kind from its JSON shape: only
+// -parallel reports carry a top-level "degrees" array, only -delta
+// reports a "delta_batches" count; everything else is a -serve report.
+func reportKind(b []byte) string {
 	var probe struct {
-		Degrees []json.RawMessage `json:"degrees"`
+		Degrees      []json.RawMessage `json:"degrees"`
+		DeltaBatches *int              `json:"delta_batches"`
 	}
-	return json.Unmarshal(b, &probe) == nil && probe.Degrees != nil
+	if json.Unmarshal(b, &probe) != nil {
+		return "serve"
+	}
+	switch {
+	case probe.Degrees != nil:
+		return "parallel"
+	case probe.DeltaBatches != nil:
+		return "delta"
+	default:
+		return "serve"
+	}
 }
 
 // runCompare is the -compare entry point: benchrunner -compare

@@ -189,3 +189,65 @@ func TestCompareToleratesEpochFields(t *testing.T) {
 		}
 	}
 }
+
+func baselineDeltaReport() deltaBenchReport {
+	return deltaBenchReport{
+		Dataset: "dblp", Authors: 2000, Nodes: 10000, Edges: 40000, Rmax: 6,
+		DeltaBatches: 20, OpsPerBatch: 10,
+		FullBuildMS: 5000, RebuildMS: 5200,
+		MeanApplyMS: 120, P50ApplyMS: 100, MaxApplyMS: 300,
+		MeanDirtyTerms: 80, MeanTotalTerms: 400,
+		Speedup: 43,
+	}
+}
+
+// TestCompareDeltaReports: the -delta report kind is sniffed, its
+// latencies are gated, and its speedup/dirty-set fields are not.
+func TestCompareDeltaReports(t *testing.T) {
+	rep := baselineDeltaReport()
+	if bad := regressions(compareDeltaReports(rep, rep, 0.15)); len(bad) != 0 {
+		t.Fatalf("self-compare regressed: %+v", bad)
+	}
+
+	slow := rep
+	slow.MeanApplyMS *= 2
+	slow.Speedup /= 2 // derived ratio moves too; must not be gated twice
+	bad := regressions(compareDeltaReports(rep, slow, 0.15))
+	if len(bad) != 1 || bad[0].Name != "mean_apply_ms" {
+		t.Fatalf("2x mean apply regressed %+v, want exactly mean_apply_ms", bad)
+	}
+
+	// End to end through the CLI path, exercising the kind sniffing.
+	dir := t.TempDir()
+	write := func(name string, rep deltaBenchReport) string {
+		path := filepath.Join(dir, name)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", rep)
+	if err := runCompare(oldPath, write("same.json", rep), 0.15); err != nil {
+		t.Fatalf("delta self-compare errored: %v", err)
+	}
+	if err := runCompare(oldPath, write("slow.json", slow), 0.15); err == nil {
+		t.Fatal("2x mean apply regression returned nil")
+	}
+
+	// Mixed kinds are rejected, not silently compared as serve reports.
+	servePath := filepath.Join(dir, "serve.json")
+	b, err := json.Marshal(baselineReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(servePath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(oldPath, servePath, 0.15); err == nil {
+		t.Fatal("comparing a delta report against a serve report returned nil")
+	}
+}

@@ -23,6 +23,11 @@
 // (WithParallelism) over a set of worker degrees on the synthetic DBLP
 // graph, reporting per-degree engine-init and total latency plus
 // speedups against the sequential run, written to BENCH_parallel.json.
+//
+// With -delta it benchmarks the incremental index maintainer
+// (internal/delta): small mutation batches applied as bounded deltas,
+// timed against a from-scratch rebuild of the final state, written to
+// BENCH_delta.json.
 package main
 
 import (
@@ -63,7 +68,14 @@ func main() {
 		parallelK       = flag.Int("parallel-k", 50, "-parallel: communities materialized per query")
 		parallelOut     = flag.String("parallel-out", "BENCH_parallel.json", "-parallel: JSON report path")
 
-		compare   = flag.Bool("compare", false, "compare two -serve or -parallel reports: benchrunner -compare old.json new.json")
+		deltaBench    = flag.Bool("delta", false, "benchmark the incremental index maintainer instead of the algorithms")
+		deltaAuthors  = flag.Int("delta-authors", 2000, "-delta: DBLP scale (kept small: every batch is compared against a full rebuild)")
+		deltaRmax     = flag.Float64("delta-rmax", 6, "-delta: index radius")
+		deltaBatches  = flag.Int("delta-batches", 20, "-delta: mutation batches to apply")
+		deltaBatchOps = flag.Int("delta-batch-ops", 10, "-delta: ops per batch")
+		deltaOut      = flag.String("delta-out", "BENCH_delta.json", "-delta: JSON report path")
+
+		compare   = flag.Bool("compare", false, "compare two -serve, -parallel or -delta reports: benchrunner -compare old.json new.json")
 		tolerance = flag.Float64("tolerance", 0.15, "-compare: allowed fractional regression before failing")
 	)
 	flag.Parse()
@@ -87,6 +99,13 @@ func main() {
 	}
 	if *parallel {
 		if err := runParallel(*authors, *seed, *dblpBoost, *parallelDegrees, *parallelQueries, *parallelK, *parallelOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *deltaBench {
+		if err := runDelta(*deltaAuthors, *seed, *deltaRmax, *deltaBatches, *deltaBatchOps, *deltaOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

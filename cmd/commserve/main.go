@@ -34,6 +34,16 @@
 // paths and swap it in atomically. In-flight queries — including
 // NDJSON streams — finish on the epoch they started on; a corrupt or
 // truncated artifact is rejected with the current epoch still serving.
+//
+// Delta mode serves a live database instead of baked artifacts: -db
+// loads an NDJSON dump (datagen -db-out) and -mutation-log tails an op
+// stream, applying each quiet-period batch as a bounded incremental
+// index update and swapping the result in as a fresh epoch — same
+// fail-closed loader, probation, and zero-dropped-queries guarantees
+// as a file reload. Maintainer counters surface as the "deltas" block
+// in /statsz and the commdb_delta_* families in /metricsz:
+//
+//	commserve -db base.ndjson -mutation-log muts.ndjson -rmax-max 8
 package main
 
 import (
@@ -81,6 +91,10 @@ func main() {
 		adminToken  = flag.String("admin-token", "", "bearer token for POST /admin/reload (default $COMMSERVE_ADMIN_TOKEN; empty disables the endpoint)")
 		reloadWatch = flag.Duration("reload-watch", 0, "poll the served artifact's mtime at this interval and reload on change (0 disables)")
 
+		dbPath        = flag.String("db", "", "NDJSON database dump (datagen -db-out); serve its graph + index in-process (delta mode)")
+		mutationLog   = flag.String("mutation-log", "", "mutation-log file to tail (requires -db); each batch becomes a fresh epoch")
+		deltaDebounce = flag.Duration("delta-debounce", 500*time.Millisecond, "quiet period before a tailed mutation batch is applied")
+
 		logQueries  = flag.Bool("log", false, "log one structured line per query (JSON on stderr)")
 		pprofEnable = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
@@ -109,47 +123,104 @@ func main() {
 		Pprof:      *pprofEnable,
 		AdminToken: *adminToken,
 	}
-	if err := run(*addr, *graphPath, *indexPath, *example, *useIndex, *rmaxMax, *parallelism, cfg, *shutdownGrace, *reloadWatch); err != nil {
+	if err := run(runOptions{
+		addr: *addr, graphPath: *graphPath, indexPath: *indexPath, example: *example,
+		dbPath: *dbPath, mutationLog: *mutationLog, deltaDebounce: *deltaDebounce,
+		useIndex: *useIndex, rmaxMax: *rmaxMax, parallelism: *parallelism,
+		cfg: cfg, grace: *shutdownGrace, watchEvery: *reloadWatch,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "commserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, graphPath, indexPath, example string, useIndex bool, rmaxMax float64, parallelism int, cfg server.Config, grace, watchEvery time.Duration) error {
-	s, err := buildSearcher(graphPath, indexPath, example, useIndex, rmaxMax, parallelism)
-	if err != nil {
-		return err
+// runOptions carries the resolved flags into run.
+type runOptions struct {
+	addr, graphPath, indexPath, example string
+	dbPath, mutationLog                 string
+	deltaDebounce                       time.Duration
+	useIndex                            bool
+	rmaxMax                             float64
+	parallelism                         int
+	cfg                                 server.Config
+	grace, watchEvery                   time.Duration
+}
+
+func run(o runOptions) error {
+	cfg := o.cfg
+	var (
+		s      *commdb.Searcher
+		loader snapshot.Loader
+		pipe   *deltaPipeline
+		err    error
+	)
+	switch {
+	case o.dbPath != "":
+		if o.graphPath != "" || o.example != "" || o.indexPath != "" {
+			return fmt.Errorf("-db is mutually exclusive with -graph, -example and -index-file")
+		}
+		pipe, err = newDeltaPipeline(o.dbPath, o.rmaxMax)
+		if err != nil {
+			return err
+		}
+		s, err = pipe.searcher(o.parallelism)
+		if err != nil {
+			return err
+		}
+		loader = pipe.loader(o.parallelism)
+		cfg.Deltas = pipe.m.Stats
+	case o.mutationLog != "":
+		return fmt.Errorf("-mutation-log requires -db")
+	default:
+		s, err = buildSearcher(o.graphPath, o.indexPath, o.example, o.useIndex, o.rmaxMax, o.parallelism)
+		if err != nil {
+			return err
+		}
+		loader = buildLoader(o.graphPath, o.indexPath, o.useIndex, o.rmaxMax, o.parallelism)
 	}
 	log.Printf("graph: %d nodes, %d edges (indexed=%v)", s.Graph().NumNodes(), s.Graph().NumEdges(), s.Indexed())
 
-	// Hot reload needs an on-disk artifact to reload from; the built-in
-	// example graphs have none, so they serve a single fixed epoch.
+	// Hot reload needs something to reload from — an on-disk artifact or
+	// the delta pipeline's in-memory pair; the built-in example graphs
+	// have neither, so they serve a single fixed epoch.
 	var snaps *snapshot.Manager
-	if loader := buildLoader(graphPath, indexPath, useIndex, rmaxMax, parallelism); loader != nil {
+	if loader != nil {
 		snaps = snapshot.New(s, snapshot.Config{Load: loader, Logf: log.Printf})
 		cfg.Snapshots = snaps
 	}
 
 	app := server.New(s, cfg)
-	httpSrv := &http.Server{Addr: addr, Handler: app.Handler()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: app.Handler()}
 
 	watchCtx, stopWatch := context.WithCancel(context.Background())
 	defer stopWatch()
-	if snaps != nil && watchEvery > 0 {
+	if snaps != nil && o.watchEvery > 0 && o.dbPath == "" {
 		// Watch the artifact the reload actually re-reads: the index file
 		// when serving one, otherwise the graph file. indexbuild publishes
 		// by atomic rename, so a changed mtime is a complete artifact.
-		watchPath := indexPath
+		// (Delta mode has no artifact file; its epochs come from the
+		// mutation log instead.)
+		watchPath := o.indexPath
 		if watchPath == "" {
-			watchPath = graphPath
+			watchPath = o.graphPath
 		}
-		log.Printf("watching %s (every %v)", watchPath, watchEvery)
-		go snaps.Watch(watchCtx, watchPath, watchEvery)
+		log.Printf("watching %s (every %v)", watchPath, o.watchEvery)
+		go snaps.Watch(watchCtx, watchPath, o.watchEvery)
+	}
+	if pipe != nil && o.mutationLog != "" {
+		log.Printf("tailing %s (debounce %v)", o.mutationLog, o.deltaDebounce)
+		go func() {
+			// The follow loop ending is not fatal to serving: the last
+			// good epoch keeps answering queries (fail static).
+			if err := pipe.follow(watchCtx, o.mutationLog, o.deltaDebounce, snaps); err != nil {
+				log.Printf("delta: follow loop stopped: %v", err)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", addr)
+		log.Printf("serving on %s", o.addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -174,11 +245,11 @@ loop:
 				}
 			}()
 		case sig := <-sigc:
-			log.Printf("caught %v; draining (grace %v)", sig, grace)
+			log.Printf("caught %v; draining (grace %v)", sig, o.grace)
 			break loop
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	ctx, cancel := context.WithTimeout(context.Background(), o.grace)
 	defer cancel()
 	// App first: stop admitting and cancel in-flight queries so their
 	// streams finish with trailers; then close the listeners.

@@ -2,72 +2,137 @@
 // materializes it as a database graph, and writes the graph to a file
 // in commdb's binary format for later searching with cmd/commsearch.
 //
+// It can additionally emit the inputs of the incremental-maintenance
+// pipeline: -db-out writes the base database as a replayable NDJSON
+// dump (schema, foreign keys, then one insert op per row), and
+// -mutations N writes a seeded, deterministic insert/delete op stream
+// against that base — the feed for cmd/indexbuild -follow and
+// commserve's delta mode. The graph written by -out is the base
+// database's graph, before any mutations.
+//
 // Usage:
 //
 //	datagen -dataset dblp -authors 20000 -seed 1 -out dblp.graph
 //	datagen -dataset imdb -users 800 -avg-ratings 40 -out imdb.graph
+//	datagen -dataset dblp -authors 5000 -db-out base.ndjson \
+//	        -mutations 10000 -mutations-out muts.ndjson
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"commdb"
+	"commdb/internal/datagen"
+	"commdb/internal/delta"
 )
 
+type options struct {
+	dataset      string
+	authors      int
+	users        int
+	avgRatings   float64
+	seed         int64
+	out          string
+	dbOut        string
+	mutations    int
+	mutationsOut string
+	mutationSeed int64
+}
+
 func main() {
-	var (
-		dataset    = flag.String("dataset", "dblp", "dataset to generate: dblp or imdb")
-		authors    = flag.Int("authors", 5000, "DBLP scale: number of authors")
-		users      = flag.Int("users", 500, "IMDB scale: number of users")
-		avgRatings = flag.Float64("avg-ratings", 40, "IMDB: average ratings per user (0 = the real 165.60)")
-		seed       = flag.Int64("seed", 1, "generator seed")
-		out        = flag.String("out", "", "output graph file (required)")
-	)
+	var o options
+	flag.StringVar(&o.dataset, "dataset", "dblp", "dataset to generate: dblp or imdb")
+	flag.IntVar(&o.authors, "authors", 5000, "DBLP scale: number of authors")
+	flag.IntVar(&o.users, "users", 500, "IMDB scale: number of users")
+	flag.Float64Var(&o.avgRatings, "avg-ratings", 40, "IMDB: average ratings per user (0 = the real 165.60)")
+	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
+	flag.StringVar(&o.out, "out", "", "output graph file (of the base dataset)")
+	flag.StringVar(&o.dbOut, "db-out", "", "output NDJSON database dump of the base dataset")
+	flag.IntVar(&o.mutations, "mutations", 0, "emit a deterministic insert/delete op stream of this many ops")
+	flag.StringVar(&o.mutationsOut, "mutations-out", "", "output NDJSON mutation stream (required with -mutations)")
+	flag.Int64Var(&o.mutationSeed, "mutation-seed", 1, "mutation stream seed")
 	flag.Parse()
-	if err := run(*dataset, *authors, *users, *avgRatings, *seed, *out); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, authors, users int, avgRatings float64, seed int64, out string) error {
-	if out == "" {
-		return fmt.Errorf("-out is required")
+func run(o options) error {
+	if o.out == "" && o.dbOut == "" && o.mutations == 0 {
+		return fmt.Errorf("nothing to do: provide -out, -db-out, and/or -mutations")
+	}
+	if o.mutations > 0 && o.mutationsOut == "" {
+		return fmt.Errorf("-mutations requires -mutations-out")
 	}
 	var (
 		db  *commdb.Database
 		err error
 	)
-	switch dataset {
+	switch o.dataset {
 	case "dblp":
-		db, err = commdb.GenerateDBLP(authors, seed)
+		db, err = commdb.GenerateDBLP(o.authors, o.seed)
 	case "imdb":
-		db, err = commdb.GenerateIMDB(users, avgRatings, seed)
+		db, err = commdb.GenerateIMDB(o.users, o.avgRatings, o.seed)
 	default:
-		return fmt.Errorf("unknown dataset %q (want dblp or imdb)", dataset)
+		return fmt.Errorf("unknown dataset %q (want dblp or imdb)", o.dataset)
 	}
 	if err != nil {
 		return err
 	}
-	g, _, err := commdb.GraphFromDatabase(db)
-	if err != nil {
-		return err
+	fmt.Printf("%s dataset: %d tuples across %d tables\n", o.dataset, db.NumTuples(), len(db.Tables()))
+
+	// Base artifacts first: the dump and the graph describe the state
+	// *before* the mutation stream (the generator mutates the database
+	// as it emits ops).
+	if o.dbOut != "" {
+		if err := writeFile(o.dbOut, func(w io.Writer) error {
+			return delta.DumpDatabase(w, db)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("database dump written to %s\n", o.dbOut)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	if o.out != "" {
+		g, _, err := commdb.GraphFromDatabase(db)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(o.out, func(w io.Writer) error {
+			return commdb.WriteGraph(w, g)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("graph: %s\n", commdb.GraphStatsOf(g))
+		fmt.Printf("written to %s\n", o.out)
 	}
-	defer f.Close()
-	if err := commdb.WriteGraph(f, g); err != nil {
-		return err
+	if o.mutations > 0 {
+		ops, err := datagen.Mutations(db, datagen.MutationParams{N: o.mutations, Seed: o.mutationSeed})
+		if err != nil {
+			return err
+		}
+		if err := writeFile(o.mutationsOut, func(w io.Writer) error {
+			return delta.WriteOps(w, ops)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("%d mutation ops written to %s (post-stream: %d tuples)\n",
+			len(ops), o.mutationsOut, db.NumTuples())
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("%s dataset: %d tuples across %d tables\n", dataset, db.NumTuples(), len(db.Tables()))
-	fmt.Printf("graph: %s\n", commdb.GraphStatsOf(g))
-	fmt.Printf("written to %s\n", out)
 	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,381 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"commdb/internal/delta"
+	"commdb/internal/relational"
+)
+
+// Mutation-stream generation: a seeded, deterministic sequence of
+// insert/delete ops against a generated dataset, for exercising and
+// benchmarking the incremental maintenance path (internal/delta).
+//
+// The generator applies every op to the database it was given as it
+// emits it, for two reasons: the stream stays valid (children are
+// inserted after parents and deleted before them, keys never collide),
+// and the caller ends up with the post-stream state for free. Replay
+// determinism is the point — the same (database, params) pair always
+// yields the same ops.
+
+// MutationParams sizes a mutation stream.
+type MutationParams struct {
+	// N is the number of ops to emit. Cascading deletes may overshoot
+	// by the size of the last cascade.
+	N int
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Mutations generates a stream for a DBLP- or IMDB-shaped database
+// (as produced by GenerateDBLP / GenerateIMDB), dispatching on the
+// tables present.
+func Mutations(db *relational.Database, p MutationParams) ([]delta.Op, error) {
+	if _, ok := db.Table("Author"); ok {
+		return DBLPMutations(db, p)
+	}
+	if _, ok := db.Table("Users"); ok {
+		return IMDBMutations(db, p)
+	}
+	return nil, fmt.Errorf("datagen: database has neither DBLP nor IMDB shape")
+}
+
+// DBLPMutations emits a mixed insert/delete stream over the four DBLP
+// tables: new authors and papers (with Write and Cite rows), dropped
+// write/cite links, and occasional paper deletions that cascade
+// through their referencing rows first so every prefix of the stream
+// is referentially valid.
+func DBLPMutations(db *relational.Database, p MutationParams) ([]delta.Op, error) {
+	if err := db.EnableMutations(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	vocab := fillerVocab(2000)
+	zTitle := rand.NewZipf(rng, 1.4, 4, uint64(len(vocab)-1))
+
+	// Live-state mirror, seeded from the current rows.
+	st, err := newDBLPState(db)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &opGen{db: db}
+	for g.len() < p.N {
+		switch r := rng.Float64(); {
+		case r < 0.18: // new author
+			aid := st.nextAid
+			st.nextAid++
+			name := strings.Join(zipfWords(rng, zTitle, vocab, 2), " ")
+			if g.apply(delta.InsertOp("Author", []relational.Value{
+				relational.IntV(aid), relational.StrV(name),
+			})) {
+				st.authors = append(st.authors, aid)
+			}
+		case r < 0.58: // new paper with writes and cites
+			pid := st.nextPid
+			st.nextPid++
+			title := strings.Join(zipfWords(rng, zTitle, vocab, 5+rng.Intn(5)), " ")
+			if !g.apply(delta.InsertOp("Paper", []relational.Value{
+				relational.IntV(pid), relational.StrV(title),
+			})) {
+				continue
+			}
+			st.papers = append(st.papers, pid)
+			for i, n := 0, 1+rng.Intn(3); i < n && len(st.authors) > 0; i++ {
+				aid := st.authors[rng.Intn(len(st.authors))]
+				key := [2]int64{aid, pid}
+				if st.writes[key] {
+					continue
+				}
+				if g.apply(delta.InsertOp("Write", []relational.Value{
+					relational.IntV(aid), relational.IntV(pid),
+				})) {
+					st.writes[key] = true
+				}
+			}
+			for i, n := 0, rng.Intn(3); i < n && len(st.papers) > 1; i++ {
+				tgt := st.papers[rng.Intn(len(st.papers))]
+				if tgt == pid {
+					continue
+				}
+				key := [2]int64{pid, tgt}
+				if st.cites[key] {
+					continue
+				}
+				if g.apply(delta.InsertOp("Cite", []relational.Value{
+					relational.IntV(pid), relational.IntV(tgt),
+				})) {
+					st.cites[key] = true
+				}
+			}
+		case r < 0.74: // drop a random write link
+			if key, ok := randomPair(rng, st.writes); ok {
+				if g.apply(delta.DeleteOp("Write", fmt.Sprintf("%d|%d", key[0], key[1]))) {
+					delete(st.writes, key)
+				}
+			}
+		case r < 0.88: // drop a random cite link
+			if key, ok := randomPair(rng, st.cites); ok {
+				if g.apply(delta.DeleteOp("Cite", fmt.Sprintf("%d|%d", key[0], key[1]))) {
+					delete(st.cites, key)
+				}
+			}
+		default: // delete a paper, cascading through links
+			if len(st.papers) == 0 {
+				continue
+			}
+			i := rng.Intn(len(st.papers))
+			pid := st.papers[i]
+			for _, key := range matchingPairs(st.writes, func(k [2]int64) bool { return k[1] == pid }) {
+				if g.apply(delta.DeleteOp("Write", fmt.Sprintf("%d|%d", key[0], key[1]))) {
+					delete(st.writes, key)
+				}
+			}
+			for _, key := range matchingPairs(st.cites, func(k [2]int64) bool { return k[0] == pid || k[1] == pid }) {
+				if g.apply(delta.DeleteOp("Cite", fmt.Sprintf("%d|%d", key[0], key[1]))) {
+					delete(st.cites, key)
+				}
+			}
+			if g.apply(delta.DeleteOp("Paper", fmt.Sprintf("%d", pid))) {
+				st.papers = append(st.papers[:i], st.papers[i+1:]...)
+			}
+		}
+	}
+	return g.result()
+}
+
+// IMDBMutations emits the analogous stream for the MovieLens-shaped
+// schema: new users, movies, and ratings; dropped ratings; and movie
+// deletions cascading through their ratings.
+func IMDBMutations(db *relational.Database, p MutationParams) ([]delta.Op, error) {
+	if err := db.EnableMutations(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	vocab := fillerVocab(2000)
+	zTitle := rand.NewZipf(rng, 1.4, 4, uint64(len(vocab)-1))
+
+	st, err := newIMDBState(db)
+	if err != nil {
+		return nil, err
+	}
+	ages := []int64{1, 18, 25, 35, 45, 50, 56}
+	genres := []string{"drama", "comedy", "action", "thriller", "documentary"}
+
+	g := &opGen{db: db}
+	for g.len() < p.N {
+		switch r := rng.Float64(); {
+		case r < 0.15: // new user
+			uid := st.nextUID
+			st.nextUID++
+			gender := "M"
+			if rng.Intn(2) == 0 {
+				gender = "F"
+			}
+			if g.apply(delta.InsertOp("Users", []relational.Value{
+				relational.IntV(uid), relational.StrV(gender),
+				relational.IntV(ages[rng.Intn(len(ages))]),
+				relational.StrV(occupations[rng.Intn(len(occupations))]),
+				relational.StrV(fmt.Sprintf("%05d", rng.Intn(100000))),
+			})) {
+				st.users = append(st.users, uid)
+			}
+		case r < 0.30: // new movie
+			mid := st.nextMID
+			st.nextMID++
+			title := strings.Join(zipfWords(rng, zTitle, vocab, 3+rng.Intn(4)), " ")
+			if g.apply(delta.InsertOp("Movies", []relational.Value{
+				relational.IntV(mid), relational.StrV(title),
+				relational.StrV(genres[rng.Intn(len(genres))]),
+			})) {
+				st.movies = append(st.movies, mid)
+			}
+		case r < 0.72: // new rating
+			if len(st.users) == 0 || len(st.movies) == 0 {
+				continue
+			}
+			uid := st.users[rng.Intn(len(st.users))]
+			mid := st.movies[rng.Intn(len(st.movies))]
+			key := [2]int64{uid, mid}
+			if st.ratings[key] {
+				continue
+			}
+			if g.apply(delta.InsertOp("Ratings", []relational.Value{
+				relational.IntV(uid), relational.IntV(mid),
+				relational.IntV(int64(1 + rng.Intn(5))), relational.IntV(978300000 + int64(rng.Intn(1000000))),
+			})) {
+				st.ratings[key] = true
+			}
+		case r < 0.92: // drop a rating
+			if key, ok := randomPair(rng, st.ratings); ok {
+				if g.apply(delta.DeleteOp("Ratings", fmt.Sprintf("%d|%d", key[0], key[1]))) {
+					delete(st.ratings, key)
+				}
+			}
+		default: // delete a movie, cascading through its ratings
+			if len(st.movies) == 0 {
+				continue
+			}
+			i := rng.Intn(len(st.movies))
+			mid := st.movies[i]
+			for _, key := range matchingPairs(st.ratings, func(k [2]int64) bool { return k[1] == mid }) {
+				if g.apply(delta.DeleteOp("Ratings", fmt.Sprintf("%d|%d", key[0], key[1]))) {
+					delete(st.ratings, key)
+				}
+			}
+			if g.apply(delta.DeleteOp("Movies", fmt.Sprintf("%d", mid))) {
+				st.movies = append(st.movies[:i], st.movies[i+1:]...)
+			}
+		}
+	}
+	return g.result()
+}
+
+// opGen applies each candidate op to the live database and keeps only
+// the ones that succeed, so the emitted stream replays cleanly.
+type opGen struct {
+	db  *relational.Database
+	ops []delta.Op
+	err error
+}
+
+func (g *opGen) len() int { return len(g.ops) }
+
+func (g *opGen) apply(op delta.Op) bool {
+	if g.err != nil {
+		return false
+	}
+	if err := delta.Apply(g.db, op); err != nil {
+		// A constraint rejection here is a generator bookkeeping bug;
+		// surface it rather than emitting an op that will not replay.
+		g.err = fmt.Errorf("datagen: generated op failed to apply: %w", err)
+		return false
+	}
+	g.ops = append(g.ops, op)
+	return true
+}
+
+func (g *opGen) result() ([]delta.Op, error) { return g.ops, g.err }
+
+// matchingPairs returns the keys satisfying pred in sorted order —
+// map iteration is nondeterministic, and the emitted op order must not
+// be.
+func matchingPairs(set map[[2]int64]bool, pred func([2]int64) bool) [][2]int64 {
+	var keys [][2]int64
+	for k := range set {
+		if pred(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// randomPair picks a deterministic pseudo-random key from a pair-keyed
+// set. Iterating a Go map is nondeterministic, so collect and sort.
+func randomPair(rng *rand.Rand, set map[[2]int64]bool) ([2]int64, bool) {
+	if len(set) == 0 {
+		return [2]int64{}, false
+	}
+	keys := make([][2]int64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys[rng.Intn(len(keys))], true
+}
+
+// dblpState mirrors the live DBLP rows for generation.
+type dblpState struct {
+	authors, papers  []int64
+	writes, cites    map[[2]int64]bool
+	nextAid, nextPid int64
+}
+
+func newDBLPState(db *relational.Database) (*dblpState, error) {
+	st := &dblpState{writes: make(map[[2]int64]bool), cites: make(map[[2]int64]bool)}
+	var err error
+	st.authors, st.nextAid, err = scanIDs(db, "Author")
+	if err != nil {
+		return nil, err
+	}
+	st.papers, st.nextPid, err = scanIDs(db, "Paper")
+	if err != nil {
+		return nil, err
+	}
+	if err := scanPairs(db, "Write", st.writes); err != nil {
+		return nil, err
+	}
+	if err := scanPairs(db, "Cite", st.cites); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// imdbState mirrors the live IMDB rows for generation.
+type imdbState struct {
+	users, movies    []int64
+	ratings          map[[2]int64]bool
+	nextUID, nextMID int64
+}
+
+func newIMDBState(db *relational.Database) (*imdbState, error) {
+	st := &imdbState{ratings: make(map[[2]int64]bool)}
+	var err error
+	st.users, st.nextUID, err = scanIDs(db, "Users")
+	if err != nil {
+		return nil, err
+	}
+	st.movies, st.nextMID, err = scanIDs(db, "Movies")
+	if err != nil {
+		return nil, err
+	}
+	if err := scanPairs(db, "Ratings", st.ratings); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// scanIDs collects a table's integer primary keys and the next free
+// one.
+func scanIDs(db *relational.Database, table string) ([]int64, int64, error) {
+	t, ok := db.Table(table)
+	if !ok {
+		return nil, 0, fmt.Errorf("datagen: no table %s", table)
+	}
+	ids := make([]int64, t.Len())
+	next := int64(0)
+	for i := 0; i < t.Len(); i++ {
+		ids[i] = t.Row(i)[0].Int()
+		if ids[i] >= next {
+			next = ids[i] + 1
+		}
+	}
+	return ids, next, nil
+}
+
+// scanPairs collects a link table's (int, int) primary keys.
+func scanPairs(db *relational.Database, table string, into map[[2]int64]bool) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("datagen: no table %s", table)
+	}
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		into[[2]int64{row[0].Int(), row[1].Int()}] = true
+	}
+	return nil
+}

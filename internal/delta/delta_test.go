@@ -1,0 +1,217 @@
+package delta_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"commdb/internal/datagen"
+	"commdb/internal/delta"
+	"commdb/internal/relational"
+)
+
+func smallDB(t *testing.T) *relational.Database {
+	t.Helper()
+	db, err := datagen.GenerateDBLP(datagen.DBLPParams{Authors: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// A database dumped as a log and replayed must serialize to the same
+// dump — the round trip that makes "base database" and "log prefix"
+// the same thing.
+func TestDumpLoadRoundTrip(t *testing.T) {
+	db := smallDB(t)
+	var a bytes.Buffer
+	if err := delta.DumpDatabase(&a, db); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := delta.LoadDatabase(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := delta.DumpDatabase(&b, db2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("dump → load → dump is not a fixed point")
+	}
+	if db.NumTuples() != db2.NumTuples() {
+		t.Fatalf("tuples: %d vs %d", db.NumTuples(), db2.NumTuples())
+	}
+}
+
+func TestOpEncodeDecode(t *testing.T) {
+	ops := []delta.Op{
+		{Kind: delta.KindSchema, Table: "T", PK: []string{"A"},
+			Columns: []delta.ColumnDef{{Name: "A", Type: "int"}, {Name: "B", Type: "string", FullText: true}}},
+		{Kind: delta.KindFK, Table: "U", Column: "A", To: "T"},
+		delta.InsertOp("T", []relational.Value{relational.IntV(-42), relational.StrV("hello world")}),
+		delta.DeleteOp("T", "-42"),
+	}
+	for _, op := range ops {
+		line, err := delta.EncodeOp(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := delta.DecodeOp(line)
+		if err != nil {
+			t.Fatalf("decode %s: %v", line, err)
+		}
+		re, err := delta.EncodeOp(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(line, re) {
+			t.Fatalf("encode/decode/encode changed %s into %s", line, re)
+		}
+	}
+	for _, bad := range []string{
+		`{"op":"drop","table":"T"}`,
+		`{"op":"insert"}`,
+		`{"op":"insert","table":"T","bogus":1}`,
+		`{not json`,
+	} {
+		if _, err := delta.DecodeOp([]byte(bad)); err == nil {
+			t.Fatalf("decoding %q should fail", bad)
+		}
+	}
+}
+
+// ReadOps must tolerate a torn final line (no newline) and Tail must
+// leave it unconsumed until it completes.
+func TestTornWriteTolerance(t *testing.T) {
+	full := `{"op":"insert","table":"T","values":[1,"x"]}` + "\n"
+	torn := full + `{"op":"insert","table":"T","val`
+	ops, err := delta.ReadOps(strings.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 {
+		t.Fatalf("read %d ops from torn log, want 1", len(ops))
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "muts.ndjson")
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tail := delta.NewTail(path, 0)
+	got, err := tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("tail read %d ops, want 1", len(got))
+	}
+	// Complete the torn line; the tail must pick up exactly it.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`ues":[2,"y"]}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err = tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Values[0] != json.Number("2") {
+		t.Fatalf("tail after completion = %+v, want the completed op", got)
+	}
+	// Quiet log: no ops, no error.
+	if got, err := tail.Poll(); err != nil || len(got) != 0 {
+		t.Fatalf("quiet poll = %v ops, err %v", len(got), err)
+	}
+	// A truncated log is a permanent error.
+	if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tail.Poll(); err == nil {
+		t.Fatal("tail of a shrunk log should fail")
+	}
+}
+
+// LogWriter appends durably and Tail consumes across multiple appends.
+func TestLogWriterTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.ndjson")
+	w, err := delta.OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tail := delta.NewTail(path, 0)
+	total := 0
+	for i := 0; i < 3; i++ {
+		if err := w.Append(
+			delta.InsertOp("T", []relational.Value{relational.IntV(int64(i))}),
+			delta.DeleteOp("T", "0"),
+		); err != nil {
+			t.Fatal(err)
+		}
+		ops, err := tail.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ops)
+	}
+	if total != 6 {
+		t.Fatalf("tailed %d ops, want 6", total)
+	}
+}
+
+// Rejected ops must not corrupt the maintainer: they are counted,
+// mutate nothing, and the artifacts still match a full rebuild.
+func TestMaintainerRejectsBadOps(t *testing.T) {
+	db := smallDB(t)
+	m, err := delta.NewMaintainer(db, delta.Config{R: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := m.Apply([]delta.Op{
+		delta.DeleteOp("Author", "999999"),                            // no such row
+		delta.DeleteOp("Nope", "1"),                                   // no such table
+		{Kind: delta.KindInsert, Table: "Author", Values: []any{"x"}}, // arity
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Rejected != 3 || bs.Changed {
+		t.Fatalf("batch stats = %+v, want 3 rejected, unchanged", bs)
+	}
+	st := m.Stats()
+	if st.Rejected != 3 || st.Batches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Structural ops take the full-rebuild path and still produce correct
+// artifacts.
+func TestMaintainerStructuralFullRebuild(t *testing.T) {
+	db := smallDB(t)
+	m, err := delta.NewMaintainer(db, delta.Config{R: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := m.Apply([]delta.Op{
+		{Kind: delta.KindSchema, Table: "Venue", PK: []string{"Vid"},
+			Columns: []delta.ColumnDef{{Name: "Vid", Type: "int"}, {Name: "Name", Type: "string", FullText: true}}},
+		delta.InsertOp("Venue", []relational.Value{relational.IntV(1), relational.StrV("icde")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.FullRebuild || !bs.Structural {
+		t.Fatalf("structural batch stats = %+v, want full rebuild", bs)
+	}
+	if m.Stats().FullRebuilds != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}

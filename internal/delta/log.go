@@ -1,0 +1,214 @@
+package delta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"commdb/internal/relational"
+)
+
+// Log durability and replay. A mutation log is append-only NDJSON; the
+// writer fsyncs on every Append so an acknowledged batch survives a
+// crash, and readers treat a final line without a newline as a torn
+// write: Replay stops cleanly before it, and Tail waits for the rest
+// of the line to arrive — the same either-old-or-new discipline the
+// index artifacts get from atomic renames.
+
+// LogWriter appends ops to a mutation-log file durably.
+type LogWriter struct {
+	f *os.File
+}
+
+// OpenLog opens (creating if needed) a mutation log for appending.
+func OpenLog(path string) (*LogWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &LogWriter{f: f}, nil
+}
+
+// Append writes the ops as NDJSON lines and fsyncs. The batch is
+// written with a single Write call per op; on return the ops are
+// durable.
+func (w *LogWriter) Append(ops ...Op) error {
+	var buf bytes.Buffer
+	for _, op := range ops {
+		line, err := EncodeOp(op)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *LogWriter) Close() error { return w.f.Close() }
+
+// WriteOps streams ops as NDJSON to any writer (no fsync; use
+// LogWriter for durable appends).
+func WriteOps(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		line, err := EncodeOp(op)
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadOps decodes every complete NDJSON line of r. A final unterminated
+// line is a torn write and is ignored; everything before it must parse.
+func ReadOps(r io.Reader) ([]Op, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var ops []Op
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			return ops, nil // no trailing newline: torn tail, stop cleanly
+		}
+		if err != nil {
+			return nil, err
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		op, err := DecodeOp(line)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+}
+
+// Replay applies every op of r to db in order, returning how many ops
+// were applied. The database must already be mutable.
+func Replay(r io.Reader, db *relational.Database) (int, error) {
+	ops, err := ReadOps(r)
+	if err != nil {
+		return 0, err
+	}
+	for i, op := range ops {
+		if err := Apply(db, op); err != nil {
+			return i, fmt.Errorf("delta: replay op %d: %w", i, err)
+		}
+	}
+	return len(ops), nil
+}
+
+// DumpDatabase serializes the database as a replayable log prefix:
+// schema ops, fk ops, then every row as an insert op, tables in
+// creation order. LoadDatabase(DumpDatabase(db)) reconstructs an
+// identical database.
+func DumpDatabase(w io.Writer, db *relational.Database) error {
+	var ops []Op
+	for _, name := range db.Tables() {
+		t, _ := db.Table(name)
+		s := t.Schema()
+		op := Op{Kind: KindSchema, Table: name, PK: s.PrimaryKey}
+		for _, c := range s.Columns {
+			typ := "int"
+			if c.Type == relational.String {
+				typ = "string"
+			}
+			op.Columns = append(op.Columns, ColumnDef{Name: c.Name, Type: typ, FullText: c.FullText})
+		}
+		ops = append(ops, op)
+	}
+	for _, fk := range db.ForeignKeys() {
+		ops = append(ops, Op{Kind: KindFK, Table: fk.FromTable, Column: fk.FromColumn, To: fk.ToTable})
+	}
+	for _, name := range db.Tables() {
+		t, _ := db.Table(name)
+		for i := 0; i < t.Len(); i++ {
+			ops = append(ops, InsertOp(name, t.Row(i)))
+		}
+	}
+	return WriteOps(w, ops)
+}
+
+// LoadDatabase replays a database dump (or any log) from r into a
+// fresh mutable database.
+func LoadDatabase(r io.Reader) (*relational.Database, error) {
+	db := relational.NewDatabase()
+	if err := db.EnableMutations(); err != nil {
+		return nil, err
+	}
+	if _, err := Replay(r, db); err != nil {
+		return nil, err
+	}
+	db.ResetChanges() // the load is the base state, not a delta
+	return db, nil
+}
+
+// Tail incrementally reads complete ops appended to a log file. Each
+// Poll opens the file, seeks past everything already consumed, and
+// returns the ops of the newly appended complete lines; a torn final
+// line stays unconsumed until its newline arrives. A missing file is
+// not an error — it simply has no ops yet.
+type Tail struct {
+	path string
+	off  int64
+}
+
+// NewTail starts tailing path from the given offset (0 = the start).
+func NewTail(path string, offset int64) *Tail {
+	return &Tail{path: path, off: offset}
+}
+
+// Offset reports how far the tail has consumed.
+func (t *Tail) Offset() int64 { return t.off }
+
+// Poll returns newly appended complete ops, or nil when there are
+// none.
+func (t *Tail) Poll() ([]Op, error) {
+	f, err := os.Open(t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < t.off {
+		return nil, fmt.Errorf("delta: log %s shrank from %d to %d bytes (truncated or rotated)", t.path, t.off, st.Size())
+	}
+	if st.Size() == t.off {
+		return nil, nil
+	}
+	if _, err := f.Seek(t.off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size()-t.off)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	// Only consume through the last newline; the remainder is a line
+	// still being written.
+	end := bytes.LastIndexByte(buf, '\n')
+	if end < 0 {
+		return nil, nil
+	}
+	ops, err := ReadOps(bytes.NewReader(buf[:end+1]))
+	if err != nil {
+		return nil, err
+	}
+	t.off += int64(end + 1)
+	return ops, nil
+}

@@ -65,6 +65,20 @@ func (b *Builder) AddNodeTermIDs(label string, termIDs []int32) NodeID {
 // NumNodes reports how many nodes have been added so far.
 func (b *Builder) NumNodes() int { return len(b.labels) }
 
+// Grow pre-allocates capacity for the given number of additional nodes
+// and directed edges. Callers that know the final counts (a database
+// materialization does) avoid every append regrowth — significant when
+// a graph is rebuilt per mutation batch.
+func (b *Builder) Grow(nodes, edges int) {
+	if nodes > 0 {
+		b.labels = append(make([]string, 0, len(b.labels)+nodes), b.labels...)
+		b.terms = append(make([][]int32, 0, len(b.terms)+nodes), b.terms...)
+	}
+	if edges > 0 {
+		b.edges = append(make([]builderEdge, 0, len(b.edges)+edges), b.edges...)
+	}
+}
+
 // SetNodeWeight assigns a non-negative weight to a node (the paper's
 // footnote-1 extension). Unset nodes weigh zero.
 func (b *Builder) SetNodeWeight(v NodeID, weight float64) {
@@ -189,11 +203,34 @@ func (b *Builder) freeze(logWeights bool) (*Graph, error) {
 	return g, nil
 }
 
+// sortEdges orders one adjacency run by (To, Weight). Runs are short
+// (node degree), so insertion sort covers almost all of them; the
+// concrete sort.Interface fallback avoids sort.Slice's reflective
+// swapper, which dominated freeze profiles at 2n calls per graph.
+// Equal-key elements are identical Edge values, so the order among them
+// — and therefore the frozen adjacency bytes — is deterministic under
+// any sorting algorithm.
 func sortEdges(es []Edge) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].To != es[j].To {
-			return es[i].To < es[j].To
+	if len(es) <= 16 {
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && edgeLess(es[j], es[j-1]); j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
 		}
-		return es[i].Weight < es[j].Weight
-	})
+		return
+	}
+	sort.Sort(byToWeight(es))
 }
+
+func edgeLess(a, b Edge) bool {
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.Weight < b.Weight
+}
+
+type byToWeight []Edge
+
+func (s byToWeight) Len() int           { return len(s) }
+func (s byToWeight) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byToWeight) Less(i, j int) bool { return edgeLess(s[i], s[j]) }

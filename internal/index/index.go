@@ -36,6 +36,14 @@ type WeightedEdge struct {
 	Weight   float64
 }
 
+// NodeDist records one settled node of a term's bounded Dijkstra with
+// its shortest distance to the term's carriers. Lists are sorted by
+// node ID for binary search and ordered merging.
+type NodeDist struct {
+	Node graph.NodeID
+	Dist float64
+}
+
 // Index is the pair of inverted indexes for one database graph and a
 // maximum supported query radius R.
 type Index struct {
@@ -46,6 +54,13 @@ type Index struct {
 	nodes *fulltext.Index
 	// edges is invertedE, indexed by interned term ID.
 	edges [][]WeightedEdge
+
+	// dists, when built with KeepDistances, holds per term the settled
+	// set of its bounded Dijkstra (every node within R of the term's
+	// carriers, with its distance), sorted by node. It is an in-memory
+	// sidecar for RebuildPartial's boundary-conditioned repair and is
+	// never serialized — the artifact bytes are identical either way.
+	dists [][]NodeDist
 
 	buildTime time.Duration
 }
@@ -60,6 +75,11 @@ type BuildOptions struct {
 	// nodes than this (0 indexes every term). Queries for skipped terms
 	// fall back to an un-projected search.
 	MinPostings int
+	// KeepDistances retains each term's settled distance set alongside
+	// its posting list (memory on the order of the postings), enabling
+	// the boundary-conditioned repair path of RebuildPartial. The
+	// serialized artifact is unaffected.
+	KeepDistances bool
 	// Budget, when non-nil, governs the build — the longest single
 	// operation in the system (one bounded Dijkstra per distinct term).
 	// It is shared by all workers; when it trips, in-flight term runs
@@ -85,6 +105,9 @@ func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
 		nodes: fulltext.Build(g),
 		edges: make([][]WeightedEdge, g.Dict().Size()),
 	}
+	if opt.KeepDistances {
+		ix.dists = make([][]NodeDist, g.Dict().Size())
+	}
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -102,6 +125,9 @@ func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
 			res := sssp.NewResult(g.NumNodes())
 			for j := range jobs {
 				ix.edges[j.term] = buildEdgeList(g, ws, res, ix.nodes.NodesByID(j.term), opt.R)
+				if opt.KeepDistances {
+					ix.dists[j.term] = extractDists(res)
+				}
 			}
 		}()
 	}
@@ -148,14 +174,47 @@ func buildEdgeList(g *graph.Graph, ws *sssp.Workspace, res *sssp.Result, post []
 	// Canonical (From, To) order: Visited() settles in distance order, so
 	// sort to make builds byte-stable for serialization and to give the
 	// on-disk loader a strict monotonicity invariant to check against.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
+	sortPostings(out)
 	return out
 }
+
+// sortPostings orders a posting list by (From, To). A concrete
+// sort.Interface rather than sort.Slice: the reflective swapper showed
+// up as a top allocator in build profiles, and this runs once per term.
+func sortPostings(out []WeightedEdge) { sort.Sort(byFromTo(out)) }
+
+type byFromTo []WeightedEdge
+
+func (s byFromTo) Len() int      { return len(s) }
+func (s byFromTo) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s byFromTo) Less(i, j int) bool {
+	if s[i].From != s[j].From {
+		return s[i].From < s[j].From
+	}
+	return s[i].To < s[j].To
+}
+
+// extractDists snapshots a run's settled set as a node-sorted distance
+// list, the sidecar entry KeepDistances retains per term.
+func extractDists(res *sssp.Result) []NodeDist {
+	vis := res.Visited()
+	if len(vis) == 0 {
+		return nil
+	}
+	out := make([]NodeDist, len(vis))
+	for i, v := range vis {
+		d, _ := res.Dist(v)
+		out[i] = NodeDist{Node: v, Dist: d}
+	}
+	sort.Sort(byNode(out))
+	return out
+}
+
+type byNode []NodeDist
+
+func (s byNode) Len() int           { return len(s) }
+func (s byNode) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byNode) Less(i, j int) bool { return s[i].Node < s[j].Node }
 
 // Graph returns the indexed database graph.
 func (ix *Index) Graph() *graph.Graph { return ix.g }

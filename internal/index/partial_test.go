@@ -1,0 +1,111 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"commdb/internal/graph"
+)
+
+// partialTestGraph builds a small two-community graph with shared and
+// distinct terms.
+func partialTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	ids := make([]graph.NodeID, 8)
+	terms := [][]string{
+		{"alpha", "beta"}, {"alpha"}, {"gamma"}, {"beta", "gamma"},
+		{"alpha"}, {"delta"}, {"delta", "beta"}, {"gamma"},
+	}
+	for i := range ids {
+		ids[i] = b.AddNode("n", terms[i]...)
+	}
+	for i := 0; i < len(ids); i++ {
+		b.AddBiEdge(ids[i], ids[(i+1)%len(ids)], float64(1+i%3))
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func identityPerm(n int) []graph.NodeID {
+	perm := make([]graph.NodeID, n)
+	for i := range perm {
+		perm[i] = graph.NodeID(i)
+	}
+	return perm
+}
+
+// With the same graph, an identity permutation, and an empty dirty
+// set, the partial rebuild must reproduce the full build byte for
+// byte; the same holds when every term is dirty (pure recompute).
+func TestRebuildPartialMatchesBuild(t *testing.T) {
+	g := partialTestGraph(t)
+	opt := BuildOptions{R: 4, Workers: 2}
+	full, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := identityPerm(g.NumNodes())
+
+	for name, dirty := range map[string]map[string]bool{
+		"all-clean": {},
+		"all-dirty": {"alpha": true, "beta": true, "gamma": true, "delta": true},
+		"mixed":     {"beta": true, "delta": true},
+	} {
+		got, st, err := RebuildPartial(g, opt, full, perm, dirty, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(full) {
+			t.Fatalf("%s: partial rebuild differs from full build", name)
+		}
+		var a, b bytes.Buffer
+		if err := full.Write(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s: serialized artifacts differ", name)
+		}
+		if st.DirtyTerms != len(dirty) {
+			t.Fatalf("%s: DirtyTerms = %d, want %d", name, st.DirtyTerms, len(dirty))
+		}
+		if st.RemappedTerms+st.DirtyTerms != st.TotalTerms {
+			t.Fatalf("%s: stats do not partition the terms: %+v", name, st)
+		}
+	}
+}
+
+// A clean term whose word is missing from the old index, or whose
+// postings reference a deleted node, must fail closed.
+func TestRebuildPartialFailsClosed(t *testing.T) {
+	g := partialTestGraph(t)
+	opt := BuildOptions{R: 4}
+	full, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleted endpoint: mark node 0 deleted but leave "alpha" clean.
+	perm := identityPerm(g.NumNodes())
+	perm[0] = -1
+	if _, _, err := RebuildPartial(g, opt, full, perm, map[string]bool{}, nil); err == nil {
+		t.Fatal("clean term with deleted endpoint should fail")
+	}
+	// Wrong radius.
+	if _, _, err := RebuildPartial(g, opt, full, identityPerm(g.NumNodes()), nil, nil); err == nil {
+		_ = err
+	}
+	bad := BuildOptions{R: 5}
+	if _, _, err := RebuildPartial(g, bad, full, identityPerm(g.NumNodes()), nil, nil); err == nil {
+		t.Fatal("radius mismatch should fail")
+	}
+	// Wrong permutation length.
+	if _, _, err := RebuildPartial(g, opt, full, identityPerm(3), nil, nil); err == nil {
+		t.Fatal("short permutation should fail")
+	}
+}

@@ -1,0 +1,177 @@
+package relational
+
+import (
+	"testing"
+)
+
+// mutableDB builds the two-table fixture the mutation tests share:
+// Author(Aid, Name) ← Write(Aid, Pid).
+func mutableDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	authors, err := db.CreateTable(Schema{
+		Name: "Author",
+		Columns: []Column{
+			{Name: "Aid", Type: Int},
+			{Name: "Name", Type: String, FullText: true},
+		},
+		PrimaryKey: []string{"Aid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.CreateTable(Schema{
+		Name: "Write",
+		Columns: []Column{
+			{Name: "Aid", Type: Int},
+			{Name: "Pid", Type: Int},
+		},
+		PrimaryKey: []string{"Aid", "Pid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddForeignKey(ForeignKey{FromTable: "Write", FromColumn: "Aid", ToTable: "Author"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := authors.Insert(IntV(i), StrV("name")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.EnableMutations(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestMutationsInsertDelete(t *testing.T) {
+	db := mutableDB(t)
+	if err := db.Insert("Write", IntV(1), IntV(100)); err != nil {
+		t.Fatal(err)
+	}
+	// Referenced author cannot be deleted while the write row exists.
+	if err := db.Delete("Author", "1"); err == nil {
+		t.Fatal("deleting a referenced author should fail")
+	}
+	// Unreferenced author can.
+	if err := db.Delete("Author", "2"); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the child, then the parent becomes deletable.
+	if err := db.Delete("Write", "1|100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("Author", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	changes := db.Changes()
+	if len(changes) != 4 {
+		t.Fatalf("captured %d changes, want 4", len(changes))
+	}
+	ins := changes[0]
+	if ins.Op != ChangeInsert || ins.Ref != (NodeRef{Table: "Write", PK: "1|100"}) {
+		t.Fatalf("unexpected first change %+v", ins)
+	}
+	if len(ins.Targets) != 1 || ins.Targets[0] != (NodeRef{Table: "Author", PK: "1"}) {
+		t.Fatalf("insert targets = %+v, want Author:1", ins.Targets)
+	}
+	del := changes[2]
+	if del.Op != ChangeDelete || del.Ref != (NodeRef{Table: "Write", PK: "1|100"}) {
+		t.Fatalf("unexpected third change %+v", del)
+	}
+	if len(del.Targets) != 1 || del.Targets[0] != (NodeRef{Table: "Author", PK: "1"}) {
+		t.Fatalf("delete targets = %+v, want Author:1", del.Targets)
+	}
+	db.ResetChanges()
+	if len(db.Changes()) != 0 {
+		t.Fatal("ResetChanges did not clear the buffer")
+	}
+}
+
+func TestMutationsRejectInvalid(t *testing.T) {
+	db := mutableDB(t)
+	// Insert referencing a missing author fails closed.
+	if err := db.Insert("Write", IntV(99), IntV(1)); err == nil {
+		t.Fatal("insert with dangling foreign key should fail")
+	}
+	// Direct table inserts are rejected once mutable.
+	authors, _ := db.Table("Author")
+	if err := authors.Insert(IntV(9), StrV("x")); err == nil {
+		t.Fatal("direct Table.Insert on a mutable database should fail")
+	}
+	// Deleting a missing row fails.
+	if err := db.Delete("Write", "7|7"); err != nil {
+		// expected
+	} else {
+		t.Fatal("delete of missing row should fail")
+	}
+	// Nothing should have been captured.
+	if n := len(db.Changes()); n != 0 {
+		t.Fatalf("rejected mutations captured %d changes", n)
+	}
+}
+
+func TestDeletePreservesRowOrder(t *testing.T) {
+	db := mutableDB(t)
+	authors, _ := db.Table("Author")
+	if err := db.Delete("Author", "1"); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors 0 and 2 keep their relative order and the index maps
+	// keys to the shifted positions.
+	if got := authors.Row(0)[0].Int(); got != 0 {
+		t.Fatalf("row 0 = Aid %d, want 0", got)
+	}
+	if got := authors.Row(1)[0].Int(); got != 2 {
+		t.Fatalf("row 1 = Aid %d, want 2", got)
+	}
+	if got := authors.RowKey(1); got != "2" {
+		t.Fatalf("RowKey(1) = %q, want \"2\"", got)
+	}
+	if _, ok := authors.Lookup("2"); !ok {
+		t.Fatal("Lookup(2) failed after delete shifted rows")
+	}
+	if _, ok := authors.Lookup("1"); ok {
+		t.Fatal("deleted key still resolves")
+	}
+}
+
+func TestLateForeignKeyKeepsCounts(t *testing.T) {
+	db := mutableDB(t)
+	papers, err := db.CreateTable(Schema{
+		Name: "Paper",
+		Columns: []Column{
+			{Name: "Pid", Type: Int},
+			{Name: "Title", Type: String, FullText: true},
+		},
+		PrimaryKey: []string{"Pid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = papers
+	if err := db.AddForeignKey(ForeignKey{FromTable: "Write", FromColumn: "Pid", ToTable: "Paper"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Paper", IntV(5), StrV("title words")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Write", IntV(0), IntV(5)); err != nil {
+		t.Fatal(err)
+	}
+	// The late constraint's counts must block deleting the paper.
+	if err := db.Delete("Paper", "5"); err == nil {
+		t.Fatal("deleting a referenced paper should fail after late AddForeignKey")
+	}
+	if err := db.Delete("Write", "0|5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("Paper", "5"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ package relational
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -53,6 +54,9 @@ func IntV(v int64) Value { return Value{kind: Int, i: v} }
 // StrV builds a string value.
 func StrV(v string) Value { return Value{kind: String, s: v} }
 
+// Kind reports the value's column type.
+func (v Value) Kind() ColumnType { return v.kind }
+
 // Int returns the integer payload.
 func (v Value) Int() int64 { return v.i }
 
@@ -71,12 +75,53 @@ func (v Value) String() string {
 type Tuple []Value
 
 // Table holds the rows of one schema with a primary-key index.
+//
+// pkIndex maps serialized keys to *virtual* row positions: the position
+// a row would have if no delete had ever compacted the slice. Rows keep
+// their virtual position for life, so a delete only removes its own map
+// entry instead of rewriting every entry behind it — the fixup that
+// made deletes O(table) in map writes. deadPos records the virtual
+// positions vacated since the last compaction, sorted ascending; the
+// actual position of a live row is its virtual position minus the dead
+// entries before it (rowPos). Virtual and actual coincide while deadPos
+// is empty, and a compaction (every compactEvery deletes) restores that
+// state, bounding both the deadPos scan and the coordinate drift.
 type Table struct {
+	db      *Database
 	schema  *Schema
 	colIdx  map[string]int
 	pkCols  []int
 	rows    []Tuple
 	pkIndex map[string]int
+	deadPos []int
+}
+
+// compactEvery bounds deadPos: after this many deletes the pkIndex is
+// rewritten to actual coordinates in one pass. Small enough that the
+// binary search in rowPos stays trivial, large enough that the O(table)
+// rewrite is amortized over many deletes.
+const compactEvery = 256
+
+// rowPos converts a virtual pkIndex position to the row's actual index
+// in t.rows.
+func (t *Table) rowPos(virtual int) int {
+	if len(t.deadPos) == 0 {
+		return virtual
+	}
+	return virtual - sort.SearchInts(t.deadPos, virtual)
+}
+
+// nextVirtual is the virtual position the next inserted row receives.
+// Live rows and dead positions partition [0, nextVirtual), so this is
+// always the maximum — an append stays an append in both spaces.
+func (t *Table) nextVirtual() int { return len(t.rows) + len(t.deadPos) }
+
+// compact rewrites pkIndex into actual coordinates and clears deadPos.
+func (t *Table) compact() {
+	for k, v := range t.pkIndex {
+		t.pkIndex[k] = t.rowPos(v)
+	}
+	t.deadPos = t.deadPos[:0]
 }
 
 // Schema returns the table's schema.
@@ -106,8 +151,19 @@ func (t *Table) pkKey(row Tuple) string {
 }
 
 // Insert appends a row after validating arity, types, and primary-key
-// uniqueness.
+// uniqueness. Once the database is mutable (EnableMutations), rows must
+// go through Database.Insert instead so reference counts and change
+// capture stay consistent.
 func (t *Table) Insert(vals ...Value) error {
+	if t.db != nil && t.db.mutable {
+		return fmt.Errorf("relational: %s is mutable; insert through Database.Insert", t.schema.Name)
+	}
+	return t.insert(vals)
+}
+
+// insert is the constraint-checked append shared by the bulk path and
+// the mutation path.
+func (t *Table) insert(vals []Value) error {
 	if len(vals) != len(t.schema.Columns) {
 		return fmt.Errorf("relational: %s expects %d values, got %d",
 			t.schema.Name, len(t.schema.Columns), len(vals))
@@ -125,10 +181,14 @@ func (t *Table) Insert(vals ...Value) error {
 	if _, dup := t.pkIndex[key]; dup {
 		return fmt.Errorf("relational: duplicate primary key %s in %s", key, t.schema.Name)
 	}
-	t.pkIndex[key] = len(t.rows)
+	t.pkIndex[key] = t.nextVirtual()
 	t.rows = append(t.rows, row)
 	return nil
 }
+
+// RowKey serializes the i-th row's primary key (pipe-joined key
+// columns), the form Lookup and Database.Delete address rows by.
+func (t *Table) RowKey(i int) string { return t.pkKey(t.rows[i]) }
 
 // Lookup finds a row by serialized primary key.
 func (t *Table) Lookup(pk string) (Tuple, bool) {
@@ -136,7 +196,7 @@ func (t *Table) Lookup(pk string) (Tuple, bool) {
 	if !ok {
 		return nil, false
 	}
-	return t.rows[i], true
+	return t.rows[t.rowPos(i)], true
 }
 
 // ForeignKey declares that FromTable.FromColumn references the
@@ -147,11 +207,17 @@ type ForeignKey struct {
 	ToTable    string
 }
 
-// Database is a set of tables with foreign-key constraints.
+// Database is a set of tables with foreign-key constraints. After
+// EnableMutations it additionally tracks per-constraint reference
+// counts and captures every Insert/Delete as a Change (see mutate.go).
 type Database struct {
 	tables map[string]*Table
 	order  []string
 	fks    []ForeignKey
+
+	mutable   bool
+	refCounts []map[string]int // parallel to fks: referenced key → count
+	changes   []Change
 }
 
 // NewDatabase returns an empty database.
@@ -171,6 +237,7 @@ func (db *Database) CreateTable(s Schema) (*Table, error) {
 		return nil, fmt.Errorf("relational: table %s needs columns", s.Name)
 	}
 	t := &Table{
+		db:      db,
 		schema:  &s,
 		colIdx:  make(map[string]int, len(s.Columns)),
 		pkIndex: make(map[string]int),
@@ -224,6 +291,11 @@ func (db *Database) AddForeignKey(fk ForeignKey) error {
 		return fmt.Errorf("relational: foreign key target %s must have a single-column primary key", fk.ToTable)
 	}
 	db.fks = append(db.fks, fk)
+	if db.mutable {
+		// Keep the parallel reference-count array in sync when a
+		// constraint arrives after EnableMutations.
+		db.refCounts = append(db.refCounts, countRefs(from, fk))
+	}
 	return nil
 }
 

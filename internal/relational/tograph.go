@@ -37,46 +37,82 @@ func (m *NodeMap) Len() int { return len(m.refs) }
 // referencing and the referenced tuples. Edge weights follow the
 // experiments' function w_e((u,v)) = log2(1 + N_in(v)).
 //
-// The node label is "Table:PK". CheckIntegrity is run first so a
-// dangling reference fails loudly rather than silently dropping edges.
+// The node label is "Table:PK". A dangling foreign-key reference fails
+// loudly (with CheckIntegrity's error) rather than silently dropping
+// edges.
+//
+// This routine is the fixed per-batch cost of the incremental
+// maintainer (internal/delta re-materializes the graph on every apply),
+// so it avoids per-row key serialization: node IDs are dense in table
+// order, letting both loops address nodes as tableBase+rowIndex, and
+// the primary-key strings are recovered by inverting each table's
+// pkIndex once instead of re-joining key columns per row.
 func (db *Database) ToGraph() (*graph.Graph, *NodeMap, error) {
-	if err := db.CheckIntegrity(); err != nil {
-		return nil, nil, err
-	}
 	b := graph.NewBuilder()
-	m := &NodeMap{byRef: make(map[NodeRef]graph.NodeID, db.NumTuples())}
+	// Node and edge counts are known exactly up front (one node per
+	// tuple, two directed edges per foreign-key instance), so the
+	// builder never regrows an append.
+	numEdges := 0
+	for _, fk := range db.fks {
+		numEdges += 2 * db.tables[fk.FromTable].Len()
+	}
+	b.Grow(db.NumTuples(), numEdges)
+	m := &NodeMap{
+		refs:  make([]NodeRef, 0, db.NumTuples()),
+		byRef: make(map[NodeRef]graph.NodeID, db.NumTuples()),
+	}
 
 	// Nodes, table by table in creation order for determinism.
+	base := make(map[string]graph.NodeID, len(db.order))
 	for _, name := range db.order {
 		t := db.tables[name]
+		base[name] = graph.NodeID(len(m.refs))
 		var textCols []int
 		for i, c := range t.schema.Columns {
 			if c.FullText && c.Type == String {
 				textCols = append(textCols, i)
 			}
 		}
+		// pkIndex already holds every row's serialized key; one inverting
+		// pass (virtual → actual via rowPos) is far cheaper than
+		// len(rows) pkKey serializations.
+		keys := make([]string, t.Len())
+		for k, ri := range t.pkIndex {
+			keys[t.rowPos(ri)] = k
+		}
+		var terms []string // reused; AddNode keeps only the interned IDs
 		for r := 0; r < t.Len(); r++ {
 			row := t.Row(r)
-			pk := t.pkKey(row)
-			var terms []string
+			pk := keys[r]
+			terms = terms[:0]
 			for _, ci := range textCols {
 				terms = append(terms, fulltext.Tokenize(row[ci].Str())...)
 			}
-			id := b.AddNode(fmt.Sprintf("%s:%s", name, pk), terms...)
+			id := b.AddNode(name+":"+pk, terms...)
 			ref := NodeRef{Table: name, PK: pk}
 			m.refs = append(m.refs, ref)
 			m.byRef[ref] = id
 		}
 	}
 
-	// Edges: one bi-directed pair per foreign-key instance.
+	// Edges: one bi-directed pair per foreign-key instance. The
+	// referencing side is addressed positionally; the referenced side
+	// through the target table's primary-key index, which doubles as the
+	// integrity check.
 	for _, fk := range db.fks {
 		from := db.tables[fk.FromTable]
+		to := db.tables[fk.ToTable]
+		fromBase, toBase := base[fk.FromTable], base[fk.ToTable]
 		ci := from.ColumnIndex(fk.FromColumn)
 		for r := 0; r < from.Len(); r++ {
-			row := from.Row(r)
-			u := m.byRef[NodeRef{Table: fk.FromTable, PK: from.pkKey(row)}]
-			v := m.byRef[NodeRef{Table: fk.ToTable, PK: row[ci].String()}]
+			val := from.Row(r)[ci].String()
+			vi, ok := to.pkIndex[val]
+			if !ok {
+				return nil, nil, fmt.Errorf("relational: %s row %d: %s=%s has no match in %s",
+					fk.FromTable, r, fk.FromColumn, val, fk.ToTable)
+			}
+			u := fromBase + graph.NodeID(r)
+			v := toBase + graph.NodeID(to.rowPos(vi))
 			b.AddBiEdge(u, v, 0) // weights assigned by FreezeLogWeights
 		}
 	}

@@ -11,6 +11,7 @@ package server
 import (
 	"net/http"
 
+	"commdb/internal/delta"
 	"commdb/internal/obs"
 	"commdb/internal/snapshot"
 )
@@ -110,6 +111,55 @@ func newMetrics(s *Server) *metrics {
 				}
 				return out
 			})
+	}
+	if deltas := s.cfg.Deltas; deltas != nil {
+		// Fixed kind order (including zero-valued series), mirroring
+		// commdb_reload_total's outcome handling.
+		reg.LabeledCounterFunc("commdb_delta_applied_total", "mutation ops applied by the incremental maintainer, by kind",
+			func() []obs.LabeledSample {
+				st := deltas()
+				out := make([]obs.LabeledSample, 0, len(delta.Kinds))
+				for _, k := range delta.Kinds {
+					out = append(out, obs.LabeledSample{
+						Labels: []obs.Label{{Name: "kind", Value: k}},
+						Value:  float64(st.Applied[k]),
+					})
+				}
+				return out
+			})
+		reg.CounterFunc("commdb_delta_batches_total", "mutation batches applied by the incremental maintainer",
+			func() int64 { return deltas().Batches })
+		reg.CounterFunc("commdb_delta_rejected_total", "mutation ops rejected by the incremental maintainer",
+			func() int64 { return deltas().Rejected })
+		reg.CounterFunc("commdb_delta_full_rebuilds_total", "batches that took the full-rebuild path (structural ops)",
+			func() int64 { return deltas().FullRebuilds })
+		reg.CounterFunc("commdb_delta_partial_fallbacks_total", "batches rescued by a full build after a partial-rebuild invariant failure",
+			func() int64 { return deltas().PartialFallbacks })
+		reg.CounterFunc("commdb_delta_republishes_total", "artifact republishes triggered by applied batches",
+			func() int64 { return deltas().Republishes })
+		reg.GaugeFunc("commdb_delta_dirty_terms", "index terms recomputed by the last delta batch (dirty set size)",
+			func() float64 {
+				if lb := deltas().LastBatch; lb != nil {
+					return float64(lb.DirtyTerms)
+				}
+				return 0
+			})
+		reg.GaugeFunc("commdb_delta_total_terms", "index terms at the last delta batch (dirty-set denominator)",
+			func() float64 {
+				if lb := deltas().LastBatch; lb != nil {
+					return float64(lb.TotalTerms)
+				}
+				return 0
+			})
+		reg.GaugeFunc("commdb_delta_apply_ms", "wall time of the last delta batch apply",
+			func() float64 {
+				if lb := deltas().LastBatch; lb != nil {
+					return lb.ApplyMS
+				}
+				return 0
+			})
+		reg.GaugeFunc("commdb_delta_full_build_ms", "wall time of the initial from-scratch build, the delta apply's reference point",
+			func() float64 { return deltas().FullBuildMS })
 	}
 	return m
 }

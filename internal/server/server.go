@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"commdb"
+	"commdb/internal/delta"
 	"commdb/internal/obs"
 	"commdb/internal/snapshot"
 )
@@ -103,6 +104,11 @@ type Config struct {
 	// disables the endpoint (requests get 403), so reload-over-HTTP is
 	// strictly opt-in.
 	AdminToken string
+	// Deltas, when non-nil, reports the incremental maintainer's
+	// cumulative statistics (commserve's in-process delta mode). They
+	// surface as the "deltas" block in /statsz and the commdb_delta_*
+	// families in /metricsz.
+	Deltas func() delta.Stats
 }
 
 func (c Config) withDefaults() Config {
@@ -277,6 +283,10 @@ func (s *Server) Stats() StatsSnapshot {
 	if s.snaps != nil {
 		st := s.snaps.Status()
 		snap.Epochs = &st
+	}
+	if s.cfg.Deltas != nil {
+		st := s.cfg.Deltas()
+		snap.Deltas = &st
 	}
 	return snap
 }

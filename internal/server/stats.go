@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"commdb/internal/delta"
 	"commdb/internal/obs"
 	"commdb/internal/snapshot"
 )
@@ -116,6 +117,11 @@ type StatsSnapshot struct {
 	// leases, probation, per-outcome reload counters — present only
 	// when the server runs with hot reload enabled.
 	Epochs *snapshot.Status `json:"epochs,omitempty"`
+
+	// Deltas is the incremental maintainer's cumulative view — batches,
+	// per-kind applied ops, dirty-set sizes, apply-vs-full-build times —
+	// present only when the server runs in delta mode.
+	Deltas *delta.Stats `json:"deltas,omitempty"`
 
 	Latency struct {
 		Count   int64           `json:"count"`

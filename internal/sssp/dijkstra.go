@@ -252,6 +252,19 @@ func (w *Workspace) Bytes() int64 {
 // from the budget. A run started after the budget tripped settles
 // nothing.
 func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) {
+	w.run(dir, seeds, rmax, res, nil)
+}
+
+// RunWithin is Run restricted to an induced subgraph: only nodes v with
+// within[v] true are seeded, relaxed into, or settled. Edges leaving
+// the region are ignored — callers that need paths through the outside
+// (e.g. the partial index rebuild's boundary-conditioned repair) fold
+// them into seed distances instead.
+func (w *Workspace) RunWithin(dir Direction, seeds []Seed, rmax float64, res *Result, within []bool) {
+	w.run(dir, seeds, rmax, res, within)
+}
+
+func (w *Workspace) run(dir Direction, seeds []Seed, rmax float64, res *Result, within []bool) {
 	res.Reset()
 	if w.budget != nil && w.budget.Err() != nil {
 		return // tripped budget: every further run is an empty no-op
@@ -276,6 +289,9 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 
 	for _, s := range seeds {
 		if s.Dist > rmax {
+			continue
+		}
+		if within != nil && !within[s.Node] {
 			continue
 		}
 		if w.stamp[s.Node] == w.epoch && w.tent[s.Node] <= s.Dist {
@@ -328,6 +344,9 @@ func (w *Workspace) Run(dir Direction, seeds []Seed, rmax float64, res *Result) 
 			}
 			if nd > rmax {
 				tc.RadiusCutoffs++
+				continue
+			}
+			if within != nil && !within[e.To] {
 				continue
 			}
 			if res.Contains(e.To) {
