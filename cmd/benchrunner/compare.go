@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // minCompareMS is the noise floor: latency metrics below it on the old
@@ -110,7 +111,45 @@ func compareParallelReports(old, new parallelBenchReport, tolerance float64) []m
 			out = append(out, d)
 		}
 	}
+	// The core curve rides along informationally (never gated): its
+	// shape is host-topology-bound, so two machines legitimately
+	// disagree, but seeing the per-core trend drift is diagnosis gold.
+	newByProcs := map[int]corePoint{}
+	for _, p := range new.CoreCurve {
+		newByProcs[p.Procs] = p
+	}
+	for _, o := range old.CoreCurve {
+		n, ok := newByProcs[o.Procs]
+		if !ok || o.TotalMS < minCompareMS {
+			continue
+		}
+		out = append(out, metricDelta{
+			Name: fmt.Sprintf("cores%d.total_ms", o.Procs),
+			Old:  o.TotalMS, New: n.TotalMS, Ratio: n.TotalMS / o.TotalMS,
+		})
+	}
 	return out
+}
+
+// parallelCompareNotes returns the informational warnings for a
+// parallel-report diff — today, flagging a report whose host had fewer
+// cores than its highest swept worker degree: the sweep still ran (the
+// engine's determinism holds at any degree) but the extra workers
+// time-share cores, so speedups saturate and absolute latencies
+// overlap between degrees.
+func parallelCompareNotes(path string, rep parallelBenchReport) []string {
+	maxDeg := 0
+	for _, d := range rep.Degrees {
+		if d.Parallelism > maxDeg {
+			maxDeg = d.Parallelism
+		}
+	}
+	if rep.HostCPUs > 0 && maxDeg > rep.HostCPUs {
+		return []string{fmt.Sprintf(
+			"note: %s swept parallelism up to %d on a %d-CPU host; degrees beyond the core count time-share cores, so their speedups saturate and latencies overlap",
+			path, maxDeg, rep.HostCPUs)}
+	}
+	return nil
 }
 
 // compareDeltaReports diffs a new -delta report against an old one:
@@ -140,53 +179,73 @@ func compareDeltaReports(old, new deltaBenchReport, tolerance float64) []metricD
 		d.Regress = m.gated && m.new > m.old*(1+tolerance)
 		out = append(out, d)
 	}
+	// The stage breakdown rides along informationally (never gated):
+	// the gated totals are the contract, the per-stage means say where
+	// a regression actually landed. Sorted so output is deterministic.
+	stages := make([]string, 0, len(old.StageBreakdown))
+	for k := range old.StageBreakdown {
+		if _, ok := new.StageBreakdown[k]; ok {
+			stages = append(stages, k)
+		}
+	}
+	sort.Strings(stages)
+	for _, k := range stages {
+		o, n := old.StageBreakdown[k], new.StageBreakdown[k]
+		if o < minCompareMS {
+			continue
+		}
+		out = append(out, metricDelta{
+			Name: "stage." + k + "_ms", Old: o, New: n, Ratio: n / o,
+		})
+	}
 	return out
 }
 
 // loadDeltas reads two report files of the same sniffed kind and
-// returns their metric diffs.
-func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, error) {
+// returns their metric diffs plus any informational notes.
+func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, []string, error) {
 	oldB, err := os.ReadFile(oldPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	newB, err := os.ReadFile(newPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	oldKind, newKind := reportKind(oldB), reportKind(newB)
 	if oldKind != newKind {
-		return nil, fmt.Errorf("%s (%s) and %s (%s) are different report kinds",
+		return nil, nil, fmt.Errorf("%s (%s) and %s (%s) are different report kinds",
 			oldPath, oldKind, newPath, newKind)
 	}
 	switch oldKind {
 	case "parallel":
 		var old, new parallelBenchReport
 		if err := json.Unmarshal(oldB, &old); err != nil {
-			return nil, fmt.Errorf("%s: %w", oldPath, err)
+			return nil, nil, fmt.Errorf("%s: %w", oldPath, err)
 		}
 		if err := json.Unmarshal(newB, &new); err != nil {
-			return nil, fmt.Errorf("%s: %w", newPath, err)
+			return nil, nil, fmt.Errorf("%s: %w", newPath, err)
 		}
-		return compareParallelReports(old, new, tolerance), nil
+		notes := append(parallelCompareNotes(oldPath, old), parallelCompareNotes(newPath, new)...)
+		return compareParallelReports(old, new, tolerance), notes, nil
 	case "delta":
 		var old, new deltaBenchReport
 		if err := json.Unmarshal(oldB, &old); err != nil {
-			return nil, fmt.Errorf("%s: %w", oldPath, err)
+			return nil, nil, fmt.Errorf("%s: %w", oldPath, err)
 		}
 		if err := json.Unmarshal(newB, &new); err != nil {
-			return nil, fmt.Errorf("%s: %w", newPath, err)
+			return nil, nil, fmt.Errorf("%s: %w", newPath, err)
 		}
-		return compareDeltaReports(old, new, tolerance), nil
+		return compareDeltaReports(old, new, tolerance), nil, nil
 	default:
 		var old, new serveBenchReport
 		if err := json.Unmarshal(oldB, &old); err != nil {
-			return nil, fmt.Errorf("%s: %w", oldPath, err)
+			return nil, nil, fmt.Errorf("%s: %w", oldPath, err)
 		}
 		if err := json.Unmarshal(newB, &new); err != nil {
-			return nil, fmt.Errorf("%s: %w", newPath, err)
+			return nil, nil, fmt.Errorf("%s: %w", newPath, err)
 		}
-		return compareReports(old, new, tolerance), nil
+		return compareReports(old, new, tolerance), nil, nil
 	}
 }
 
@@ -215,7 +274,7 @@ func reportKind(b []byte) string {
 // [-tolerance 0.15] old.json new.json. It prints every compared metric
 // and returns an error (→ exit 1) when any regresses.
 func runCompare(oldPath, newPath string, tolerance float64) error {
-	deltas, err := loadDeltas(oldPath, newPath, tolerance)
+	deltas, notes, err := loadDeltas(oldPath, newPath, tolerance)
 	if err != nil {
 		return err
 	}
@@ -229,6 +288,9 @@ func runCompare(oldPath, newPath string, tolerance float64) error {
 			mark = "FAIL"
 		}
 		fmt.Printf("  %s %-24s old=%10.3f new=%10.3f (%.2fx)\n", mark, d.Name, d.Old, d.New, d.Ratio)
+	}
+	for _, n := range notes {
+		fmt.Println("  " + n)
 	}
 	if bad := regressions(deltas); len(bad) > 0 {
 		return fmt.Errorf("%d metric(s) regressed beyond %.0f%% tolerance", len(bad), tolerance*100)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -177,7 +178,7 @@ func TestCompareToleratesEpochFields(t *testing.T) {
 	}
 
 	for _, dir := range [][2]string{{oldPath, newPath}, {newPath, oldPath}} {
-		deltas, err := loadDeltas(dir[0], dir[1], 0.15)
+		deltas, _, err := loadDeltas(dir[0], dir[1], 0.15)
 		if err != nil {
 			t.Fatalf("compare %s -> %s: %v", dir[0], dir[1], err)
 		}
@@ -249,5 +250,109 @@ func TestCompareDeltaReports(t *testing.T) {
 	}
 	if err := runCompare(oldPath, servePath, 0.15); err == nil {
 		t.Fatal("comparing a delta report against a serve report returned nil")
+	}
+}
+
+// TestCompareStageBreakdownInformational: stage_breakdown rows ride
+// the delta diff for diagnosis but never gate — a 10x stage blowup
+// whose gated totals hold must not fail the build.
+func TestCompareStageBreakdownInformational(t *testing.T) {
+	old := baselineDeltaReport()
+	old.StageBreakdown = map[string]float64{
+		"to_graph": 40, "dirty_terms": 2, "region_mark": 5, "repair": 60, "merge": 10,
+	}
+	new := old
+	new.StageBreakdown = map[string]float64{
+		"to_graph": 400, "dirty_terms": 20, "region_mark": 50, "repair": 600, "merge": 100,
+	}
+	deltas := compareDeltaReports(old, new, 0.15)
+	var stageRows int
+	for _, d := range deltas {
+		if strings.HasPrefix(d.Name, "stage.") {
+			stageRows++
+			if d.Regress {
+				t.Fatalf("informational stage row gated: %+v", d)
+			}
+		}
+	}
+	if stageRows != 5 {
+		t.Fatalf("stage rows = %d, want 5", stageRows)
+	}
+
+	// A baseline without a breakdown (pre-telemetry report) still
+	// compares cleanly against one that has it.
+	old.StageBreakdown = nil
+	if bad := regressions(compareDeltaReports(old, new, 0.15)); len(bad) != 0 {
+		t.Fatalf("missing old breakdown perturbed the gate: %+v", bad)
+	}
+}
+
+// TestCompareCoreCurveInformational: core_curve rows are reported at
+// matching proc counts but never gated.
+func TestCompareCoreCurveInformational(t *testing.T) {
+	old := parallelBenchReport{
+		HostCPUs: 4,
+		Degrees:  []degreeStats{{Parallelism: 1, FirstResultMS: 10, TotalMS: 100}},
+		CoreCurve: []corePoint{
+			{Procs: 1, TotalMS: 100}, {Procs: 2, TotalMS: 60}, {Procs: 4, TotalMS: 40},
+		},
+	}
+	new := old
+	new.CoreCurve = []corePoint{
+		{Procs: 1, TotalMS: 300}, {Procs: 4, TotalMS: 120},
+	}
+	deltas := compareParallelReports(old, new, 0.15)
+	var curveRows int
+	for _, d := range deltas {
+		if strings.HasPrefix(d.Name, "cores") {
+			curveRows++
+			if d.Regress {
+				t.Fatalf("informational core-curve row gated: %+v", d)
+			}
+		}
+	}
+	// procs 2 exists only in old, so exactly procs 1 and 4 compare.
+	if curveRows != 2 {
+		t.Fatalf("core-curve rows = %d, want 2", curveRows)
+	}
+}
+
+// TestCompareHostCPUNote (satellite): a parallel report whose highest
+// swept degree exceeds its host's core count earns an informational
+// warning; a degree sweep within the core budget does not.
+func TestCompareHostCPUNote(t *testing.T) {
+	rep := parallelBenchReport{
+		HostCPUs: 1,
+		Degrees: []degreeStats{
+			{Parallelism: 1, FirstResultMS: 10, TotalMS: 100},
+			{Parallelism: 4, FirstResultMS: 10, TotalMS: 100},
+		},
+	}
+	notes := parallelCompareNotes("new.json", rep)
+	if len(notes) != 1 || !strings.Contains(notes[0], "1-CPU host") {
+		t.Fatalf("notes = %v, want a 1-CPU warning", notes)
+	}
+	rep.HostCPUs = 8
+	if notes := parallelCompareNotes("new.json", rep); len(notes) != 0 {
+		t.Fatalf("8-CPU host warned spuriously: %v", notes)
+	}
+
+	// End to end: the note surfaces through loadDeltas.
+	dir := t.TempDir()
+	rep.HostCPUs = 1
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "par.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, notes, err = loadDeltas(path, path, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 2 { // both sides are the same under-provisioned report
+		t.Fatalf("loadDeltas notes = %v, want one per side", notes)
 	}
 }

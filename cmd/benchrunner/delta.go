@@ -20,6 +20,7 @@ import (
 	"commdb/internal/datagen"
 	"commdb/internal/delta"
 	"commdb/internal/index"
+	"commdb/internal/prof"
 )
 
 // deltaBenchReport is the BENCH_delta.json schema. DeltaBatches doubles
@@ -52,6 +53,14 @@ type deltaBenchReport struct {
 	// -compare (both sides move with host speed; the absolute latencies
 	// are the stable signal) but reported for the headline.
 	Speedup float64 `json:"speedup_vs_rebuild"`
+
+	// StageBreakdown is the mean per-batch milliseconds spent in each
+	// pipeline stage (to_graph, dirty_terms, region_mark, fulltext,
+	// remap, repair, merge, recompute), averaged over the applied
+	// batches — where an apply's wall time actually goes. Informational
+	// in -compare: the stage mix is diagnosis, the gated totals are the
+	// contract.
+	StageBreakdown map[string]float64 `json:"stage_breakdown,omitempty"`
 }
 
 // runDelta is the -delta entry point.
@@ -94,6 +103,7 @@ func runDelta(authors int, seed int64, rmax float64, batches, opsPerBatch int, o
 
 	applyMS := make([]float64, 0, batches)
 	var dirtySum, totalSum float64
+	stageSum := map[string]float64{}
 	for i := 0; i < batches; i++ {
 		batch := ops[i*opsPerBatch : (i+1)*opsPerBatch]
 		bs, err := m.Apply(batch)
@@ -106,6 +116,9 @@ func runDelta(authors int, seed int64, rmax float64, batches, opsPerBatch int, o
 		applyMS = append(applyMS, bs.ApplyMS)
 		dirtySum += float64(bs.DirtyTerms)
 		totalSum += float64(bs.TotalTerms)
+		for k, v := range bs.Stages {
+			stageSum[k] += v
+		}
 	}
 	if fb := m.Stats().PartialFallbacks; fb != 0 {
 		return fmt.Errorf("%d partial fallbacks — the delta path did not hold", fb)
@@ -141,8 +154,18 @@ func runDelta(authors int, seed int64, rmax float64, batches, opsPerBatch int, o
 		rep.Speedup = rep.RebuildMS / rep.MeanApplyMS
 	}
 
+	if len(stageSum) > 0 {
+		rep.StageBreakdown = make(map[string]float64, len(stageSum))
+		for k, v := range stageSum {
+			rep.StageBreakdown[k] = v / float64(batches)
+		}
+	}
+
 	fmt.Printf("  delta apply: mean %.1fms  p50 %.1fms  max %.1fms  (dirty %.0f/%.0f terms)\n",
 		rep.MeanApplyMS, rep.P50ApplyMS, rep.MaxApplyMS, rep.MeanDirtyTerms, rep.MeanTotalTerms)
+	for _, name := range prof.SortedStageNames(rep.StageBreakdown) {
+		fmt.Printf("    stage %-12s %8.3fms/batch\n", name, rep.StageBreakdown[name])
+	}
 	fmt.Printf("  full rebuild of final state: %.1fms  ->  delta is %.1fx cheaper\n",
 		rep.RebuildMS, rep.Speedup)
 

@@ -67,6 +67,8 @@ func main() {
 		parallelQueries = flag.Int("parallel-queries", 5, "-parallel: averaged repetitions per degree (plus one warm-up)")
 		parallelK       = flag.Int("parallel-k", 50, "-parallel: communities materialized per query")
 		parallelOut     = flag.String("parallel-out", "BENCH_parallel.json", "-parallel: JSON report path")
+		profileRun      = flag.Bool("profile", false, "-parallel: write a per-degree CPU profile (cpu_p<degree>.pprof) into -profile-dir")
+		profileDir      = flag.String("profile-dir", ".", "-parallel: directory for -profile captures")
 
 		deltaBench    = flag.Bool("delta", false, "benchmark the incremental index maintainer instead of the algorithms")
 		deltaAuthors  = flag.Int("delta-authors", 2000, "-delta: DBLP scale (kept small: every batch is compared against a full rebuild)")
@@ -98,7 +100,7 @@ func main() {
 		return
 	}
 	if *parallel {
-		if err := runParallel(*authors, *seed, *dblpBoost, *parallelDegrees, *parallelQueries, *parallelK, *parallelOut); err != nil {
+		if err := runParallel(*authors, *seed, *dblpBoost, *parallelDegrees, *parallelQueries, *parallelK, *profileRun, *profileDir, *parallelOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

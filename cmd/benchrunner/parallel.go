@@ -18,7 +18,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +46,33 @@ type parallelBenchReport struct {
 	// by it, so a single-core host legitimately reports ~1x.
 	HostCPUs int           `json:"host_cpus"`
 	Degrees  []degreeStats `json:"degrees"`
+	// CoreCurve is the per-core scaling curve: the same query at full
+	// worker parallelism, granted 1, 2, 4, … cores via GOMAXPROCS up to
+	// the host's count (a single point on a one-core host). It
+	// separates "more workers" from "more cores" — the degree sweep
+	// varies the former at fixed cores, this curve the latter at fixed
+	// workers. Informational in -compare: the curve's shape is
+	// host-topology-bound.
+	CoreCurve []corePoint `json:"core_curve,omitempty"`
+}
+
+// corePoint is one GOMAXPROCS setting's measurement in the core curve.
+type corePoint struct {
+	Procs         int     `json:"procs"`
+	FirstResultMS float64 `json:"first_result_ms"`
+	TotalMS       float64 `json:"total_ms"`
+	// TotalSpeedup is against the curve's single-core point.
+	TotalSpeedup float64 `json:"total_speedup"`
+}
+
+// procsSweep is the GOMAXPROCS values the core curve visits: powers of
+// two up to the host's core count, the count itself always included.
+func procsSweep(hostCPUs int) []int {
+	var out []int
+	for p := 1; p < hostCPUs; p *= 2 {
+		out = append(out, p)
+	}
+	return append(out, hostCPUs)
 }
 
 // degreeStats is one parallelism degree's measurement.
@@ -82,7 +111,7 @@ func parseDegrees(csv string) ([]int, error) {
 }
 
 // runParallel is the -parallel entry point.
-func runParallel(authors int, seed int64, boost float64, degreesCSV string, queries, k int, out string) error {
+func runParallel(authors int, seed int64, boost float64, degreesCSV string, queries, k int, profile bool, profileDir, out string) error {
 	degrees, err := parseDegrees(degreesCSV)
 	if err != nil {
 		return err
@@ -123,11 +152,16 @@ func runParallel(authors int, seed int64, boost float64, degreesCSV string, quer
 			return err
 		}
 		var initSum, firstSum, enumSum, totalSum float64
+		stopProfile, err := startDegreeProfile(profile, profileDir, deg)
+		if err != nil {
+			return err
+		}
 		// One discarded warm-up run per degree hides one-time costs
 		// (page cache, branch predictors, pool fill) from the average.
 		for r := -1; r < queries; r++ {
 			m, costs, err := runParallelQuery(s, q, k)
 			if err != nil {
+				stopProfile()
 				return err
 			}
 			if r < 0 {
@@ -140,9 +174,11 @@ func runParallel(authors int, seed int64, boost float64, degreesCSV string, quer
 			if canonical == nil {
 				canonical = costs
 			} else if err := sameCosts(canonical, costs); err != nil {
+				stopProfile()
 				return fmt.Errorf("parallelism %d diverged from sequential: %w", deg, err)
 			}
 		}
+		stopProfile()
 		ds := degreeStats{
 			Parallelism:   deg,
 			EngineInitMS:  initSum / float64(queries),
@@ -164,6 +200,56 @@ func runParallel(authors int, seed int64, boost float64, degreesCSV string, quer
 			deg, ds.FirstResultMS, ds.EnumerateMS, ds.TotalMS, ds.InitSpeedup, ds.TotalSpeedup)
 	}
 
+	// The core curve: workers fixed at the sweep's highest degree,
+	// cores granted via GOMAXPROCS. Determinism still holds — every
+	// point must reproduce the canonical ranking.
+	maxDeg := degrees[0]
+	for _, deg := range degrees {
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	for _, procs := range procsSweep(runtime.NumCPU()) {
+		runtime.GOMAXPROCS(procs)
+		s, err := commdb.Open(d.G, commdb.WithParallelism(maxDeg))
+		if err != nil {
+			runtime.GOMAXPROCS(prevProcs)
+			return err
+		}
+		var firstSum, totalSum float64
+		for r := -1; r < queries; r++ {
+			m, costs, err := runParallelQuery(s, q, k)
+			if err != nil {
+				runtime.GOMAXPROCS(prevProcs)
+				return err
+			}
+			if r < 0 {
+				continue
+			}
+			firstSum += m.firstMS
+			totalSum += m.totalMS
+			if err := sameCosts(canonical, costs); err != nil {
+				runtime.GOMAXPROCS(prevProcs)
+				return fmt.Errorf("core curve at %d procs diverged: %w", procs, err)
+			}
+		}
+		cp := corePoint{
+			Procs:         procs,
+			FirstResultMS: firstSum / float64(queries),
+			TotalMS:       totalSum / float64(queries),
+		}
+		if base := rep.CoreCurve; len(base) > 0 && base[0].TotalMS > 0 && cp.TotalMS > 0 {
+			cp.TotalSpeedup = base[0].TotalMS / cp.TotalMS
+		} else if cp.TotalMS > 0 {
+			cp.TotalSpeedup = 1
+		}
+		rep.CoreCurve = append(rep.CoreCurve, cp)
+		fmt.Printf("  cores %2d (workers %d): first_result %8.3fms  total %8.3fms  (%.2fx)\n",
+			procs, maxDeg, cp.FirstResultMS, cp.TotalMS, cp.TotalSpeedup)
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -173,6 +259,32 @@ func runParallel(authors int, seed int64, boost float64, degreesCSV string, quer
 	}
 	fmt.Printf("report written to %s\n", out)
 	return nil
+}
+
+// startDegreeProfile begins a per-degree CPU capture when -profile is
+// on, writing cpu_p<degree>.pprof into the profile directory. The
+// returned stop is a no-op when profiling is off.
+func startDegreeProfile(profile bool, dir string, deg int) (stop func(), err error) {
+	if !profile {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("cpu_p%d.pprof", deg))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("start CPU profile for degree %d: %w", deg, err)
+	}
+	fmt.Printf("  profiling degree %d -> %s\n", deg, path)
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
 }
 
 // queryTimings is one query's measured latencies.

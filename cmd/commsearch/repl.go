@@ -76,6 +76,7 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 			fmt.Fprintln(out, "  cost sum|max     set the ranking aggregate")
 			fmt.Fprintln(out, "  timeout <dur>    wall-clock budget per query, e.g. 50ms (0 = unlimited)")
 			fmt.Fprintln(out, "  kwf <kw>         keyword frequency of a term")
+			fmt.Fprintln(out, "  mem              memory footprint of the serving artifacts (graph, index, dictionary)")
 			fmt.Fprintln(out, "  stats            trace of the current query: stages, counters, emission delays")
 			fmt.Fprintln(out, "  slowlog          session slow-query log: captured traces, classes, SLO breaches")
 			fmt.Fprintln(out, "  reload <file>    swap in a new index artifact (fail-closed: a bad file is rejected)")
@@ -167,6 +168,13 @@ func repl(g *commdb.Graph, s *commdb.Searcher, rmax float64, lim commdb.Limits, 
 			l.Release()
 			fmt.Fprintf(out, "reload ok: epoch %d serving (indexed=%v, radius=%v)\n",
 				snaps.Current(), s.Indexed(), s.IndexRadius())
+		case "mem":
+			// The footprint is the reload-aware view: after a successful
+			// 'reload', s is the new epoch's searcher, so the report
+			// follows the swap.
+			var b strings.Builder
+			s.Footprint().WriteText(&b)
+			fmt.Fprint(out, b.String())
 		case "stats":
 			if lastTr == nil {
 				fmt.Fprintln(out, "no query yet — use q first")

@@ -88,6 +88,17 @@ func TestReplErrorsAndHelp(t *testing.T) {
 	}
 }
 
+// TestReplMem: the mem command prints the searcher's exact footprint
+// breakdown — the same accounting the server serves at /debug/memz.
+func TestReplMem(t *testing.T) {
+	out := runReplScript(t, "mem\nquit\n")
+	for _, want := range []string{"searcher", "graph", "dict", "KiB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mem output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSplitKeywords(t *testing.T) {
 	got := splitKeywords(" a, b ,,c ")
 	if len(got) != 3 || got[0] != "a" || got[2] != "c" {

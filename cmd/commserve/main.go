@@ -19,8 +19,18 @@
 // Requests may set "trace": true for EXPLAIN mode: the response (topk
 // body or stream trailer) carries the query's structured trace. With
 // -log every query is logged as one structured line whose query ID
-// matches the X-Query-Id response header; -pprof mounts the standard
-// net/http/pprof handlers under /debug/pprof/.
+// matches the X-Query-Id response header.
+//
+// Observability extras: GET /debug/memz reports the exact memory
+// footprint of every live epoch (graph CSR, index postings, fulltext,
+// dictionary, result cache) plus runtime heap stats — the same numbers
+// the commdb_mem_* gauge families export on /metricsz. -pprof mounts
+// the standard net/http/pprof handlers under /debug/pprof/, behind the
+// same bearer token as /admin/reload (profiles leak symbol names, so
+// they are admin surface). -profile-every starts continuous profiling:
+// heap and CPU profiles captured on that interval into a bounded
+// in-memory ring, listed at GET /debug/profilez and fetched at
+// GET /debug/profilez/{id} (both token-authenticated).
 //
 // Per-request limits are clamped to the -max-* flags, so one client
 // cannot monopolize the query governor's budget. On SIGINT/SIGTERM the
@@ -60,6 +70,7 @@ import (
 	"time"
 
 	"commdb"
+	"commdb/internal/prof"
 	"commdb/internal/server"
 	"commdb/internal/snapshot"
 )
@@ -96,7 +107,11 @@ func main() {
 		deltaDebounce = flag.Duration("delta-debounce", 500*time.Millisecond, "quiet period before a tailed mutation batch is applied")
 
 		logQueries  = flag.Bool("log", false, "log one structured line per query (JSON on stderr)")
-		pprofEnable = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		pprofEnable = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (requires the admin token)")
+
+		profileEvery = flag.Duration("profile-every", 0, "continuous profiling: capture heap+CPU profiles at this interval into a bounded ring at /debug/profilez (0 disables)")
+		profileCPU   = flag.Duration("profile-cpu", 5*time.Second, "continuous profiling: CPU sample length per round (clamped to half the interval)")
+		profileKeep  = flag.Int("profile-keep", 4, "continuous profiling: captures retained per profile kind")
 	)
 	flag.Parse()
 	if *adminToken == "" {
@@ -122,6 +137,13 @@ func main() {
 		Logger:     logger,
 		Pprof:      *pprofEnable,
 		AdminToken: *adminToken,
+	}
+	if *profileEvery > 0 {
+		cfg.Profiler = prof.NewProfiler(prof.ProfilerConfig{
+			Interval:    *profileEvery,
+			CPUDuration: *profileCPU,
+			Keep:        *profileKeep,
+		})
 	}
 	if err := run(runOptions{
 		addr: *addr, graphPath: *graphPath, indexPath: *indexPath, example: *example,
@@ -169,6 +191,7 @@ func run(o runOptions) error {
 		}
 		loader = pipe.loader(o.parallelism)
 		cfg.Deltas = pipe.m.Stats
+		cfg.DeltaMem = pipe.m.Footprint
 	case o.mutationLog != "":
 		return fmt.Errorf("-mutation-log requires -db")
 	default:
@@ -194,6 +217,10 @@ func run(o runOptions) error {
 
 	watchCtx, stopWatch := context.WithCancel(context.Background())
 	defer stopWatch()
+	if cfg.Profiler != nil {
+		log.Printf("continuous profiling on (ring at /debug/profilez)")
+		go cfg.Profiler.Run(watchCtx)
+	}
 	if snaps != nil && o.watchEvery > 0 && o.dbPath == "" {
 		// Watch the artifact the reload actually re-reads: the index file
 		// when serving one, otherwise the graph file. indexbuild publishes

@@ -8,6 +8,11 @@
 //
 //	graphinfo -graph dblp.graph
 //	graphinfo -graph dblp.graph -terms 20 -kwf 0.0009
+//	graphinfo -graph dblp.graph -mem
+//
+// -mem prints the exact memory footprint of the loaded graph — CSR
+// arrays, labels, term postings, dictionary — the same accounting the
+// server exposes at /debug/memz.
 package main
 
 import (
@@ -26,15 +31,16 @@ func main() {
 		graphPath = flag.String("graph", "", "graph file written by cmd/datagen (required)")
 		terms     = flag.Int("terms", 15, "how many of the most frequent terms to list")
 		kwfTarget = flag.Float64("kwf", 0, "also list terms nearest this keyword frequency")
+		mem       = flag.Bool("mem", false, "print the graph's exact memory footprint breakdown")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *terms, *kwfTarget, os.Stdout); err != nil {
+	if err := run(*graphPath, *terms, *kwfTarget, *mem, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "graphinfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, topTerms int, kwfTarget float64, out *os.File) error {
+func run(graphPath string, topTerms int, kwfTarget float64, mem bool, out *os.File) error {
 	if graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -57,6 +63,10 @@ func run(graphPath string, topTerms int, kwfTarget float64, out *os.File) error 
 		for _, w := range ix.TermsNearKWF(kwfTarget, 10) {
 			fmt.Fprintf(out, "  %-20s %.6f\n", w, ix.KWF(w))
 		}
+	}
+	if mem {
+		fmt.Fprintln(out, "\nmemory footprint:")
+		g.Footprint().WriteText(out)
 	}
 	return nil
 }

@@ -33,14 +33,14 @@ func TestGraphInfo(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	if err := run(path, 10, 0.01, out); err != nil {
+	if err := run(path, 10, 0.01, true, out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out.Name())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"out-degree histogram", "top", "terms nearest KWF"} {
+	for _, want := range []string{"out-degree histogram", "top", "terms nearest KWF", "memory footprint", "graph"} {
 		if !containsStr(string(data), want) {
 			t.Fatalf("output missing %q:\n%s", want, data)
 		}
@@ -57,10 +57,10 @@ func containsStr(s, sub string) bool {
 }
 
 func TestGraphInfoErrors(t *testing.T) {
-	if err := run("", 5, 0, os.Stdout); err == nil {
+	if err := run("", 5, 0, false, os.Stdout); err == nil {
 		t.Fatal("missing graph should error")
 	}
-	if err := run("/nonexistent", 5, 0, os.Stdout); err == nil {
+	if err := run("/nonexistent", 5, 0, false, os.Stdout); err == nil {
 		t.Fatal("missing file should error")
 	}
 }

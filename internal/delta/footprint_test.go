@@ -1,0 +1,139 @@
+package delta_test
+
+import (
+	"testing"
+
+	"commdb/internal/delta"
+	"commdb/internal/prof"
+	"commdb/internal/relational"
+)
+
+// sumParts asserts the accounting invariant recursively: a composite
+// footprint's bytes equal the sum of its parts' bytes.
+func sumParts(t *testing.T, f prof.Footprint) {
+	t.Helper()
+	if len(f.Parts) == 0 {
+		return
+	}
+	var sum int64
+	for _, p := range f.Parts {
+		sum += p.Bytes
+		sumParts(t, p)
+	}
+	if f.Bytes != sum {
+		t.Fatalf("%s: bytes %d != sum of parts %d", f.Name, f.Bytes, sum)
+	}
+}
+
+// The maintainer's footprint tracks its artifacts across batches: an
+// insert-only batch grows it, deleting the same rows shrinks it again
+// (not necessarily to the starting value — the term dictionary retains
+// interned words by design).
+func TestMaintainerFootprintGrowsAndShrinks(t *testing.T) {
+	db := smallDB(t)
+	m, err := delta.NewMaintainer(db, delta.Config{R: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup batch: the initial Build's posting lists carry append-grown
+	// capacity slack, and the first partial rebuild re-makes them at
+	// exact capacity. Footprints count retained capacity (that is what
+	// the process actually holds), so normalize into the rebuild regime
+	// before comparing growth.
+	if _, err := m.Apply([]delta.Op{
+		delta.InsertOp("Author", []relational.Value{relational.IntV(899999), relational.StrV("warmup probe")}),
+		delta.DeleteOp("Author", relational.IntV(899999).String()),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	base := m.Footprint()
+	sumParts(t, base)
+	if base.Name != "maintainer" || base.Bytes <= 0 {
+		t.Fatalf("base footprint = %+v", base)
+	}
+	if _, ok := base.Find("graph"); !ok {
+		t.Fatal("maintainer footprint missing graph part")
+	}
+	if _, ok := base.Find("invertedE"); !ok {
+		t.Fatal("maintainer footprint missing invertedE part")
+	}
+	if _, ok := base.Find("dist_sidecar"); !ok {
+		t.Fatal("maintainer keeps distances; sidecar part missing")
+	}
+
+	var ins []delta.Op
+	for i := 0; i < 8; i++ {
+		ins = append(ins, delta.InsertOp("Author", []relational.Value{
+			relational.IntV(900000 + int64(i)), relational.StrV("zzgrowth footprint probe author")}))
+	}
+	bs, err := m.Apply(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.Changed || bs.Rejected != 0 {
+		t.Fatalf("insert batch = %+v", bs)
+	}
+	grown := m.Footprint()
+	sumParts(t, grown)
+	if grown.Bytes <= base.Bytes {
+		t.Fatalf("footprint did not grow: %d -> %d", base.Bytes, grown.Bytes)
+	}
+
+	var del []delta.Op
+	for i := 0; i < 8; i++ {
+		del = append(del, delta.DeleteOp("Author", relational.IntV(900000+int64(i)).String()))
+	}
+	if _, err := m.Apply(del); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := m.Footprint()
+	sumParts(t, shrunk)
+	if shrunk.Bytes >= grown.Bytes {
+		t.Fatalf("footprint did not shrink: %d -> %d", grown.Bytes, shrunk.Bytes)
+	}
+}
+
+// Every changed batch reports a stage breakdown, and the cumulative
+// totals fold batches together (publish included via NotePublish).
+func TestBatchStageBreakdown(t *testing.T) {
+	db := smallDB(t)
+	m, err := delta.NewMaintainer(db, delta.Config{R: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := m.Apply([]delta.Op{delta.InsertOp("Author", []relational.Value{
+		relational.IntV(900100), relational.StrV("stage probe author")})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Stages == nil {
+		t.Fatal("changed batch has no stage breakdown")
+	}
+	for _, want := range []string{"to_graph", "dirty_terms", "region_mark", "fulltext", "remap"} {
+		if _, ok := bs.Stages[want]; !ok {
+			t.Errorf("stage %q missing from %v", want, bs.Stages)
+		}
+	}
+	if bs.FullRebuild {
+		t.Fatalf("small insert took the full-rebuild path: %+v", bs)
+	}
+
+	m.NotePublish(1500000) // 1.5ms in time.Duration units
+	st := m.Stats()
+	if len(st.StageTotalsMS) == 0 {
+		t.Fatal("cumulative stage totals empty")
+	}
+	if st.StageTotalsMS["to_graph"] <= 0 {
+		t.Fatalf("to_graph total = %v", st.StageTotalsMS["to_graph"])
+	}
+	if st.StageTotalsMS["publish"] != 1.5 {
+		t.Fatalf("publish total = %v, want 1.5", st.StageTotalsMS["publish"])
+	}
+
+	// The snapshot is a deep copy: mutating it must not leak back.
+	st.StageTotalsMS["to_graph"] = -1
+	if m.Stats().StageTotalsMS["to_graph"] <= 0 {
+		t.Fatal("Stats() stage totals are not a deep copy")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"commdb/internal/graph"
 	"commdb/internal/index"
+	"commdb/internal/prof"
 	"commdb/internal/relational"
 	"commdb/internal/sssp"
 )
@@ -79,6 +80,12 @@ type BatchStats struct {
 	RemappedTerms   int `json:"remapped_terms"`
 
 	ApplyMS float64 `json:"apply_ms"`
+	// Stages breaks ApplyMS down by pipeline phase (to_graph,
+	// dirty_terms, region_mark, fulltext, remap, repair, merge,
+	// recompute — see DESIGN's stage taxonomy). Phases that run on a
+	// worker pool report CPU time summed across workers, so their sum
+	// can exceed ApplyMS.
+	Stages map[string]float64 `json:"stages,omitempty"`
 }
 
 // Stats is the maintainer's cumulative view, exported to /statsz and
@@ -103,6 +110,11 @@ type Stats struct {
 
 	Republishes   int64   `json:"republishes"`
 	LastPublishMS float64 `json:"last_publish_ms,omitempty"`
+
+	// StageTotalsMS accumulates every batch's per-phase timings (plus
+	// "publish" from NotePublish), so the fixed cost per batch is a
+	// served number, not a DESIGN claim.
+	StageTotalsMS map[string]float64 `json:"stage_totals_ms,omitempty"`
 }
 
 // NewMaintainer takes ownership of db (enabling mutations if needed)
@@ -120,7 +132,8 @@ func NewMaintainer(db *relational.Database, cfg Config) (*Maintainer, error) {
 		opt:  index.BuildOptions{R: cfg.R, Workers: cfg.Workers, KeepDistances: true},
 		logf: cfg.Logf,
 		stats: Stats{
-			Applied: make(map[string]int64, 4),
+			Applied:       make(map[string]int64, 4),
+			StageTotalsMS: make(map[string]float64, 8),
 		},
 	}
 	g, nm, err := db.ToGraph()
@@ -171,18 +184,23 @@ func (m *Maintainer) Apply(ops []Op) (BatchStats, error) {
 	}
 	bs.Changed = true
 
+	st := prof.NewStages()
+	tgEnd := st.Timer("to_graph")
 	g1, nm1, err := m.db.ToGraph()
+	tgEnd()
 	if err != nil {
 		return bs, fmt.Errorf("delta: database integrity broken after batch: %w", err)
 	}
 
+	opt := m.opt
+	opt.Stages = st
 	var ix1 *index.Index
 	if !bs.Structural {
-		ix1 = m.partial(&bs, g1, nm1, changes)
+		ix1 = m.partial(&bs, opt, g1, nm1, changes)
 	}
 	if ix1 == nil {
 		bs.FullRebuild = true
-		ix1, err = index.Build(g1, m.opt)
+		ix1, err = index.Build(g1, opt)
 		if err != nil {
 			return bs, fmt.Errorf("delta: full rebuild failed: %w", err)
 		}
@@ -190,13 +208,14 @@ func (m *Maintainer) Apply(ops []Op) (BatchStats, error) {
 		bs.TotalTerms = g1.Dict().Size()
 	}
 	m.g, m.nm, m.ix = g1, nm1, ix1
+	bs.Stages = st.SnapshotMS()
 	m.finish(&bs, start)
 	return bs, nil
 }
 
 // partial attempts the incremental path; nil means "fall back to a
 // full build".
-func (m *Maintainer) partial(bs *BatchStats, g1 *graph.Graph, nm1 *relational.NodeMap, changes []relational.Change) *index.Index {
+func (m *Maintainer) partial(bs *BatchStats, opt index.BuildOptions, g1 *graph.Graph, nm1 *relational.NodeMap, changes []relational.Change) *index.Index {
 	g0, nm0, ix0 := m.g, m.nm, m.ix
 
 	// Old→new node permutation; -1 marks deleted tuples. Strictly
@@ -262,8 +281,10 @@ func (m *Maintainer) partial(bs *BatchStats, g1 *graph.Graph, nm1 *relational.No
 			}
 		}
 	}
+	dtEnd := opt.Stages.Timer("dirty_terms")
 	collect(g0, seeds0)
 	collect(g1, seeds1)
+	dtEnd()
 
 	// The changed region: every node that can still (or could
 	// previously) reach a changed tuple within R — one bounded reverse
@@ -289,10 +310,12 @@ func (m *Maintainer) partial(bs *BatchStats, g1 *graph.Graph, nm1 *relational.No
 			region[nv] = true
 		}
 	}
+	rmEnd := opt.Stages.Timer("region_mark")
 	mark(g0, seeds0, perm)
 	mark(g1, seeds1, nil)
+	rmEnd()
 
-	ix1, pst, err := index.RebuildPartial(g1, m.opt, ix0, perm, dirty, region)
+	ix1, pst, err := index.RebuildPartial(g1, opt, ix0, perm, dirty, region)
 	if err != nil {
 		m.stats.PartialFallbacks++
 		m.logln("delta: partial rebuild fell back to full build: %v", err)
@@ -318,6 +341,9 @@ func (m *Maintainer) finish(bs *BatchStats, start time.Time) {
 	if bs.FullRebuild {
 		m.stats.FullRebuilds++
 	}
+	for k, v := range bs.Stages {
+		m.stats.StageTotalsMS[k] += v
+	}
 	c := *bs
 	m.stats.LastBatch = &c
 	if m.logf != nil && bs.Changed {
@@ -339,6 +365,7 @@ func (m *Maintainer) NotePublish(d time.Duration) {
 	defer m.mu.Unlock()
 	m.stats.Republishes++
 	m.stats.LastPublishMS = float64(d) / float64(time.Millisecond)
+	m.stats.StageTotalsMS["publish"] += float64(d) / float64(time.Millisecond)
 }
 
 // Graph returns the current graph generation.
@@ -369,6 +396,17 @@ func (m *Maintainer) WriteIndexTo(w io.Writer) error {
 	return m.Index().Write(w)
 }
 
+// Footprint returns the exact accounting tree for the maintainer's
+// current artifacts: the live graph generation and index (invertedN,
+// invertedE, and the KeepDistances repair sidecar). The relational
+// store itself is not counted — it is the maintained input, not a
+// serving structure.
+func (m *Maintainer) Footprint() prof.Footprint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return prof.Group("maintainer", m.g.Footprint(), m.ix.Footprint())
+}
+
 // Stats returns a copy of the cumulative stats.
 func (m *Maintainer) Stats() Stats {
 	m.mu.Lock()
@@ -377,6 +415,10 @@ func (m *Maintainer) Stats() Stats {
 	s.Applied = make(map[string]int64, len(m.stats.Applied))
 	for k, v := range m.stats.Applied {
 		s.Applied[k] = v
+	}
+	s.StageTotalsMS = make(map[string]float64, len(m.stats.StageTotalsMS))
+	for k, v := range m.stats.StageTotalsMS {
+		s.StageTotalsMS[k] = v
 	}
 	if m.stats.LastBatch != nil {
 		lb := *m.stats.LastBatch

@@ -10,6 +10,7 @@ import (
 	"unicode"
 
 	"commdb/internal/graph"
+	"commdb/internal/prof"
 )
 
 // Tokenize splits text into lowercase terms: maximal runs of letters
@@ -139,11 +140,22 @@ func (ix *Index) TermsNearKWF(target float64, max int) []string {
 	return out
 }
 
-// Bytes estimates the logical memory footprint of the index.
-func (ix *Index) Bytes() int64 {
-	var b int64
-	for _, p := range ix.postings {
-		b += int64(cap(p))*4 + 24
+// Bytes reports the exact retained memory of the index; it is the root
+// total of Footprint.
+func (ix *Index) Bytes() int64 { return ix.Footprint().Bytes }
+
+// Footprint returns the exact accounting entry for invertedN: the
+// outer posting-list array (each element is a 24-byte slice header)
+// plus every posting's backing array (4 bytes per node ID). Items is
+// the total number of postings.
+func (ix *Index) Footprint() prof.Footprint {
+	f := prof.Footprint{
+		Name:  "invertedN",
+		Bytes: prof.SliceBytes(cap(ix.postings), 24),
 	}
-	return b
+	for _, p := range ix.postings {
+		f.Bytes += int64(cap(p)) * 4
+		f.Items += int64(len(p))
+	}
+	return f
 }

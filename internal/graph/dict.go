@@ -37,11 +37,6 @@ func (d *Dict) Word(id int32) string { return d.words[id] }
 // Size reports the number of distinct interned terms.
 func (d *Dict) Size() int { return len(d.words) }
 
-// Bytes estimates the logical memory footprint of the dictionary.
-func (d *Dict) Bytes() int64 {
-	var b int64
-	for _, w := range d.words {
-		b += int64(len(w))*2 + 48 // string bytes appear in the map and slice
-	}
-	return b
-}
+// Bytes reports the dictionary's memory footprint (see Footprint for
+// the accounting model).
+func (d *Dict) Bytes() int64 { return d.Footprint().Bytes }

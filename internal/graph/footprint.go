@@ -1,0 +1,60 @@
+package graph
+
+import "commdb/internal/prof"
+
+// Footprint returns the exact accounting tree for the graph's retained
+// memory: both CSR adjacency directions, the term CSR, per-node labels,
+// node weights, and the shared term dictionary. Slice parts are exact
+// over the backing arrays (capacity × element size + header); the
+// dictionary's intern map is the one estimated part (Go map internals
+// are not introspectable), flagged in DESIGN. Graphs are immutable, so
+// the tree is computed once and cached.
+func (g *Graph) Footprint() prof.Footprint {
+	g.footOnce.Do(func() {
+		labels := prof.Footprint{
+			Name:  "labels",
+			Bytes: prof.SliceBytes(cap(g.labels), 16),
+			Items: int64(len(g.labels)),
+		}
+		for _, l := range g.labels {
+			labels.Bytes += int64(len(l))
+		}
+		parts := []prof.Footprint{
+			{Name: "out_heads", Bytes: prof.SliceBytes(cap(g.outHead), 4), Items: int64(len(g.outHead))},
+			{Name: "out_edges", Bytes: prof.SliceBytes(cap(g.outEdge), 16), Items: int64(len(g.outEdge))},
+			{Name: "in_heads", Bytes: prof.SliceBytes(cap(g.inHead), 4), Items: int64(len(g.inHead))},
+			{Name: "in_edges", Bytes: prof.SliceBytes(cap(g.inEdge), 16), Items: int64(len(g.inEdge))},
+			{Name: "term_heads", Bytes: prof.SliceBytes(cap(g.termHead), 4), Items: int64(len(g.termHead))},
+			{Name: "term_list", Bytes: prof.SliceBytes(cap(g.termList), 4), Items: int64(len(g.termList))},
+			labels,
+		}
+		if g.nodeWeight != nil {
+			parts = append(parts, prof.Footprint{
+				Name:  "node_weights",
+				Bytes: prof.SliceBytes(cap(g.nodeWeight), 8),
+				Items: int64(len(g.nodeWeight)),
+			})
+		}
+		parts = append(parts, g.dict.Footprint())
+		g.foot = prof.Group("graph", parts...)
+		g.foot.Items = int64(g.NumNodes())
+	})
+	return g.foot
+}
+
+// Footprint returns the dictionary's accounting entry: the word slice
+// and string contents exactly, plus an estimate of the intern map
+// (48 bytes/entry of bucket overhead + key header; key bytes are shared
+// with the word slice's strings and counted once there).
+func (d *Dict) Footprint() prof.Footprint {
+	f := prof.Footprint{
+		Name:  "dict",
+		Bytes: prof.SliceBytes(cap(d.words), 16),
+		Items: int64(len(d.words)),
+	}
+	for _, w := range d.words {
+		f.Bytes += int64(len(w))
+	}
+	f.Bytes += int64(len(d.ids)) * 48
+	return f
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"testing"
+
+	"commdb/internal/prof"
+)
+
+// sumParts asserts the accounting invariant on every composite node of
+// a footprint tree: Bytes equals the sum of the parts' Bytes.
+func sumParts(t *testing.T, f prof.Footprint) {
+	t.Helper()
+	if len(f.Parts) == 0 {
+		return
+	}
+	var sum int64
+	for _, p := range f.Parts {
+		sum += p.Bytes
+		sumParts(t, p)
+	}
+	if f.Bytes != sum {
+		t.Fatalf("%s: bytes %d != sum of parts %d", f.Name, f.Bytes, sum)
+	}
+}
+
+func TestGraphFootprintExact(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("Author:1", "databases", "graphs")
+	v := b.AddNode("Author:2", "graphs")
+	b.AddEdge(u, v, 1.5)
+	b.AddEdge(v, u, 2.5)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := g.Footprint()
+	sumParts(t, f)
+	if f.Name != "graph" || f.Items != int64(g.NumNodes()) {
+		t.Fatalf("root = %+v", f)
+	}
+
+	// Slice parts are exact: capacity × element size + 24-byte header.
+	oe, ok := f.Find("out_edges")
+	if !ok {
+		t.Fatal("out_edges part missing")
+	}
+	if want := prof.SliceBytes(cap(g.outEdge), 16); oe.Bytes != want {
+		t.Fatalf("out_edges bytes = %d, want %d", oe.Bytes, want)
+	}
+	if oe.Items != int64(g.NumEdges()) {
+		t.Fatalf("out_edges items = %d, want %d", oe.Items, g.NumEdges())
+	}
+	th, ok := f.Find("term_heads")
+	if !ok || th.Bytes != prof.SliceBytes(cap(g.termHead), 4) {
+		t.Fatalf("term_heads = %+v", th)
+	}
+
+	// Labels count headers-in-slice plus string contents.
+	lb, _ := f.Find("labels")
+	wantLabels := prof.SliceBytes(cap(g.labels), 16)
+	for _, l := range g.labels {
+		wantLabels += int64(len(l))
+	}
+	if lb.Bytes != wantLabels {
+		t.Fatalf("labels bytes = %d, want %d", lb.Bytes, wantLabels)
+	}
+
+	if d, ok := f.Find("dict"); !ok || d.Items != int64(g.Dict().Size()) {
+		t.Fatalf("dict part = %+v, %v", d, ok)
+	}
+
+	// Bytes() is the root total; the cached tree is stable.
+	if g.Bytes() != f.Bytes {
+		t.Fatalf("Bytes() = %d, footprint = %d", g.Bytes(), f.Bytes)
+	}
+	if again := g.Footprint(); again.Bytes != f.Bytes || len(again.Parts) != len(f.Parts) {
+		t.Fatalf("footprint not stable across calls: %+v vs %+v", again, f)
+	}
+}
+
+func TestGraphFootprintNodeWeights(t *testing.T) {
+	b := NewBuilder()
+	n := b.AddNode("x", "t")
+	b.SetNodeWeight(n, 2)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Footprint()
+	sumParts(t, f)
+	nw, ok := f.Find("node_weights")
+	if !ok {
+		t.Fatal("node_weights part missing on a weighted graph")
+	}
+	if want := prof.SliceBytes(cap(g.nodeWeight), 8); nw.Bytes != want {
+		t.Fatalf("node_weights bytes = %d, want %d", nw.Bytes, want)
+	}
+
+	g2, _ := NewBuilder().Freeze()
+	if _, ok := g2.Footprint().Find("node_weights"); ok {
+		t.Fatal("unweighted graph should not report node_weights")
+	}
+}

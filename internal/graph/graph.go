@@ -10,6 +10,12 @@
 // friendly and allocation free.
 package graph
 
+import (
+	"sync"
+
+	"commdb/internal/prof"
+)
+
 // NodeID identifies a node within a Graph. IDs are dense, starting at 0.
 type NodeID = int32
 
@@ -44,6 +50,11 @@ type Graph struct {
 	// nodeWeight is nil when every node weighs zero (the paper's
 	// default; footnote 1 notes node weights as a supported extension).
 	nodeWeight []float64
+
+	// foot caches the exact accounting tree; graphs are immutable so
+	// it is computed once and scrapes stay cheap.
+	footOnce sync.Once
+	foot     prof.Footprint
 }
 
 // NumNodes reports the number of nodes.
@@ -121,15 +132,7 @@ func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
 	return best, ok
 }
 
-// Bytes estimates the logical memory footprint of the graph structure
-// in bytes (adjacency, terms, and label headers; label string bytes are
-// included). Used by the benchmark harness's memory accounting.
-func (g *Graph) Bytes() int64 {
-	b := int64(len(g.outHead)+len(g.inHead)+len(g.termHead))*4 +
-		int64(len(g.outEdge)+len(g.inEdge))*16 +
-		int64(len(g.termList))*4
-	for _, l := range g.labels {
-		b += int64(len(l)) + 16
-	}
-	return b
-}
+// Bytes reports the exact retained memory of the graph structure in
+// bytes (adjacency, terms, labels, dictionary). It is the root total
+// of Footprint.
+func (g *Graph) Bytes() int64 { return g.Footprint().Bytes }

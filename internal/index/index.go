@@ -25,6 +25,7 @@ import (
 	"commdb/internal/fulltext"
 	"commdb/internal/govern"
 	"commdb/internal/graph"
+	"commdb/internal/prof"
 	"commdb/internal/sssp"
 )
 
@@ -63,6 +64,11 @@ type Index struct {
 	dists [][]NodeDist
 
 	buildTime time.Duration
+
+	// foot caches the exact accounting tree; indexes are immutable
+	// once built, so scrapes stay cheap.
+	footOnce sync.Once
+	foot     prof.Footprint
 }
 
 // BuildOptions tunes index construction.
@@ -86,6 +92,12 @@ type BuildOptions struct {
 	// stop, no further terms are dispatched, and Build returns the stop
 	// reason instead of a half-built index.
 	Budget *govern.Budget
+	// Stages, when non-nil, accumulates per-phase build timings
+	// (fulltext scan, per-term Dijkstras; RebuildPartial adds its
+	// remap/repair/recompute/merge phases). Worker time is summed
+	// across workers, so parallel stages report CPU time, which can
+	// exceed wall time. Nil costs nothing (see prof.Stages).
+	Stages *prof.Stages
 }
 
 // Build constructs both inverted indexes. One bounded multi-source
@@ -99,10 +111,13 @@ func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
 		return nil, fmt.Errorf("index: negative radius %v", opt.R)
 	}
 	start := time.Now()
+	ftEnd := opt.Stages.Timer("fulltext")
+	ft := fulltext.Build(g)
+	ftEnd()
 	ix := &Index{
 		g:     g,
 		r:     opt.R,
-		nodes: fulltext.Build(g),
+		nodes: ft,
 		edges: make([][]WeightedEdge, g.Dict().Size()),
 	}
 	if opt.KeepDistances {
@@ -124,10 +139,12 @@ func Build(g *graph.Graph, opt BuildOptions) (*Index, error) {
 			ws.SetBudget(opt.Budget) // one shared, concurrency-safe budget
 			res := sssp.NewResult(g.NumNodes())
 			for j := range jobs {
+				end := opt.Stages.Timer("term_dijkstra")
 				ix.edges[j.term] = buildEdgeList(g, ws, res, ix.nodes.NodesByID(j.term), opt.R)
 				if opt.KeepDistances {
 					ix.dists[j.term] = extractDists(res)
 				}
+				end()
 			}
 		}()
 	}
@@ -238,14 +255,43 @@ func (ix *Index) EdgePostings(term string) []WeightedEdge {
 	return ix.edges[id]
 }
 
-// Bytes estimates the logical size of both inverted indexes, the
-// quantity the paper reports against the raw dataset size.
-func (ix *Index) Bytes() int64 {
-	b := ix.nodes.Bytes()
-	for _, es := range ix.edges {
-		b += int64(len(es))*16 + 24
-	}
-	return b
+// Bytes reports the exact retained memory of both inverted indexes
+// (plus the distance sidecar when built with KeepDistances), the
+// quantity the paper reports against the raw dataset size. It is the
+// root total of Footprint.
+func (ix *Index) Bytes() int64 { return ix.Footprint().Bytes }
+
+// Footprint returns the exact accounting tree for the index:
+// invertedN (delegated to fulltext), invertedE (24-byte slice headers
+// in the outer array plus 16 bytes per weighted-edge posting), and the
+// KeepDistances sidecar when present. Indexes are immutable once
+// built, so the tree is computed once and cached.
+func (ix *Index) Footprint() prof.Footprint {
+	ix.footOnce.Do(func() {
+		ftE := prof.Footprint{
+			Name:  "invertedE",
+			Bytes: prof.SliceBytes(cap(ix.edges), 24),
+		}
+		for _, es := range ix.edges {
+			ftE.Bytes += int64(cap(es)) * 16
+			ftE.Items += int64(len(es))
+		}
+		parts := []prof.Footprint{ix.nodes.Footprint(), ftE}
+		if ix.dists != nil {
+			sd := prof.Footprint{
+				Name:  "dist_sidecar",
+				Bytes: prof.SliceBytes(cap(ix.dists), 24),
+			}
+			for _, ds := range ix.dists {
+				sd.Bytes += int64(cap(ds)) * 16
+				sd.Items += int64(len(ds))
+			}
+			parts = append(parts, sd)
+		}
+		ix.foot = prof.Group("index", parts...)
+		ix.foot.Items = int64(ix.g.Dict().Size())
+	})
+	return ix.foot
 }
 
 // Stats summarizes the index for reporting.

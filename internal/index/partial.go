@@ -8,6 +8,7 @@ import (
 
 	"commdb/internal/fulltext"
 	"commdb/internal/graph"
+	"commdb/internal/prof"
 	"commdb/internal/sssp"
 )
 
@@ -142,10 +143,13 @@ func RebuildPartial(g *graph.Graph, opt BuildOptions, old *Index, perm []graph.N
 		return nil, st, fmt.Errorf("index: region covers %d nodes, graph has %d", len(region), g.NumNodes())
 	}
 	start := time.Now()
+	ftEnd := opt.Stages.Timer("fulltext")
+	ft := fulltext.Build(g)
+	ftEnd()
 	ix := &Index{
 		g:     g,
 		r:     opt.R,
-		nodes: fulltext.Build(g),
+		nodes: ft,
 		edges: make([][]WeightedEdge, g.Dict().Size()),
 	}
 	if opt.KeepDistances {
@@ -194,6 +198,7 @@ func RebuildPartial(g *graph.Graph, opt BuildOptions, old *Index, perm []graph.N
 
 	// Clean terms first, inline: remapping is a linear copy, so the
 	// worker pool is reserved for the per-term repairs and recomputes.
+	remapEnd := opt.Stages.Timer("remap")
 	var dirtyIDs []int32
 	for t := int32(0); int(t) < dict1.Size(); t++ {
 		word := dict1.Word(t)
@@ -233,6 +238,7 @@ func RebuildPartial(g *graph.Graph, opt BuildOptions, old *Index, perm []graph.N
 			}
 		}
 	}
+	remapEnd()
 	st.DirtyTerms = len(dirtyIDs)
 
 	// Dirty terms: repaired inside the changed region where possible,
@@ -267,21 +273,25 @@ func RebuildPartial(g *graph.Graph, opt BuildOptions, old *Index, perm []graph.N
 			for j := range jobs {
 				post := ix.nodes.NodesByID(j.term)
 				if j.term0 >= 0 {
+					end := opt.Stages.Timer("repair")
 					look.load(old.dists[j.term0])
 					edges, dd := patchTerm(
 						g, ws, res, post, opt.R,
 						old.dists[j.term0], old.edges[j.term0], look,
-						perm, invPerm, region, exits, opt.KeepDistances)
+						perm, invPerm, region, exits, opt.KeepDistances, opt.Stages)
 					ix.edges[j.term] = edges
 					if ix.dists != nil {
 						ix.dists[j.term] = dd
 					}
+					end()
 					continue
 				}
+				end := opt.Stages.Timer("recompute")
 				ix.edges[j.term] = buildEdgeList(g, ws, res, post, opt.R)
 				if opt.KeepDistances {
 					ix.dists[j.term] = extractDists(res)
 				}
+				end()
 			}
 		}()
 	}
@@ -342,7 +352,7 @@ func RebuildPartial(g *graph.Graph, opt BuildOptions, old *Index, perm []graph.N
 // this end to end.
 func patchTerm(g *graph.Graph, ws *sssp.Workspace, res *sssp.Result, post []graph.NodeID, r float64,
 	oldD []NodeDist, oldPost []WeightedEdge, look *oldDistLookup, perm, invPerm []graph.NodeID,
-	region []bool, exits []exitEdge, keep bool) ([]WeightedEdge, []NodeDist) {
+	region []bool, exits []exitEdge, keep bool, stages *prof.Stages) ([]WeightedEdge, []NodeDist) {
 
 	seeds := make([]sssp.Seed, 0, len(exits)+8)
 	for _, c := range post {
@@ -404,6 +414,7 @@ func patchTerm(g *graph.Graph, ws *sssp.Workspace, res *sssp.Result, post []grap
 	// tuples). perm is monotone, so the kept run stays sorted; kept and
 	// added postings partition the result by "touches the region", so a
 	// single ordered merge reproduces the canonical (From, To) order.
+	mergeEnd := stages.Timer("merge")
 	kept := make([]WeightedEdge, 0, len(oldPost))
 	for _, e := range oldPost {
 		nf, nt := perm[e.From], perm[e.To]
@@ -426,6 +437,7 @@ func patchTerm(g *graph.Graph, ws *sssp.Workspace, res *sssp.Result, post []grap
 		}
 		dists = mergeDists(keptD, extractDists(res))
 	}
+	mergeEnd()
 	return out, dists
 }
 

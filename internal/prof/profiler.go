@@ -1,0 +1,175 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Profile is one captured profile held in the Profiler's ring.
+type Profile struct {
+	ID    int       `json:"id"`
+	Kind  string    `json:"kind"` // "cpu" or "heap"
+	Taken time.Time `json:"taken"`
+	Size  int       `json:"size_bytes"`
+	data  []byte
+}
+
+// Data returns the raw pprof-format bytes of the capture.
+func (p Profile) Data() []byte { return p.data }
+
+// ProfilerConfig bounds the continuous profiler. Zero values pick the
+// documented defaults.
+type ProfilerConfig struct {
+	// Interval between capture rounds; each round records one heap
+	// profile and one CPU profile. Default 1 minute.
+	Interval time.Duration
+	// CPUDuration is how long each CPU sample runs. It is clamped to
+	// Interval/2 so rounds cannot overlap. Default 5 seconds.
+	CPUDuration time.Duration
+	// Keep is the ring size per profile kind — older captures are
+	// dropped so memory stays bounded at roughly Keep×profile size
+	// per kind. Default 4.
+	Keep int
+}
+
+func (c ProfilerConfig) withDefaults() ProfilerConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Minute
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = 5 * time.Second
+	}
+	if c.CPUDuration > c.Interval/2 {
+		c.CPUDuration = c.Interval / 2
+	}
+	if c.Keep <= 0 {
+		c.Keep = 4
+	}
+	return c
+}
+
+// Profiler captures CPU and heap profiles on a timer into a bounded
+// in-memory ring, for retrieval through the server's authenticated
+// /debug/profilez endpoints. It is opt-in: a nil *Profiler is a valid
+// disabled profiler (every method no-ops), so wiring costs nothing
+// when the feature is off.
+type Profiler struct {
+	cfg ProfilerConfig
+
+	mu     sync.Mutex
+	nextID int
+	ring   []Profile // oldest first, capped at 2×Keep (Keep per kind)
+}
+
+// NewProfiler returns an idle profiler; call Run to start the capture
+// loop, or CaptureHeap/CaptureCPU for one-shot captures.
+func NewProfiler(cfg ProfilerConfig) *Profiler {
+	return &Profiler{cfg: cfg.withDefaults()}
+}
+
+// Run captures profiles every Interval until ctx is done. Blocks;
+// callers run it in a goroutine. No-op on a nil receiver.
+func (p *Profiler) Run(ctx context.Context) {
+	if p == nil {
+		return
+	}
+	tick := time.NewTicker(p.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			p.CaptureHeap()
+			p.CaptureCPU(ctx)
+		}
+	}
+}
+
+// CaptureHeap records a heap profile into the ring and returns its ID.
+// Returns -1 on a nil receiver or capture failure.
+func (p *Profiler) CaptureHeap() int {
+	if p == nil {
+		return -1
+	}
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		return -1
+	}
+	return p.add("heap", buf.Bytes())
+}
+
+// CaptureCPU records a CPUDuration-long CPU profile into the ring and
+// returns its ID. Returns -1 on a nil receiver or when another CPU
+// profile is already running (pprof allows only one at a time
+// process-wide, e.g. a concurrent /debug/pprof/profile scrape).
+func (p *Profiler) CaptureCPU(ctx context.Context) int {
+	if p == nil {
+		return -1
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return -1
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(p.cfg.CPUDuration):
+	}
+	pprof.StopCPUProfile()
+	return p.add("cpu", buf.Bytes())
+}
+
+func (p *Profiler) add(kind string, data []byte) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextID
+	p.nextID++
+	p.ring = append(p.ring, Profile{ID: id, Kind: kind, Taken: time.Now(), Size: len(data), data: data})
+	// Evict oldest captures of this kind beyond Keep.
+	kept := 0
+	for i := len(p.ring) - 1; i >= 0; i-- {
+		if p.ring[i].Kind != kind {
+			continue
+		}
+		kept++
+		if kept > p.cfg.Keep {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+		}
+	}
+	return id
+}
+
+// Profiles lists the retained captures, oldest first, without their
+// payloads (Size still reports payload length). Nil-safe.
+func (p *Profiler) Profiles() []Profile {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Profile, len(p.ring))
+	for i, pr := range p.ring {
+		pr.data = nil
+		out[i] = pr
+	}
+	return out
+}
+
+// Get returns the capture with the given ID, payload included.
+func (p *Profiler) Get(id int) (Profile, error) {
+	if p == nil {
+		return Profile{}, fmt.Errorf("profiler disabled")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pr := range p.ring {
+		if pr.ID == id {
+			return pr, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("profile %d not retained (ring keeps the last %d per kind)", id, p.cfg.Keep)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"commdb"
+	"commdb/internal/prof"
 )
 
 // Stream is the iterator surface the server consumes: commdb's
@@ -47,3 +48,8 @@ func (e searcherEngine) TopK(ctx context.Context, q commdb.Query) (Stream, error
 }
 
 func (e searcherEngine) Graph() *commdb.Graph { return e.s.Graph() }
+
+// Footprint satisfies the server's optional footprinter interface, so
+// /debug/memz and the memory gauges can account the production
+// engine's retained artifacts. Fake test engines simply lack it.
+func (e searcherEngine) Footprint() prof.Footprint { return e.s.Footprint() }

@@ -10,6 +10,8 @@ package server
 
 import (
 	"net/http"
+	"runtime"
+	"strconv"
 
 	"commdb/internal/delta"
 	"commdb/internal/obs"
@@ -94,6 +96,74 @@ func newMetrics(s *Server) *metrics {
 	// The continuous layer: the SLO breach counter, capture occupancy,
 	// and the labeled per-class families.
 	s.collector.Register(reg)
+	// The memory ledger, gauge-shaped: per-component bytes from the
+	// exact accounting (/debug/memz is the same numbers as a tree).
+	// Component footprints are Once-cached on the immutable artifacts,
+	// so each scrape costs lease acquire/release plus atomic loads.
+	reg.GaugeFunc("commdb_mem_total_bytes", "accounted retained bytes across all components (epochs, result cache, delta maintainer)",
+		func() float64 { return float64(s.memorySnapshot().TotalBytes) })
+	reg.GaugeFunc("commdb_mem_graph_bytes", "serving engine's graph artifact bytes (CSR arrays, labels, term dictionary)",
+		func() float64 {
+			if g, ok := s.servingFootprint().Find("graph"); ok {
+				return float64(g.Bytes)
+			}
+			return 0
+		})
+	reg.GaugeFunc("commdb_mem_index_bytes", "serving engine's community index bytes (postings, distance sidecar)",
+		func() float64 {
+			if ix, ok := s.servingFootprint().Find("index"); ok {
+				return float64(ix.Bytes)
+			}
+			return 0
+		})
+	reg.GaugeFunc("commdb_mem_fulltext_bytes", "serving engine's fulltext posting bytes (invertedN, standalone or inside the index)",
+		func() float64 {
+			if ft, ok := s.servingFootprint().Find("invertedN"); ok {
+				return float64(ft.Bytes)
+			}
+			return 0
+		})
+	reg.GaugeFunc("commdb_mem_result_cache_bytes", "top-k result cache resident bytes (the accounting view of commdb_cache_bytes)",
+		func() float64 { return float64(s.cache.Bytes()) })
+	reg.GaugeFunc("commdb_mem_heap_alloc_bytes", "runtime heap bytes in live objects",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("commdb_mem_heap_sys_bytes", "runtime heap bytes obtained from the OS",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapSys)
+		})
+	if snaps := s.snaps; snaps != nil {
+		reg.GaugeFunc("commdb_mem_epochs_live", "snapshot epochs held in memory (2 during a probation window)",
+			func() float64 {
+				ls := snaps.LiveEpochs()
+				for _, l := range ls {
+					l.Release()
+				}
+				return float64(len(ls))
+			})
+		reg.LabeledGaugeFunc("commdb_mem_epoch_bytes", "retained artifact bytes per live snapshot epoch",
+			func() []obs.LabeledSample {
+				ls := snaps.LiveEpochs()
+				out := make([]obs.LabeledSample, 0, len(ls))
+				for _, l := range ls {
+					out = append(out, obs.LabeledSample{
+						Labels: []obs.Label{{Name: "epoch", Value: strconv.FormatInt(l.Epoch(), 10)}},
+						Value:  float64(l.Searcher().Footprint().Bytes),
+					})
+					l.Release()
+				}
+				return out
+			})
+	}
+	if dm := s.cfg.DeltaMem; dm != nil {
+		reg.GaugeFunc("commdb_mem_delta_bytes", "incremental maintainer's artifact bytes (staging graph + index)",
+			func() float64 { return float64(dm().Bytes) })
+	}
 	if snaps := s.snaps; snaps != nil {
 		reg.GaugeFunc("commdb_epoch", "serving snapshot epoch",
 			func() float64 { return float64(snaps.Current()) })

@@ -155,6 +155,12 @@ func TestMetricszPromLint(t *testing.T) {
 		"# TYPE commdb_queries_started_total counter",
 		"# TYPE commdb_query_latency_ms histogram",
 		`commdb_query_latency_ms_bucket{le="+Inf"}`,
+		"# TYPE commdb_mem_total_bytes gauge",
+		"# TYPE commdb_mem_graph_bytes gauge",
+		"# TYPE commdb_mem_index_bytes gauge",
+		"# TYPE commdb_mem_fulltext_bytes gauge",
+		"# TYPE commdb_mem_result_cache_bytes gauge",
+		"# TYPE commdb_mem_heap_alloc_bytes gauge",
 	} {
 		if !bytes.Contains(body, []byte(want)) {
 			t.Errorf("exposition missing %q", want)
@@ -289,7 +295,9 @@ func TestRequestLogging(t *testing.T) {
 	}
 }
 
-// TestPprofMounted: the pprof index answers only when enabled.
+// TestPprofMounted: the pprof index answers only when enabled, and
+// profiles are admin surface — enabling pprof without configuring an
+// admin token fails closed, and a valid bearer token unlocks it.
 func TestPprofMounted(t *testing.T) {
 	_, off := newPaperServer(t, Config{})
 	resp, err := http.Get(off.URL + "/debug/pprof/")
@@ -301,13 +309,25 @@ func TestPprofMounted(t *testing.T) {
 		t.Fatal("pprof served while disabled")
 	}
 
-	_, on := newPaperServer(t, Config{Pprof: true})
-	resp, err = http.Get(on.URL + "/debug/pprof/")
+	_, tokenless := newPaperServer(t, Config{Pprof: true})
+	resp, err = http.Get(tokenless.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("pprof status = %d with no admin token, want 403 (fail closed)", resp.StatusCode)
+	}
+
+	_, on := newPaperServer(t, Config{Pprof: true, AdminToken: "tok"})
+	req, _ := http.NewRequest(http.MethodGet, on.URL+"/debug/pprof/", nil)
+	req.Header.Set("Authorization", "Bearer tok")
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("pprof status = %d with Pprof on, want 200", resp.StatusCode)
+		t.Fatalf("pprof status = %d with Pprof on + valid token, want 200", resp.StatusCode)
 	}
 }

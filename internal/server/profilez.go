@@ -1,0 +1,47 @@
+package server
+
+// The continuous profiler's HTTP surface: GET /debug/profilez lists
+// the bounded capture ring's retained profiles, GET
+// /debug/profilez/{id} downloads one as a pprof-ready gzipped proto.
+// Both routes — like /debug/pprof — sit behind the admin token: heap
+// and CPU captures expose symbol names and allocation sites, which
+// must not leak to unauthenticated scrapers.
+
+import (
+	"net/http"
+	"strconv"
+
+	"commdb/internal/prof"
+)
+
+// ProfilezResponse is the body of GET /debug/profilez.
+type ProfilezResponse struct {
+	// Profiles are the ring's retained captures, oldest first, payloads
+	// omitted — fetch one via /debug/profilez/{id}.
+	Profiles []prof.Profile `json:"profiles"`
+}
+
+// handleProfilez answers GET /debug/profilez.
+func (s *Server) handleProfilez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ProfilezResponse{Profiles: s.cfg.Profiler.Profiles()})
+}
+
+// handleProfileGet answers GET /debug/profilez/{id} with the raw
+// capture — `go tool pprof` reads it directly.
+func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad profile id %q", r.PathValue("id"))
+		return
+	}
+	p, err := s.cfg.Profiler.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		"attachment; filename="+p.Kind+"-"+strconv.Itoa(p.ID)+".pb.gz")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(p.Data())
+}

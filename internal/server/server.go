@@ -43,6 +43,7 @@ import (
 	"commdb"
 	"commdb/internal/delta"
 	"commdb/internal/obs"
+	"commdb/internal/prof"
 	"commdb/internal/snapshot"
 )
 
@@ -91,8 +92,20 @@ type Config struct {
 	// Obs.Capture.Disabled to turn retention off.
 	Obs obs.CollectorConfig
 	// Pprof mounts net/http/pprof under GET /debug/pprof/ on the
-	// server's handler.
+	// server's handler, behind the admin token (403 with no token
+	// configured, 401 on a bad one): heap and CPU captures expose
+	// symbol names and allocation sites, so they are never served to
+	// unauthenticated scrapers.
 	Pprof bool
+	// Profiler, when non-nil, exposes the continuous profiler's capture
+	// ring: GET /debug/profilez lists retained profiles and
+	// GET /debug/profilez/{id} downloads one, both admin-authenticated
+	// like Pprof. The caller owns the profiler's Run loop.
+	Profiler *prof.Profiler
+	// DeltaMem, when non-nil, reports the incremental maintainer's
+	// artifact footprint (staging graph + index) in /debug/memz, the
+	// /statsz memory block and the commdb_mem_delta_bytes gauge.
+	DeltaMem func() prof.Footprint
 	// Snapshots, when non-nil, turns on epoch-versioned hot reload:
 	// every request leases the manager's current epoch for its full
 	// duration (streams included), responses carry the epoch they were
@@ -212,12 +225,17 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("GET /debug/memz", s.handleMemz)
 	if cfg.Pprof {
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("GET /debug/pprof/", s.admin(pprof.Index))
+		mux.HandleFunc("GET /debug/pprof/cmdline", s.admin(pprof.Cmdline))
+		mux.HandleFunc("GET /debug/pprof/profile", s.admin(pprof.Profile))
+		mux.HandleFunc("GET /debug/pprof/symbol", s.admin(pprof.Symbol))
+		mux.HandleFunc("GET /debug/pprof/trace", s.admin(pprof.Trace))
+	}
+	if cfg.Profiler != nil {
+		mux.HandleFunc("GET /debug/profilez", s.admin(s.handleProfilez))
+		mux.HandleFunc("GET /debug/profilez/{id}", s.admin(s.handleProfileGet))
 	}
 	s.mux = mux
 	return s
@@ -288,7 +306,43 @@ func (s *Server) Stats() StatsSnapshot {
 		st := s.cfg.Deltas()
 		snap.Deltas = &st
 	}
+	mem := s.memorySnapshot()
+	snap.Memory = &mem
 	return snap
+}
+
+// authAdmin enforces the admin bearer token: with no token configured
+// every admin request gets 403 (admin-over-HTTP is strictly opt-in);
+// with one, a missing or wrong token gets 401. A false return means
+// the response has been written. The compare is constant-time so the
+// token can't be guessed byte-by-byte through response timing.
+func (s *Server) authAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.AdminToken == "" {
+		writeError(w, http.StatusForbidden, "admin endpoint disabled: no admin token configured")
+		return false
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix ||
+		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.cfg.AdminToken)) != 1 {
+		writeError(w, http.StatusUnauthorized, "bad admin token")
+		return false
+	}
+	return true
+}
+
+// admin wraps a handler behind authAdmin. pprof and the profile ring
+// mount through it; reload keeps its own snapshot-manager precondition
+// ahead of the same check.
+func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Add(1)
+		defer s.reqs.Done()
+		if !s.authAdmin(w, r) {
+			return
+		}
+		h(w, r)
+	}
 }
 
 // handleReload answers POST /admin/reload: authenticated epoch reload.
@@ -301,17 +355,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "snapshot reload not enabled")
 		return
 	}
-	if s.cfg.AdminToken == "" {
-		writeError(w, http.StatusForbidden, "admin endpoint disabled: no admin token configured")
-		return
-	}
-	auth := r.Header.Get("Authorization")
-	const prefix = "Bearer "
-	// Constant-time compare so the token can't be guessed byte-by-byte
-	// through response timing.
-	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix ||
-		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.cfg.AdminToken)) != 1 {
-		writeError(w, http.StatusUnauthorized, "bad admin token")
+	if !s.authAdmin(w, r) {
 		return
 	}
 	outcome, err := s.snaps.Reload(r.Context())

@@ -119,9 +119,16 @@ type StatsSnapshot struct {
 	Epochs *snapshot.Status `json:"epochs,omitempty"`
 
 	// Deltas is the incremental maintainer's cumulative view — batches,
-	// per-kind applied ops, dirty-set sizes, apply-vs-full-build times —
-	// present only when the server runs in delta mode.
+	// per-kind applied ops, dirty-set sizes, apply-vs-full-build times,
+	// cumulative per-stage milliseconds — present only when the server
+	// runs in delta mode.
 	Deltas *delta.Stats `json:"deltas,omitempty"`
+
+	// Memory is the retained-artifact ledger, the same snapshot
+	// GET /debug/memz serves: per-epoch footprints under hot reload,
+	// the result cache, the delta maintainer, and the runtime heap
+	// view.
+	Memory *MemorySnapshot `json:"memory,omitempty"`
 
 	Latency struct {
 		Count   int64           `json:"count"`

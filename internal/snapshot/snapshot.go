@@ -332,6 +332,27 @@ func (m *Manager) Status() Status {
 	return st
 }
 
+// LiveEpochs leases every epoch the manager is keeping alive: the
+// serving epoch and, during a probation window, the retained previous
+// epoch (current first). Taking the leases under mu — the lock every
+// transition that moves the slot references holds — means both
+// acquires hit epochs whose slot reference is still in place, so the
+// refcount can never race to zero mid-acquire. Callers walk the
+// searchers (e.g. to compute per-epoch memory footprints for
+// /debug/memz) after this returns and must Release every lease.
+func (m *Manager) LiveEpochs() []*Lease {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Lease, 0, 2)
+	if cur := m.cur.Load(); cur.acquire() {
+		out = append(out, &Lease{e: cur})
+	}
+	if m.prev != nil && m.prev.acquire() {
+		out = append(out, &Lease{e: m.prev})
+	}
+	return out
+}
+
 // loadOnce runs the loader with panic containment: a panic anywhere in
 // the load path becomes ErrLoadPanic instead of killing the process.
 func (m *Manager) loadOnce() (s *commdb.Searcher, err error) {

@@ -19,6 +19,7 @@ import (
 	"commdb/internal/graph"
 	"commdb/internal/index"
 	"commdb/internal/obs"
+	"commdb/internal/prof"
 	"commdb/internal/sssp"
 )
 
@@ -830,4 +831,27 @@ func (s *Searcher) IndexBytes() int64 {
 		return 0
 	}
 	return s.ix.Bytes()
+}
+
+// Footprint is the exact memory-accounting tree reported by Footprint
+// methods across the system: a named structure with its retained byte
+// size, cardinality, and parts whose bytes always sum to the total.
+// See internal/prof for the accounting model.
+type Footprint = prof.Footprint
+
+// Footprint reports the searcher's exact retained memory: the database
+// graph plus either the full inverted-index pair (indexed searchers;
+// invertedN appears as a part of the index) or the standalone fulltext
+// index (plain searchers). Structures are immutable, so repeated calls
+// are cheap.
+func (s *Searcher) Footprint() Footprint {
+	parts := []Footprint{s.g.Footprint()}
+	if s.ix != nil {
+		parts = append(parts, s.ix.Footprint())
+	} else {
+		parts = append(parts, s.ft.Footprint())
+	}
+	f := prof.Group("searcher", parts...)
+	f.Items = int64(s.g.NumNodes())
+	return f
 }
