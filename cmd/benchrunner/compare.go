@@ -5,9 +5,12 @@ package main
 // regresses beyond the tolerance — throughput lower, or any latency
 // metric higher. It handles -serve, -parallel and -delta reports,
 // sniffing the kind from the JSON shape ("degrees" key → parallel,
-// "delta_batches" key → delta); both inputs must be the same kind. CI
-// runs it against the committed baseline so a slowdown fails the build
-// instead of landing silently.
+// "delta_batches" key → delta, "outcome_digest" key → replay); both
+// inputs must be the same kind. CI runs it against the committed
+// baseline so a slowdown fails the build instead of landing silently.
+// For replay reports the outcome digest is compared first and a
+// mismatch is a hard error regardless of tolerance: it means engine
+// behavior changed, not performance.
 
 import (
 	"encoding/json"
@@ -201,6 +204,44 @@ func compareDeltaReports(old, new deltaBenchReport, tolerance float64) []metricD
 	return out
 }
 
+// compareReplayReports diffs a new -replay report against an old one.
+// The determinism contract is checked by the caller (digest mismatch is
+// a hard error, not a tolerance question); here the performance side is
+// gated like a -serve report: throughput lower is worse, latency
+// quantiles higher are worse. Cache hits and result totals are workload
+// shape — equality is already implied by the digest — so they ride
+// along only through it.
+func compareReplayReports(old, new replayBenchReport, tolerance float64) []metricDelta {
+	var out []metricDelta
+	if old.Throughput > 0 {
+		d := metricDelta{Name: "throughput_rps", Old: old.Throughput, New: new.Throughput,
+			Ratio: new.Throughput / old.Throughput}
+		d.Regress = new.Throughput < old.Throughput*(1-tolerance)
+		out = append(out, d)
+	}
+	lat := func(name string, o, n endpointStats) {
+		for _, m := range []struct {
+			q        string
+			old, new float64
+		}{
+			{"mean_ms", o.MeanMS, n.MeanMS},
+			{"p50_ms", o.P50MS, n.P50MS},
+			{"p95_ms", o.P95MS, n.P95MS},
+			{"p99_ms", o.P99MS, n.P99MS},
+		} {
+			if o.Count == 0 || n.Count == 0 || m.old < minCompareMS {
+				continue
+			}
+			d := metricDelta{Name: name + "." + m.q, Old: m.old, New: m.new, Ratio: m.new / m.old}
+			d.Regress = m.new > m.old*(1+tolerance)
+			out = append(out, d)
+		}
+	}
+	lat("topk", old.TopK, new.TopK)
+	lat("stream", old.Stream, new.Stream)
+	return out
+}
+
 // loadDeltas reads two report files of the same sniffed kind and
 // returns their metric diffs plus any informational notes.
 func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, []string, error) {
@@ -228,6 +269,26 @@ func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, []st
 		}
 		notes := append(parallelCompareNotes(oldPath, old), parallelCompareNotes(newPath, new)...)
 		return compareParallelReports(old, new, tolerance), notes, nil
+	case "replay":
+		var old, new replayBenchReport
+		if err := json.Unmarshal(oldB, &old); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", oldPath, err)
+		}
+		if err := json.Unmarshal(newB, &new); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", newPath, err)
+		}
+		// The determinism contract comes before any tolerance: two
+		// replays of the same journal on the same dataset must agree on
+		// every query's outcome. Different journals/datasets also land
+		// here — that is a comparison mistake, and a hard error is right.
+		if old.OutcomeDigest != new.OutcomeDigest {
+			return nil, nil, fmt.Errorf(
+				"replay outcome digests differ: %s has %s, %s has %s — engine behavior changed (or the reports replay different workloads)",
+				oldPath, old.OutcomeDigest, newPath, new.OutcomeDigest)
+		}
+		notes := []string{fmt.Sprintf("note: outcome digests match (%s…): %d queries, %d results, %d cache hits — replay is behavior-identical",
+			old.OutcomeDigest[:16], new.Queries, new.ResultsTotal, new.CacheHits)}
+		return compareReplayReports(old, new, tolerance), notes, nil
 	case "delta":
 		var old, new deltaBenchReport
 		if err := json.Unmarshal(oldB, &old); err != nil {
@@ -251,11 +312,13 @@ func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, []st
 
 // reportKind sniffs a report's kind from its JSON shape: only
 // -parallel reports carry a top-level "degrees" array, only -delta
-// reports a "delta_batches" count; everything else is a -serve report.
+// reports a "delta_batches" count, only -replay reports an
+// "outcome_digest"; everything else is a -serve report.
 func reportKind(b []byte) string {
 	var probe struct {
-		Degrees      []json.RawMessage `json:"degrees"`
-		DeltaBatches *int              `json:"delta_batches"`
+		Degrees       []json.RawMessage `json:"degrees"`
+		DeltaBatches  *int              `json:"delta_batches"`
+		OutcomeDigest *string           `json:"outcome_digest"`
 	}
 	if json.Unmarshal(b, &probe) != nil {
 		return "serve"
@@ -265,6 +328,8 @@ func reportKind(b []byte) string {
 		return "parallel"
 	case probe.DeltaBatches != nil:
 		return "delta"
+	case probe.OutcomeDigest != nil:
+		return "replay"
 	default:
 		return "serve"
 	}

@@ -28,6 +28,15 @@
 // (internal/delta): small mutation batches applied as bounded deltas,
 // timed against a from-scratch rebuild of the final state, written to
 // BENCH_delta.json.
+//
+// With -replay it deterministically re-executes a workload journal
+// captured by commserve -workload-log (or the canonical synthetic one
+// from -replay-gen) against an in-process single-threaded server or a
+// live one (-replay-server), reporting latency plus an outcome digest
+// over every query's canonical result sequence, written to
+// BENCH_replay.json. Two replays of the same journal on the same
+// dataset must produce the same digest; -compare treats a digest
+// mismatch as a hard failure.
 package main
 
 import (
@@ -77,7 +86,14 @@ func main() {
 		deltaBatchOps = flag.Int("delta-batch-ops", 10, "-delta: ops per batch")
 		deltaOut      = flag.String("delta-out", "BENCH_delta.json", "-delta: JSON report path")
 
-		compare   = flag.Bool("compare", false, "compare two -serve, -parallel or -delta reports: benchrunner -compare old.json new.json")
+		replay        = flag.String("replay", "", "replay a captured workload journal and write BENCH_replay.json")
+		replayGen     = flag.String("replay-gen", "", "write the canonical synthetic workload journal to this path and exit")
+		replayOut     = flag.String("replay-out", "BENCH_replay.json", "-replay: JSON report path")
+		replayServer  = flag.String("replay-server", "", "-replay: replay against this live server base URL instead of an in-process one")
+		replayAuthors = flag.Int("replay-authors", 2000, "-replay/-replay-gen: DBLP scale for the in-process target (kept small: replay is sequential)")
+		replayPace    = flag.Bool("replay-pace", false, "-replay: honor the journal's recorded inter-arrival gaps (capped at 1s) instead of replaying back-to-back")
+
+		compare   = flag.Bool("compare", false, "compare two -serve, -parallel, -delta or -replay reports: benchrunner -compare old.json new.json")
 		tolerance = flag.Float64("tolerance", 0.15, "-compare: allowed fractional regression before failing")
 	)
 	flag.Parse()
@@ -87,6 +103,20 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replayGen != "" {
+		if err := runReplayGen(*replayGen, *replayAuthors, *seed, *dblpBoost); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replay != "" {
+		if err := runReplay(*replay, *replayAuthors, *seed, *dblpBoost, *replayServer, *replayPace, *replayOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

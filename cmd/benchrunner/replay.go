@@ -1,0 +1,420 @@
+package main
+
+// The -replay mode is the deterministic half of the workload flight
+// recorder: it re-executes a captured journal (commserve -workload-log,
+// or the canonical synthetic workload from -replay-gen) query by query
+// in arrival order against an in-process server — or a live one via
+// -replay-server — and reports latency plus an outcome digest: a
+// SHA-256 over every query's canonical result sequence (fingerprint,
+// result count, per-community costs, completion, stop reason). The
+// digest is the determinism contract: two replays of the same journal
+// against the same dataset must produce byte-identical outcomes, so a
+// digest change in CI means engine behavior changed, not just timing.
+//
+// Replay strips recorded wall-clock timeouts (a timeout's trip point
+// depends on machine speed) but keeps every work budget — relaxations,
+// neighbor runs, can-tuples, heap bytes, results are deterministic
+// machine-independent units. The in-process target runs with
+// parallelism 1 for the same reason.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"commdb"
+	"commdb/internal/bench"
+	"commdb/internal/server"
+	"commdb/internal/workload"
+)
+
+// replayBenchReport is the BENCH_replay.json schema. The
+// outcome_digest key doubles as the -compare kind sniff.
+type replayBenchReport struct {
+	Journal     string `json:"journal"`
+	Dataset     string `json:"dataset,omitempty"`
+	Authors     int    `json:"authors,omitempty"`
+	Queries     int    `json:"queries"`
+	TopKQueries int    `json:"topk_queries"`
+	AllQueries  int    `json:"all_queries"`
+	// CacheHits counts replayed top-k responses the target served from
+	// its result cache — repeated fingerprints in the journal become
+	// hits on replay exactly as they did in production.
+	CacheHits int `json:"cache_hits"`
+	Errors    int `json:"errors"`
+	// OutcomeDigest is the SHA-256 over every query's canonical outcome
+	// line, in arrival order. Identical journal + identical dataset ⇒
+	// identical digest, on any machine.
+	OutcomeDigest string        `json:"outcome_digest"`
+	ResultsTotal  int           `json:"results_total"`
+	DurationMS    float64       `json:"duration_ms"`
+	Throughput    float64       `json:"throughput_rps"`
+	TopK          endpointStats `json:"topk"`
+	Stream        endpointStats `json:"stream"`
+	// HotKeywords is the replay target's per-keyword init attribution
+	// (in-process replays only): which keywords this workload makes
+	// expensive. Informational, never gated.
+	HotKeywords []workload.KeywordStats `json:"hot_keywords,omitempty"`
+}
+
+// replayOutcome is one query's canonical result: the digest input and
+// the unit of the determinism test.
+type replayOutcome struct {
+	line    string
+	latency time.Duration
+	topk    bool
+	cached  bool
+	errored bool
+	results int
+}
+
+// sanitizeLimits drops the recorded wall-clock timeout and keeps the
+// deterministic work budgets.
+func sanitizeLimits(l *workload.Limits) *workload.Limits {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.TimeoutMS = 0
+	if out.IsZero() {
+		return nil
+	}
+	return &out
+}
+
+// replayRequest renders one journal entry as the search request to
+// re-issue.
+func replayRequest(e workload.Entry) (path string, body []byte, err error) {
+	req := map[string]any{
+		"keywords": e.Keywords,
+		"rmax":     e.Rmax,
+		"compact":  true,
+	}
+	if e.Cost != "" {
+		req["cost"] = e.Cost
+	}
+	if l := sanitizeLimits(e.Limits); l != nil {
+		req["limits"] = l
+	}
+	switch e.Algo {
+	case workload.AlgoTopK:
+		if e.K > 0 {
+			req["k"] = e.K
+		}
+		path = "/v1/search/topk"
+	case workload.AlgoAll:
+		path = "/v1/search/all"
+	default:
+		return "", nil, fmt.Errorf("entry seq %d: unknown algo %q", e.Seq, e.Algo)
+	}
+	body, err = json.Marshal(req)
+	return path, body, err
+}
+
+// outcomeLine renders one query's canonical outcome: everything a
+// correct replay must reproduce, nothing timing-dependent.
+func outcomeLine(e workload.Entry, costs []float64, complete bool, reason string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%s|k=%d|n=%d|complete=%t|stop=%s",
+		e.Fingerprint, e.Algo, e.K, len(costs), complete, reason)
+	for _, c := range costs {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.FormatFloat(c, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// replayOne re-issues one journal entry and reduces the response to
+// its canonical outcome.
+func replayOne(client *http.Client, base string, e workload.Entry) (replayOutcome, error) {
+	path, body, err := replayRequest(e)
+	if err != nil {
+		return replayOutcome{}, err
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return replayOutcome{}, err
+	}
+	defer resp.Body.Close()
+	out := replayOutcome{topk: e.Algo == workload.AlgoTopK}
+	if resp.StatusCode != http.StatusOK {
+		// A rejected replay (400 on a malformed recorded query, 429 on
+		// saturation) is part of the outcome stream: deterministic for
+		// the former, an error either way.
+		out.latency = time.Since(t0)
+		out.errored = true
+		out.line = fmt.Sprintf("%s|%s|status=%d", e.Fingerprint, e.Algo, resp.StatusCode)
+		return out, nil
+	}
+	var costs []float64
+	var complete bool
+	var reason string
+	if out.topk {
+		var r server.TopKResponse
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			return replayOutcome{}, fmt.Errorf("seq %d: decoding topk response: %w", e.Seq, err)
+		}
+		for _, rec := range r.Results {
+			costs = append(costs, rec.Cost)
+		}
+		complete, reason, out.cached = r.Complete, r.Reason, r.Cached
+	} else {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			var line struct {
+				Type     string  `json:"type"`
+				Cost     float64 `json:"cost"`
+				Complete bool    `json:"complete"`
+				Reason   string  `json:"reason"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				return replayOutcome{}, fmt.Errorf("seq %d: bad stream line: %w", e.Seq, err)
+			}
+			if line.Type == server.RecordTrailer {
+				complete, reason = line.Complete, line.Reason
+			} else {
+				costs = append(costs, line.Cost)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return replayOutcome{}, fmt.Errorf("seq %d: reading stream: %w", e.Seq, err)
+		}
+	}
+	out.latency = time.Since(t0)
+	out.results = len(costs)
+	out.line = outcomeLine(e, costs, complete, reason)
+	return out, nil
+}
+
+// replayAgainst replays every entry in order against base and returns
+// the outcome sequence. pace sleeps the recorded inter-arrival gaps
+// (capped at one second) instead of replaying back-to-back.
+func replayAgainst(client *http.Client, base string, entries []workload.Entry, pace bool) ([]replayOutcome, error) {
+	outs := make([]replayOutcome, 0, len(entries))
+	var prevMS int64
+	for i, e := range entries {
+		if pace && i > 0 && e.UnixMS > prevMS {
+			gap := time.Duration(e.UnixMS-prevMS) * time.Millisecond
+			if gap > time.Second {
+				gap = time.Second
+			}
+			time.Sleep(gap)
+		}
+		prevMS = e.UnixMS
+		out, err := replayOne(client, base, e)
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, out)
+	}
+	return outs, nil
+}
+
+// digestOutcomes folds the outcome lines, in order, into the replay
+// digest.
+func digestOutcomes(outs []replayOutcome) string {
+	h := sha256.New()
+	for _, o := range outs {
+		h.Write([]byte(o.line))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalWorkload builds the committed synthetic workload from a
+// dataset's probe keywords: every keyword-count prefix at every
+// rotation (mirroring the -serve benchmark's request shapes), as both a
+// top-k query and a bounded stream, plus a second pass over the top-k
+// shapes so replay exercises the result cache. Timestamps are fixed
+// synthetic values so the journal bytes are machine- and
+// time-independent.
+func canonicalWorkload(d *bench.Dataset, p bench.Params) ([]workload.Entry, error) {
+	kws, err := d.Keywords(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(kws) < 2 {
+		return nil, fmt.Errorf("dataset yielded %d probe keywords, need at least 2", len(kws))
+	}
+	const baseMS = 1_700_000_000_000 // fixed synthetic epoch, not a real clock
+	var entries []workload.Entry
+	add := func(e workload.Entry) {
+		e.QueryID = "c-" + strconv.Itoa(len(entries)+1)
+		e.UnixMS = baseMS + int64(len(entries))*250
+		e.Complete = true
+		entries = append(entries, e)
+	}
+	var topkShapes []workload.Entry
+	for l := 2; l <= len(kws); l++ {
+		for rot := 0; rot < l; rot++ {
+			q := append(append([]string{}, kws[rot:l]...), kws[:rot]...)
+			fp := commdb.Query{Keywords: q, Rmax: p.Rmax, Cost: commdb.CostSumDistances}.Fingerprint()
+			topk := workload.Entry{
+				Fingerprint: fp, Keywords: q, Rmax: p.Rmax, Cost: "sum",
+				Algo: workload.AlgoTopK, K: p.K,
+			}
+			add(topk)
+			topkShapes = append(topkShapes, topk)
+			add(workload.Entry{
+				Fingerprint: fp, Keywords: q, Rmax: p.Rmax, Cost: "sum",
+				Algo: workload.AlgoAll, Limits: &workload.Limits{MaxResults: 50},
+			})
+		}
+	}
+	// Second pass over the top-k shapes: identical fingerprints, so a
+	// replaying server answers them from its result cache — the journal
+	// records the hit/miss mix a real workload has.
+	for _, e := range topkShapes {
+		e.CacheHit = true
+		add(e)
+	}
+	return entries, nil
+}
+
+// writeJournalFile writes entries as a journal file with sequential
+// sequence numbers. Byte-deterministic: same entries, same bytes.
+func writeJournalFile(path string, entries []workload.Entry) error {
+	var buf bytes.Buffer
+	for i, e := range entries {
+		e.Seq = int64(i + 1)
+		line, err := workload.EncodeEntry(e)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// runReplayGen is the -replay-gen entry point: write the canonical
+// workload journal derived from the synthetic DBLP dataset.
+func runReplayGen(path string, authors int, seed int64, boost float64) error {
+	fmt.Printf("building DBLP dataset (authors=%d, boost=%gx)...\n", authors, boost)
+	d, err := bench.BuildDBLPBoosted(authors, seed, boost)
+	if err != nil {
+		return err
+	}
+	entries, err := canonicalWorkload(d, d.Config.Defaults)
+	if err != nil {
+		return err
+	}
+	if err := writeJournalFile(path, entries); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d entries\n", path, len(entries))
+	return nil
+}
+
+// runReplay is the -replay entry point. With serverURL empty it boots
+// an in-process indexed server over the synthetic DBLP dataset
+// (parallelism 1, so outcomes are machine-independent); otherwise it
+// replays against the live server at that base URL.
+func runReplay(journalPath string, authors int, seed int64, boost float64, serverURL string, pace bool, out string) error {
+	entries, err := workload.ReadJournalFile(journalPath)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("%s: journal is empty", journalPath)
+	}
+
+	rep := replayBenchReport{Journal: journalPath, Queries: len(entries)}
+	base := serverURL
+	client := http.DefaultClient
+	var app *server.Server
+	if serverURL == "" {
+		fmt.Printf("building DBLP dataset (authors=%d, boost=%gx)...\n", authors, boost)
+		d, err := bench.BuildDBLPBoosted(authors, seed, boost)
+		if err != nil {
+			return err
+		}
+		p := d.Config.Defaults
+		fmt.Printf("building index (rmax=%g)...\n", p.Rmax)
+		s, err := commdb.Open(d.G, commdb.WithIndex(p.Rmax), commdb.WithParallelism(1))
+		if err != nil {
+			return err
+		}
+		app = server.New(s, server.Config{})
+		ts := httptest.NewServer(app.Handler())
+		defer ts.Close()
+		base, client = ts.URL, ts.Client()
+		rep.Dataset, rep.Authors = d.Name, authors
+	}
+
+	fmt.Printf("replaying %d queries from %s (pace=%v)...\n", len(entries), journalPath, pace)
+	start := time.Now()
+	outs, err := replayAgainst(client, base, entries, pace)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	var topkLat, allLat []time.Duration
+	for _, o := range outs {
+		rep.ResultsTotal += o.results
+		switch {
+		case o.errored:
+			rep.Errors++
+		case o.topk:
+			rep.TopKQueries++
+			topkLat = append(topkLat, o.latency)
+			if o.cached {
+				rep.CacheHits++
+			}
+		default:
+			rep.AllQueries++
+			allLat = append(allLat, o.latency)
+		}
+	}
+	rep.OutcomeDigest = digestOutcomes(outs)
+	rep.DurationMS = float64(elapsed) / float64(time.Millisecond)
+	rep.Throughput = float64(len(outs)) / elapsed.Seconds()
+	rep.TopK = summarize(topkLat)
+	rep.Stream = summarize(allLat)
+	if app != nil {
+		if wl := app.Stats().Workload; wl != nil {
+			rep.HotKeywords = wl.HotKeywords
+		}
+	}
+
+	fmt.Printf("done in %v: %.1f req/s, %d errors, digest %s\n",
+		elapsed.Round(time.Millisecond), rep.Throughput, rep.Errors, rep.OutcomeDigest[:16])
+	fmt.Printf("  topk:   n=%d (cached %d) mean=%.2fms p95=%.2fms\n",
+		rep.TopK.Count, rep.CacheHits, rep.TopK.MeanMS, rep.TopK.P95MS)
+	fmt.Printf("  stream: n=%d mean=%.2fms p95=%.2fms\n",
+		rep.Stream.Count, rep.Stream.MeanMS, rep.Stream.P95MS)
+	for i, kw := range rep.HotKeywords {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  hot keyword %-16s queries=%d init=%.2fms\n", kw.Term, kw.Queries, kw.InitWallMS)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

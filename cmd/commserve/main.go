@@ -32,6 +32,15 @@
 // in-memory ring, listed at GET /debug/profilez and fetched at
 // GET /debug/profilez/{id} (both token-authenticated).
 //
+// The workload flight recorder is always on in memory: every completed
+// query (cache hits included) feeds per-keyword engine-init cost
+// attribution, readable at GET /debug/workloadz, as the "workload"
+// block in /statsz, and as the commdb_keyword_* / commdb_workload_*
+// metric families. -workload-log additionally journals each query as
+// one CRC-framed NDJSON line (with -workload-log-max-bytes rotation
+// and deterministic 1-in-N -workload-sample), which
+// benchrunner -replay can re-execute deterministically.
+//
 // Per-request limits are clamped to the -max-* flags, so one client
 // cannot monopolize the query governor's budget. On SIGINT/SIGTERM the
 // server stops admitting, cancels in-flight queries through the
@@ -73,6 +82,7 @@ import (
 	"commdb/internal/prof"
 	"commdb/internal/server"
 	"commdb/internal/snapshot"
+	"commdb/internal/workload"
 )
 
 func main() {
@@ -112,6 +122,11 @@ func main() {
 		profileEvery = flag.Duration("profile-every", 0, "continuous profiling: capture heap+CPU profiles at this interval into a bounded ring at /debug/profilez (0 disables)")
 		profileCPU   = flag.Duration("profile-cpu", 5*time.Second, "continuous profiling: CPU sample length per round (clamped to half the interval)")
 		profileKeep  = flag.Int("profile-keep", 4, "continuous profiling: captures retained per profile kind")
+
+		workloadLog      = flag.String("workload-log", "", "workload flight recorder: append one NDJSON entry per completed query (cache hits included) to this journal file; replay it with benchrunner -replay (empty disables)")
+		workloadLogMax   = flag.Int64("workload-log-max-bytes", 64<<20, "workload journal size bound; on overflow the file rotates once to <path>.1")
+		workloadSample   = flag.Int("workload-sample", 1, "workload journal sampling: record 1 in every N completed queries (1 = all)")
+		workloadKeywords = flag.Int("workload-keywords", 0, "hot-keyword attribution table bound for /debug/workloadz (0 = default 512)")
 	)
 	flag.Parse()
 	if *adminToken == "" {
@@ -134,9 +149,24 @@ func main() {
 			MaxRelaxations: *maxVisited,
 			MaxResults:     *maxResults,
 		},
-		Logger:     logger,
-		Pprof:      *pprofEnable,
-		AdminToken: *adminToken,
+		Logger:           logger,
+		Pprof:            *pprofEnable,
+		AdminToken:       *adminToken,
+		WorkloadKeywords: *workloadKeywords,
+	}
+	var journal *workload.Journal
+	if *workloadLog != "" {
+		var err error
+		journal, err = workload.OpenJournal(workload.JournalConfig{
+			Path:        *workloadLog,
+			MaxBytes:    *workloadLogMax,
+			SampleEvery: *workloadSample,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commserve:", err)
+			os.Exit(1)
+		}
+		cfg.WorkloadJournal = journal
 	}
 	if *profileEvery > 0 {
 		cfg.Profiler = prof.NewProfiler(prof.ProfilerConfig{
@@ -150,6 +180,7 @@ func main() {
 		dbPath: *dbPath, mutationLog: *mutationLog, deltaDebounce: *deltaDebounce,
 		useIndex: *useIndex, rmaxMax: *rmaxMax, parallelism: *parallelism,
 		cfg: cfg, grace: *shutdownGrace, watchEvery: *reloadWatch,
+		journal: journal,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "commserve:", err)
 		os.Exit(1)
@@ -166,6 +197,7 @@ type runOptions struct {
 	parallelism                         int
 	cfg                                 server.Config
 	grace, watchEvery                   time.Duration
+	journal                             *workload.Journal
 }
 
 func run(o runOptions) error {
@@ -285,6 +317,10 @@ loop:
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// All queries are drained, so the journal has seen its last entry.
+	if err := o.journal.Close(); err != nil {
+		log.Printf("workload journal close: %v", err)
 	}
 	log.Printf("drained cleanly")
 	return nil

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"commdb/internal/fulltext"
 	"commdb/internal/govern"
@@ -53,6 +54,10 @@ type Engine struct {
 
 	// keywordNodes[i] is V_i: all nodes containing keyword i.
 	keywordNodes [][]graph.NodeID
+	// keywordTerms[i] is keyword i's normalized (tokenized) term — the
+	// key under which the full-set run Neighbor(V_i) is charged in the
+	// trace's per-keyword init costs.
+	keywordTerms []string
 
 	// nbr[i] is the current neighborSet N_i: a bounded reverse-Dijkstra
 	// result whose Src/Dist give the paper's src(N_i,u) and min(N_i,u).
@@ -201,6 +206,7 @@ func NewEngineCfg(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax fl
 		rmax:         rmax,
 		l:            l,
 		keywordNodes: make([][]graph.NodeID, l),
+		keywordTerms: make([]string, l),
 		nbr:          make([]*sssp.Result, l),
 		slotState:    make([]slotDesc, l),
 		full:         make([]*sssp.Result, l),
@@ -213,6 +219,7 @@ func NewEngineCfg(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax fl
 			return nil, err
 		}
 		e.keywordNodes[i] = nodes
+		e.keywordTerms[i] = fulltext.Tokenize(kw)[0] // single term, validated by KeywordNodes
 		e.nbr[i] = sssp.NewResult(n)
 	}
 	return e, nil
@@ -348,10 +355,19 @@ func (e *Engine) PrecomputeNeighborSets() {
 				}
 				i := idx[t]
 				res := sssp.NewResult(e.g.NumNodes())
+				var t0 time.Time
+				if e.tr.Enabled() {
+					t0 = time.Now()
+				}
 				e.budget.ChargeNeighborRun() // a tripped budget empties the run
 				ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
 				e.neighborRuns.Add(1)
 				e.tr.Add("neighbor_runs", 1)
+				if e.tr.Enabled() {
+					// The full-set run is query-independent: charge its spend
+					// to the keyword so workload attribution can rank terms.
+					e.tr.AddKeywordInit(e.keywordTerms[i], ws.LastRun(), time.Since(t0))
+				}
 				e.full[i] = res // distinct i per task: no two workers share a slot
 			}
 		}()
@@ -462,10 +478,19 @@ func (e *Engine) setSlotFull(i int) {
 	}
 	if e.full[i] == nil {
 		res := sssp.NewResult(e.g.NumNodes())
+		var t0 time.Time
+		if e.tr.Enabled() {
+			t0 = time.Now()
+		}
 		e.budget.ChargeNeighborRun()
 		e.ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
 		e.neighborRuns.Add(1)
 		e.tr.Add("neighbor_runs", 1)
+		if e.tr.Enabled() {
+			// Same charge as the parallel fan-out: Neighbor(V_i) is the
+			// keyword-separable share of engine init.
+			e.tr.AddKeywordInit(e.keywordTerms[i], e.ws.LastRun(), time.Since(t0))
+		}
 		e.full[i] = res
 	}
 	e.install(i, e.full[i], slotDesc{kind: slotFull})

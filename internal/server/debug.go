@@ -50,5 +50,10 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) observeQuery(qid, endpoint string, q commdb.Query, k, results int, stopReason string, start time.Time, sum *obs.Summary) {
 	indexed := sum != nil && sum.Labels["projected"] == "true"
 	rec := obs.NewQueryRecord(qid, endpoint, q.Keywords, q.Rmax, k, indexed, results, stopReason, start, time.Since(start), sum)
+	if rec.Fingerprint == "" {
+		// Fake engines without traces still get the canonical identity.
+		rec.Fingerprint = q.Fingerprint()
+	}
 	s.collector.Observe(rec)
+	s.observeWorkload(rec, q, endpoint)
 }

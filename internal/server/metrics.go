@@ -89,13 +89,18 @@ func newMetrics(s *Server) *metrics {
 		s.stats.admissionRejections.Load)
 	reg.GaugeFunc("commdb_admission_waiting", "requests queued for an execution slot",
 		func() float64 { return float64(s.adm.waiting.Load()) })
-	reg.CounterFunc("commdb_budget_trips_total", "queries stopped by a budget or deadline",
-		s.stats.budgetTrips.Load)
+	reg.CounterFunc("commdb_result_limit_stops_total", "queries stopped by their max_results limit (ordinary bounded-stream completion)",
+		s.stats.resultLimitStops.Load)
+	reg.CounterFunc("commdb_budget_exhausted_total", "queries stopped by a work budget or deadline",
+		s.stats.budgetExhausted.Load)
 	reg.CounterFunc("commdb_canceled_total", "queries stopped by cancellation or shutdown",
 		s.stats.canceled.Load)
 	// The continuous layer: the SLO breach counter, capture occupancy,
 	// and the labeled per-class families.
 	s.collector.Register(reg)
+	// The workload flight recorder: per-keyword init attribution and
+	// journal counters.
+	s.wl.Register(reg)
 	// The memory ledger, gauge-shaped: per-component bytes from the
 	// exact accounting (/debug/memz is the same numbers as a tree).
 	// Component footprints are Once-cached on the immutable artifacts,

@@ -45,6 +45,7 @@ import (
 	"commdb/internal/obs"
 	"commdb/internal/prof"
 	"commdb/internal/snapshot"
+	"commdb/internal/workload"
 )
 
 // ErrServerClosed is the cancellation cause propagated to every
@@ -122,6 +123,15 @@ type Config struct {
 	// surface as the "deltas" block in /statsz and the commdb_delta_*
 	// families in /metricsz.
 	Deltas func() delta.Stats
+	// WorkloadJournal, when non-nil, is the durable half of the
+	// workload flight recorder: every completed query — engine
+	// executions and cache hits alike — is offered to it (its sampling
+	// policy may drop some). The caller owns the journal's lifecycle
+	// (Close on shutdown). The in-memory attribution tables behind
+	// GET /debug/workloadz run regardless.
+	WorkloadJournal *workload.Journal
+	// WorkloadKeywords bounds the attribution table (default 512).
+	WorkloadKeywords int
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +175,7 @@ type Server struct {
 	stats     stats
 	metrics   *metrics
 	collector *obs.Collector
+	wl        *workload.Tracker
 	qids      atomic.Int64
 	mux       *http.ServeMux
 
@@ -196,6 +207,7 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 		cancelBase: cancel,
 	}
 	s.collector = obs.NewCollector(cfg.Obs)
+	s.wl = workload.NewTracker(workload.AttributionConfig{MaxKeywords: cfg.WorkloadKeywords}, cfg.WorkloadJournal)
 	// One combined breach hook (OnBreach replaces, not chains): log the
 	// breach and, during a fresh epoch's probation, roll the epoch back.
 	if cfg.Logger != nil || s.snaps != nil {
@@ -226,6 +238,7 @@ func NewWithEngine(eng Engine, cfg Config) *Server {
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("GET /debug/memz", s.handleMemz)
+	mux.HandleFunc("GET /debug/workloadz", s.handleWorkloadz)
 	if cfg.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", s.admin(pprof.Index))
 		mux.HandleFunc("GET /debug/pprof/cmdline", s.admin(pprof.Cmdline))
@@ -308,6 +321,8 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	mem := s.memorySnapshot()
 	snap.Memory = &mem
+	wl := s.wl.Snapshot(10)
+	snap.Workload = &wl
 	return snap
 }
 
@@ -468,13 +483,18 @@ func (s *Server) writeSaturated(w http.ResponseWriter) {
 		s.cfg.MaxConcurrent, s.cfg.MaxQueue)
 }
 
-// classifyStop feeds the stop-reason counters.
+// classifyStop feeds the stop-reason counters. A results-budget trip
+// is ordinary completion of a bounded stream (the client asked for at
+// most max_results), so it counts as a result-limit stop; only the
+// work budgets and the deadline count as budget exhaustion.
 func (s *Server) classifyStop(stopErr error) {
 	var be commdb.ErrBudgetExhausted
 	switch {
 	case stopErr == nil:
+	case errors.As(stopErr, &be) && be.Resource == commdb.ResourceResults:
+		s.stats.resultLimitStops.Add(1)
 	case errors.As(stopErr, &be), errors.Is(stopErr, commdb.ErrDeadlineExceeded):
-		s.stats.budgetTrips.Add(1)
+		s.stats.budgetExhausted.Add(1)
 	default:
 		s.stats.canceled.Add(1)
 	}
@@ -510,9 +530,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// so they stay fast even when the pool is saturated. A trace
 	// request bypasses the cache read instead — its trace must reflect
 	// a real execution.
+	cstart := time.Now()
 	if val, hit := s.cache.Get(key); hit && !req.Trace {
 		s.stats.cacheHits.Add(1)
 		s.logQuery(qid, "topk", q, 0, len(val.records), "", true)
+		// Cache hits bypass observeQuery (no execution, no trace), but
+		// they are still workload: the flight recorder journals them so a
+		// replay reproduces the traffic the cache absorbed.
+		s.observeCacheHit(qid, q, k, epoch, val, time.Since(cstart))
 		writeJSON(w, http.StatusOK, TopKResponse{Results: val.records, Complete: val.complete, Cached: true, Epoch: epoch})
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"commdb/internal/delta"
 	"commdb/internal/obs"
 	"commdb/internal/snapshot"
+	"commdb/internal/workload"
 )
 
 // latencyBucketsMS are the histogram's upper bounds in milliseconds;
@@ -24,8 +25,13 @@ type stats struct {
 	cacheHits           atomic.Int64
 	cacheMisses         atomic.Int64
 	admissionRejections atomic.Int64 // 429s issued
-	budgetTrips         atomic.Int64 // queries stopped by a budget or deadline
-	canceled            atomic.Int64 // queries stopped by cancellation/shutdown
+	// resultLimitStops counts queries stopped by their result-count
+	// limit — ordinary completion of a bounded stream, not resource
+	// pressure. Kept apart from budgetExhausted: conflating the two
+	// once made a healthy serve bench read as 98% budget-tripped.
+	resultLimitStops atomic.Int64
+	budgetExhausted  atomic.Int64 // queries stopped by a work budget or deadline
+	canceled         atomic.Int64 // queries stopped by cancellation/shutdown
 
 	latCount atomic.Int64
 	latSumUS atomic.Int64 // microseconds, for the mean
@@ -99,8 +105,14 @@ type StatsSnapshot struct {
 	SingleflightShared  int64 `json:"singleflight_shared"`
 	AdmissionRejections int64 `json:"admission_rejections"`
 	AdmissionWaiting    int64 `json:"admission_waiting"`
-	BudgetTrips         int64 `json:"budget_trips"`
-	Canceled            int64 `json:"canceled"`
+	// ResultLimitStops counts queries stopped by their max_results
+	// limit (ordinary bounded-stream completion); BudgetExhausted
+	// counts stops by a work budget (relaxations, neighbor runs, can
+	// tuples, heap bytes) or a deadline. Former releases reported both
+	// as a single budget_trips counter.
+	ResultLimitStops int64 `json:"result_limit_stops"`
+	BudgetExhausted  int64 `json:"budget_exhausted"`
+	Canceled         int64 `json:"canceled"`
 
 	// Continuous-layer counters: capture ring occupancy and the
 	// emission-delay SLO watchdog.
@@ -130,6 +142,11 @@ type StatsSnapshot struct {
 	// view.
 	Memory *MemorySnapshot `json:"memory,omitempty"`
 
+	// Workload is the flight recorder's view: hot-keyword and
+	// query-class attribution tables (top rows only; /debug/workloadz
+	// has the full tables) plus journal counters when recording is on.
+	Workload *workload.Snapshot `json:"workload,omitempty"`
+
 	Latency struct {
 		Count   int64           `json:"count"`
 		MeanMS  float64         `json:"mean_ms"`
@@ -152,7 +169,8 @@ func (s *stats) snapshot() StatsSnapshot {
 	out.CacheHits = s.cacheHits.Load()
 	out.CacheMisses = s.cacheMisses.Load()
 	out.AdmissionRejections = s.admissionRejections.Load()
-	out.BudgetTrips = s.budgetTrips.Load()
+	out.ResultLimitStops = s.resultLimitStops.Load()
+	out.BudgetExhausted = s.budgetExhausted.Load()
 	out.Canceled = s.canceled.Load()
 
 	counts := make([]int64, len(s.latHist))

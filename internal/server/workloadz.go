@@ -1,0 +1,96 @@
+package server
+
+// GET /debug/workloadz is the flight recorder's read side: the full
+// hot-keyword and query-class attribution tables plus the journal's
+// counters when durable recording is on. Where /debug/queries answers
+// "what were the slowest queries", workloadz answers "which keywords
+// is this workload paying engine-init for" — the ranking a keyword
+// warm-up or semantic cache would feed on.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"commdb"
+	"commdb/internal/obs"
+	"commdb/internal/workload"
+)
+
+// workloadzTopN bounds the table rows one /debug/workloadz response
+// carries.
+const workloadzTopN = 50
+
+// handleWorkloadz answers GET /debug/workloadz.
+func (s *Server) handleWorkloadz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.wl.Snapshot(workloadzTopN))
+}
+
+// costWord renders a cost function in its wire spelling.
+func costWord(c commdb.CostFunction) string {
+	if c == commdb.CostMaxDistance {
+		return "max"
+	}
+	return "sum"
+}
+
+// entryLimits converts effective (clamped) engine limits to the
+// journal's wire form; nil when no limit is set.
+func entryLimits(l commdb.Limits) *workload.Limits {
+	wl := workload.Limits{
+		TimeoutMS:       l.Timeout.Milliseconds(),
+		MaxRelaxations:  l.MaxRelaxations,
+		MaxNeighborRuns: l.MaxNeighborRuns,
+		MaxCanTuples:    l.MaxCanTuples,
+		MaxHeapBytes:    l.MaxHeapBytes,
+		MaxResults:      l.MaxResults,
+	}
+	if wl.IsZero() {
+		return nil
+	}
+	return &wl
+}
+
+// observeWorkload feeds one executed query into the workload tracker:
+// attribution tables always, the journal when recording is on. The
+// epoch rides the trace's label (set only under hot reload).
+func (s *Server) observeWorkload(rec *obs.QueryRecord, q commdb.Query, algo string) {
+	e := workload.EntryFromRecord(rec)
+	e.Algo = algo
+	e.Cost = costWord(q.Cost)
+	e.Limits = entryLimits(q.Limits)
+	if tr := rec.Trace; tr != nil {
+		if ep := tr.Labels["epoch"]; ep != "" {
+			e.Epoch, _ = strconv.ParseInt(ep, 10, 64)
+		}
+	}
+	s.wl.Observe(e)
+}
+
+// observeCacheHit records a query the result cache absorbed: no engine
+// execution and no init spend, but the hit still belongs to the
+// workload — a replay that skipped it would re-run the engine work the
+// cache saved. Indexedness comes from the cached execution's trace.
+func (s *Server) observeCacheHit(qid string, q commdb.Query, k int, epoch int64, val *cacheValue, elapsed time.Duration) {
+	e := workload.Entry{
+		UnixMS:      time.Now().UnixMilli(),
+		QueryID:     qid,
+		Fingerprint: q.Fingerprint(),
+		Keywords:    q.Keywords,
+		Rmax:        q.Rmax,
+		Cost:        costWord(q.Cost),
+		Algo:        workload.AlgoTopK,
+		K:           k,
+		Limits:      entryLimits(q.Limits),
+		Epoch:       epoch,
+		CacheHit:    true,
+		Results:     len(val.records),
+		Complete:    val.complete,
+		StopReason:  val.reason,
+		LatencyMS:   float64(elapsed) / float64(time.Millisecond),
+	}
+	if val.trace != nil {
+		e.Indexed = val.trace.Labels["projected"] == "true"
+	}
+	s.wl.Observe(e)
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+
+	"commdb/internal/obs"
+)
+
+// KeywordStats is one keyword's rolling attribution row: how many
+// queries mentioned it and the engine-init spend separably charged to
+// it (full keyword-set Dijkstra runs).
+type KeywordStats struct {
+	Term    string `json:"term"`
+	Queries int64  `json:"queries"`
+	// CacheHits counts queries mentioning the term that the result
+	// cache absorbed (no init spend paid).
+	CacheHits   int64   `json:"cache_hits,omitempty"`
+	InitRuns    int64   `json:"init_runs"`
+	InitVisits  int64   `json:"init_visits"`
+	InitRelax   int64   `json:"init_relaxations"`
+	InitHeapOps int64   `json:"init_heap_ops"`
+	InitWallMS  float64 `json:"init_wall_ms"`
+}
+
+// ClassStats is one query class's attribution row. SharedInitMS is the
+// engine-init time not separable per keyword — projection and the
+// aggregate-table build — i.e. init span minus the sum of per-keyword
+// wall time; it is charged to the class as a whole.
+type ClassStats struct {
+	Class        string  `json:"class"`
+	Queries      int64   `json:"queries"`
+	CacheHits    int64   `json:"cache_hits"`
+	Results      int64   `json:"results"`
+	TotalMS      float64 `json:"total_ms"`
+	InitMS       float64 `json:"init_ms"`
+	KeywordMS    float64 `json:"keyword_init_ms"`
+	SharedInitMS float64 `json:"shared_init_ms"`
+}
+
+// AttributionConfig bounds the aggregator.
+type AttributionConfig struct {
+	// MaxKeywords bounds the keyword table (default 512). When full,
+	// the coldest row (least cumulative init wall time) is evicted.
+	MaxKeywords int
+}
+
+func (c AttributionConfig) withDefaults() AttributionConfig {
+	if c.MaxKeywords <= 0 {
+		c.MaxKeywords = 512
+	}
+	return c
+}
+
+// Attribution is the in-memory cost-attribution aggregator. Safe for
+// concurrent use; a nil *Attribution ignores every call.
+type Attribution struct {
+	cfg AttributionConfig
+
+	mu            sync.Mutex
+	kw            map[string]*KeywordStats
+	classes       map[string]*ClassStats
+	evicted       int64
+	cacheAbsorbed int64
+	observed      int64
+}
+
+// NewAttribution builds the aggregator.
+func NewAttribution(cfg AttributionConfig) *Attribution {
+	return &Attribution{
+		cfg:     cfg.withDefaults(),
+		kw:      make(map[string]*KeywordStats),
+		classes: make(map[string]*ClassStats),
+	}
+}
+
+// Observe folds one journal-shaped entry into the tables. Cache hits
+// count toward keyword/class query totals and the absorption counter
+// but carry no init spend (none was paid).
+func (a *Attribution) Observe(e Entry) {
+	if a == nil {
+		return
+	}
+	class := obs.ClassKey(len(e.Keywords), e.Indexed)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.observed++
+	if e.CacheHit {
+		a.cacheAbsorbed++
+	}
+
+	for _, kw := range e.Keywords {
+		ks := a.kwRowLocked(kw)
+		ks.Queries++
+		if e.CacheHit {
+			ks.CacheHits++
+		}
+	}
+	var kwWall float64
+	for _, kc := range e.KeywordInit {
+		ks := a.kwRowLocked(kc.Term)
+		ks.InitRuns += kc.Runs
+		ks.InitVisits += kc.Visits
+		ks.InitRelax += kc.Relaxations
+		ks.InitHeapOps += kc.HeapOps
+		ks.InitWallMS += kc.WallMS
+		kwWall += kc.WallMS
+	}
+
+	cs := a.classes[class]
+	if cs == nil {
+		cs = &ClassStats{Class: class}
+		a.classes[class] = cs
+	}
+	cs.Queries++
+	if e.CacheHit {
+		cs.CacheHits++
+	}
+	cs.Results += int64(e.Results)
+	cs.TotalMS += e.LatencyMS
+	cs.InitMS += e.InitMS
+	cs.KeywordMS += kwWall
+	if shared := e.InitMS - kwWall; shared > 0 {
+		cs.SharedInitMS += shared
+	}
+}
+
+// kwRowLocked returns (creating, evicting if needed) term's row.
+func (a *Attribution) kwRowLocked(term string) *KeywordStats {
+	ks := a.kw[term]
+	if ks != nil {
+		return ks
+	}
+	if len(a.kw) >= a.cfg.MaxKeywords {
+		// Evict the coldest row by cumulative init wall time, queries as
+		// the tiebreak: recurring hot terms survive, one-off probes age
+		// out.
+		var victim string
+		first := true
+		for t, row := range a.kw {
+			if first || row.InitWallMS < a.kw[victim].InitWallMS ||
+				(row.InitWallMS == a.kw[victim].InitWallMS && row.Queries < a.kw[victim].Queries) {
+				victim, first = t, false
+			}
+		}
+		delete(a.kw, victim)
+		a.evicted++
+	}
+	ks = &KeywordStats{Term: term}
+	a.kw[term] = ks
+	return ks
+}
+
+// Totals returns the scalar counters without materializing the tables
+// (the metrics registry scrapes them individually).
+func (a *Attribution) Totals() (observed, cacheAbsorbed, evicted int64, tracked int) {
+	if a == nil {
+		return 0, 0, 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.observed, a.cacheAbsorbed, a.evicted, len(a.kw)
+}
+
+// Snapshot is the aggregator's exported view.
+type Snapshot struct {
+	// Observed counts entries folded in; CacheAbsorbed the subset the
+	// result cache served.
+	Observed      int64 `json:"observed"`
+	CacheAbsorbed int64 `json:"cache_absorbed"`
+	// TrackedKeywords is the keyword table's occupancy;
+	// EvictedKeywords counts rows dropped by the bound.
+	TrackedKeywords int   `json:"tracked_keywords"`
+	EvictedKeywords int64 `json:"evicted_keywords,omitempty"`
+	// HotKeywords is the keyword table sorted hottest first (cumulative
+	// init wall time, then queries, then term).
+	HotKeywords []KeywordStats `json:"hot_keywords,omitempty"`
+	// Classes are the per-class rows, sorted by class key.
+	Classes []ClassStats `json:"classes,omitempty"`
+	// Journal is the durable half's counters, present when a journal is
+	// attached.
+	Journal *JournalStats `json:"journal,omitempty"`
+}
+
+// SnapshotTop exports the tables, keeping the topN hottest keywords
+// (0 = all).
+func (a *Attribution) SnapshotTop(topN int) Snapshot {
+	if a == nil {
+		return Snapshot{}
+	}
+	a.mu.Lock()
+	snap := Snapshot{
+		Observed:        a.observed,
+		CacheAbsorbed:   a.cacheAbsorbed,
+		TrackedKeywords: len(a.kw),
+		EvictedKeywords: a.evicted,
+		HotKeywords:     make([]KeywordStats, 0, len(a.kw)),
+		Classes:         make([]ClassStats, 0, len(a.classes)),
+	}
+	for _, ks := range a.kw {
+		snap.HotKeywords = append(snap.HotKeywords, *ks)
+	}
+	for _, cs := range a.classes {
+		snap.Classes = append(snap.Classes, *cs)
+	}
+	a.mu.Unlock()
+	sort.Slice(snap.HotKeywords, func(i, j int) bool {
+		a, b := snap.HotKeywords[i], snap.HotKeywords[j]
+		if a.InitWallMS != b.InitWallMS {
+			return a.InitWallMS > b.InitWallMS
+		}
+		if a.Queries != b.Queries {
+			return a.Queries > b.Queries
+		}
+		return a.Term < b.Term
+	})
+	if topN > 0 && len(snap.HotKeywords) > topN {
+		snap.HotKeywords = snap.HotKeywords[:topN]
+	}
+	sort.Slice(snap.Classes, func(i, j int) bool { return snap.Classes[i].Class < snap.Classes[j].Class })
+	return snap
+}

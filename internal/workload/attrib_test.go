@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"commdb/internal/obs"
+)
+
+func execEntry(keywords []string, initMS float64, kwInit []obs.KeywordCost) Entry {
+	return Entry{
+		Keywords:    keywords,
+		Algo:        AlgoTopK,
+		Indexed:     true,
+		Results:     2,
+		Complete:    true,
+		LatencyMS:   5,
+		InitMS:      initMS,
+		KeywordInit: kwInit,
+	}
+}
+
+func TestAttributionTables(t *testing.T) {
+	a := NewAttribution(AttributionConfig{})
+	a.Observe(execEntry([]string{"carl", "hector"}, 1.0, []obs.KeywordCost{
+		{Term: "carl", Runs: 1, Visits: 10, WallMS: 0.4},
+		{Term: "hector", Runs: 1, Visits: 4, WallMS: 0.2},
+	}))
+	a.Observe(execEntry([]string{"carl"}, 0.5, []obs.KeywordCost{
+		{Term: "carl", Runs: 1, Visits: 10, WallMS: 0.3},
+	}))
+	hit := execEntry([]string{"carl"}, 0, nil)
+	hit.CacheHit = true
+	a.Observe(hit)
+
+	snap := a.SnapshotTop(0)
+	if snap.Observed != 3 || snap.CacheAbsorbed != 1 {
+		t.Fatalf("observed=%d absorbed=%d", snap.Observed, snap.CacheAbsorbed)
+	}
+	if len(snap.HotKeywords) != 2 || snap.HotKeywords[0].Term != "carl" {
+		t.Fatalf("hot keywords: %+v", snap.HotKeywords)
+	}
+	carl := snap.HotKeywords[0]
+	if carl.Queries != 3 || carl.CacheHits != 1 || carl.InitRuns != 2 || carl.InitVisits != 20 {
+		t.Fatalf("carl row: %+v", carl)
+	}
+	if carl.InitWallMS < 0.69 || carl.InitWallMS > 0.71 {
+		t.Fatalf("carl wall %v", carl.InitWallMS)
+	}
+
+	// Two classes: kw2/indexed (1 query) and kw1/indexed (2 queries).
+	if len(snap.Classes) != 2 {
+		t.Fatalf("classes: %+v", snap.Classes)
+	}
+	var kw1 *ClassStats
+	for i := range snap.Classes {
+		if snap.Classes[i].Class == "kw1/indexed" {
+			kw1 = &snap.Classes[i]
+		}
+	}
+	if kw1 == nil || kw1.Queries != 2 || kw1.CacheHits != 1 {
+		t.Fatalf("kw1 class: %+v", kw1)
+	}
+	// Shared init = init span minus keyword-separable wall: 0.5 - 0.3.
+	if kw1.SharedInitMS < 0.19 || kw1.SharedInitMS > 0.21 {
+		t.Fatalf("kw1 shared init %v", kw1.SharedInitMS)
+	}
+}
+
+func TestAttributionEviction(t *testing.T) {
+	a := NewAttribution(AttributionConfig{MaxKeywords: 4})
+	// One hot recurring term, then a stream of one-off cold probes.
+	for i := 0; i < 20; i++ {
+		a.Observe(execEntry([]string{"hot"}, 0.2, []obs.KeywordCost{{Term: "hot", Runs: 1, WallMS: 0.2}}))
+		cold := "cold" + strconv.Itoa(i)
+		a.Observe(execEntry([]string{cold}, 0.01, []obs.KeywordCost{{Term: cold, Runs: 1, WallMS: 0.001}}))
+	}
+	snap := a.SnapshotTop(0)
+	if snap.TrackedKeywords != 4 {
+		t.Fatalf("tracked %d, want 4", snap.TrackedKeywords)
+	}
+	if snap.EvictedKeywords == 0 {
+		t.Fatal("expected evictions")
+	}
+	if snap.HotKeywords[0].Term != "hot" || snap.HotKeywords[0].Queries != 20 {
+		t.Fatalf("hot term evicted: %+v", snap.HotKeywords)
+	}
+}
+
+func TestTrackerMetricsLintClean(t *testing.T) {
+	tr := NewTracker(AttributionConfig{}, nil)
+	tr.Observe(execEntry([]string{"carl", "hector"}, 1.0, []obs.KeywordCost{
+		{Term: "carl", Runs: 1, Visits: 10, WallMS: 0.4},
+		{Term: "hector", Runs: 1, Visits: 4, WallMS: 0.2},
+	}))
+	reg := obs.NewRegistry()
+	tr.Register(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := obs.LintPrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`commdb_keyword_queries_total{term="carl"} 1`,
+		`commdb_keyword_init_visits_total{term="hector"} 4`,
+		`commdb_workload_observed_total 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+}

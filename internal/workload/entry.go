@@ -1,0 +1,193 @@
+// Package workload is the flight recorder of the serving stack: a
+// durable, size-bounded NDJSON journal of completed queries plus an
+// in-memory cost-attribution aggregator that charges engine-init spend
+// to individual keywords.
+//
+// # Journal
+//
+// One Entry per completed query (cache hits included), one JSON object
+// per line. Records carry a monotone sequence number and a CRC so a
+// reader can prove integrity; a torn final line — the normal result of
+// a crash mid-append — is silently dropped on read, mirroring the
+// internal/delta mutation log. The journal rotates once, keeping the
+// current file plus one predecessor (path + ".1"), and supports a
+// deterministic 1-in-M sampling policy so high-QPS servers bound the
+// recording cost.
+//
+// # Attribution
+//
+// The paper's community search pays for per-keyword reverse Dijkstras
+// over each keyword's full node set — work that is query-independent
+// and therefore shared by every query mentioning the keyword. The
+// Attribution aggregator folds each query's per-keyword init costs
+// (obs.Summary.KeywordInit) into rolling hot-keyword and query-class
+// tables: the exact ranking a semantic cache or precomputed keyword
+// artifact would want to warm from.
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+
+	"commdb/internal/obs"
+)
+
+// Limits is the wire form of a query's resource limits, mirroring the
+// server's LimitsSpec JSON schema so journal entries and search
+// requests stay field-compatible without an import cycle.
+type Limits struct {
+	TimeoutMS       int64 `json:"timeout_ms,omitempty"`
+	MaxRelaxations  int64 `json:"max_relaxations,omitempty"`
+	MaxNeighborRuns int64 `json:"max_neighbor_runs,omitempty"`
+	MaxCanTuples    int64 `json:"max_can_tuples,omitempty"`
+	MaxHeapBytes    int64 `json:"max_heap_bytes,omitempty"`
+	MaxResults      int64 `json:"max_results,omitempty"`
+}
+
+// IsZero reports whether no limit is set.
+func (l Limits) IsZero() bool { return l == Limits{} }
+
+// Algo values for Entry.Algo: which endpoint/enumerator served the
+// query.
+const (
+	AlgoTopK = "topk"
+	AlgoAll  = "all"
+)
+
+// Entry is one journal record: the query's identity (canonical
+// fingerprint, keywords, operating point), how it was served, its
+// outcome, and the per-keyword engine-init spend. The CRC field is
+// always last on the wire (the encoder splices it in before the
+// closing brace), covering every preceding byte of the line.
+type Entry struct {
+	// Seq is the journal-assigned monotone sequence number.
+	Seq int64 `json:"seq"`
+	// UnixMS is the query's completion time. Synthetic workloads (the
+	// benchmark's canonical journal) use fixed values so journal bytes
+	// are machine-independent.
+	UnixMS  int64  `json:"unix_ms"`
+	QueryID string `json:"qid,omitempty"`
+	// Fingerprint is the canonical query fingerprint (Query.Fingerprint):
+	// normalized keywords, rmax and cost function, limits excluded.
+	Fingerprint string   `json:"fp"`
+	Keywords    []string `json:"keywords"`
+	Rmax        float64  `json:"rmax"`
+	// Cost is the ranking aggregate: "sum" or "max".
+	Cost string `json:"cost,omitempty"`
+	// Algo is the serving endpoint: "topk" or "all".
+	Algo string `json:"algo"`
+	// K is the top-k bound (0 for COMM-all).
+	K int `json:"k,omitempty"`
+	// Limits are the request's effective (clamped) resource limits.
+	Limits *Limits `json:"limits,omitempty"`
+	// Epoch is the snapshot epoch that answered (0 without hot reload).
+	Epoch int64 `json:"epoch,omitempty"`
+	// Indexed reports whether the query ran through the inverted-index
+	// projection.
+	Indexed bool `json:"indexed,omitempty"`
+	// CacheHit marks queries absorbed by the result cache: no engine
+	// execution, no init spend.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	Results  int  `json:"results"`
+	Complete bool `json:"complete"`
+	// StopReason is the stop reason when Complete is false.
+	StopReason string  `json:"stop,omitempty"`
+	LatencyMS  float64 `json:"latency_ms"`
+	// InitMS is the engine_init span: total engine construction time,
+	// keyword-separable and shared parts together.
+	InitMS float64 `json:"init_ms,omitempty"`
+	// KeywordInit is the keyword-separable init spend, sorted by term.
+	KeywordInit []obs.KeywordCost `json:"keyword_init,omitempty"`
+	// CRC is the IEEE-Castagnoli checksum of the encoded line with this
+	// field absent. Zero in memory; set by the encoder, verified by the
+	// decoder.
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// crcTable is Castagnoli, matching the delta log and the index format.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var crcKey = []byte(`,"crc":`)
+
+// EncodeEntry renders e as one journal line (no trailing newline). The
+// CRC is computed over the CRC-less encoding and spliced in before the
+// closing brace, so the decoder can verify without re-marshaling (and
+// without float round-trip hazards).
+func EncodeEntry(e Entry) ([]byte, error) {
+	e.CRC = 0 // omitempty: the field is absent from the checksummed bytes
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	sum := crc32.Checksum(b, crcTable)
+	line := make([]byte, 0, len(b)+len(crcKey)+11)
+	line = append(line, b[:len(b)-1]...) // up to but excluding the final '}'
+	line = append(line, crcKey...)
+	line = strconv.AppendUint(line, uint64(sum), 10)
+	line = append(line, '}')
+	return line, nil
+}
+
+// DecodeEntry parses and verifies one journal line. The CRC suffix is
+// located positionally (it is always the final field, so the last
+// `,"crc":` occurrence is the real one even if a keyword contains the
+// literal), stripped, and recomputed over the remaining bytes.
+func DecodeEntry(line []byte) (Entry, error) {
+	var e Entry
+	i := bytes.LastIndex(line, crcKey)
+	if i < 0 {
+		return e, fmt.Errorf("workload: record has no crc field")
+	}
+	digits := line[i+len(crcKey):]
+	if len(digits) < 2 || digits[len(digits)-1] != '}' {
+		return e, fmt.Errorf("workload: malformed crc suffix")
+	}
+	digits = digits[:len(digits)-1]
+	want, err := strconv.ParseUint(string(digits), 10, 32)
+	if err != nil {
+		return e, fmt.Errorf("workload: malformed crc suffix: %v", err)
+	}
+	// Reconstitute the checksummed bytes: everything before the suffix
+	// plus the closing brace.
+	buf := make([]byte, 0, i+1)
+	buf = append(buf, line[:i]...)
+	buf = append(buf, '}')
+	if got := crc32.Checksum(buf, crcTable); got != uint32(want) {
+		return e, fmt.Errorf("workload: crc mismatch (record %08x, computed %08x)", uint32(want), got)
+	}
+	if err := json.Unmarshal(line, &e); err != nil {
+		return e, fmt.Errorf("workload: undecodable record: %v", err)
+	}
+	return e, nil
+}
+
+// EntryFromRecord builds the journal entry for one executed query from
+// its capture record: identity, class inputs, outcome, latency and the
+// per-keyword init spend from the trace. The caller fills the fields
+// the record does not know — Algo, Cost, Limits, Epoch, UnixMS — and
+// the journal assigns Seq.
+func EntryFromRecord(rec *obs.QueryRecord) Entry {
+	e := Entry{
+		QueryID:     rec.QueryID,
+		Fingerprint: rec.Fingerprint,
+		Keywords:    rec.Keywords,
+		Rmax:        rec.Rmax,
+		K:           rec.K,
+		Indexed:     rec.Indexed,
+		Results:     rec.Results,
+		Complete:    rec.StopReason == "",
+		StopReason:  rec.StopReason,
+		LatencyMS:   rec.TotalMS,
+		UnixMS:      rec.Start.UnixMilli(),
+	}
+	if tr := rec.Trace; tr != nil {
+		e.KeywordInit = tr.KeywordInit
+		if sp, ok := tr.Span("engine_init"); ok {
+			e.InitMS = sp.DurMS
+		}
+	}
+	return e
+}

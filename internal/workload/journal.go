@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// JournalConfig tunes the flight recorder's durable half.
+type JournalConfig struct {
+	// Path is the journal file. Rotation renames it to Path + ".1"
+	// (replacing any previous rotation) and starts a fresh file.
+	Path string
+	// MaxBytes bounds one journal file; a record that would push the
+	// current file past the bound triggers rotation first. Default
+	// 64 MiB.
+	MaxBytes int64
+	// SampleEvery records one in every M offered entries (default 1 =
+	// record everything). The policy is deterministic count-based, not
+	// random, so identical traffic produces identical journals.
+	SampleEvery int
+	// now overrides the clock in tests; entries with UnixMS already set
+	// (synthetic workloads) are never stamped.
+	now func() time.Time
+}
+
+func (c JournalConfig) withDefaults() JournalConfig {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 20
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// JournalStats is the journal's exported view, shown in /statsz and
+// /debug/workloadz.
+type JournalStats struct {
+	Path       string `json:"path"`
+	Records    int64  `json:"records"`
+	SampledOut int64  `json:"sampled_out"`
+	Rotations  int64  `json:"rotations"`
+	Bytes      int64  `json:"bytes"`
+	LastSeq    int64  `json:"last_seq"`
+	// WriteErrors counts appends that failed at the filesystem; the
+	// journal keeps serving (recording is best-effort observability,
+	// never on a query's critical correctness path).
+	WriteErrors int64 `json:"write_errors,omitempty"`
+}
+
+// Journal is the durable workload log: an append-only NDJSON file of
+// CRC-framed entries with single rotation and deterministic sampling.
+// Safe for concurrent use. Appends are single Write calls so a crash
+// tears at most the final line; fsync happens on rotation and Close,
+// not per record — the journal favors low overhead over zero loss,
+// unlike the delta mutation log whose records are source-of-truth.
+type Journal struct {
+	cfg JournalConfig
+
+	mu          sync.Mutex
+	f           *os.File
+	size        int64
+	seq         int64
+	offered     int64
+	records     int64
+	sampledOut  int64
+	rotations   int64
+	writeErrors int64
+	closed      bool
+}
+
+// OpenJournal opens (creating if absent) the journal at cfg.Path and
+// resumes the sequence from the existing tail.
+func OpenJournal(cfg JournalConfig) (*Journal, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Path == "" {
+		return nil, errors.New("workload: journal path required")
+	}
+	f, err := os.OpenFile(cfg.Path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{cfg: cfg, f: f}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.size = info.Size()
+	if j.seq, j.size, err = resumeTail(f, j.size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("workload: resuming %s: %v", cfg.Path, err)
+	}
+	return j, nil
+}
+
+// resumeTail scans the tail of an existing journal for the last
+// complete, valid record, truncates any torn final line (a crashed
+// writer's half-append) so new records start at a line boundary, and
+// returns the resumed sequence number plus the file's usable size.
+// Only a bounded tail window is read, so reopening a large journal
+// stays cheap.
+func resumeTail(f *os.File, size int64) (seq, newSize int64, err error) {
+	const window = 1 << 20
+	off := size - window
+	if off < 0 {
+		off = 0
+	}
+	buf := make([]byte, size-off)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return 0, size, err
+	}
+	end := bytes.LastIndexByte(buf, '\n')
+	if end < 0 {
+		if off > 0 {
+			// A torn line longer than the window: leave the file alone and
+			// keep appending (pathological; a reader will stop at the tear).
+			return 0, size, nil
+		}
+		// Entirely torn (or empty): start the file over.
+		if size > 0 {
+			if err := f.Truncate(0); err != nil {
+				return 0, size, err
+			}
+		}
+		return 0, 0, nil
+	}
+	if keep := off + int64(end) + 1; keep < size {
+		if err := f.Truncate(keep); err != nil {
+			return 0, size, err
+		}
+		size = keep
+	}
+	buf = buf[:end+1]
+	if off > 0 {
+		// Landed mid-line: skip to the first boundary inside the window.
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			return 0, size, nil
+		}
+		buf = buf[nl+1:]
+	}
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			break
+		}
+		if e, err := DecodeEntry(buf[:nl]); err == nil {
+			seq = e.Seq
+		}
+		buf = buf[nl+1:]
+	}
+	return seq, size, nil
+}
+
+// Offer submits one entry to the journal. The sampling policy may drop
+// it; recorded entries get the next sequence number and a timestamp
+// (when UnixMS is unset). Write failures are counted, not returned —
+// the flight recorder never fails a query.
+func (j *Journal) Offer(e Entry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.offered++
+	// Keep the first of every M so a fresh journal is never empty.
+	if (j.offered-1)%int64(j.cfg.SampleEvery) != 0 {
+		j.sampledOut++
+		return
+	}
+	j.seq++
+	e.Seq = j.seq
+	if e.UnixMS == 0 {
+		e.UnixMS = j.cfg.now().UnixMilli()
+	}
+	line, err := EncodeEntry(e)
+	if err != nil {
+		j.writeErrors++
+		return
+	}
+	line = append(line, '\n')
+	if j.size > 0 && j.size+int64(len(line)) > j.cfg.MaxBytes {
+		j.rotateLocked()
+	}
+	n, err := j.f.Write(line)
+	j.size += int64(n)
+	if err != nil {
+		j.writeErrors++
+		return
+	}
+	j.records++
+}
+
+// rotateLocked renames the current file to Path+".1" (replacing any
+// previous rotation) and starts a fresh one. On failure the journal
+// keeps appending to the current file.
+func (j *Journal) rotateLocked() {
+	_ = j.f.Sync()
+	if err := os.Rename(j.cfg.Path, j.cfg.Path+".1"); err != nil {
+		j.writeErrors++
+		return
+	}
+	f, err := os.OpenFile(j.cfg.Path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The old handle still points at the renamed file; keep using it
+		// rather than lose records.
+		j.writeErrors++
+		return
+	}
+	j.f.Close()
+	j.f = f
+	j.size = 0
+	j.rotations++
+}
+
+// Sync flushes the journal to stable storage.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal. Further Offers are dropped.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Path:        j.cfg.Path,
+		Records:     j.records,
+		SampledOut:  j.sampledOut,
+		Rotations:   j.rotations,
+		Bytes:       j.size,
+		LastSeq:     j.seq,
+		WriteErrors: j.writeErrors,
+	}
+}
+
+// ReadJournal reads every valid entry from r. A final line without a
+// newline — the torn tail of a crashed writer — is silently ignored,
+// mirroring delta.ReadOps. A complete line that fails CRC or decode is
+// an error: unlike a torn tail, it means corruption, not a crash.
+// Sequence numbers must be strictly increasing (rotation means a file
+// need not start at 1).
+func ReadJournal(r io.Reader) ([]Entry, error) {
+	br := bufio.NewReader(r)
+	var out []Entry
+	var lastSeq int64
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: the record never committed. Drop it.
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		e, derr := DecodeEntry(bytes.TrimSuffix(line, []byte("\n")))
+		if derr != nil {
+			return out, fmt.Errorf("workload: line %d: %v", lineNo, derr)
+		}
+		if e.Seq <= lastSeq {
+			return out, fmt.Errorf("workload: line %d: sequence %d not after %d", lineNo, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		out = append(out, e)
+	}
+}
+
+// ReadJournalFile reads one journal file.
+func ReadJournalFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"commdb/internal/obs"
+)
+
+func testEntry(i int) Entry {
+	return Entry{
+		UnixMS:      int64(1000 + i*25),
+		QueryID:     "q-" + strconv.Itoa(i),
+		Fingerprint: "q1|rmax=6|cost=0|4:carl|6:hector",
+		Keywords:    []string{"carl", "hector"},
+		Rmax:        6,
+		Cost:        "sum",
+		Algo:        AlgoTopK,
+		K:           10,
+		Limits:      &Limits{MaxResults: 50},
+		Results:     3,
+		Complete:    true,
+		LatencyMS:   1.25,
+		InitMS:      0.5,
+		KeywordInit: []obs.KeywordCost{
+			{Term: "carl", Runs: 1, Visits: 7, Relaxations: 12, HeapOps: 14, WallMS: 0.2},
+			{Term: "hector", Runs: 1, Visits: 5, Relaxations: 9, HeapOps: 10, WallMS: 0.15},
+		},
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	e := testEntry(1)
+	e.Seq = 42
+	line, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CRC == 0 {
+		t.Fatal("decoded entry lost its CRC")
+	}
+	got.CRC = 0
+	want := e
+	want.CRC = 0
+	a, _ := EncodeEntry(got)
+	b, _ := EncodeEntry(want)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", a, b)
+	}
+}
+
+// TestEntryCRCSuffixAmbiguity plants the literal crc key inside a
+// keyword: the decoder must still locate the real (final) suffix.
+func TestEntryCRCSuffixAmbiguity(t *testing.T) {
+	e := testEntry(1)
+	e.Keywords = []string{`evil,"crc":123`, "hector"}
+	e.KeywordInit = nil
+	line, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(line)
+	if err != nil {
+		t.Fatalf("decode with embedded crc literal: %v", err)
+	}
+	if got.Keywords[0] != e.Keywords[0] {
+		t.Fatalf("keyword mangled: %q", got.Keywords[0])
+	}
+}
+
+func TestEntryCorruptionDetected(t *testing.T) {
+	line, err := EncodeEntry(testEntry(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range line {
+		mut := append([]byte(nil), line...)
+		mut[i] ^= 0x20
+		if mut[i] == line[i] {
+			continue
+		}
+		got, derr := DecodeEntry(mut)
+		if derr == nil {
+			// A flip inside the CRC digits could in principle still parse;
+			// it must then fail the checksum — reaching here means a
+			// corrupt record decoded cleanly.
+			t.Fatalf("byte %d flip decoded cleanly: %+v", i, got)
+		}
+	}
+}
+
+func writeJournal(t *testing.T, path string, n int, cfg JournalConfig) *Journal {
+	t.Helper()
+	cfg.Path = path
+	j, err := OpenJournal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j.Offer(testEntry(i))
+	}
+	return j
+}
+
+// TestJournalGoldenPrefix mirrors the delta log's recovery contract:
+// every truncation prefix of a journal file must read back cleanly as
+// a prefix of the recorded entries — a torn tail is dropped, never an
+// error, never a wrong record.
+func TestJournalGoldenPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.ndjson")
+	j := writeJournal(t, path, 8, JournalConfig{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := ReadJournal(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(complete) != 8 {
+		t.Fatalf("recorded %d entries, want 8", len(complete))
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		got, err := ReadJournal(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("prefix %d/%d: %v", cut, len(full), err)
+		}
+		// The recovered entries must be exactly the complete lines inside
+		// the prefix.
+		want := bytes.Count(full[:cut], []byte("\n"))
+		if len(got) != want {
+			t.Fatalf("prefix %d: recovered %d entries, want %d", cut, len(got), want)
+		}
+		for k := range got {
+			if got[k].Seq != complete[k].Seq || got[k].QueryID != complete[k].QueryID {
+				t.Fatalf("prefix %d entry %d: got seq %d qid %s", cut, k, got[k].Seq, got[k].QueryID)
+			}
+		}
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.ndjson")
+	// Lines are ~400 bytes; cap at 2KiB so 40 records rotate repeatedly.
+	j := writeJournal(t, path, 40, JournalConfig{MaxBytes: 2 << 10})
+	st := j.Stats()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rotations == 0 {
+		t.Fatal("expected at least one rotation")
+	}
+	if st.Bytes > 2<<10 {
+		t.Fatalf("current file %d bytes exceeds bound", st.Bytes)
+	}
+	prev, err := ReadJournalFile(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated file: %v", err)
+	}
+	cur, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prev) == 0 || len(cur) == 0 {
+		t.Fatalf("rotation split: prev=%d cur=%d", len(prev), len(cur))
+	}
+	// Sequence continuity across the boundary.
+	if cur[0].Seq != prev[len(prev)-1].Seq+1 {
+		t.Fatalf("seq gap across rotation: %d then %d", prev[len(prev)-1].Seq, cur[0].Seq)
+	}
+	if last := cur[len(cur)-1].Seq; last != st.LastSeq || st.LastSeq != 40 {
+		t.Fatalf("last seq %d (stats %d), want 40", last, st.LastSeq)
+	}
+}
+
+func TestJournalSampling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.ndjson")
+	j := writeJournal(t, path, 10, JournalConfig{SampleEvery: 3})
+	st := j.Stats()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offers 0,3,6,9 are kept (first of every 3).
+	if len(got) != 4 || st.Records != 4 || st.SampledOut != 6 {
+		t.Fatalf("kept %d (stats records=%d sampled_out=%d), want 4/4/6", len(got), st.Records, st.SampledOut)
+	}
+	if got[0].QueryID != "q-0" || got[1].QueryID != "q-3" {
+		t.Fatalf("wrong sample: %s, %s", got[0].QueryID, got[1].QueryID)
+	}
+}
+
+func TestJournalSeqResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.ndjson")
+	j := writeJournal(t, path, 3, JournalConfig{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: torn final line on disk.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(JournalConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Offer(testEntry(100))
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Stats(); st.LastSeq != 4 {
+		t.Fatalf("resumed seq %d, want 4", st.LastSeq)
+	}
+	// Reopen truncated the torn tail, so the whole file reads cleanly:
+	// the 3 original records plus the resumed one at seq 4.
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3].Seq != 4 || got[3].QueryID != "q-100" {
+		t.Fatalf("resumed journal: %d entries, last %+v", len(got), got[len(got)-1])
+	}
+}
+
+func TestJournalStampsTime(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.ndjson")
+	fixed := time.UnixMilli(777)
+	j, err := OpenJournal(JournalConfig{Path: path, now: func() time.Time { return fixed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(0)
+	e.UnixMS = 0
+	j.Offer(e)
+	j.Offer(testEntry(1)) // pre-stamped: must keep its own time
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].UnixMS != 777 || got[1].UnixMS != 1025 {
+		t.Fatalf("timestamps %d, %d; want 777, 1025", got[0].UnixMS, got[1].UnixMS)
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"sort"
+
+	"commdb/internal/obs"
+)
+
+// hotMetricKeywords bounds how many keyword rows the Prometheus
+// families expose (the full table stays available via /debug/workloadz
+// and /statsz): label cardinality on a scrape endpoint must be bounded
+// and small.
+const hotMetricKeywords = 32
+
+// Tracker glues the attribution aggregator to an optional journal: the
+// server offers every completed query (executions and cache hits) to
+// one Observe call. A nil *Tracker ignores everything.
+type Tracker struct {
+	attr *Attribution
+	j    *Journal
+}
+
+// NewTracker builds a tracker; j may be nil (attribution only).
+func NewTracker(cfg AttributionConfig, j *Journal) *Tracker {
+	return &Tracker{attr: NewAttribution(cfg), j: j}
+}
+
+// Journal returns the attached journal, nil when recording is off.
+func (t *Tracker) Journal() *Journal {
+	if t == nil {
+		return nil
+	}
+	return t.j
+}
+
+// Observe folds one completed query into the attribution tables and
+// offers it to the journal.
+func (t *Tracker) Observe(e Entry) {
+	if t == nil {
+		return
+	}
+	t.attr.Observe(e)
+	t.j.Offer(e)
+}
+
+// Snapshot exports the tracker's state, topN bounding the hot-keyword
+// table (0 = all).
+func (t *Tracker) Snapshot(topN int) Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	snap := t.attr.SnapshotTop(topN)
+	if t.j != nil {
+		js := t.j.Stats()
+		snap.Journal = &js
+	}
+	return snap
+}
+
+// Register wires the tracker into a metrics registry: process-wide
+// commdb_workload_* counters/gauges plus commdb_keyword_* families
+// labeled by term. Keyword samples are bounded to the hottest
+// hotMetricKeywords rows and rendered in term order, so scrapes are
+// deterministic and cardinality stays fixed.
+func (t *Tracker) Register(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("commdb_workload_observed_total", "completed queries folded into the workload attribution tables",
+		func() int64 { observed, _, _, _ := t.attr.Totals(); return observed })
+	reg.CounterFunc("commdb_workload_cache_absorbed_total", "workload queries absorbed by the result cache",
+		func() int64 { _, absorbed, _, _ := t.attr.Totals(); return absorbed })
+	reg.GaugeFunc("commdb_workload_tracked_keywords", "keyword rows resident in the attribution table",
+		func() float64 { _, _, _, tracked := t.attr.Totals(); return float64(tracked) })
+	reg.CounterFunc("commdb_workload_evicted_keywords_total", "keyword rows evicted by the attribution table bound",
+		func() int64 { _, _, evicted, _ := t.attr.Totals(); return evicted })
+	if t.j != nil {
+		reg.CounterFunc("commdb_workload_journal_records_total", "entries appended to the workload journal",
+			func() int64 { return t.j.Stats().Records })
+		reg.CounterFunc("commdb_workload_journal_sampled_out_total", "entries dropped by the journal sampling policy",
+			func() int64 { return t.j.Stats().SampledOut })
+		reg.CounterFunc("commdb_workload_journal_rotations_total", "workload journal rotations",
+			func() int64 { return t.j.Stats().Rotations })
+		reg.GaugeFunc("commdb_workload_journal_bytes", "current workload journal file size",
+			func() float64 { return float64(t.j.Stats().Bytes) })
+	}
+
+	hot := func(value func(*KeywordStats) float64) func() []obs.LabeledSample {
+		return func() []obs.LabeledSample {
+			rows := t.attr.SnapshotTop(hotMetricKeywords).HotKeywords
+			sort.Slice(rows, func(i, j int) bool { return rows[i].Term < rows[j].Term })
+			out := make([]obs.LabeledSample, len(rows))
+			for i := range rows {
+				out[i] = obs.LabeledSample{
+					Labels: []obs.Label{{Name: "term", Value: rows[i].Term}},
+					Value:  value(&rows[i]),
+				}
+			}
+			return out
+		}
+	}
+	reg.LabeledCounterFunc("commdb_keyword_queries_total", "completed queries mentioning the keyword (hottest terms only)",
+		hot(func(k *KeywordStats) float64 { return float64(k.Queries) }))
+	reg.LabeledCounterFunc("commdb_keyword_cache_hits_total", "cache-absorbed queries mentioning the keyword (hottest terms only)",
+		hot(func(k *KeywordStats) float64 { return float64(k.CacheHits) }))
+	reg.LabeledCounterFunc("commdb_keyword_init_runs_total", "full keyword-set Dijkstra runs charged to the keyword (hottest terms only)",
+		hot(func(k *KeywordStats) float64 { return float64(k.InitRuns) }))
+	reg.LabeledCounterFunc("commdb_keyword_init_visits_total", "nodes settled by init runs charged to the keyword (hottest terms only)",
+		hot(func(k *KeywordStats) float64 { return float64(k.InitVisits) }))
+	reg.LabeledCounterFunc("commdb_keyword_init_heap_ops_total", "priority-queue operations of init runs charged to the keyword (hottest terms only)",
+		hot(func(k *KeywordStats) float64 { return float64(k.InitHeapOps) }))
+	reg.LabeledCounterFunc("commdb_keyword_init_ms_total", "engine-init wall milliseconds charged to the keyword (hottest terms only)",
+		hot(func(k *KeywordStats) float64 { return k.InitWallMS }))
+}
