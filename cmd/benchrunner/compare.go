@@ -3,10 +3,11 @@ package main
 // The -compare mode is the perf-regression gate: it diffs two reports
 // (an old baseline and a fresh run) and exits nonzero when the new run
 // regresses beyond the tolerance — throughput lower, or any latency
-// metric higher. It handles -serve, -parallel and -delta reports,
-// sniffing the kind from the JSON shape ("degrees" key → parallel,
-// "delta_batches" key → delta, "outcome_digest" key → replay); both
-// inputs must be the same kind. CI runs it against the committed
+// metric higher. It handles -serve, -parallel, -delta, -replay and
+// -kwcache reports, sniffing the kind from the JSON shape ("degrees"
+// key → parallel, "delta_batches" key → delta, "outcome_digest" key →
+// replay, "kwcache_keywords" key → kwcache); both inputs must be the
+// same kind. CI runs it against the committed
 // baseline so a slowdown fails the build instead of landing silently.
 // For replay reports the outcome digest is compared first and a
 // mismatch is a hard error regardless of tolerance: it means engine
@@ -155,6 +156,38 @@ func parallelCompareNotes(path string, rep parallelBenchReport) []string {
 	return nil
 }
 
+// compareKwcacheReports diffs a new -kwcache report against an old
+// one: both sides' latencies plus the one-time warm-up cost, higher is
+// worse. The speedup ratios are not gated (quotients of gated
+// latencies), and the store footprint is workload shape — it rides
+// along informationally so a sudden artifact-size inflation is at
+// least visible in the diff output.
+func compareKwcacheReports(old, new kwcacheBenchReport, tolerance float64) []metricDelta {
+	var out []metricDelta
+	for _, m := range []struct {
+		name     string
+		old, new float64
+		gated    bool
+	}{
+		{"warm_up_ms", old.WarmMS, new.WarmMS, true},
+		{"cold.first_result_ms", old.Cold.FirstResultMS, new.Cold.FirstResultMS, true},
+		{"cold.total_ms", old.Cold.TotalMS, new.Cold.TotalMS, true},
+		{"warm.first_result_ms", old.Warm.FirstResultMS, new.Warm.FirstResultMS, true},
+		{"warm.total_ms", old.Warm.TotalMS, new.Warm.TotalMS, true},
+		{"init_speedup", old.InitSpeedup, new.InitSpeedup, false},
+		{"total_speedup", old.TotalSpeedup, new.TotalSpeedup, false},
+		{"store_kb", float64(old.StoreBytes) / 1024, float64(new.StoreBytes) / 1024, false},
+	} {
+		if m.old < minCompareMS {
+			continue
+		}
+		d := metricDelta{Name: m.name, Old: m.old, New: m.new, Ratio: m.new / m.old}
+		d.Regress = m.gated && m.new > m.old*(1+tolerance)
+		out = append(out, d)
+	}
+	return out
+}
+
 // compareDeltaReports diffs a new -delta report against an old one:
 // apply latencies and build times, higher is worse. The speedup ratio
 // is not gated (it is a quotient of two gated latencies), the dirty-set
@@ -289,6 +322,15 @@ func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, []st
 		notes := []string{fmt.Sprintf("note: outcome digests match (%s…): %d queries, %d results, %d cache hits — replay is behavior-identical",
 			old.OutcomeDigest[:16], new.Queries, new.ResultsTotal, new.CacheHits)}
 		return compareReplayReports(old, new, tolerance), notes, nil
+	case "kwcache":
+		var old, new kwcacheBenchReport
+		if err := json.Unmarshal(oldB, &old); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", oldPath, err)
+		}
+		if err := json.Unmarshal(newB, &new); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", newPath, err)
+		}
+		return compareKwcacheReports(old, new, tolerance), nil, nil
 	case "delta":
 		var old, new deltaBenchReport
 		if err := json.Unmarshal(oldB, &old); err != nil {
@@ -313,12 +355,14 @@ func loadDeltas(oldPath, newPath string, tolerance float64) ([]metricDelta, []st
 // reportKind sniffs a report's kind from its JSON shape: only
 // -parallel reports carry a top-level "degrees" array, only -delta
 // reports a "delta_batches" count, only -replay reports an
-// "outcome_digest"; everything else is a -serve report.
+// "outcome_digest", only -kwcache reports a "kwcache_keywords" array;
+// everything else is a -serve report.
 func reportKind(b []byte) string {
 	var probe struct {
-		Degrees       []json.RawMessage `json:"degrees"`
-		DeltaBatches  *int              `json:"delta_batches"`
-		OutcomeDigest *string           `json:"outcome_digest"`
+		Degrees         []json.RawMessage `json:"degrees"`
+		DeltaBatches    *int              `json:"delta_batches"`
+		OutcomeDigest   *string           `json:"outcome_digest"`
+		KwcacheKeywords []json.RawMessage `json:"kwcache_keywords"`
 	}
 	if json.Unmarshal(b, &probe) != nil {
 		return "serve"
@@ -330,6 +374,8 @@ func reportKind(b []byte) string {
 		return "delta"
 	case probe.OutcomeDigest != nil:
 		return "replay"
+	case probe.KwcacheKeywords != nil:
+		return "kwcache"
 	default:
 		return "serve"
 	}

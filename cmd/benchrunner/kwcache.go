@@ -1,0 +1,232 @@
+package main
+
+// The -kwcache mode measures tier 1 of the semantic cache: keyword
+// neighbor-set artifacts replacing the per-keyword full-graph bounded
+// Dijkstras that dominate un-indexed engine init. It runs the same
+// l-keyword top-k query against two searchers over one graph — cold
+// (no artifacts, every query pays the live Dijkstras) and warm (a
+// store prefilled with WarmKeywords, init served from artifacts) —
+// and reports both sides' first-result and total latency, the
+// one-time warm-up cost, and the store footprint, written as JSON
+// (default BENCH_kwcache.json) for -compare.
+//
+// The run is also a correctness gate: the warm side must produce the
+// byte-identical community sequence (cores, centers, costs, members)
+// as the cold side — artifacts are a cached prefix of the same
+// canonical settle order, not an approximation — and every warm query
+// must actually hit the store. Either failing aborts the bench.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"commdb"
+	"commdb/internal/bench"
+)
+
+// kwcacheBenchReport is the BENCH_kwcache.json schema. The
+// kwcache_keywords key doubles as the -compare kind sniff.
+type kwcacheBenchReport struct {
+	Dataset  string   `json:"dataset"`
+	Authors  int      `json:"authors"`
+	Nodes    int      `json:"nodes"`
+	Edges    int      `json:"edges"`
+	Keywords []string `json:"kwcache_keywords"`
+	Rmax     float64  `json:"rmax"`
+	K        int      `json:"k"`
+	// Queries is how many repetitions each side's figures average over
+	// (after one discarded warm-up).
+	Queries int `json:"queries"`
+	// WarmMS is the one-time cost of materializing the artifacts: one
+	// bounded reverse Dijkstra per keyword. It amortizes over every
+	// later query of those keywords.
+	WarmMS float64 `json:"warm_ms"`
+	// StoreBytes is the filled store's resident footprint.
+	StoreBytes int64 `json:"store_bytes"`
+	// ArtifactHits counts full-set probes the warm side served from the
+	// store across the whole run (warm-up and identity-check runs
+	// included) — it must be keywords × runs with zero misses, or the
+	// bench aborts.
+	ArtifactHits int64 `json:"artifact_hits"`
+	// Cold runs without a store; Warm with every keyword prefilled.
+	Cold kwcachePoint `json:"cold"`
+	Warm kwcachePoint `json:"warm"`
+	// InitSpeedup is cold/warm first-result latency; TotalSpeedup the
+	// same for whole-query wall. Informational in -compare (a quotient
+	// of two gated latencies).
+	InitSpeedup  float64 `json:"init_speedup"`
+	TotalSpeedup float64 `json:"total_speedup"`
+}
+
+// kwcachePoint is one side's averaged measurement. FirstResultMS is
+// the init-cost signal: by the first emission every keyword's
+// neighbor set exists, whether it was computed or loaded.
+type kwcachePoint struct {
+	FirstResultMS float64 `json:"first_result_ms"`
+	EnumerateMS   float64 `json:"enumerate_ms"`
+	TotalMS       float64 `json:"total_ms"`
+}
+
+// runKwcache is the -kwcache entry point.
+func runKwcache(authors int, seed int64, boost float64, queries, k int, out string) error {
+	fmt.Printf("building DBLP dataset (authors=%d, boost=%gx)...\n", authors, boost)
+	d, err := bench.BuildDBLPBoosted(authors, seed, boost)
+	if err != nil {
+		return err
+	}
+	p := d.Config.Defaults
+	keywords, err := d.Keywords(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d nodes, %d edges; query: %v rmax=%g k=%d\n",
+		d.G.NumNodes(), d.G.NumEdges(), keywords, p.Rmax, k)
+	q := commdb.Query{Keywords: keywords, Rmax: p.Rmax}
+
+	cold, err := commdb.Open(d.G)
+	if err != nil {
+		return err
+	}
+	warm, err := commdb.Open(d.G, commdb.WithKeywordArtifactStore(p.Rmax))
+	if err != nil {
+		return err
+	}
+	warmStart := time.Now()
+	warmed := warm.WarmKeywords(keywords)
+	warmMS := float64(time.Since(warmStart)) / float64(time.Millisecond)
+	ka := warm.KeywordArtifacts()
+	if warmed != len(keywords) {
+		return fmt.Errorf("warmed %d of %d keywords — the hot set must be fully materialized for the bench to measure anything", warmed, len(keywords))
+	}
+	fmt.Printf("  warmed %d keywords in %.3fms (%d KB)\n", warmed, warmMS, ka.Bytes/1024)
+
+	coldPoint, coldResults, err := kwcacheSide("cold", cold, q, k, queries)
+	if err != nil {
+		return err
+	}
+	warmPoint, warmResults, err := kwcacheSide("warm", warm, q, k, queries)
+	if err != nil {
+		return err
+	}
+
+	// Byte-identity: the warm side's answer must be indistinguishable
+	// from live execution, down to member and edge lists.
+	if coldResults != warmResults {
+		return fmt.Errorf("warm results diverged from cold execution:\ncold: %s\nwarm: %s", coldResults, warmResults)
+	}
+	// And the store must actually have served: each repetition runs the
+	// query twice (once timed, once rendered for the identity check), so
+	// (1 warm-up + queries) × 2 runs × len(keywords) full-set probes,
+	// zero misses.
+	ka = warm.KeywordArtifacts()
+	wantHits := int64(queries+1) * 2 * int64(len(keywords))
+	if ka.Hits != wantHits || ka.Misses != 0 {
+		return fmt.Errorf("artifact store served %d hits / %d misses, want %d / 0 — the warm side fell back to live Dijkstras", ka.Hits, ka.Misses, wantHits)
+	}
+
+	rep := kwcacheBenchReport{
+		Dataset:      "dblp",
+		Authors:      authors,
+		Nodes:        d.G.NumNodes(),
+		Edges:        d.G.NumEdges(),
+		Keywords:     keywords,
+		Rmax:         p.Rmax,
+		K:            k,
+		Queries:      queries,
+		WarmMS:       warmMS,
+		StoreBytes:   ka.Bytes,
+		ArtifactHits: ka.Hits,
+		Cold:         coldPoint,
+		Warm:         warmPoint,
+	}
+	if warmPoint.FirstResultMS > 0 {
+		rep.InitSpeedup = coldPoint.FirstResultMS / warmPoint.FirstResultMS
+	}
+	if warmPoint.TotalMS > 0 {
+		rep.TotalSpeedup = coldPoint.TotalMS / warmPoint.TotalMS
+	}
+	fmt.Printf("  init speedup %.2fx, total speedup %.2fx (results byte-identical, %d artifact hits)\n",
+		rep.InitSpeedup, rep.TotalSpeedup, ka.Hits)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}
+
+// kwcacheSide times one searcher over queries repetitions (plus one
+// discarded warm-up) and returns the averaged point plus the full
+// rendered result sequence of the last run for the identity check.
+// Every repetition must reproduce the same sequence — the engine is
+// deterministic, so intra-side divergence is a bug too.
+func kwcacheSide(name string, s *commdb.Searcher, q commdb.Query, k, queries int) (kwcachePoint, string, error) {
+	var pt kwcachePoint
+	var rendered string
+	for r := -1; r < queries; r++ {
+		m, _, err := runParallelQuery(s, q, k)
+		if err != nil {
+			return pt, "", err
+		}
+		got, err := renderResults(s, q, k)
+		if err != nil {
+			return pt, "", err
+		}
+		if rendered == "" {
+			rendered = got
+		} else if got != rendered {
+			return pt, "", fmt.Errorf("%s side diverged between repetitions", name)
+		}
+		if r < 0 {
+			continue
+		}
+		pt.FirstResultMS += m.firstMS
+		pt.EnumerateMS += m.enumMS
+		pt.TotalMS += m.totalMS
+	}
+	pt.FirstResultMS /= float64(queries)
+	pt.EnumerateMS /= float64(queries)
+	pt.TotalMS /= float64(queries)
+	fmt.Printf("  %s: first_result %8.3fms  enumerate %8.3fms  total %8.3fms\n",
+		name, pt.FirstResultMS, pt.EnumerateMS, pt.TotalMS)
+	return pt, rendered, nil
+}
+
+// renderResults runs the query once more and marshals every community
+// in full — cost, core, centers, members, edges — so the cold/warm
+// comparison is a byte comparison, not a cost-sequence one.
+func renderResults(s *commdb.Searcher, q commdb.Query, k int) (string, error) {
+	it, err := s.TopK(q)
+	if err != nil {
+		return "", err
+	}
+	var buf []byte
+	for n := 0; n < k; n++ {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		b, err := json.Marshal(struct {
+			Cost    float64           `json:"cost"`
+			Core    []commdb.NodeID   `json:"core"`
+			Centers []commdb.NodeID   `json:"centers"`
+			Nodes   []commdb.NodeID   `json:"nodes"`
+			Edges   []commdb.EdgePair `json:"edges"`
+		}{c.Cost, c.Core, c.Cnodes, c.Nodes, c.Edges})
+		if err != nil {
+			return "", err
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	if err := it.Close(); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

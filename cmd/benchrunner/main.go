@@ -24,6 +24,12 @@
 // graph, reporting per-degree engine-init and total latency plus
 // speedups against the sequential run, written to BENCH_parallel.json.
 //
+// With -kwcache it benchmarks the keyword neighbor-set artifact store
+// (tier 1 of the semantic cache): the same top-k query against a cold
+// searcher (engine init pays live per-keyword Dijkstras) and a warm
+// one (init served from prefilled artifacts), asserting both produce
+// byte-identical results, written to BENCH_kwcache.json.
+//
 // With -delta it benchmarks the incremental index maintainer
 // (internal/delta): small mutation batches applied as bounded deltas,
 // timed against a from-scratch rebuild of the final state, written to
@@ -79,6 +85,11 @@ func main() {
 		profileRun      = flag.Bool("profile", false, "-parallel: write a per-degree CPU profile (cpu_p<degree>.pprof) into -profile-dir")
 		profileDir      = flag.String("profile-dir", ".", "-parallel: directory for -profile captures")
 
+		kwcacheBench   = flag.Bool("kwcache", false, "benchmark keyword-artifact warm vs cold engine init instead of the algorithms")
+		kwcacheQueries = flag.Int("kwcache-queries", 5, "-kwcache: averaged repetitions per side (plus one warm-up)")
+		kwcacheK       = flag.Int("kwcache-k", 50, "-kwcache: communities materialized per query")
+		kwcacheOut     = flag.String("kwcache-out", "BENCH_kwcache.json", "-kwcache: JSON report path")
+
 		deltaBench    = flag.Bool("delta", false, "benchmark the incremental index maintainer instead of the algorithms")
 		deltaAuthors  = flag.Int("delta-authors", 2000, "-delta: DBLP scale (kept small: every batch is compared against a full rebuild)")
 		deltaRmax     = flag.Float64("delta-rmax", 6, "-delta: index radius")
@@ -131,6 +142,13 @@ func main() {
 	}
 	if *parallel {
 		if err := runParallel(*authors, *seed, *dblpBoost, *parallelDegrees, *parallelQueries, *parallelK, *profileRun, *profileDir, *parallelOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kwcacheBench {
+		if err := runKwcache(*authors, *seed, *dblpBoost, *kwcacheQueries, *kwcacheK, *kwcacheOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}

@@ -70,11 +70,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -101,7 +103,11 @@ func main() {
 		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		cacheEntries  = flag.Int("cache-entries", 256, "top-k result cache entries (-1 disables)")
 		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "top-k result cache approximate byte bound")
+		cacheMode     = flag.String("cache", "exact", "result cache implementation: exact, semantic (Rmax-monotone downfiltering), layered, or off")
 		maxK          = flag.Int("max-k", 1000, "largest per-request k")
+
+		kwcachePath     = flag.String("kwcache", "", "keyword neighbor-set artifact file: loaded at boot when present (falling back to an empty store if it does not match the graph), persisted after every warm-up round (empty disables)")
+		kwcacheWarmEach = flag.Duration("kwcache-warm-every", 30*time.Second, "how often the warmer folds /debug/workloadz hot keywords into the artifact store (0 disables warming)")
 
 		maxTimeout = flag.Duration("max-timeout", 30*time.Second, "per-query wall-clock ceiling (0 = unlimited)")
 		maxVisited = flag.Int64("max-visited", 0, "per-query shortest-path work ceiling (0 = unlimited)")
@@ -143,6 +149,7 @@ func main() {
 		RetryAfter:    *retryAfter,
 		CacheEntries:  *cacheEntries,
 		CacheBytes:    *cacheBytes,
+		CacheMode:     *cacheMode,
 		MaxK:          *maxK,
 		MaxLimits: commdb.Limits{
 			Timeout:        *maxTimeout,
@@ -175,12 +182,16 @@ func main() {
 			Keep:        *profileKeep,
 		})
 	}
+	if _, err := server.NewCache(*cacheMode, 0, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "commserve:", err)
+		os.Exit(1)
+	}
 	if err := run(runOptions{
 		addr: *addr, graphPath: *graphPath, indexPath: *indexPath, example: *example,
 		dbPath: *dbPath, mutationLog: *mutationLog, deltaDebounce: *deltaDebounce,
 		useIndex: *useIndex, rmaxMax: *rmaxMax, parallelism: *parallelism,
 		cfg: cfg, grace: *shutdownGrace, watchEvery: *reloadWatch,
-		journal: journal,
+		journal: journal, kwcachePath: *kwcachePath, kwcacheWarmEach: *kwcacheWarmEach,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "commserve:", err)
 		os.Exit(1)
@@ -198,6 +209,8 @@ type runOptions struct {
 	cfg                                 server.Config
 	grace, watchEvery                   time.Duration
 	journal                             *workload.Journal
+	kwcachePath                         string
+	kwcacheWarmEach                     time.Duration
 }
 
 func run(o runOptions) error {
@@ -227,11 +240,14 @@ func run(o runOptions) error {
 	case o.mutationLog != "":
 		return fmt.Errorf("-mutation-log requires -db")
 	default:
-		s, err = buildSearcher(o.graphPath, o.indexPath, o.example, o.useIndex, o.rmaxMax, o.parallelism)
+		s, err = buildSearcher(o.graphPath, o.indexPath, o.example, o.useIndex, o.rmaxMax, o.parallelism, o.kwcachePath)
 		if err != nil {
 			return err
 		}
 		loader = buildLoader(o.graphPath, o.indexPath, o.useIndex, o.rmaxMax, o.parallelism)
+	}
+	if o.kwcachePath != "" && o.dbPath != "" {
+		log.Printf("kwcache: ignored in delta mode (epochs are rebuilt from the mutation log)")
 	}
 	log.Printf("graph: %d nodes, %d edges (indexed=%v)", s.Graph().NumNodes(), s.Graph().NumEdges(), s.Indexed())
 
@@ -265,6 +281,42 @@ func run(o runOptions) error {
 		}
 		log.Printf("watching %s (every %v)", watchPath, o.watchEvery)
 		go snaps.Watch(watchCtx, watchPath, o.watchEvery)
+	}
+	if ka := s.KeywordArtifacts(); ka.Enabled && o.kwcacheWarmEach > 0 {
+		// The warmer closes the loop the flight recorder opened: the
+		// hot-keyword attribution ranks which keywords pay engine-init,
+		// WarmKeywords turns each one's full-set Dijkstra into a stored
+		// artifact, and the store is persisted so the next boot starts
+		// warm. Warming targets the boot searcher; epochs created by hot
+		// reload serve without artifacts (live execution) until restart.
+		go func() {
+			t := time.NewTicker(o.kwcacheWarmEach)
+			defer t.Stop()
+			for {
+				select {
+				case <-watchCtx.Done():
+					return
+				case <-t.C:
+				}
+				snap := app.Stats()
+				if snap.Workload == nil {
+					continue
+				}
+				terms := make([]string, 0, len(snap.Workload.HotKeywords))
+				for _, ks := range snap.Workload.HotKeywords {
+					terms = append(terms, ks.Term)
+				}
+				if n := s.WarmKeywords(terms); n > 0 {
+					ka := s.KeywordArtifacts()
+					log.Printf("kwcache: warmed %d keywords (%d stored, %d KB)", n, ka.Terms, ka.Bytes/1024)
+					if o.kwcachePath != "" {
+						if err := writeAtomic(o.kwcachePath, s.WriteKeywordArtifacts); err != nil {
+							log.Printf("kwcache: persist failed: %v", err)
+						}
+					}
+				}
+			}
+		}()
 	}
 	if pipe != nil && o.mutationLog != "" {
 		log.Printf("tailing %s (debounce %v)", o.mutationLog, o.deltaDebounce)
@@ -322,6 +374,15 @@ loop:
 	if err := o.journal.Close(); err != nil {
 		log.Printf("workload journal close: %v", err)
 	}
+	// Persist whatever the warmer accumulated, so the next boot starts
+	// with the artifacts this run paid for.
+	if ka := s.KeywordArtifacts(); o.kwcachePath != "" && ka.Enabled && ka.Terms > 0 {
+		if err := writeAtomic(o.kwcachePath, s.WriteKeywordArtifacts); err != nil {
+			log.Printf("kwcache: final persist failed: %v", err)
+		} else {
+			log.Printf("kwcache: %d keyword artifacts persisted to %s", ka.Terms, o.kwcachePath)
+		}
+	}
 	log.Printf("drained cleanly")
 	return nil
 }
@@ -330,7 +391,7 @@ loop:
 // index, freshly built index, or per-query scans. The searcher's
 // workspace pool is shared by concurrent requests and by each query's
 // parallel workers.
-func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax float64, parallelism int) (*commdb.Searcher, error) {
+func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax float64, parallelism int, kwcachePath string) (*commdb.Searcher, error) {
 	g, err := loadGraph(graphPath, example)
 	if err != nil {
 		return nil, err
@@ -347,7 +408,28 @@ func buildSearcher(graphPath, indexPath, example string, useIndex bool, rmaxMax 
 	case useIndex:
 		opts = append(opts, commdb.WithIndex(rmaxMax))
 	}
-	return commdb.Open(g, opts...)
+	if kwcachePath == "" {
+		return commdb.Open(g, opts...)
+	}
+	// Keyword artifacts fail open: a file that is corrupt or belongs to
+	// a different graph generation is logged and replaced by an empty
+	// store (queries fall back to live Dijkstra), never served.
+	if f, err := os.Open(kwcachePath); err == nil {
+		s, lerr := commdb.Open(g, append(append([]commdb.Option{}, opts...), commdb.WithKeywordArtifacts(f))...)
+		f.Close()
+		if lerr == nil {
+			ka := s.KeywordArtifacts()
+			log.Printf("kwcache: %d keyword artifacts loaded from %s (radius %g)", ka.Terms, kwcachePath, ka.Radius)
+			return s, nil
+		}
+		if !errors.Is(lerr, commdb.ErrCorruptKeywordArtifacts) && !errors.Is(lerr, commdb.ErrKeywordArtifactsMismatch) {
+			return nil, lerr
+		}
+		log.Printf("kwcache: %s rejected, starting an empty store: %v", kwcachePath, lerr)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return commdb.Open(g, append(opts, commdb.WithKeywordArtifactStore(rmaxMax))...)
 }
 
 // buildLoader returns the snapshot loader matching the serving flags,
@@ -367,6 +449,40 @@ func buildLoader(graphPath, indexPath string, useIndex bool, rmaxMax float64, pa
 		r = rmaxMax
 	}
 	return snapshot.GraphFileLoader(graphPath, r, opts...)
+}
+
+// writeAtomic publishes an artifact with the temp-file + fsync +
+// rename discipline (same as indexbuild): a concurrent reader at out
+// sees either the previous complete file or the new one, never a torn
+// write.
+func writeAtomic(out string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(out), filepath.Base(out)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), out); err != nil {
+		return err
+	}
+	tmp = nil
+	return nil
 }
 
 func loadGraph(graphPath, example string) (*commdb.Graph, error) {

@@ -105,11 +105,31 @@ type Engine struct {
 
 	// costFn aggregates per-keyword distances into a cost.
 	costFn CostFunction
+	// ranker, when non-nil, replaces costFn as the cost aggregate.
+	ranker Ranker
+	// rankBuf is bestCore's per-candidate distance scratch under a
+	// custom ranker (bestCore is engine-sequential, so one buffer).
+	rankBuf []float64
+
+	// nsrc, when non-nil, supplies precomputed full keyword-set runs
+	// (the kwcache artifact store); full-set sites consult it before
+	// running a live Dijkstra. Charged identically to a live run, so
+	// budgets and counters are unaffected by where the set came from.
+	nsrc NeighborSource
 }
 
 // SetCostFunction switches the cost aggregate. It must be called before
 // the first enumeration step.
 func (e *Engine) SetCostFunction(f CostFunction) { e.costFn = f }
+
+// SetRanker installs a custom cost aggregate that overrides the
+// CostFunction enum. The ranker must be monotone in every component
+// (the enumeration orders of Algorithms 1 and 5 rely on it) and its
+// Cost method must be safe for concurrent calls: materialization
+// pipeline workers rank communities in parallel. It must be called
+// before the first enumeration step; nil (the default) restores the
+// enum-selected aggregate.
+func (e *Engine) SetRanker(r Ranker) { e.ranker = r }
 
 // SetBudget installs a governance budget on the engine and its
 // shortest-path workspace. It must be called before the first
@@ -134,8 +154,11 @@ func (e *Engine) SetTrace(t *obs.Trace) {
 func (e *Engine) Trace() *obs.Trace { return e.tr }
 
 // CostOf aggregates one center's per-keyword distances under the
-// engine's cost function.
+// engine's cost function (or custom ranker).
 func (e *Engine) CostOf(dists []float64) float64 {
+	if e.ranker != nil {
+		return e.ranker.Cost(dists)
+	}
 	switch e.costFn {
 	case CostMaxDistance:
 		best := 0.0
@@ -159,6 +182,18 @@ func (e *Engine) CostOf(dists []float64) float64 {
 // pseudocode is written. Exists for the ablation benchmark.
 func (e *Engine) DisableSlotCache() { e.noSlotCache = true }
 
+// NeighborSource supplies precomputed full keyword-set neighbor runs:
+// the query-independent Neighbor(V_term) results a kwcache artifact
+// store persists. FullSet loads term's neighbor set truncated to rmax
+// into res and reports whether it could; on false the caller runs the
+// live Dijkstra. Implementations must be safe for concurrent use (the
+// parallel init fan-out probes from several workers) and must serve
+// sets byte-identical to a live run at rmax — settle order, distances,
+// sources and via hops — or enumeration determinism breaks.
+type NeighborSource interface {
+	FullSet(term string, rmax float64, res *sssp.Result) bool
+}
+
 // EngineConfig tunes an engine's execution strategy. The zero value is
 // the strictly sequential engine with private workspaces.
 type EngineConfig struct {
@@ -169,6 +204,9 @@ type EngineConfig struct {
 	// and the materialization pipeline may use. Values <= 1 keep every
 	// code path strictly sequential.
 	Parallelism int
+	// Neighbors, when non-nil, serves precomputed full keyword-set runs
+	// in place of live engine-init Dijkstras.
+	Neighbors NeighborSource
 }
 
 // NewEngine prepares a query against g. Keywords are matched after
@@ -212,6 +250,7 @@ func NewEngineCfg(g *graph.Graph, ix *fulltext.Index, keywords []string, rmax fl
 		full:         make([]*sssp.Result, l),
 		sum:          make([]float64, n),
 		cnt:          make([]int16, n),
+		nsrc:         cfg.Neighbors,
 	}
 	for i, kw := range keywords {
 		nodes, err := KeywordNodes(g, ix, kw)
@@ -354,21 +393,8 @@ func (e *Engine) PrecomputeNeighborSets() {
 					return
 				}
 				i := idx[t]
-				res := sssp.NewResult(e.g.NumNodes())
-				var t0 time.Time
-				if e.tr.Enabled() {
-					t0 = time.Now()
-				}
-				e.budget.ChargeNeighborRun() // a tripped budget empties the run
-				ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
-				e.neighborRuns.Add(1)
-				e.tr.Add("neighbor_runs", 1)
-				if e.tr.Enabled() {
-					// The full-set run is query-independent: charge its spend
-					// to the keyword so workload attribution can rank terms.
-					e.tr.AddKeywordInit(e.keywordTerms[i], ws.LastRun(), time.Since(t0))
-				}
-				e.full[i] = res // distinct i per task: no two workers share a slot
+				// Distinct i per task: no two workers share a slot.
+				e.full[i] = e.fullSetResult(i, ws)
 			}
 		}()
 	}
@@ -465,6 +491,41 @@ func (e *Engine) setSlotSingle(i int, v graph.NodeID) {
 	e.install(i, res, slotDesc{kind: slotSingle, node: v})
 }
 
+// fullSetResult computes (or loads from the neighbor source) one full
+// keyword-set run Neighbor(V_i) using the given workspace. The
+// artifact path is charged exactly like a live run — one neighbor-run
+// budget charge, one neighbor_runs trace count — so governance and
+// machine-independent cost measures are unaffected by where the set
+// came from; it skips the per-keyword init attribution (no Dijkstra
+// ran) and counts a kwcache_hits trace marker instead. A tripped
+// budget yields an empty result on both paths.
+func (e *Engine) fullSetResult(i int, ws *sssp.Workspace) *sssp.Result {
+	res := sssp.NewResult(e.g.NumNodes())
+	if e.nsrc != nil && e.nsrc.FullSet(e.keywordTerms[i], e.rmax, res) {
+		if e.budget.ChargeNeighborRun() != nil {
+			res.Reset() // tripped budget: a live run would settle nothing
+		}
+		e.neighborRuns.Add(1)
+		e.tr.Add("neighbor_runs", 1)
+		e.tr.Add("kwcache_hits", 1)
+		return res
+	}
+	var t0 time.Time
+	if e.tr.Enabled() {
+		t0 = time.Now()
+	}
+	e.budget.ChargeNeighborRun() // a tripped budget empties the run
+	ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
+	e.neighborRuns.Add(1)
+	e.tr.Add("neighbor_runs", 1)
+	if e.tr.Enabled() {
+		// The full-set run is query-independent: charge its spend to the
+		// keyword so workload attribution can rank terms.
+		e.tr.AddKeywordInit(e.keywordTerms[i], ws.LastRun(), time.Since(t0))
+	}
+	return res
+}
+
 // setSlotFull installs Neighbor(V_i). The run is computed once per
 // query and cached: the enumerators restore full sets constantly
 // (Algorithm 1 line 20, Algorithm 5 line 31) and V_i never changes.
@@ -477,21 +538,7 @@ func (e *Engine) setSlotFull(i int) {
 		return
 	}
 	if e.full[i] == nil {
-		res := sssp.NewResult(e.g.NumNodes())
-		var t0 time.Time
-		if e.tr.Enabled() {
-			t0 = time.Now()
-		}
-		e.budget.ChargeNeighborRun()
-		e.ws.RunFromNodes(sssp.Reverse, e.keywordNodes[i], e.rmax, res)
-		e.neighborRuns.Add(1)
-		e.tr.Add("neighbor_runs", 1)
-		if e.tr.Enabled() {
-			// Same charge as the parallel fan-out: Neighbor(V_i) is the
-			// keyword-separable share of engine init.
-			e.tr.AddKeywordInit(e.keywordTerms[i], e.ws.LastRun(), time.Since(t0))
-		}
-		e.full[i] = res
+		e.full[i] = e.fullSetResult(i, e.ws)
 	}
 	e.install(i, e.full[i], slotDesc{kind: slotFull})
 }
@@ -546,7 +593,7 @@ func (e *Engine) bestCore() (Core, float64, bool) {
 				continue
 			}
 			var cost float64
-			if e.costFn == CostSumDistances {
+			if e.costFn == CostSumDistances && e.ranker == nil {
 				cost = e.sum[u]
 			} else {
 				cost = e.candidateCost(graph.NodeID(u))
@@ -570,8 +617,18 @@ func (e *Engine) bestCore() (Core, float64, bool) {
 }
 
 // candidateCost aggregates a candidate center's slot distances under a
-// non-sum cost function.
+// non-sum cost function or a custom ranker.
 func (e *Engine) candidateCost(u graph.NodeID) float64 {
+	if e.ranker != nil {
+		// bestCore is engine-sequential, so one scratch buffer suffices.
+		if e.rankBuf == nil {
+			e.rankBuf = make([]float64, e.l)
+		}
+		for i := 0; i < e.l; i++ {
+			e.rankBuf[i], _ = e.nbr[i].Dist(u)
+		}
+		return e.ranker.Cost(e.rankBuf)
+	}
 	switch e.costFn {
 	case CostMaxDistance:
 		best := 0.0

@@ -7,6 +7,16 @@ type DijkstraItem struct {
 	Node int32
 }
 
+// less is the heap order: by distance, then by node id. The node-id
+// tie-break makes the pop sequence canonical — independent of insertion
+// order — so a bounded Dijkstra truncated to a smaller radius settles
+// nodes in exactly the order a fresh run at that radius would. The
+// keyword-artifact cache (internal/kwcache) relies on this to serve
+// persisted neighbor sets byte-identically to live execution.
+func less(a, b DijkstraItem) bool {
+	return a.Dist < b.Dist || (a.Dist == b.Dist && a.Node < b.Node)
+}
+
 // Binary is a plain array-backed binary min-heap of DijkstraItem.
 // It supports lazy deletion: stale entries are pushed rather than
 // decrease-keyed and filtered by the caller on pop, which is the fastest
@@ -30,8 +40,8 @@ func (h *Binary) Push(dist float64, node int32) {
 	h.up(len(h.a) - 1)
 }
 
-// Pop removes and returns the entry with the smallest distance. It must
-// not be called on an empty heap; callers gate on Len.
+// Pop removes and returns the smallest entry under the (Dist, Node)
+// order. It must not be called on an empty heap; callers gate on Len.
 func (h *Binary) Pop() DijkstraItem {
 	top := h.a[0]
 	last := len(h.a) - 1
@@ -47,7 +57,7 @@ func (h *Binary) up(i int) {
 	it := h.a[i]
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.a[p].Dist <= it.Dist {
+		if !less(it, h.a[p]) {
 			break
 		}
 		h.a[i] = h.a[p]
@@ -65,10 +75,10 @@ func (h *Binary) down(i int) {
 			break
 		}
 		small := l
-		if r := l + 1; r < n && h.a[r].Dist < h.a[l].Dist {
+		if r := l + 1; r < n && less(h.a[r], h.a[l]) {
 			small = r
 		}
-		if h.a[small].Dist >= it.Dist {
+		if !less(h.a[small], it) {
 			break
 		}
 		h.a[i] = h.a[small]

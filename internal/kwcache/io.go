@@ -1,0 +1,488 @@
+package kwcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"commdb/internal/fulltext"
+	"commdb/internal/graph"
+)
+
+// Binary serialization of the artifact store, so hot-keyword neighbor
+// sets survive restarts and can be prebuilt offline (cmd/indexbuild
+// -kwcache-out). The format mirrors the v2 index format's fail-closed
+// discipline: a loader either reconstructs exactly the store that was
+// written — validated structurally against the live graph — or returns
+// an error wrapping ErrCorruptStore / ErrStoreMismatch, never a
+// short-but-plausible store. Layout:
+//
+//	magic "CDBK"
+//	header section:  version | radius bits | epoch | node count
+//	                 | edge count | term count | CRC32-C of the section
+//	terms section:   per term (sorted by term string): term | seed ids
+//	                 (delta-coded, strictly increasing) | settle
+//	                 sequence as (node, dist, src, via) tuples in settle
+//	                 order | CRC32-C of the section
+//	footer magic "KBDC", then EOF (trailing bytes are corruption)
+//
+// On load every entry passes a sanity gate against the live graph and
+// fulltext: seed sets must equal the live keyword postings, every
+// settled node's via hop must be a real edge whose weight reproduces
+// the stored distance exactly, sources must propagate along via hops,
+// and distances must be non-decreasing within the radius. An artifact
+// built over a different data generation therefore fails closed even
+// when its checksums are intact; the recorded epoch is operator-facing
+// versioning, not the correctness gate.
+const (
+	storeMagic   = "CDBK"
+	storeFooter  = "KBDC"
+	storeVersion = 1
+)
+
+// ErrCorruptStore marks a serialized artifact store that failed
+// validation: truncated or flipped bytes, checksum mismatches,
+// out-of-bounds nodes, broken settle-order invariants, trailing
+// garbage. Match with errors.Is. Corruption is permanent — retrying
+// the load cannot help; rebuild the artifacts.
+var ErrCorruptStore = errors.New("kwcache: corrupt artifact store")
+
+// ErrStoreMismatch marks a structurally valid store built over a
+// different graph generation than the one it is being attached to.
+var ErrStoreMismatch = errors.New("kwcache: artifacts do not match graph")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptStore, fmt.Sprintf(format, args...))
+}
+
+// readErr classifies an I/O failure mid-load: any flavour of EOF means
+// truncation (→ corrupt); other errors pass through as transient.
+func readErr(err error, what string) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return corruptf("truncated while reading %s: %v", what, err)
+	}
+	return fmt.Errorf("kwcache: reading %s: %w", what, err)
+}
+
+// cwriter accumulates a per-section CRC32-C over everything written.
+type cwriter struct {
+	bw  *bufio.Writer
+	crc uint32
+}
+
+func (w *cwriter) write(p []byte) {
+	w.bw.Write(p)
+	w.crc = crc32.Update(w.crc, castagnoli, p)
+}
+
+func (w *cwriter) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.write(buf[:n])
+}
+
+func (w *cwriter) varint(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.write(buf[:n])
+}
+
+func (w *cwriter) float(f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.write(buf[:])
+}
+
+func (w *cwriter) endSection() {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], w.crc)
+	w.bw.Write(buf[:])
+	w.crc = 0
+}
+
+// creader mirrors cwriter, comparing the accumulated CRC against the
+// stored value at each section boundary.
+type creader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func (c *creader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		one := [1]byte{b}
+		c.crc = crc32.Update(c.crc, castagnoli, one[:])
+	}
+	return b, err
+}
+
+func (c *creader) full(p []byte) error {
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return err
+	}
+	c.crc = crc32.Update(c.crc, castagnoli, p)
+	return nil
+}
+
+func (c *creader) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(c)
+	if err != nil {
+		return 0, readErr(err, what)
+	}
+	return v, nil
+}
+
+func (c *creader) varint(what string) (int64, error) {
+	v, err := binary.ReadVarint(c)
+	if err != nil {
+		return 0, readErr(err, what)
+	}
+	return v, nil
+}
+
+func (c *creader) float(what string) (float64, error) {
+	var buf [8]byte
+	if err := c.full(buf[:]); err != nil {
+		return 0, readErr(err, what)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func (c *creader) endSection(name string) error {
+	var buf [4]byte
+	if _, err := io.ReadFull(c.br, buf[:]); err != nil {
+		return readErr(err, name+" checksum")
+	}
+	stored := binary.LittleEndian.Uint32(buf[:])
+	if stored != c.crc {
+		return corruptf("%s section checksum mismatch (stored %08x, computed %08x)", name, stored, c.crc)
+	}
+	c.crc = 0
+	return nil
+}
+
+// Write serializes the store to w. Terms are written in sorted order,
+// which the loader enforces, so two stores with the same contents are
+// byte-identical on disk.
+func (s *Store) Write(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return err
+	}
+	cw := &cwriter{bw: bw}
+	cw.uvarint(storeVersion)
+	cw.float(s.radius)
+	cw.varint(s.epoch)
+	cw.uvarint(uint64(s.g.NumNodes()))
+	cw.uvarint(uint64(s.g.NumEdges()))
+	cw.uvarint(uint64(len(s.terms)))
+	cw.endSection()
+
+	terms := make([]string, 0, len(s.terms))
+	for t := range s.terms {
+		terms = append(terms, t)
+	}
+	sortStrings(terms)
+	for _, t := range terms {
+		e := s.terms[t]
+		cw.uvarint(uint64(len(t)))
+		cw.write([]byte(t))
+		cw.uvarint(uint64(len(e.seeds)))
+		prev := int64(-1)
+		for _, v := range e.seeds {
+			cw.uvarint(uint64(int64(v) - prev)) // strictly increasing: delta ≥ 1
+			prev = int64(v)
+		}
+		cw.uvarint(uint64(len(e.visited)))
+		for i, v := range e.visited {
+			cw.uvarint(uint64(v))
+			cw.float(e.dist[i])
+			cw.uvarint(uint64(e.src[i]))
+			cw.uvarint(uint64(e.via[i]))
+		}
+	}
+	cw.endSection()
+	if _, err := bw.WriteString(storeFooter); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadInto deserializes a store written by Write, attaching it to the
+// live fulltext index (and through it, the graph). Loading is
+// fail-closed: any truncation, checksum mismatch, bounds violation,
+// settle-order violation, seed set differing from the live keyword
+// postings, via hop that is not a live edge reproducing the stored
+// distance, or trailing garbage returns an error wrapping
+// ErrCorruptStore (or ErrStoreMismatch for wrong-generation artifacts)
+// and no store. It never panics on hostile input.
+func ReadInto(r io.Reader, ft *fulltext.Index) (*Store, error) {
+	g := ft.Graph()
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, readErr(err, "magic")
+	}
+	if string(magic) != storeMagic {
+		return nil, corruptf("bad magic %q", magic)
+	}
+	cr := &creader{br: br}
+	ver, err := cr.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != storeVersion {
+		return nil, corruptf("unsupported version %d (want %d; rebuild the artifacts)", ver, storeVersion)
+	}
+	radius, err := cr.float("radius")
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(radius) || math.IsInf(radius, 0) || radius < 0 {
+		return nil, corruptf("non-finite or negative radius %v", radius)
+	}
+	epoch, err := cr.varint("epoch")
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := cr.uvarint("node count")
+	if err != nil {
+		return nil, err
+	}
+	if int(nodes) != g.NumNodes() {
+		return nil, fmt.Errorf("%w: built over %d nodes, graph has %d",
+			ErrStoreMismatch, nodes, g.NumNodes())
+	}
+	edges, err := cr.uvarint("edge count")
+	if err != nil {
+		return nil, err
+	}
+	if int(edges) != g.NumEdges() {
+		return nil, fmt.Errorf("%w: built over %d edges, graph has %d",
+			ErrStoreMismatch, edges, g.NumEdges())
+	}
+	termCount, err := cr.uvarint("term count")
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.endSection("header"); err != nil {
+		return nil, err
+	}
+
+	s, err := New(ft, radius, epoch)
+	if err != nil {
+		return nil, err
+	}
+	n := int64(g.NumNodes())
+	nw := g.NodeWeights()
+	// Per-term settle bookkeeping, stamp-reused across terms: settled[v]
+	// == stamp marks v settled in the current term, with its running
+	// dist/src for the via-chain checks.
+	settled := make([]int32, n)
+	distOf := make([]float64, n)
+	srcOf := make([]graph.NodeID, n)
+	prevTerm := ""
+	for t := uint64(0); t < termCount; t++ {
+		stamp := int32(t) + 1
+		tl, err := cr.uvarint("term length")
+		if err != nil {
+			return nil, err
+		}
+		if tl > 1<<16 {
+			return nil, corruptf("term %d length %d is implausible", t, tl)
+		}
+		tb := make([]byte, tl)
+		if err := cr.full(tb); err != nil {
+			return nil, readErr(err, "term")
+		}
+		term := string(tb)
+		if toks := fulltext.Tokenize(term); len(toks) != 1 || toks[0] != term {
+			return nil, corruptf("term %d %q is not a normalized single term", t, term)
+		}
+		if t > 0 && term <= prevTerm {
+			return nil, corruptf("term %q breaks sorted order after %q", term, prevTerm)
+		}
+		prevTerm = term
+
+		seedCount, err := cr.uvarint("seed count")
+		if err != nil {
+			return nil, err
+		}
+		if int64(seedCount) > n {
+			return nil, corruptf("term %q claims %d seeds in a graph of %d nodes", term, seedCount, n)
+		}
+		seeds := make([]graph.NodeID, 0, seedCount)
+		prev := int64(-1)
+		for i := uint64(0); i < seedCount; i++ {
+			d, err := cr.uvarint("seed delta")
+			if err != nil {
+				return nil, err
+			}
+			v := prev + int64(d)
+			if d == 0 || v >= n {
+				return nil, corruptf("term %q seed %d (%d) out of bounds or order", term, i, v)
+			}
+			prev = v
+			seeds = append(seeds, graph.NodeID(v))
+		}
+		// The live-postings gate: the artifact's seed set must be exactly
+		// the keyword's current node set, or the artifact belongs to
+		// another generation of the data.
+		live := append([]graph.NodeID(nil), ft.Nodes(term)...)
+		sortNodes(live)
+		if !equalNodes(seeds, live) {
+			return nil, fmt.Errorf("%w: term %q has %d stored seeds vs %d live keyword nodes (or differing ids)",
+				ErrStoreMismatch, term, len(seeds), len(live))
+		}
+
+		visCount, err := cr.uvarint("settle count")
+		if err != nil {
+			return nil, err
+		}
+		if int64(visCount) > n {
+			return nil, corruptf("term %q settles %d nodes in a graph of %d", term, visCount, n)
+		}
+		e := &entry{
+			seeds:   seeds,
+			visited: make([]graph.NodeID, 0, visCount),
+			dist:    make([]float64, 0, visCount),
+			src:     make([]graph.NodeID, 0, visCount),
+			via:     make([]graph.NodeID, 0, visCount),
+		}
+		prevDist := 0.0
+		for i := uint64(0); i < visCount; i++ {
+			v64, err := cr.uvarint("settled node")
+			if err != nil {
+				return nil, err
+			}
+			d, err := cr.float("settled distance")
+			if err != nil {
+				return nil, err
+			}
+			src64, err := cr.uvarint("settled source")
+			if err != nil {
+				return nil, err
+			}
+			via64, err := cr.uvarint("settled via")
+			if err != nil {
+				return nil, err
+			}
+			v, src, via := int64(v64), int64(src64), int64(via64)
+			if v >= n || src >= n || via >= n {
+				return nil, corruptf("term %q settle %d (%d,%d,%d) outside graph of %d nodes", term, i, v, src, via, n)
+			}
+			if settled[v] == stamp {
+				return nil, corruptf("term %q settles node %d twice", term, v)
+			}
+			if math.IsNaN(d) || d < prevDist || d > radius {
+				return nil, corruptf("term %q settle %d distance %v breaks order (prev %v, radius %v)",
+					term, i, d, prevDist, radius)
+			}
+			prevDist = d
+			if via == v {
+				// A self-via is a seed settled at its seed distance (zero).
+				if d != 0 || src != v || !containsNode(seeds, graph.NodeID(v)) {
+					return nil, corruptf("term %q settle %d: node %d self-via but not a zero-distance seed", term, i, v)
+				}
+			} else {
+				// The via chain gate: via must already be settled, the
+				// original edge v→via must exist, and its weight (plus the
+				// via node's weight, per the reverse-run convention) must
+				// reproduce the stored distance exactly — a wrong-generation
+				// graph fails here even with intact checksums.
+				if settled[via] != stamp {
+					return nil, corruptf("term %q settle %d: via %d not settled before %d", term, i, via, v)
+				}
+				w, ok := g.EdgeWeight(graph.NodeID(v), graph.NodeID(via))
+				if !ok {
+					return nil, fmt.Errorf("%w: term %q settle (%d→%d) is not an edge of the live graph",
+						ErrStoreMismatch, term, v, via)
+				}
+				want := distOf[via] + w
+				if nw != nil {
+					want += nw[via]
+				}
+				if d != want {
+					return nil, fmt.Errorf("%w: term %q node %d distance %v does not reproduce via %d (+%v = %v)",
+						ErrStoreMismatch, term, v, d, via, w, want)
+				}
+				if graph.NodeID(src) != srcOf[via] {
+					return nil, corruptf("term %q node %d source %d disagrees with via %d's source %d",
+						term, v, src, via, srcOf[via])
+				}
+			}
+			settled[v] = stamp
+			distOf[v] = d
+			srcOf[v] = graph.NodeID(src)
+			e.visited = append(e.visited, graph.NodeID(v))
+			e.dist = append(e.dist, d)
+			e.src = append(e.src, graph.NodeID(src))
+			e.via = append(e.via, graph.NodeID(via))
+		}
+		// Completeness: a live run settles every seed (distance zero is
+		// always within a non-negative radius).
+		for _, sd := range seeds {
+			if settled[sd] != stamp {
+				return nil, corruptf("term %q seed %d missing from its settle sequence", term, sd)
+			}
+		}
+		s.terms[term] = e
+	}
+	if err := cr.endSection("terms"); err != nil {
+		return nil, err
+	}
+	footer := make([]byte, 4)
+	if _, err := io.ReadFull(br, footer); err != nil {
+		return nil, readErr(err, "footer")
+	}
+	if string(footer) != storeFooter {
+		return nil, corruptf("bad footer %q", footer)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, readErr(err, "end of file")
+		}
+		return nil, corruptf("trailing garbage after footer")
+	}
+	return s, nil
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func sortNodes(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func equalNodes(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsNode(sorted []graph.NodeID, v graph.NodeID) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
+}

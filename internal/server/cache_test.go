@@ -22,7 +22,7 @@ func TestLRUEntryBound(t *testing.T) {
 	c := newLRUCache(2, 0)
 	put := func(key string) {
 		recs := recordsOfSize(1)
-		c.Put(key, &cacheValue{records: recs, complete: true, bytes: sizeOf(recs)})
+		c.Put(key, &CachedAnswer{Records: recs, Complete: true, Bytes: sizeOf(recs)})
 	}
 	put("a")
 	put("b")
@@ -50,7 +50,7 @@ func TestLRUByteBound(t *testing.T) {
 	c := newLRUCache(100, 3*unit)
 	for i := 0; i < 4; i++ {
 		recs := recordsOfSize(1)
-		c.Put(fmt.Sprint(i), &cacheValue{records: recs, bytes: sizeOf(recs)})
+		c.Put(fmt.Sprint(i), &CachedAnswer{Records: recs, Bytes: sizeOf(recs)})
 	}
 	if c.Len() != 3 {
 		t.Fatalf("len = %d, want 3 under the byte bound", c.Len())
@@ -63,7 +63,7 @@ func TestLRUByteBound(t *testing.T) {
 	}
 
 	huge := recordsOfSize(1000)
-	c.Put("huge", &cacheValue{records: huge, bytes: sizeOf(huge)})
+	c.Put("huge", &CachedAnswer{Records: huge, Bytes: sizeOf(huge)})
 	if _, ok := c.Get("huge"); ok {
 		t.Fatal("an answer larger than the byte bound was cached")
 	}
@@ -73,7 +73,7 @@ func TestLRUByteBound(t *testing.T) {
 func TestLRUDisabled(t *testing.T) {
 	c := newLRUCache(-1, 0)
 	recs := recordsOfSize(1)
-	c.Put("a", &cacheValue{records: recs, bytes: sizeOf(recs)})
+	c.Put("a", &CachedAnswer{Records: recs, Bytes: sizeOf(recs)})
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache returned a hit")
 	}

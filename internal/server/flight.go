@@ -34,7 +34,7 @@ type flight struct {
 	refs   int // waiters attached; guarded by the group mutex
 	cancel context.CancelCauseFunc
 	done   chan struct{} // closed after val/err are set
-	val    *cacheValue
+	val    *CachedAnswer
 	err    error
 }
 
@@ -48,7 +48,7 @@ func newFlightGroup(base context.Context) *flightGroup {
 // the shared execution finishes, Do detaches and returns ctx's cause;
 // the execution keeps running for the remaining waiters (and is
 // canceled when none remain).
-func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) (*cacheValue, error)) (val *cacheValue, shared bool, err error) {
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) (*CachedAnswer, error)) (val *CachedAnswer, shared bool, err error) {
 	g.mu.Lock()
 	f, joined := g.m[key]
 	if !joined {
@@ -75,7 +75,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Co
 // run executes fn and publishes the outcome. The flight leaves the map
 // before done is signaled, so late arrivals start a fresh execution
 // (result reuse across time is the cache's job, not the group's).
-func (g *flightGroup) run(key string, f *flight, fctx context.Context, fn func(ctx context.Context) (*cacheValue, error)) {
+func (g *flightGroup) run(key string, f *flight, fctx context.Context, fn func(ctx context.Context) (*CachedAnswer, error)) {
 	defer func() {
 		if p := recover(); p != nil {
 			f.err = fmt.Errorf("commserve: query execution panicked: %v", p)

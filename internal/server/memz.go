@@ -78,10 +78,11 @@ func (s *Server) memorySnapshot() MemorySnapshot {
 	} else if fp, ok := s.eng.(footprinter); ok {
 		out.Components = append(out.Components, fp.Footprint())
 	}
+	cs := s.cache.Stats()
 	out.Components = append(out.Components, prof.Footprint{
 		Name:  "result_cache",
-		Bytes: s.cache.Bytes(),
-		Items: int64(s.cache.Len()),
+		Bytes: cs.Bytes,
+		Items: int64(cs.Entries),
 	})
 	if s.cfg.DeltaMem != nil {
 		out.Components = append(out.Components, s.cfg.DeltaMem())

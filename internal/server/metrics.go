@@ -75,14 +75,16 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.stats.queriesStarted.Load() - s.stats.queriesCompleted.Load()) })
 	reg.CounterFunc("commdb_streams_started_total", "streaming (all) requests admitted",
 		s.stats.streamsStarted.Load)
-	reg.CounterFunc("commdb_cache_hits_total", "top-k result cache hits",
-		s.stats.cacheHits.Load)
+	reg.CounterFunc("commdb_cache_hits_total", "top-k result cache hits (semantic hits included)",
+		func() int64 { return s.cache.Stats().Hits })
+	reg.CounterFunc("commdb_cache_semantic_hits_total", "top-k result cache hits served by downfiltering a larger-radius answer",
+		func() int64 { return s.cache.Stats().SemanticHits })
 	reg.CounterFunc("commdb_cache_misses_total", "top-k result cache misses",
-		s.stats.cacheMisses.Load)
+		func() int64 { return s.cache.Stats().Misses })
 	reg.GaugeFunc("commdb_cache_entries", "top-k result cache resident entries",
-		func() float64 { return float64(s.cache.Len()) })
+		func() float64 { return float64(s.cache.Stats().Entries) })
 	reg.GaugeFunc("commdb_cache_bytes", "top-k result cache resident bytes",
-		func() float64 { return float64(s.cache.Bytes()) })
+		func() float64 { return float64(s.cache.Stats().Bytes) })
 	reg.CounterFunc("commdb_singleflight_shared_total", "requests coalesced onto an in-flight identical query",
 		s.flights.joins.Load)
 	reg.CounterFunc("commdb_admission_rejections_total", "requests rejected with 429",
@@ -129,7 +131,7 @@ func newMetrics(s *Server) *metrics {
 			return 0
 		})
 	reg.GaugeFunc("commdb_mem_result_cache_bytes", "top-k result cache resident bytes (the accounting view of commdb_cache_bytes)",
-		func() float64 { return float64(s.cache.Bytes()) })
+		func() float64 { return float64(s.cache.Stats().Bytes) })
 	reg.GaugeFunc("commdb_mem_heap_alloc_bytes", "runtime heap bytes in live objects",
 		func() float64 {
 			var ms runtime.MemStats

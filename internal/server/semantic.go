@@ -1,0 +1,280 @@
+package server
+
+// The semantic cache serves a query from a cached answer of the same
+// keyword group at a different radius or k, without an engine
+// execution — but only when the served records are provably
+// byte-identical to what a live run would produce. Two containment
+// properties make that possible:
+//
+// Same Rmax, larger cached k: the enumeration is deterministic and
+// emits in non-decreasing cost order, so the live k'-answer is exactly
+// the first k' records of the cached one. Serving a prefix is always
+// sound; serving fewer than k' records requires the cached answer to
+// be exhausted (it holds every community of the query).
+//
+// Smaller requested Rmax' < cached Rmax: each cached record carries
+// its reuse radii (RecordMeta). A record with ReuseRadius ≤ Rmax' is
+// byte-identical at Rmax' — same centers, members, edges and cost. A
+// record with CoreRadius > Rmax' does not exist at Rmax' at all. A
+// record between the two shrinks — its content and cost change — so
+// the downfilter aborts and the query runs live. Communities beyond
+// the cached list (when the answer is not exhausted) can only have
+// grown costs at the smaller radius: shrinking the radius removes
+// centers, and a community's cost is the minimum over its centers, so
+// cost is non-increasing in radius — never below the cached tail.
+//
+// Cost ties need care: the enumerator's emission order among equal-cost
+// communities depends on its internal heap layout, which is not stable
+// across radii. The downfilter therefore refuses to serve any answer
+// where a cost tie could reorder the boundary: served records must
+// have strictly increasing costs, the first unserved kept record (if
+// any) must cost strictly more than the last served one, and — unless
+// the cached answer is exhausted — the last served record must cost
+// strictly less than the cached tail. Within one radius none of this
+// applies: a prefix of a deterministic enumeration is stable, ties
+// included.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// semanticCache is the Rmax-monotone result cache: an LRU of exact
+// entries plus a per-(group, epoch) index for downfilter probes.
+type semanticCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recent
+	items      map[string]*list.Element
+	// groups indexes the same entries by radius-independent identity;
+	// a downfilter probe walks one group's entries.
+	groups map[string]map[*list.Element]struct{}
+
+	hits, semHits, misses atomic.Int64
+}
+
+type semEntry struct {
+	key  string // exact identity, CacheKey.String()
+	gkey string // group identity, CacheKey.groupKey()
+	k    CacheKey
+	val  *CachedAnswer
+}
+
+func newSemanticCache(maxEntries int, maxBytes int64) *semanticCache {
+	return &semanticCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		groups:     make(map[string]map[*list.Element]struct{}),
+	}
+}
+
+func (c *semanticCache) Get(key CacheKey) (*CachedAnswer, bool, bool) {
+	c.mu.Lock()
+	// Exact probe first: a same-identity entry serves as-is.
+	if el, ok := c.items[key.String()]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*semEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return val, false, true
+	}
+	// Group probe: walk same-family entries, preferring the smallest
+	// covering radius (fewest records to classify, least tie exposure).
+	var best *list.Element
+	for el := range c.groups[key.groupKey()] {
+		e := el.Value.(*semEntry)
+		if e.k.Rmax < key.Rmax {
+			continue
+		}
+		if best == nil || e.k.Rmax < best.Value.(*semEntry).k.Rmax {
+			best = el
+		}
+	}
+	var served *CachedAnswer
+	if best != nil {
+		if v, ok := best.Value.(*semEntry).val.filterTo(key.Rmax, key.K); ok {
+			served = v
+			c.ll.MoveToFront(best)
+		}
+	}
+	c.mu.Unlock()
+	if served == nil {
+		c.misses.Add(1)
+		return nil, false, false
+	}
+	c.hits.Add(1)
+	c.semHits.Add(1)
+	return served, true, true
+}
+
+func (c *semanticCache) Put(key CacheKey, val *CachedAnswer) {
+	if c.maxEntries < 0 || val == nil || !val.Complete {
+		return
+	}
+	if c.maxBytes > 0 && val.Bytes > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	skey := key.String()
+	if el, ok := c.items[skey]; ok {
+		e := el.Value.(*semEntry)
+		c.bytes += val.Bytes - e.val.Bytes
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		e := &semEntry{key: skey, gkey: key.groupKey(), k: key, val: val}
+		el := c.ll.PushFront(e)
+		c.items[skey] = el
+		g := c.groups[e.gkey]
+		if g == nil {
+			g = make(map[*list.Element]struct{})
+			c.groups[e.gkey] = g
+		}
+		g[el] = struct{}{}
+		c.bytes += val.Bytes
+	}
+	for c.ll.Len() > 0 &&
+		((c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		c.remove(c.ll.Back())
+	}
+}
+
+// remove unlinks one entry from the list, the exact map and its group.
+// Callers hold the mutex.
+func (c *semanticCache) remove(el *list.Element) {
+	e := el.Value.(*semEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	if g := c.groups[e.gkey]; g != nil {
+		delete(g, el)
+		if len(g) == 0 {
+			delete(c.groups, e.gkey)
+		}
+	}
+	c.bytes -= e.val.Bytes
+}
+
+func (c *semanticCache) InvalidateEpochs(current int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*semEntry).k.Epoch != current {
+			c.remove(el)
+		}
+	}
+}
+
+func (c *semanticCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:         c.hits.Load(),
+		SemanticHits: c.semHits.Load(),
+		Misses:       c.misses.Load(),
+		Entries:      entries,
+		Bytes:        bytes,
+	}
+}
+
+// filterTo derives the answer for (rmax, k) from a cached answer at
+// v.Rmax ≥ rmax, or reports it cannot be done soundly. The returned
+// answer is byte-identical to a live execution's; a false return means
+// the caller must run the query.
+func (v *CachedAnswer) filterTo(rmax float64, k int) (*CachedAnswer, bool) {
+	if !v.Complete || rmax > v.Rmax || k <= 0 {
+		return nil, false
+	}
+	if rmax == v.Rmax {
+		// Same radius: the live k-answer is a prefix of the cached one.
+		// Serving fewer than k records requires exhaustion.
+		if len(v.Records) < k && !v.Exhausted {
+			return nil, false
+		}
+		m := min(k, len(v.Records))
+		return v.slice(v.Records[:m], v.metaPrefix(m), rmax, k, v.Exhausted && m == len(v.Records)), true
+	}
+	if v.Meta == nil || len(v.Meta) != len(v.Records) {
+		return nil, false
+	}
+	// Smaller radius: classify every cached record. kept collects the
+	// indices of records that are byte-identical at rmax; any record
+	// that would merely shrink aborts the downfilter.
+	kept := make([]int, 0, len(v.Records))
+	for i := range v.Records {
+		switch m := v.Meta[i]; {
+		case m.ReuseRadius <= rmax:
+			kept = append(kept, i)
+		case m.CoreRadius > rmax:
+			// The core admits no community at rmax: record vanishes.
+		default:
+			return nil, false
+		}
+	}
+	if len(kept) < k && !v.Exhausted {
+		return nil, false
+	}
+	m := min(k, len(kept))
+	// Tie guards (see the file comment): served costs strictly
+	// increase, the first unserved kept record is strictly costlier,
+	// and the served tail is strictly under the cached tail unless the
+	// answer is exhausted.
+	for j := 1; j < m; j++ {
+		if !(v.Records[kept[j]].Cost > v.Records[kept[j-1]].Cost) {
+			return nil, false
+		}
+	}
+	if m < len(kept) && !(v.Records[kept[m]].Cost > v.Records[kept[m-1]].Cost) {
+		return nil, false
+	}
+	if !v.Exhausted && m > 0 {
+		if last := v.Records[len(v.Records)-1].Cost; !(v.Records[kept[m-1]].Cost < last) {
+			return nil, false
+		}
+	}
+	if !v.Exhausted && m == 0 {
+		// Nothing kept but the query space below the cached tail is
+		// unknown; a live run could still find communities.
+		return nil, false
+	}
+	records := make([]CommunityRecord, m)
+	meta := make([]RecordMeta, m)
+	for j := 0; j < m; j++ {
+		records[j] = v.Records[kept[j]]
+		records[j].Rank = j + 1
+		meta[j] = v.Meta[kept[j]]
+	}
+	return v.slice(records, meta, rmax, k, v.Exhausted && m == len(kept)), true
+}
+
+// slice packages a derived answer. Records must already be renumbered.
+func (v *CachedAnswer) slice(records []CommunityRecord, meta []RecordMeta, rmax float64, k int, exhausted bool) *CachedAnswer {
+	return &CachedAnswer{
+		Records:   records,
+		Complete:  true,
+		Exhausted: exhausted,
+		Rmax:      rmax,
+		K:         k,
+		Meta:      meta,
+		Bytes:     sizeOf(records),
+		Trace:     v.Trace,
+	}
+}
+
+// metaPrefix returns the first m meta entries, or nil when the answer
+// carries none.
+func (v *CachedAnswer) metaPrefix(m int) []RecordMeta {
+	if v.Meta == nil {
+		return nil
+	}
+	return v.Meta[:m]
+}

@@ -72,6 +72,15 @@ type Config struct {
 	// CacheBytes bounds the cache's approximate resident bytes
 	// (default 64 MiB; 0 with CacheEntries ≥ 0 means unbounded bytes).
 	CacheBytes int64
+	// CacheMode selects the result-cache implementation: "exact" (the
+	// default fingerprint-keyed LRU), "semantic" (the Rmax-monotone
+	// cache that downfilters same-keyword answers cached at a larger
+	// radius), "layered" (an exact front over the semantic tier), or
+	// "off". Ignored when Cache is set.
+	CacheMode string
+	// Cache, when non-nil, injects a custom Cache implementation and
+	// overrides CacheMode/CacheEntries/CacheBytes.
+	Cache Cache
 	// MaxK caps the per-request k (default 1000).
 	MaxK int
 	// MaxLimits clamps every request's Limits field-by-field: where a
@@ -166,18 +175,21 @@ func (c Config) withDefaults() Config {
 // or NewWithEngine, mount Handler on an http.Server, and call Shutdown
 // to drain.
 type Server struct {
-	eng       Engine
-	snaps     *snapshot.Manager
-	cfg       Config
-	adm       *admission
-	cache     *lruCache
-	flights   *flightGroup
-	stats     stats
-	metrics   *metrics
-	collector *obs.Collector
-	wl        *workload.Tracker
-	qids      atomic.Int64
-	mux       *http.ServeMux
+	eng   Engine
+	snaps *snapshot.Manager
+	cfg   Config
+	adm   *admission
+	cache Cache
+	// cacheEpoch tracks the last epoch a top-k request served from, so
+	// an epoch change triggers one cache invalidation sweep.
+	cacheEpoch atomic.Int64
+	flights    *flightGroup
+	stats      stats
+	metrics    *metrics
+	collector  *obs.Collector
+	wl         *workload.Tracker
+	qids       atomic.Int64
+	mux        *http.ServeMux
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
@@ -192,16 +204,26 @@ func New(s *commdb.Searcher, cfg Config) *Server {
 }
 
 // NewWithEngine builds a server over any Engine; tests use it to
-// inject controllable engines.
+// inject controllable engines. An unknown Config.CacheMode panics —
+// it is a static configuration error, caught at construction like a
+// malformed mux pattern would be.
 func NewWithEngine(eng Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cache := cfg.Cache
+	if cache == nil {
+		var err error
+		cache, err = NewCache(cfg.CacheMode, cfg.CacheEntries, cfg.CacheBytes)
+		if err != nil {
+			panic(err)
+		}
+	}
 	baseCtx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		eng:        eng,
 		snaps:      cfg.Snapshots,
 		cfg:        cfg,
 		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
-		cache:      newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
+		cache:      cache,
 		flights:    newFlightGroup(baseCtx),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
@@ -304,8 +326,12 @@ func (s *Server) observeEpoch(epoch int64, err error) {
 // Stats snapshots the serving counters.
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.stats.snapshot()
-	snap.CacheEntries = s.cache.Len()
-	snap.CacheBytes = s.cache.Bytes()
+	cs := s.cache.Stats()
+	snap.CacheHits = cs.Hits
+	snap.CacheSemanticHits = cs.SemanticHits
+	snap.CacheMisses = cs.Misses
+	snap.CacheEntries = cs.Entries
+	snap.CacheBytes = cs.Bytes
 	snap.SingleflightShared = s.flights.joins.Load()
 	snap.AdmissionWaiting = s.adm.waiting.Load()
 	snap.CaptureObserved, snap.CaptureRetained = s.collector.CaptureStats()
@@ -523,25 +549,31 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// never serve a request leased to a newer epoch.
 	eng, epoch, release := s.lease()
 	defer release()
-	key := q.Fingerprint() + "|k=" + strconv.Itoa(k) + "|compact=" + strconv.FormatBool(req.Compact) +
-		"|e" + strconv.FormatInt(epoch, 10)
+	key := newCacheKey(q, k, req.Compact, epoch)
+	// One invalidation sweep per observed epoch change frees the prior
+	// epoch's answers promptly (the epoch inside every key already
+	// prevents stale serving either way).
+	if old := s.cacheEpoch.Swap(epoch); old != epoch {
+		s.cache.InvalidateEpochs(epoch)
+	}
 
 	// Cache hits bypass admission: they consume no engine resources,
 	// so they stay fast even when the pool is saturated. A trace
 	// request bypasses the cache read instead — its trace must reflect
 	// a real execution.
 	cstart := time.Now()
-	if val, hit := s.cache.Get(key); hit && !req.Trace {
-		s.stats.cacheHits.Add(1)
-		s.logQuery(qid, "topk", q, 0, len(val.records), "", true)
-		// Cache hits bypass observeQuery (no execution, no trace), but
-		// they are still workload: the flight recorder journals them so a
-		// replay reproduces the traffic the cache absorbed.
-		s.observeCacheHit(qid, q, k, epoch, val, time.Since(cstart))
-		writeJSON(w, http.StatusOK, TopKResponse{Results: val.records, Complete: val.complete, Cached: true, Epoch: epoch})
-		return
+	if !req.Trace {
+		if val, semantic, hit := s.cache.Get(key); hit {
+			s.logQuery(qid, "topk", q, 0, len(val.Records), "", true)
+			// Cache hits bypass observeQuery (no execution, no trace), but
+			// they are still workload: the flight recorder journals them so a
+			// replay reproduces the traffic the cache absorbed.
+			s.observeCacheHit(qid, q, k, epoch, val, time.Since(cstart))
+			writeJSON(w, http.StatusOK, TopKResponse{Results: val.Records, Complete: val.Complete,
+				Cached: true, Semantic: semantic, Epoch: epoch})
+			return
+		}
 	}
-	s.stats.cacheMisses.Add(1)
 
 	if s.closing.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
@@ -556,12 +588,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// shutdown) propagate to every waiter of the flight. Trace
 	// requests coalesce only among themselves, so a trace follower is
 	// guaranteed a leader that produced one.
-	fkey := key
+	fkey := key.String()
 	if req.Trace {
 		fkey += "|trace"
 	}
 	start := time.Now()
-	val, _, err := s.flights.Do(ctx, fkey, func(fctx context.Context) (*cacheValue, error) {
+	val, _, err := s.flights.Do(ctx, fkey, func(fctx context.Context) (*CachedAnswer, error) {
 		if err := s.adm.acquire(fctx); err != nil {
 			return nil, err
 		}
@@ -582,17 +614,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := TopKResponse{
-		Results:   val.records,
-		Complete:  val.complete,
-		Reason:    val.reason,
+		Results:   val.Records,
+		Complete:  val.Complete,
+		Reason:    val.Reason,
 		Cached:    false,
 		ElapsedMS: time.Since(start).Milliseconds(),
 		Epoch:     epoch,
 	}
 	if req.Trace {
-		resp.Trace = val.trace
+		resp.Trace = val.Trace
 	}
-	s.logQuery(qid, "topk", q, time.Since(start), len(val.records), val.reason, false)
+	s.logQuery(qid, "topk", q, time.Since(start), len(val.Records), val.Reason, false)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -601,7 +633,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // Every execution runs under an internal trace whose summary feeds the
 // process metrics; the summary also rides the response when the
 // request asked for it.
-func (s *Server) runTopK(ctx context.Context, eng Engine, epoch int64, q commdb.Query, k int, compact bool, key, qid string) (*cacheValue, error) {
+func (s *Server) runTopK(ctx context.Context, eng Engine, epoch int64, q commdb.Query, k int, compact bool, key CacheKey, qid string) (*CachedAnswer, error) {
 	s.stats.queriesStarted.Add(1)
 	tr := obs.NewTrace(qid)
 	if s.snaps != nil {
@@ -629,12 +661,14 @@ func (s *Server) runTopK(ctx context.Context, eng Engine, epoch int64, q commdb.
 	defer st.Close()
 	g := eng.Graph()
 	records := make([]CommunityRecord, 0, k)
+	meta := make([]RecordMeta, 0, k)
 	for len(records) < k {
 		c, ok := st.Next()
 		if !ok {
 			break
 		}
 		records = append(records, NewRecord(len(records)+1, c, g, compact))
+		meta = append(meta, RecordMeta{ReuseRadius: c.ReuseRadius, CoreRadius: c.CoreRadius})
 	}
 	var stopErr error
 	if len(records) < k {
@@ -643,12 +677,18 @@ func (s *Server) runTopK(ctx context.Context, eng Engine, epoch int64, q commdb.
 	s.classifyStop(stopErr)
 	s.observeEpoch(epoch, stopErr)
 	results, stopReason = len(records), StopReason(stopErr)
-	val := &cacheValue{
-		records:  records,
-		complete: stopErr == nil,
-		reason:   StopReason(stopErr),
-		bytes:    sizeOf(records),
-		trace:    tr.Summary(),
+	val := &CachedAnswer{
+		Records:  records,
+		Complete: stopErr == nil,
+		Reason:   StopReason(stopErr),
+		// Fewer than k records with a clean stop means the enumeration
+		// ran dry: the answer holds every community of the query.
+		Exhausted: stopErr == nil && len(records) < k,
+		Rmax:      key.Rmax,
+		K:         k,
+		Meta:      meta,
+		Bytes:     sizeOf(records),
+		Trace:     tr.Summary(),
 	}
 	if stopErr == nil {
 		s.cache.Put(key, val)

@@ -22,8 +22,6 @@ type stats struct {
 	queriesStarted      atomic.Int64 // engine executions begun
 	queriesCompleted    atomic.Int64 // engine executions finished (any outcome)
 	streamsStarted      atomic.Int64 // streaming (all) requests admitted
-	cacheHits           atomic.Int64
-	cacheMisses         atomic.Int64
 	admissionRejections atomic.Int64 // 429s issued
 	// resultLimitStops counts queries stopped by their result-count
 	// limit — ordinary completion of a bounded stream, not resource
@@ -94,11 +92,16 @@ type LatencyBucket struct {
 
 // StatsSnapshot is the JSON body of GET /statsz.
 type StatsSnapshot struct {
-	QueriesStarted      int64 `json:"queries_started"`
-	QueriesCompleted    int64 `json:"queries_completed"`
-	QueriesInFlight     int64 `json:"queries_in_flight"`
-	StreamsStarted      int64 `json:"streams_started"`
-	CacheHits           int64 `json:"cache_hits"`
+	QueriesStarted   int64 `json:"queries_started"`
+	QueriesCompleted int64 `json:"queries_completed"`
+	QueriesInFlight  int64 `json:"queries_in_flight"`
+	StreamsStarted   int64 `json:"streams_started"`
+	CacheHits        int64 `json:"cache_hits"`
+	// CacheSemanticHits counts the subset of CacheHits served by the
+	// semantic tier: a same-keyword answer cached at a larger radius
+	// (or larger k) downfiltered to this request, byte-identical to a
+	// live run. Always 0 under the exact cache.
+	CacheSemanticHits   int64 `json:"cache_semantic_hits"`
 	CacheMisses         int64 `json:"cache_misses"`
 	CacheEntries        int   `json:"cache_entries"`
 	CacheBytes          int64 `json:"cache_bytes"`
@@ -166,8 +169,6 @@ func (s *stats) snapshot() StatsSnapshot {
 	out.QueriesCompleted = s.queriesCompleted.Load()
 	out.QueriesInFlight = out.QueriesStarted - out.QueriesCompleted
 	out.StreamsStarted = s.streamsStarted.Load()
-	out.CacheHits = s.cacheHits.Load()
-	out.CacheMisses = s.cacheMisses.Load()
 	out.AdmissionRejections = s.admissionRejections.Load()
 	out.ResultLimitStops = s.resultLimitStops.Load()
 	out.BudgetExhausted = s.budgetExhausted.Load()

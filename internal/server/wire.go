@@ -227,7 +227,12 @@ type TopKResponse struct {
 	// Reason is the stop reason when Complete is false.
 	Reason string `json:"reason,omitempty"`
 	// Cached reports the response was served from the result cache.
-	Cached    bool  `json:"cached"`
+	Cached bool `json:"cached"`
+	// Semantic reports a cached response was derived by the semantic
+	// tier — downfiltered from a same-keyword answer cached at a larger
+	// radius or k — rather than matched by exact identity. The records
+	// are still byte-identical to an uncached execution's.
+	Semantic  bool  `json:"semantic,omitempty"`
 	ElapsedMS int64 `json:"elapsed_ms"`
 	// Epoch is the snapshot epoch that answered (0 without snapshot
 	// reload). Cached answers carry the epoch too: the cache is keyed

@@ -120,7 +120,7 @@ func TestWorkloadzAttribution(t *testing.T) {
 	}
 
 	var snap workload.Snapshot
-	if err := json.Unmarshal(getBody(t, ts.URL+"/debug/workloadz"), &snap); err != nil {
+	if err := json.Unmarshal(getBody(t, ts.URL+"/debug/workloadz?format=json"), &snap); err != nil {
 		t.Fatal(err)
 	}
 	if snap.Observed != 2 || snap.CacheAbsorbed != 1 {

@@ -8,6 +8,7 @@ package server
 // warm-up or semantic cache would feed on.
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -21,9 +22,39 @@ import (
 // carries.
 const workloadzTopN = 50
 
-// handleWorkloadz answers GET /debug/workloadz.
-func (s *Server) handleWorkloadz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.wl.Snapshot(workloadzTopN))
+// handleWorkloadz answers GET /debug/workloadz: a human-readable table
+// by default, the machine-readable snapshot with ?format=json. The
+// JSON form is the contract automation consumes (the kwcache warmer,
+// the CI workload smoke test); anything else in the format parameter
+// is rejected rather than silently served as text.
+func (s *Server) handleWorkloadz(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		writeJSON(w, http.StatusOK, s.wl.Snapshot(workloadzTopN))
+	case "", "text":
+		snap := s.wl.Snapshot(workloadzTopN)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "workload: %d observed, %d cache-absorbed, %d keywords tracked (%d evicted)\n\n",
+			snap.Observed, snap.CacheAbsorbed, snap.TrackedKeywords, snap.EvictedKeywords)
+		fmt.Fprintf(w, "%-24s %10s %10s %10s %12s %12s\n",
+			"TERM", "QUERIES", "CACHEHITS", "INITRUNS", "INITVISITS", "INITWALLMS")
+		for _, ks := range snap.HotKeywords {
+			fmt.Fprintf(w, "%-24s %10d %10d %10d %12d %12.2f\n",
+				ks.Term, ks.Queries, ks.CacheHits, ks.InitRuns, ks.InitVisits, ks.InitWallMS)
+		}
+		fmt.Fprintf(w, "\n%-24s %10s %10s %10s %12s %12s %12s\n",
+			"CLASS", "QUERIES", "CACHEHITS", "RESULTS", "TOTALMS", "INITMS", "SHAREDMS")
+		for _, cs := range snap.Classes {
+			fmt.Fprintf(w, "%-24s %10d %10d %10d %12.2f %12.2f %12.2f\n",
+				cs.Class, cs.Queries, cs.CacheHits, cs.Results, cs.TotalMS, cs.InitMS, cs.SharedInitMS)
+		}
+		if j := snap.Journal; j != nil {
+			fmt.Fprintf(w, "\njournal: %s — %d records, %d sampled out, %d rotations, %d bytes\n",
+				j.Path, j.Records, j.SampledOut, j.Rotations, j.Bytes)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or text)", r.URL.Query().Get("format"))
+	}
 }
 
 // costWord renders a cost function in its wire spelling.
@@ -71,7 +102,7 @@ func (s *Server) observeWorkload(rec *obs.QueryRecord, q commdb.Query, algo stri
 // execution and no init spend, but the hit still belongs to the
 // workload — a replay that skipped it would re-run the engine work the
 // cache saved. Indexedness comes from the cached execution's trace.
-func (s *Server) observeCacheHit(qid string, q commdb.Query, k int, epoch int64, val *cacheValue, elapsed time.Duration) {
+func (s *Server) observeCacheHit(qid string, q commdb.Query, k int, epoch int64, val *CachedAnswer, elapsed time.Duration) {
 	e := workload.Entry{
 		UnixMS:      time.Now().UnixMilli(),
 		QueryID:     qid,
@@ -84,13 +115,13 @@ func (s *Server) observeCacheHit(qid string, q commdb.Query, k int, epoch int64,
 		Limits:      entryLimits(q.Limits),
 		Epoch:       epoch,
 		CacheHit:    true,
-		Results:     len(val.records),
-		Complete:    val.complete,
-		StopReason:  val.reason,
+		Results:     len(val.Records),
+		Complete:    val.Complete,
+		StopReason:  val.Reason,
 		LatencyMS:   float64(elapsed) / float64(time.Millisecond),
 	}
-	if val.trace != nil {
-		e.Indexed = val.trace.Labels["projected"] == "true"
+	if val.Trace != nil {
+		e.Indexed = val.Trace.Labels["projected"] == "true"
 	}
 	s.wl.Observe(e)
 }

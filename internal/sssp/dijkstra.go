@@ -127,6 +127,20 @@ func (r *Result) Bytes() int64 {
 		int64(cap(r.src))*4 + int64(cap(r.via))*4
 }
 
+// Load replaces the result's contents with an externally produced
+// settle sequence — the replay path for persisted neighbor-set
+// artifacts (internal/kwcache). The slices are copied, must be equal
+// length, and must list nodes in the non-decreasing distance order a
+// live run would settle them in; every node id must be within the
+// result's graph size. Violating those invariants corrupts lookups, so
+// artifact loaders validate before calling.
+func (r *Result) Load(visited []graph.NodeID, dist []float64, src, via []graph.NodeID) {
+	r.Reset()
+	for i, v := range visited {
+		r.add(v, dist[i], src[i], via[i])
+	}
+}
+
 func (r *Result) add(v graph.NodeID, d float64, src, via graph.NodeID) {
 	r.pos[v] = int32(len(r.visited))
 	r.visited = append(r.visited, v)

@@ -18,6 +18,7 @@ import (
 	"commdb/internal/govern"
 	"commdb/internal/graph"
 	"commdb/internal/index"
+	"commdb/internal/kwcache"
 	"commdb/internal/obs"
 	"commdb/internal/prof"
 	"commdb/internal/sssp"
@@ -34,6 +35,34 @@ const (
 	CostSumDistances = core.CostSumDistances
 	CostMaxDistance  = core.CostMaxDistance
 )
+
+// Ranker is a pluggable community cost aggregate, installed with
+// Open(..., WithRanker(...)): it folds a candidate center's
+// per-keyword shortest-path distances into one score, lower being
+// better. Implementations must be monotone in every component (the
+// enumeration-order guarantees of both algorithms rely on it), must be
+// pure functions safe for concurrent calls, and must not retain the
+// distance slice. See SumRanker, MaxRanker and BalancedRanker for the
+// built-ins.
+type Ranker = core.Ranker
+
+// SumRanker returns the paper's default cost: the summed
+// center→knode distances. Installing it is equivalent to the default
+// behavior with Query.Cost = CostSumDistances.
+func SumRanker() Ranker { return core.SumRanker() }
+
+// MaxRanker returns the max-distance (radius) aggregate, equivalent to
+// Query.Cost = CostMaxDistance.
+func MaxRanker() Ranker { return core.MaxRanker() }
+
+// BalancedRanker blends the paper's summed-distance cost with the
+// worst single center→knode distance — alpha·sum + (1−alpha)·max,
+// alpha in [0, 1] — following the combined ranking of Kargar, Golab
+// and Szlichta ("Effective Keyword Search in Graphs"): the max term
+// penalizes communities whose total is low only because one keyword
+// sits far out. Monotone at every alpha, so all enumeration
+// guarantees hold.
+func BalancedRanker(alpha float64) (Ranker, error) { return core.BalancedRanker(alpha) }
 
 // Limits caps one query's resource consumption: a wall-clock cutoff
 // plus budgets on shortest-path work, Dijkstra invocations, top-k
@@ -85,6 +114,18 @@ var ErrCorruptIndex = index.ErrCorruptIndex
 // is structurally valid but was built over a different graph than the
 // one being opened. Match with errors.Is.
 var ErrIndexMismatch = index.ErrIndexMismatch
+
+// ErrCorruptKeywordArtifacts is returned by Open(WithKeywordArtifacts)
+// when the serialized artifact store fails validation: truncation,
+// checksum mismatch, bounds or settle-order violations, trailing
+// garbage. Permanent for that artifact; match with errors.Is.
+var ErrCorruptKeywordArtifacts = kwcache.ErrCorruptStore
+
+// ErrKeywordArtifactsMismatch is returned by Open(WithKeywordArtifacts)
+// when the store is structurally valid but was built over a different
+// generation of the data than the graph being opened. Match with
+// errors.Is.
+var ErrKeywordArtifactsMismatch = kwcache.ErrStoreMismatch
 
 // Collector is the always-on observability layer: pass one to
 // Open(WithCollector) and every finished query is folded into its
@@ -191,6 +232,12 @@ type Searcher struct {
 	par int
 	// col, when non-nil, observes every finished query.
 	col *obs.Collector
+	// ranker, when non-nil, overrides Query.Cost on every query.
+	ranker core.Ranker
+	// kc, when non-nil, serves precomputed keyword neighbor sets to
+	// eligible sessions (un-indexed execution, no work-shape limits,
+	// Rmax within the store radius).
+	kc *kwcache.Store
 }
 
 // Option configures Open.
@@ -202,6 +249,10 @@ type openConfig struct {
 	indexReader io.Reader
 	parallelism int
 	collector   *obs.Collector
+	ranker      core.Ranker
+	kwReader    io.Reader
+	kwRadius    float64
+	kwEnable    bool
 }
 
 // WithIndex builds the paper's invertedN/invertedE indexes for radii up
@@ -241,6 +292,40 @@ func WithCollector(col *Collector) Option {
 	return func(c *openConfig) { c.collector = col }
 }
 
+// WithRanker installs a custom community cost aggregate for every
+// query on the searcher, overriding Query.Cost. Without this option
+// behavior is unchanged: Query.Cost selects between the two built-in
+// aggregates exactly as before. The ranker must satisfy the Ranker
+// contract (per-component monotone, concurrency-safe, pure).
+func WithRanker(r Ranker) Option {
+	return func(c *openConfig) { c.ranker = r }
+}
+
+// WithKeywordArtifacts loads a keyword neighbor-set artifact store
+// previously saved with WriteKeywordArtifacts (or prebuilt by
+// cmd/indexbuild -kwcache-out), built over exactly the graph being
+// opened. Queries on an un-indexed searcher whose Rmax fits within the
+// store's radius then serve hot keywords' engine init from the
+// artifacts instead of running full-set Dijkstras, byte-identically.
+// Loading is fail-closed: a corrupt or wrong-generation store returns
+// ErrCorruptKeywordArtifacts / ErrKeywordArtifactsMismatch from Open.
+// Mutually exclusive with WithKeywordArtifactStore.
+func WithKeywordArtifacts(r io.Reader) Option {
+	return func(c *openConfig) { c.kwReader = r }
+}
+
+// WithKeywordArtifactStore attaches an empty artifact store at the
+// given radius — the largest query Rmax the artifacts will cover —
+// to be filled incrementally with WarmKeywords (e.g. from workload
+// hot-keyword attribution). Mutually exclusive with
+// WithKeywordArtifacts.
+func WithKeywordArtifactStore(radius float64) Option {
+	return func(c *openConfig) {
+		c.kwEnable = true
+		c.kwRadius = radius
+	}
+}
+
 // Open returns a Searcher over g. With no options it scans the graph
 // per query and parallelizes each query over runtime.GOMAXPROCS(0)
 // workers; see WithIndex, WithIndexReader, WithParallelism and
@@ -256,11 +341,14 @@ func Open(g *Graph, opts ...Option) (*Searcher, error) {
 	if cfg.buildIndex && cfg.indexReader != nil {
 		return nil, fmt.Errorf("commdb: WithIndex and WithIndexReader are mutually exclusive")
 	}
+	if cfg.kwReader != nil && cfg.kwEnable {
+		return nil, fmt.Errorf("commdb: WithKeywordArtifacts and WithKeywordArtifactStore are mutually exclusive")
+	}
 	par := cfg.parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	s := &Searcher{g: g, pool: sssp.NewPool(), par: par, col: cfg.collector}
+	s := &Searcher{g: g, pool: sssp.NewPool(), par: par, col: cfg.collector, ranker: cfg.ranker}
 	switch {
 	case cfg.buildIndex:
 		ix, err := index.Build(g, index.BuildOptions{R: cfg.indexRmax})
@@ -276,6 +364,20 @@ func Open(g *Graph, opts ...Option) (*Searcher, error) {
 		s.ix, s.ft = ix, ix.Fulltext()
 	default:
 		s.ft = fulltext.Build(g)
+	}
+	switch {
+	case cfg.kwReader != nil:
+		kc, err := kwcache.ReadInto(cfg.kwReader, s.ft)
+		if err != nil {
+			return nil, err
+		}
+		s.kc = kc
+	case cfg.kwEnable:
+		kc, err := kwcache.New(s.ft, cfg.kwRadius, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.kc = kc
 	}
 	return s, nil
 }
@@ -334,6 +436,66 @@ func (s *Searcher) IndexRadius() float64 {
 // KeywordFrequency reports the KWF of a term: the fraction of graph
 // nodes containing it.
 func (s *Searcher) KeywordFrequency(term string) float64 { return s.ft.KWF(term) }
+
+// WarmKeywords computes keyword neighbor-set artifacts for every given
+// keyword not already cached, reporting how many were added. Keywords
+// that do not tokenize to a single term are skipped. A no-op (0) on a
+// searcher without an artifact store. Safe to call concurrently with
+// serving: queries in flight keep seeing a consistent store.
+func (s *Searcher) WarmKeywords(keywords []string) int {
+	if s.kc == nil {
+		return 0
+	}
+	return s.kc.Warm(keywords)
+}
+
+// WriteKeywordArtifacts serializes the searcher's keyword artifact
+// store so the warm-up survives restarts; load it with
+// Open(..., WithKeywordArtifacts(r)). Returns an error on a searcher
+// without a store.
+func (s *Searcher) WriteKeywordArtifacts(w io.Writer) error {
+	if s.kc == nil {
+		return fmt.Errorf("commdb: searcher has no keyword artifact store to write")
+	}
+	return s.kc.Write(w)
+}
+
+// KeywordArtifactStats describes the searcher's keyword artifact
+// store: its coverage and how often engine init was served from it.
+type KeywordArtifactStats struct {
+	// Enabled reports whether the searcher has a store at all.
+	Enabled bool `json:"enabled"`
+	// Terms is the number of cached keywords.
+	Terms int `json:"terms"`
+	// Radius is the store's artifact radius: queries with Rmax beyond
+	// it fall back to live execution.
+	Radius float64 `json:"radius"`
+	// Epoch is the data generation recorded when the store was built.
+	Epoch int64 `json:"epoch"`
+	// Hits and Misses count full-set probes served from artifacts vs
+	// fallen back to live Dijkstras.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Bytes is the store's resident footprint.
+	Bytes int64 `json:"bytes"`
+}
+
+// KeywordArtifacts reports the artifact store's coverage and hit
+// counters; Enabled is false on a searcher without a store.
+func (s *Searcher) KeywordArtifacts() KeywordArtifactStats {
+	if s.kc == nil {
+		return KeywordArtifactStats{}
+	}
+	return KeywordArtifactStats{
+		Enabled: true,
+		Terms:   s.kc.Len(),
+		Radius:  s.kc.Radius(),
+		Epoch:   s.kc.Epoch(),
+		Hits:    s.kc.Hits(),
+		Misses:  s.kc.Misses(),
+		Bytes:   s.kc.Bytes(),
+	}
+}
 
 // session holds one query's execution state: the (possibly projected)
 // engine plus the mapping back to the searcher's graph.
@@ -429,14 +591,26 @@ func (s *Searcher) newSession(ctx context.Context, q Query) (*session, error) {
 		ft = nil // projected graphs are small; scanning is fine
 	}
 	endInit := tr.StartSpan("engine_init")
-	eng, err := core.NewEngineCfg(target, ft, q.Keywords, q.Rmax, core.EngineConfig{
-		Pool:        s.pool,
-		Parallelism: s.par,
-	})
+	ecfg := core.EngineConfig{Pool: s.pool, Parallelism: s.par}
+	// Keyword artifacts stand in for full-set runs only on un-projected
+	// execution (projection remaps node ids) and only when the query
+	// carries no work-shape limits: an artifact hit performs none of the
+	// live run's relaxation work, so budgets bounding that work would
+	// trip at different points than cold execution and break the
+	// byte-identity contract. FullSet itself rejects radii beyond the
+	// store's.
+	if s.kc != nil && sess.sub == nil &&
+		q.Limits.MaxRelaxations == 0 && q.Limits.MaxHeapBytes == 0 {
+		ecfg.Neighbors = s.kc
+	}
+	eng, err := core.NewEngineCfg(target, ft, q.Keywords, q.Rmax, ecfg)
 	if err != nil {
 		return nil, err
 	}
 	eng.SetCostFunction(q.Cost)
+	if s.ranker != nil {
+		eng.SetRanker(s.ranker)
+	}
 	eng.SetBudget(bud)
 	eng.SetTrace(tr)
 	// Fan the per-keyword full-set Dijkstras across the workers now,
@@ -470,6 +644,10 @@ func (sess *session) mapBack(r *Community) *Community {
 		Cnodes: mapIDs(r.Cnodes, toParent),
 		Pnodes: mapIDs(r.Pnodes, toParent),
 		Nodes:  mapIDs(r.Nodes, toParent),
+		// The radii are distance-derived and the projection preserves
+		// all relevant distances, so they carry over unchanged.
+		ReuseRadius: r.ReuseRadius,
+		CoreRadius:  r.CoreRadius,
 	}
 	for i, v := range r.Core {
 		mapped.Core[i] = toParent[v]
@@ -850,6 +1028,11 @@ func (s *Searcher) Footprint() Footprint {
 		parts = append(parts, s.ix.Footprint())
 	} else {
 		parts = append(parts, s.ft.Footprint())
+	}
+	if s.kc != nil {
+		parts = append(parts, prof.Footprint{
+			Name: "kwcache", Bytes: s.kc.Bytes(), Items: int64(s.kc.Len()),
+		})
 	}
 	f := prof.Group("searcher", parts...)
 	f.Items = int64(s.g.NumNodes())
